@@ -1,0 +1,20 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables/figures at a reduced
+but shape-preserving scale, and records the headline measurements in
+``benchmark.extra_info`` so the saved benchmark JSON doubles as the
+reproduction evidence (EXPERIMENTS.md quotes these numbers).
+
+Heavy simulations run with ``benchmark.pedantic(rounds=1)`` — the quantity
+of interest is the experiment's *result*, not a statistically tight timing
+of the whole pipeline. Table IV is the exception: there the paper's metric
+*is* the latency distribution, so the decision function itself is
+benchmarked normally.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single round (expensive end-to-end runs)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,98 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. **Quantum (MIN_INV_SIZE) sweep** — smaller quanta randomize more (higher
+   slot entropy) at the cost of more decisions per second.
+2. **Theorem 1** — giving higher weight to *lower* remaining utilization
+   (the InverseUtilizationSelector) increases temporal locality relative to
+   the paper's weighted selection; the weighted selection beats uniform.
+3. **Budget donation** — enabling the Sec. II-a idle-budget donation rule
+   opens an additional covert channel on top of the baseline one.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro._time import MS, ms
+from repro.channel.attack import evaluate_attacks
+from repro.experiments.configs import LIGHT_ALPHA, feasibility_experiment
+from repro.metrics.locality import slot_entropy
+from repro.model.configs import table1_system
+from repro.sim.engine import Simulator
+from repro.sim.trace import SegmentRecorder
+
+
+def _slot_entropy_for(policy_name: str, quantum_us: int, seconds: float = 6.0) -> tuple:
+    system = table1_system()
+    recorder = SegmentRecorder(merge=False, limit=2_000_000)
+    sim = Simulator(
+        system, policy=policy_name, seed=7, observers=[recorder], quantum=quantum_us
+    )
+    result = sim.run_for_seconds(seconds)
+    horizon = result.end_time
+    entropy = slot_entropy(
+        recorder.segments, 1 * MS, system.hyperperiod, horizon, [p.name for p in system]
+    )
+    return entropy, result.rates()["decisions_per_sec"]
+
+
+def test_ablation_quantum_sweep(benchmark):
+    def sweep():
+        return {q: _slot_entropy_for("timedice", ms(q)) for q in (1, 2, 5)}
+
+    results = run_once(benchmark, sweep)
+    benchmark.extra_info.update(
+        {
+            f"quantum_{q}ms": {"slot_entropy": round(e, 3), "decisions_per_sec": round(d, 1)}
+            for q, (e, d) in results.items()
+        }
+    )
+    entropies = [results[q][0] for q in (1, 2, 5)]
+    decisions = [results[q][1] for q in (1, 2, 5)]
+    # Finer quanta: more randomness, more scheduling work.
+    assert entropies[0] >= entropies[-1]
+    assert decisions[0] > decisions[-1]
+
+
+def test_ablation_theorem1_selector_locality(benchmark):
+    def sweep():
+        return {
+            name: _slot_entropy_for(name, ms(1))[0]
+            for name in ("timedice", "timedice-uniform", "timedice-inverse")
+        }
+
+    entropies = run_once(benchmark, sweep)
+    benchmark.extra_info.update({k: round(v, 4) for k, v in entropies.items()})
+    # Theorem 1: inverse weighting increases temporal locality (lower
+    # entropy); the paper's weighted selection is the most random.
+    assert entropies["timedice"] >= entropies["timedice-uniform"] - 0.02
+    assert entropies["timedice-inverse"] < entropies["timedice"]
+
+
+def test_ablation_budget_donation_channel(benchmark):
+    """Donation opens a second covert channel: under NoRandom with a plain
+    periodic sender (no positioned burst), the response-time attack is blind
+    without donation but informative with it."""
+
+    def run_pair():
+        accuracies = {}
+        for donation in (False, True):
+            experiment = feasibility_experiment(
+                profile_windows=150,
+                message_windows=300,
+                positioned_sender=False,
+                budget_donation=donation,
+            )
+            dataset = experiment.run("norandom", seed=3)
+            results = evaluate_attacks(dataset, [150])
+            accuracies[donation] = {r.method: r.accuracy for r in results}
+        return accuracies
+
+    accuracies = run_once(benchmark, run_pair)
+    benchmark.extra_info.update(
+        {
+            "rt_no_donation": round(accuracies[False]["response-time"], 4),
+            "rt_with_donation": round(accuracies[True]["response-time"], 4),
+        }
+    )
+    assert accuracies[False]["response-time"] < 0.65
+    assert accuracies[True]["response-time"] > accuracies[False]["response-time"] + 0.1

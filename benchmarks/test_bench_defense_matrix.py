@@ -1,0 +1,29 @@
+"""Extension: the 2x2 defense-composition matrix, both channel families.
+
+Asserted shape (light load): NoRandom+FP defends nothing; BLINDER kills the
+order channel only; TimeDice kills both; TimeDice+BLINDER composes cleanly
+(the two operate on disjoint schedule layers).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import defense_matrix
+
+
+def test_defense_matrix(benchmark):
+    result = run_once(
+        benchmark,
+        defense_matrix.run,
+        profile_windows=100,
+        message_windows=200,
+        order_windows=200,
+        seed=5,
+    )
+    for (global_name, local_name), cell in result.cells.items():
+        benchmark.extra_info[f"{global_name}+{local_name}"] = {
+            k: round(v, 3) for k, v in cell.items()
+        }
+    assert not result.defended("NoRandom", "FP")
+    assert not result.defended("NoRandom", "BLINDER")  # budget channel intact
+    assert result.cells[("NoRandom", "BLINDER")]["order"] < 0.65
+    assert result.defended("TimeDice", "FP")
+    assert result.defended("TimeDice", "BLINDER")

@@ -1,0 +1,36 @@
+"""Fig. 12 — TimeDice's impact on channel accuracy.
+
+Paper (light load, 10k test samples): NoRandom 98.6/99.0 %; TimeDiceW drops
+the channel to 57.5 % (RT) / 60.3 % (EV) — near random guessing; TimeDiceU
+sits in between; the defense is strongest at light load.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig12_accuracy import accuracy_sweep
+
+
+def test_fig12_accuracy_sweep(benchmark):
+    sweep = run_once(
+        benchmark,
+        accuracy_sweep,
+        policies=("norandom", "timedice-uniform", "timedice"),
+        profile_sizes=(100, 200),
+        message_windows=400,
+        seed=3,
+    )
+    measured = {}
+    for load in ("base", "light"):
+        for policy in ("norandom", "timedice-uniform", "timedice"):
+            for method, tag in (("response-time", "rt"), ("execution-vector", "ev")):
+                measured[f"{load}_{policy}_{tag}"] = round(
+                    sweep.accuracy(load, policy, method, 200), 4
+                )
+    benchmark.extra_info.update(measured)
+    benchmark.extra_info.update(
+        {"paper_light_timedice_rt": 0.5749, "paper_light_timedice_ev": 0.6032}
+    )
+    # The headline shapes.
+    assert measured["light_norandom_rt"] > 0.9
+    assert measured["light_timedice_rt"] < 0.7
+    assert measured["light_timedice_ev"] < 0.7
+    assert measured["base_timedice_ev"] < measured["base_norandom_ev"] - 0.1

@@ -1,0 +1,40 @@
+"""Fig. 13 — execution-vector heatmaps under TimeDice.
+
+Paper: with TimeDice, the sender's signal no longer creates distinctive
+patterns in the receiver's execution vectors. We quantify the pattern
+strength as the mean per-interval difference between the class-conditional
+occupancy means, and compare against the NoRandom value from Fig. 4(b).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig13_heatmap
+from repro.experiments.configs import feasibility_experiment
+from repro.model.configs import DEFAULT_ALPHA
+
+import numpy as np
+
+
+def _norandom_pattern_distance(n_windows: int, seed: int) -> float:
+    experiment = feasibility_experiment(
+        alpha=DEFAULT_ALPHA, profile_windows=0, message_windows=n_windows
+    )
+    dataset = experiment.run("norandom", seed=seed)
+    mean0 = dataset.vectors[dataset.labels == 0].mean(axis=0)
+    mean1 = dataset.vectors[dataset.labels == 1].mean(axis=0)
+    return float(np.abs(mean1 - mean0).mean())
+
+
+def test_fig13_pattern_destruction(benchmark):
+    result = run_once(benchmark, fig13_heatmap.run, n_windows=300, seed=3)
+    norandom = _norandom_pattern_distance(300, seed=3)
+    tdu = result.pattern_distance("timedice-uniform")
+    tdw = result.pattern_distance("timedice")
+    benchmark.extra_info.update(
+        {
+            "pattern_distance_norandom": round(norandom, 4),
+            "pattern_distance_timedice_uniform": round(tdu, 4),
+            "pattern_distance_timedice_weighted": round(tdw, 4),
+        }
+    )
+    assert tdw < norandom
+    assert tdu < norandom

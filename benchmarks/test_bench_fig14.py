@@ -1,0 +1,27 @@
+"""Fig. 14 — receiver response-time distributions (light load).
+
+Paper: NoRandom shows cleanly separated Pr(R|X=0)/Pr(R|X=1); TimeDiceU
+overlaps them; TimeDiceW additionally spreads the support so little to no
+information remains. Quantified as total-variation distance.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig14_distributions
+
+
+def test_fig14_distribution_separation(benchmark):
+    result = run_once(benchmark, fig14_distributions.run, n_windows=400, seed=3)
+    tv = {}
+    spread = {}
+    for policy in ("norandom", "timedice-uniform", "timedice"):
+        tv[policy], _ = result.separation(policy)
+        r = result.datasets[policy].response_times
+        spread[policy] = float(r.max() - r.min()) / 1000.0
+    benchmark.extra_info.update(
+        {f"tv_{k}": round(v, 4) for k, v in tv.items()}
+        | {f"spread_ms_{k}": round(v, 2) for k, v in spread.items()}
+    )
+    # Separation ordering: NR >> TDU >= TDW-ish; support widens under TDW.
+    assert tv["norandom"] > tv["timedice"]
+    assert tv["norandom"] > tv["timedice-uniform"]
+    assert spread["timedice"] > spread["norandom"]

@@ -1,0 +1,26 @@
+"""Fig. 15 — channel capacity in bits per monitoring window.
+
+Paper: roughly 0.8-0.9 bits/window under NoRandom, 0.1-0.2 under TimeDice
+(both loads, binary uniform input).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig15_capacity
+
+
+def test_fig15_channel_capacity(benchmark):
+    result = run_once(benchmark, fig15_capacity.run, n_samples=600, seed=3)
+    measured = {
+        f"mi_{load}_{policy}": round(result.mutual_information(load, policy), 4)
+        for (load, policy) in result.values
+    }
+    benchmark.extra_info.update(measured)
+    benchmark.extra_info.update(
+        {"paper_norandom_range": "0.8-0.9", "paper_timedice_range": "0.1-0.2"}
+    )
+    for load in ("base", "light"):
+        assert result.mutual_information(load, "norandom") > 0.55
+        assert result.mutual_information(load, "timedice") < 0.35
+        assert result.mutual_information(load, "timedice") < result.mutual_information(
+            load, "norandom"
+        )

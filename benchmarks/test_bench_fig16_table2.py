@@ -1,0 +1,42 @@
+"""Table II / Fig. 16 — worst-case response times, analytic and empirical.
+
+Paper: analytic TimeDice WCRTs exceed NoRandom by at most ~one partition
+period in most cases; every task stays schedulable; empirical spreads widen
+under TimeDice. Our analytic TimeDice column matches the paper's 25 values
+digit-for-digit (pinned in the unit tests); here we regenerate the table
+end-to-end and record the headline aggregates.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import table2_wcrt
+
+
+def test_table2_fig16_wcrt(benchmark):
+    result = run_once(benchmark, table2_wcrt.run, seconds=30.0, seed=1)
+    deltas = [row.delta_ms for row in result.analytic]
+    all_schedulable = all(
+        row.schedulable_norandom and row.schedulable_timedice for row in result.analytic
+    )
+    # Empirical spread widening (Fig. 16): mean response times increase.
+    increases = []
+    for task in result.empirical["norandom"]:
+        nr = result.empirical["norandom"][task]
+        td = result.empirical["timedice"].get(task)
+        if td is not None and nr.size and td.size:
+            increases.append(float(td.mean() - nr.mean()))
+    benchmark.extra_info.update(
+        {
+            "analytic_delta_ms_min": round(min(deltas), 2),
+            "analytic_delta_ms_max": round(max(deltas), 2),
+            "all_tasks_schedulable": all_schedulable,
+            "tasks_with_mean_rt_increase": sum(1 for inc in increases if inc > 0),
+            "n_tasks": len(increases),
+            "paper_note": "TD-NR analytic delta mostly <= T_i; all schedulable",
+        }
+    )
+    assert all_schedulable
+    assert min(deltas) >= 0
+    # "the average-case response times also increase in most cases"
+    assert sum(1 for inc in increases if inc > 0) >= len(increases) * 0.6

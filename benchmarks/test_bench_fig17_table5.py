@@ -1,0 +1,51 @@
+"""Fig. 17 / Table V — scheduler overhead and decision/switch rates.
+
+Paper (|Π| = 5/10/20):
+
+- Fig. 17: ~1.7 / 5.35 / 23.4 ms of TimeDice operations per second
+  (0.17 % / 0.54 % / 2.3 % overhead) — kernel-C absolute numbers; we record
+  the Python equivalents and assert the monotone growth.
+- Table V: decisions/s 441→1334 (×5), 822→1726 (×10), 1593→2594 (×20);
+  switches/s roughly tripling under TimeDice. The signature shape: NoRandom
+  rates grow with |Π| while TimeDice rates are dominated by the ~1000
+  quantum decisions per second and grow much more slowly.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import table4_latency
+
+
+def test_fig17_table5_overhead(benchmark):
+    result = run_once(benchmark, table4_latency.run, factors=(1, 2, 4), seconds=8.0, seed=1)
+    info = {}
+    for n, series in result.overhead_by_second_ms.items():
+        info[f"overhead_ms_per_sec_{n}"] = round(float(np.mean(series)), 3)
+    for (n, policy), rates in result.rates.items():
+        info[f"decisions_per_sec_{policy}_{n}"] = round(rates["decisions_per_sec"], 1)
+        info[f"switches_per_sec_{policy}_{n}"] = round(rates["switches_per_sec"], 1)
+    info["paper_decisions_nr"] = "441/822/1593"
+    info["paper_decisions_td"] = "1334/1726/2594"
+    benchmark.extra_info.update(info)
+
+    # Fig. 17 shape: overhead grows with partition count.
+    overhead = [info[f"overhead_ms_per_sec_{n}"] for n in (5, 10, 20)]
+    assert overhead[0] < overhead[1] < overhead[2]
+
+    # Table V shapes.
+    for n in (5, 10, 20):
+        td = result.rates[(n, "timedice")]
+        nr = result.rates[(n, "norandom")]
+        assert td["decisions_per_sec"] > nr["decisions_per_sec"]
+        assert td["switches_per_sec"] > nr["switches_per_sec"]
+    # NoRandom decision rate scales with |Pi| much faster than TimeDice's.
+    nr_growth = (
+        result.rates[(20, "norandom")]["decisions_per_sec"]
+        / result.rates[(5, "norandom")]["decisions_per_sec"]
+    )
+    td_growth = (
+        result.rates[(20, "timedice")]["decisions_per_sec"]
+        / result.rates[(5, "timedice")]["decisions_per_sec"]
+    )
+    assert nr_growth > td_growth

@@ -1,0 +1,34 @@
+"""Extension: channel quality vs system load as a curve.
+
+Generalizes the paper's two load points into a sweep and asserts the two
+monotone observations: the attacker's capacity falls with load under
+NoRandom, and the TimeDice residual stays low across the sweep.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import load_sweep
+
+
+def test_load_sweep(benchmark):
+    result = run_once(
+        benchmark,
+        load_sweep.run,
+        alphas=(0.06, 0.10, 0.16),
+        profile_windows=100,
+        message_windows=250,
+        seed=3,
+    )
+    for (alpha, policy), cell in result.cells.items():
+        benchmark.extra_info[f"a{alpha:.2f}_{policy}"] = {
+            "rt": round(cell["response-time"], 3),
+            "ev": round(cell["execution-vector"], 3),
+            "capacity": round(cell["capacity"], 3),
+        }
+    # NoRandom: lighter load -> at least as much capacity.
+    assert result.capacity(0.06, "norandom") >= result.capacity(0.16, "norandom") - 0.1
+    # TimeDice suppresses the channel across the whole sweep.
+    for alpha in (0.06, 0.10, 0.16):
+        assert result.capacity(alpha, "timedice") < result.capacity(alpha, "norandom")
+        assert result.accuracy(alpha, "timedice", "execution-vector") < result.accuracy(
+            alpha, "norandom", "execution-vector"
+        )

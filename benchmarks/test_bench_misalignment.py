@@ -1,0 +1,66 @@
+"""Extension: how much clock agreement does the adversary pair really need?
+
+Sec. III-a assumes "an agreed-upon time at which they start". This bench
+starts the *receiver's* measurement task late by a growing skew while the
+sender keeps modulating on the agreed window grid, and measures the NoRandom
+channel accuracy. Small skews barely hurt (the block still overlaps mostly
+the right window); skews approaching the window length scramble it. This
+bounds the synchronization quality the covert pair needs — coarse
+coordination suffices, supporting the paper's threat model.
+"""
+
+from dataclasses import replace
+
+from benchmarks.conftest import run_once
+from repro._time import ms
+from repro.channel.bayes import BayesianDecoder
+from repro.channel.dataset import collect_dataset
+from repro.experiments.configs import feasibility_experiment
+from repro.ml.metrics import accuracy
+from repro.model.system import System
+
+
+def run_skew_sweep(skews_ms=(0, 2, 10, 60), profile=100, message=200, seed=3):
+    experiment = feasibility_experiment(
+        profile_windows=profile, message_windows=message
+    )
+    script = experiment.script()
+    results = {}
+    for skew_ms in skews_ms:
+        # The receiver launches its measurement task `skew` late; the sender
+        # stays on the agreed grid.
+        skewed = System(
+            [
+                p.with_tasks([replace(p.tasks[0], offset=ms(skew_ms))])
+                if p.name == "Pi_4"
+                else p
+                for p in experiment.system
+            ]
+        )
+        dataset = collect_dataset(
+            skewed,
+            "norandom",
+            script,
+            n_windows=profile + message,
+            receiver_partition="Pi_4",
+            receiver_task="receiver_4",
+            seed=seed,
+        )
+        profiling = dataset.profiling_part()
+        message_part = dataset.message_part()
+        decoder = BayesianDecoder().fit(profiling.response_times)
+        predicted = decoder.predict(message_part.response_times)
+        results[skew_ms] = accuracy(message_part.labels, predicted)
+    return results
+
+
+def test_misalignment_tolerance(benchmark):
+    results = run_once(benchmark, run_skew_sweep)
+    benchmark.extra_info.update(
+        {f"skew_{k}ms_accuracy": round(v, 4) for k, v in results.items()}
+    )
+    # Aligned: strong. Near-half-window skew: severely degraded.
+    assert results[0] > 0.85
+    assert results[60] < results[0] - 0.15
+    # A couple of milliseconds of skew is tolerable.
+    assert results[2] > 0.75

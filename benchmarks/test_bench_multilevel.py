@@ -1,0 +1,63 @@
+"""Extension: the multi-bit channel (Sec. III-a's "multiple levels").
+
+The paper notes the pair "may even form a multi-bit channel by dividing the
+response time range into multiple levels". We run a 4-level (2-bit) channel
+on the light-load feasibility system: under NoRandom it carries most of its
+2-bit budget; under TimeDiceW the levels collapse into an overlapping blur.
+"""
+
+from benchmarks.conftest import run_once
+from repro.channel.multilevel import (
+    SymbolScript,
+    collect_multilevel,
+    evaluate_multilevel,
+)
+from repro.experiments.configs import LIGHT_ALPHA
+from repro.model.configs import feasibility_system
+from repro.sim.behaviors import default_sender_phases
+
+LEVELS = 4
+
+
+def run_multilevel():
+    system = feasibility_system(alpha=LIGHT_ALPHA)
+    window = 3 * system.by_name("Pi_4").period
+    phases = default_sender_phases(
+        window, system.by_name("Pi_2").period, system.by_name("Pi_4").period
+    )
+    script = SymbolScript(
+        window=window,
+        levels=LEVELS,
+        profile_cycles=60,
+        message_symbols=SymbolScript.random_message(300, LEVELS, seed=7),
+        sender_phases=phases,
+    )
+    results = {}
+    for policy in ("norandom", "timedice"):
+        labels, responses = collect_multilevel(
+            system, policy, script, script.profile_windows + 300, "receiver_4", seed=3
+        )
+        results[policy] = evaluate_multilevel(
+            labels, responses, script.profile_windows, LEVELS
+        )
+    return results
+
+
+def test_multilevel_channel(benchmark):
+    results = run_once(benchmark, run_multilevel)
+    nr, td = results["norandom"], results["timedice"]
+    benchmark.extra_info.update(
+        {
+            "levels": LEVELS,
+            "norandom_symbol_accuracy": round(nr.symbol_accuracy, 4),
+            "norandom_bits_per_window": round(nr.bits_per_window, 4),
+            "timedice_symbol_accuracy": round(td.symbol_accuracy, 4),
+            "timedice_bits_per_window": round(td.bits_per_window, 4),
+            "max_bits": nr.max_bits,
+        }
+    )
+    chance = 1.0 / LEVELS
+    assert nr.symbol_accuracy > 2 * chance
+    assert nr.bits_per_window > 0.6
+    assert td.bits_per_window < nr.bits_per_window / 2
+    assert td.symbol_accuracy < nr.symbol_accuracy

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""The full covert-channel attack, end to end (Sec. III of the paper).
+
+A sender partition (Π₂) leaks a secret message to a receiver partition (Π₄)
+with which it shares *no* communication channel — only the CPU, behind a
+budget-enforcing hierarchical scheduler. The script runs the complete
+adversary pipeline:
+
+1. profiling phase: alternating bits, receiver builds Pr(R|X=0)/Pr(R|X=1),
+2. communication phase: the sender transmits an ASCII message one bit per
+   150 ms monitoring window,
+3. decoding: Bayesian inference on response times, plus the stronger
+   learning-based decoder (RBF-kernel LS-SVM on execution vectors),
+4. the same attack with TimeDice enabled — the message drowns.
+
+Run:  python examples/covert_channel_attack.py
+"""
+
+import numpy as np
+
+from repro.channel.bayes import BayesianDecoder
+from repro.channel.dataset import collect_dataset
+from repro.ml.svm import LSSVMClassifier
+from repro.model.configs import feasibility_system
+from repro.sim.behaviors import ChannelScript, default_sender_phases
+
+SECRET = "DICE"
+PROFILE_WINDOWS = 200
+
+
+def text_to_bits(text: str) -> list:
+    return [(byte >> shift) & 1 for byte in text.encode() for shift in range(7, -1, -1)]
+
+
+def bits_to_text(bits: np.ndarray) -> str:
+    chars = []
+    for base in range(0, len(bits) - 7, 8):
+        value = 0
+        for bit in bits[base : base + 8]:
+            value = (value << 1) | int(bit)
+        chars.append(chr(value) if 32 <= value < 127 else "?")
+    return "".join(chars)
+
+
+def main() -> None:
+    system = feasibility_system()
+    message_bits = text_to_bits(SECRET)
+    window = 3 * system.by_name("Pi_4").period
+    script = ChannelScript(
+        window=window,
+        profile_windows=PROFILE_WINDOWS,
+        message_bits=message_bits,
+        sender_phases=default_sender_phases(
+            window, system.by_name("Pi_2").period, system.by_name("Pi_4").period
+        ),
+    )
+
+    for policy in ("norandom", "timedice"):
+        dataset = collect_dataset(
+            system,
+            policy,
+            script,
+            n_windows=PROFILE_WINDOWS + len(message_bits),
+            receiver_partition="Pi_4",
+            receiver_task="receiver_4",
+            seed=3,
+        )
+        profiling = dataset.profiling_part()
+        communication = dataset.message_part()
+
+        # Response-time (Bayes) decoding.
+        decoder = BayesianDecoder().fit(profiling.response_times)
+        bayes_bits = decoder.predict(communication.response_times)
+
+        # Learning-based decoding (execution vectors + RBF LS-SVM).
+        svm = LSSVMClassifier(c=10.0).fit(
+            profiling.vectors.astype(float), profiling.labels
+        )
+        svm_bits = svm.predict(communication.vectors.astype(float))
+
+        truth = communication.labels
+        print(f"\n=== {policy} ===")
+        print(f"  secret message:         {SECRET!r}")
+        print(
+            f"  Bayes / response-time:  {bits_to_text(bayes_bits)!r} "
+            f"({100 * np.mean(bayes_bits == truth):.1f}% bit accuracy)"
+        )
+        print(
+            f"  SVM / execution-vector: {bits_to_text(svm_bits)!r} "
+            f"({100 * np.mean(svm_bits == truth):.1f}% bit accuracy)"
+        )
+
+
+if __name__ == "__main__":
+    main()

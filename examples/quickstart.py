@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Quickstart: build a partitioned system, schedule it, randomize it.
+
+Walks through the core public API in five minutes:
+
+1. define partitions and tasks (integer microseconds via `ms()`),
+2. check partition- and task-level schedulability offline,
+3. simulate under the plain fixed-priority scheduler (NoRandom),
+4. switch on TimeDice and watch the schedule de-correlate while every
+   partition still receives its full budget each period,
+5. inspect traces and per-task response times.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ms, to_ms
+from repro.analysis import system_schedulability_report, wcrt_table
+from repro.metrics.locality import slot_entropy
+from repro.model import Partition, System, Task
+from repro.sim import (
+    BudgetAccountant,
+    ResponseTimeRecorder,
+    SegmentRecorder,
+    Simulator,
+)
+
+
+def build_system() -> System:
+    """Three partitions, rate-monotonic global priorities."""
+    control = Partition(
+        name="control",
+        period=ms(20),
+        budget=ms(6),
+        priority=1,
+        tasks=[
+            Task(name="sense", period=ms(20), wcet=ms(2), local_priority=0),
+            Task(name="actuate", period=ms(40), wcet=ms(4), local_priority=1),
+        ],
+    )
+    vision = Partition(
+        name="vision",
+        period=ms(30),
+        budget=ms(9),
+        priority=2,
+        tasks=[Task(name="detect", period=ms(60), wcet=ms(12), local_priority=0)],
+    )
+    logging = Partition(
+        name="logging",
+        period=ms(50),
+        budget=ms(10),
+        priority=3,
+        tasks=[Task(name="flush", period=ms(100), wcet=ms(15), local_priority=0)],
+    )
+    return System([control, vision, logging])
+
+
+def main() -> None:
+    system = build_system()
+    print(f"System: {system}")
+
+    # ---- 1. offline analysis -------------------------------------------
+    report = system_schedulability_report(system)
+    print("\nPartition-level schedulability (Definition 1):")
+    for name, ok in report.partition_ok.items():
+        response = report.partition_budget_response_ms[name]
+        print(f"  {name:8s} guaranteed budget: {ok} (worst supply {response} ms)")
+
+    print("\nTask WCRTs (ms), NoRandom vs TimeDice:")
+    for row in wcrt_table(system):
+        print(
+            f"  {row.task:8s} deadline={row.deadline_ms:7.1f}  "
+            f"NR={row.norandom_ms:7.1f}  TD={row.timedice_ms:7.1f}  "
+            f"schedulable under TimeDice: {row.schedulable_timedice}"
+        )
+
+    # ---- 2. simulate under both schedulers -----------------------------
+    for policy in ("norandom", "timedice"):
+        accountant = BudgetAccountant({p.name: p.period for p in system})
+        responses = ResponseTimeRecorder()
+        trace = SegmentRecorder(merge=False, limit=500_000)
+        sim = Simulator(
+            system, policy=policy, seed=1, observers=[accountant, responses, trace]
+        )
+        result = sim.run_for_seconds(3.0)
+
+        entropy = slot_entropy(
+            trace.segments, ms(1), system.hyperperiod, result.end_time,
+            [p.name for p in system],
+        )
+        print(f"\n=== {policy} ===")
+        print(
+            f"  decisions/s={result.rates()['decisions_per_sec']:7.1f}  "
+            f"switches/s={result.rates()['switches_per_sec']:7.1f}  "
+            f"slot entropy={entropy:.3f} bits  deadline misses={result.deadline_misses}"
+        )
+        for p in system:
+            served = min(
+                accountant.served_in_period(p.name, k)
+                for k in range(3_000_000 // p.period - 1)
+            )
+            print(f"  {p.name:8s} min budget served per period: {to_ms(served):5.1f} ms "
+                  f"(budget {to_ms(p.budget)} ms)")
+        for task in ("sense", "detect", "flush"):
+            summary = responses.summary(task)
+            print(
+                f"  {task:8s} response avg={summary['avg']:6.2f} ms  "
+                f"max={summary['max']:6.2f} ms over {summary['count']} jobs"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""The motivating scenario (Sec. III-e): leaking a vehicle's location.
+
+The simulated 1/10th-scale car runs four partitions over a pub-sub bus.
+Every authorized message is logged and auditable — and the precise location
+never appears on the bus. Yet an ill-intentioned operator reconstructs the
+vehicle's trajectory at the logging partition purely from scheduling
+timing. With TimeDice enabled, the reconstruction collapses.
+
+Run:  python examples/self_driving_car.py
+"""
+
+import numpy as np
+
+from repro.car import CarPlatform
+
+
+def trajectory_error(truth, recovered) -> float:
+    """Mean Euclidean error (course units) over the reconstructed fixes."""
+    n = min(len(truth), len(recovered))
+    if n == 0:
+        return float("nan")
+    diffs = [
+        ((tx - rx) ** 2 + (ty - ry) ** 2) ** 0.5
+        for (tx, ty), (rx, ry) in zip(truth[:n], recovered[:n])
+    ]
+    return float(np.mean(diffs))
+
+
+def main() -> None:
+    course = [(0.5 * i % 6, (0.25 * i) % 4) for i in range(24)]
+    platform = CarPlatform(
+        secret_location=course, profile_windows=150, message_windows=len(course) * 8
+    )
+
+    for policy in ("norandom", "timedice"):
+        result = platform.run_channel(policy, seed=5)
+        recovered = CarPlatform.bits_to_locations(result.recovered_bits)
+        truth = CarPlatform.bits_to_locations(result.true_bits)
+        print(f"\n=== {policy} ===")
+        print(f"  authorized bus topics: {result.bus_topics}")
+        print(f"  location on the bus:   {result.location_on_bus}")
+        print(
+            f"  covert bit accuracy:   RT {100 * result.accuracy_response_time:.1f}%  "
+            f"EV {100 * result.accuracy_execution_vector:.1f}%"
+        )
+        print(f"  trajectory fixes reconstructed: {len(recovered)}")
+        print(f"  mean position error:   {trajectory_error(truth, recovered):.2f} units")
+        for i in range(min(4, len(recovered))):
+            print(f"    fix {i}: true={truth[i]}  recovered={recovered[i]}")
+
+    print("\nTable III responsiveness (30 simulated seconds each):")
+    for policy in ("norandom", "timedice"):
+        stats = platform.responsiveness(policy, seconds=30.0, seed=5)
+        for task, summary in stats.items():
+            print(
+                f"  {policy:9s} {task:22s} avg={summary['avg']:6.2f} ms  "
+                f"std={summary['std']:5.2f}  max={summary['max']:6.2f}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setuptools shim (the offline environment lacks the wheel package,
+so PEP 517 editable installs fail; ``setup.py``-based installs work)."""
+
+from setuptools import setup
+
+setup()

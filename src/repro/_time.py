@@ -1,0 +1,109 @@
+"""Time base used throughout the library.
+
+All simulator and analysis code uses **integer microseconds**. The paper's
+configurations are given in milliseconds; integer microseconds keep every
+budget, period, and busy-interval computation exact (no floating-point drift)
+while leaving three decimal digits of sub-millisecond headroom for quantum
+boundaries and overhead accounting.
+
+The helpers here are deliberately tiny and dependency-free; everything else in
+the package imports them instead of re-deriving unit conversions or ceiling
+divisions inline.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Union
+
+#: One microsecond (the base unit).
+US = 1
+#: Microseconds per millisecond.
+MS = 1_000
+#: Microseconds per second.
+SEC = 1_000_000
+
+Number = Union[int, float, Fraction]
+
+
+def ms(value: Number) -> int:
+    """Convert milliseconds to integer microseconds.
+
+    Accepts ints, floats, and Fractions. Rounds to the nearest microsecond,
+    which is exact for every configuration used in the paper (all parameters
+    are integral multiples of 0.01 ms or coarser).
+
+    >>> ms(1.5)
+    1500
+    >>> ms(20)
+    20000
+    """
+    return round(value * MS)
+
+
+def us(value: Number) -> int:
+    """Convert microseconds to integer microseconds (identity with rounding)."""
+    return round(value)
+
+
+def sec(value: Number) -> int:
+    """Convert seconds to integer microseconds.
+
+    >>> sec(0.5)
+    500000
+    """
+    return round(value * SEC)
+
+
+def to_ms(value_us: Number) -> float:
+    """Convert integer microseconds back to (float) milliseconds for display.
+
+    >>> to_ms(34800)
+    34.8
+    """
+    return value_us / MS
+
+
+def to_sec(value_us: Number) -> float:
+    """Convert integer microseconds back to (float) seconds for display."""
+    return value_us / SEC
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Exact ceiling division for non-negative integer operands.
+
+    The busy-interval recurrence (Eq. 1) and the WCRT recurrences (Eqs. 4-5)
+    are defined with mathematical ceilings; this keeps them exact where
+    ``math.ceil(a / b)`` would be subject to binary rounding.
+
+    >>> ceil_div(7, 2)
+    4
+    >>> ceil_div(8, 2)
+    4
+    >>> ceil_div(0, 5)
+    0
+    """
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    if numerator < 0:
+        raise ValueError(f"numerator must be non-negative, got {numerator}")
+    return -(-numerator // denominator)
+
+
+def ceil_div0(numerator: int, denominator: int) -> int:
+    """``max(ceil(numerator / denominator), 0)`` for possibly-negative numerators.
+
+    This is the paper's :math:`\\lceil x \\rceil_0` operator used in Eq. (1):
+    a future arrival whose offset lies beyond the current busy window
+    contributes zero interference rather than a negative amount.
+
+    >>> ceil_div0(-3, 2)
+    0
+    >>> ceil_div0(3, 2)
+    2
+    """
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    if numerator <= 0:
+        return 0
+    return -(-numerator // denominator)

@@ -1,0 +1,42 @@
+"""Schedulability and worst-case response-time analyses.
+
+- :mod:`repro.analysis.wcrt` — task-level WCRT under plain hierarchical
+  fixed-priority scheduling (NoRandom, Davis & Burns [33]) and under TimeDice
+  (Sec. IV-B, Eqs. 4-5). Regenerates the analytic columns of Table II
+  digit-for-digit.
+- :mod:`repro.analysis.schedulability` — partition-level (Definition 1) and
+  task-level schedulability predicates, plus the offline static test used to
+  assert that a configuration is schedulable before randomization.
+"""
+
+from repro.analysis.schedulability import (
+    partition_set_schedulable,
+    system_schedulability_report,
+    task_schedulable,
+)
+from repro.analysis.supply import lsbf, rbf, sbf, sbf_schedulable, sbf_wcrt
+from repro.analysis.wcrt import (
+    local_load,
+    partition_busy_period,
+    wcrt_norandom,
+    wcrt_norandom_modular,
+    wcrt_table,
+    wcrt_timedice,
+)
+
+__all__ = [
+    "wcrt_norandom",
+    "wcrt_norandom_modular",
+    "partition_busy_period",
+    "wcrt_timedice",
+    "wcrt_table",
+    "local_load",
+    "partition_set_schedulable",
+    "task_schedulable",
+    "system_schedulability_report",
+    "sbf",
+    "lsbf",
+    "rbf",
+    "sbf_schedulable",
+    "sbf_wcrt",
+]

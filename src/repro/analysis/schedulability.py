@@ -1,0 +1,113 @@
+"""Offline schedulability predicates.
+
+Two levels, mirroring the paper's model:
+
+- **Partition level** (Definition 1): every partition must be guaranteed its
+  full budget :math:`B_i` in every period :math:`T_i` under fixed-priority
+  scheduling of budget servers. We test it with the classical worst-case
+  response time of the "budget job": budgets of all higher-priority
+  partitions arrive together and replenish as fast as possible,
+
+  .. math:: R_i \\leftarrow B_i + \\sum_{\\Pi_j \\in hp(\\Pi_i)}
+              \\lceil R_i / T_j \\rceil B_j \\le T_i.
+
+  This is the precondition TimeDice preserves: "partitions are schedulable if
+  they were so before any randomization".
+
+- **Task level**: the WCRT analyses of :mod:`repro.analysis.wcrt` compared
+  against deadlines, under either scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro._time import ceil_div, to_ms
+from repro.analysis.wcrt import wcrt_norandom, wcrt_timedice
+from repro.model.partition import Partition
+from repro.model.system import System
+from repro.model.task import Task
+
+MAX_ITERATIONS = 100_000
+
+
+def partition_budget_response(system: System, partition: Partition) -> Optional[int]:
+    """Worst-case time (µs) for ``partition`` to receive its full budget.
+
+    Classical response-time iteration over the higher-priority partitions'
+    budgets; None when it diverges past the period (budget not guaranteed).
+    """
+    higher = system.higher_priority(partition)
+    response = partition.budget
+    for _ in range(MAX_ITERATIONS):
+        nxt = partition.budget + sum(
+            ceil_div(response, hp.period) * hp.budget for hp in higher
+        )
+        if nxt == response:
+            return response
+        response = nxt
+        if response > partition.period:
+            return None
+    return None
+
+
+def partition_schedulable(system: System, partition: Partition) -> bool:
+    """Definition 1: is ``partition`` guaranteed :math:`B_i` every :math:`T_i`?"""
+    response = partition_budget_response(system, partition)
+    return response is not None and response <= partition.period
+
+
+def partition_set_schedulable(system: System) -> bool:
+    """True iff *every* partition satisfies Definition 1.
+
+    This is the precondition of the TimeDice guarantee; the simulator's
+    property tests assert that whenever this predicate holds, no partition is
+    ever shorted a microsecond of budget under randomization.
+    """
+    return all(partition_schedulable(system, p) for p in system)
+
+
+def task_schedulable(partition: Partition, task: Task, timedice: bool) -> bool:
+    """Does ``task`` meet its deadline under the chosen global scheduler?"""
+    wcrt = wcrt_timedice(partition, task) if timedice else wcrt_norandom(partition, task)
+    return wcrt is not None and wcrt <= task.deadline
+
+
+@dataclass
+class SchedulabilityReport:
+    """Full offline report for a system (what a system designer would run)."""
+
+    partition_ok: Dict[str, bool] = field(default_factory=dict)
+    partition_budget_response_ms: Dict[str, Optional[float]] = field(default_factory=dict)
+    task_ok_norandom: Dict[str, bool] = field(default_factory=dict)
+    task_ok_timedice: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def all_partitions_schedulable(self) -> bool:
+        return all(self.partition_ok.values())
+
+    @property
+    def all_tasks_schedulable_norandom(self) -> bool:
+        return all(self.task_ok_norandom.values())
+
+    @property
+    def all_tasks_schedulable_timedice(self) -> bool:
+        return all(self.task_ok_timedice.values())
+
+
+def system_schedulability_report(system: System) -> SchedulabilityReport:
+    """Run every offline test on ``system`` and collect the outcomes."""
+    report = SchedulabilityReport()
+    for partition in system:
+        response = partition_budget_response(system, partition)
+        report.partition_ok[partition.name] = (
+            response is not None and response <= partition.period
+        )
+        report.partition_budget_response_ms[partition.name] = (
+            None if response is None else to_ms(response)
+        )
+        for task in partition.tasks:
+            report.task_ok_norandom[task.name] = task_schedulable(partition, task, False)
+            report.task_ok_timedice[task.name] = task_schedulable(partition, task, True)
+    return report

@@ -1,0 +1,103 @@
+"""Periodic resource model: supply bound functions (Shin & Lee [15]).
+
+The paper's partitions are instances of the periodic resource model
+:math:`\\Gamma = (T, B)`: a budget :math:`B` guaranteed every period
+:math:`T`, with no control over *where* in the period it is supplied. The
+classical worst case places the supply at the start of one period and the
+end of the next, giving an initial starvation of up to :math:`2(T - B)`;
+thereafter supply arrives at full budget per period:
+
+.. math::
+
+    \\mathrm{sbf}(t) = \\left\\lfloor \\frac{t - (T - B)}{T} \\right\\rfloor B
+        + \\max\\!\\left(0,\\; t - 2(T - B) -
+          T \\left\\lfloor \\frac{t - (T - B)}{T} \\right\\rfloor \\right)
+
+with the linear lower bound :math:`\\mathrm{lsbf}(t) = \\frac{B}{T}(t - 2(T - B))`.
+
+A task set is schedulable on the resource iff, for every task, some point
+:math:`t` before its deadline satisfies
+:math:`\\mathrm{rbf}_i(t) \\le \\mathrm{sbf}(t)` — the demand-vs-supply
+formulation, which we use to cross-validate the paper's recurrence-based
+WCRT analysis (the sbf model is the *most* pessimistic of the three: it
+assumes nothing about when the budget lands, exactly like TimeDice's worst
+case; indeed sbf-schedulability implies TimeDice-schedulability for
+implicit-deadline tasks).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro._time import ceil_div
+from repro.model.partition import Partition
+from repro.model.task import Task
+
+
+def sbf(partition: Partition, t: int) -> int:
+    """Worst-case supply (µs) of the periodic resource over any window of ``t``."""
+    if t < 0:
+        raise ValueError(f"window must be non-negative, got {t}")
+    period, budget = partition.period, partition.budget
+    gap = period - budget
+    if t <= gap:
+        return 0
+    whole = (t - gap) // period
+    partial = max(0, t - 2 * gap - period * whole)
+    return whole * budget + min(partial, budget)
+
+
+def lsbf(partition: Partition, t: int) -> float:
+    """The linear lower bound on :func:`sbf` (useful for quick rejections)."""
+    if t < 0:
+        raise ValueError(f"window must be non-negative, got {t}")
+    period, budget = partition.period, partition.budget
+    return max(0.0, (budget / period) * (t - 2 * (period - budget)))
+
+
+def rbf(partition: Partition, task: Task, t: int) -> int:
+    """Request bound function: demand of ``task`` + its local hp set by ``t``."""
+    if t < 0:
+        raise ValueError(f"window must be non-negative, got {t}")
+    demand = task.wcet
+    for other in partition.higher_priority_tasks(task):
+        demand += ceil_div(max(t, 1), other.period) * other.wcet
+    return demand
+
+
+def _candidate_points(partition: Partition, task: Task, horizon: int) -> List[int]:
+    """Where rbf/sbf can cross: task arrivals and supply-pattern corners."""
+    points = {horizon}
+    for other in partition.higher_priority_tasks(task):
+        k = 1
+        while k * other.period <= horizon:
+            points.add(k * other.period)
+            k += 1
+    gap = partition.period - partition.budget
+    t = 2 * gap
+    while t <= horizon:
+        points.add(t)
+        points.add(t + partition.budget)
+        t += partition.period
+    return sorted(p for p in points if 0 < p <= horizon)
+
+
+def sbf_schedulable(partition: Partition, task: Task) -> bool:
+    """Shin & Lee's test: ∃ t ≤ deadline with rbf(t) ≤ sbf(t)."""
+    return any(
+        rbf(partition, task, t) <= sbf(partition, t)
+        for t in _candidate_points(partition, task, task.deadline)
+    )
+
+
+def sbf_wcrt(partition: Partition, task: Task, horizon: Optional[int] = None) -> Optional[int]:
+    """Smallest ``t`` with rbf(t) ≤ sbf(t): the sbf-based response bound (µs).
+
+    None when no such point exists within ``horizon`` (default: 10 deadlines).
+    """
+    if horizon is None:
+        horizon = 10 * task.deadline
+    for t in _candidate_points(partition, task, horizon):
+        if rbf(partition, task, t) <= sbf(partition, t):
+            return t
+    return None

@@ -1,0 +1,16 @@
+"""Baseline defenses the paper compares against (Sec. III-h, Sec. V-C).
+
+- :mod:`repro.baselines.blinder` — BLINDER's partition-oblivious local
+  scheduling: job releases are driven by partition-virtual time (budget
+  consumed) rather than physical time, which fixes the *order* of local
+  executions regardless of global interference. It defeats the task-order
+  channel of Fig. 18 but not this paper's response-time channel (physical
+  time stays observable).
+- Static TDMA lives in :class:`repro.sim.policies.TDMAPolicy`: it removes
+  the channel entirely (no two partitions are active in the same slot) at
+  the utilization cost the paper discusses.
+"""
+
+from repro.baselines.blinder import BlinderLocalScheduler, blinder_factory
+
+__all__ = ["BlinderLocalScheduler", "blinder_factory"]

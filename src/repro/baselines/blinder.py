@@ -1,0 +1,129 @@
+"""BLINDER-style partition-oblivious local scheduling (Yoon et al. [11]).
+
+BLINDER makes each partition's *local schedule* — in particular the order in
+which local jobs run — deterministic regardless of when the partition
+actually receives the CPU. Its core device is **lazy release**: a newly
+arrived job is enqueued not at its physical arrival time ``a`` but at
+``a + D(t)``, where ``D(t)`` is the delay the partition has accumulated in
+the current server period — time during which it had released work pending
+but was not executing (preemption by other partitions, budget exhaustion).
+On the partition's idealized dedicated processor no such delay exists, so
+shifting every release by exactly the experienced delay restores the
+dedicated-processor *order* of local events:
+
+- In the Fig. 18 scenario, a long preemption of length ``w`` delays
+  :math:`\\tau_{R,1}`'s progress by ``w`` but also pushes
+  :math:`\\tau_{R,2}`'s local release back by the same ``w`` — their relative
+  order can no longer encode the sender's signal.
+- A partition that experiences no delay (or whose arrivals are aligned with
+  its replenishments, like the feasibility channel's sender and receiver
+  tasks) is completely untouched — which is why BLINDER does **not** stop
+  the budget-modulation channel of this paper: physical response times
+  remain observable (Sec. V-C).
+
+Delay accounting is per server period (reset at each replenishment, with any
+still-deferred jobs released then), bounding deferral by one period.
+
+Release points are checked whenever the engine consults the partition (every
+scheduling decision), so a release can materialize slightly after its exact
+instant — between two scheduling events nothing can start executing anyway,
+so local order, the protected property, is unaffected.
+
+BLINDER is a *local* transformation: plug :func:`blinder_factory` into the
+simulator's ``local_scheduler_factory`` while keeping any global policy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.model.partition import Partition
+from repro.sim.local import Job, LocalScheduler
+
+
+class BlinderLocalScheduler(LocalScheduler):
+    """Lag-based lazy release + fixed-priority scheduling within a partition."""
+
+    def __init__(self, spec: Partition):
+        self.spec = spec
+        #: Delay experienced in the current server period (µs).
+        self.delay = 0
+        self._period_service = 0
+        self._last_t = 0
+        self._service_at_last = 0
+        self._had_ready = False
+        self._pending: List[Tuple[int, Job]] = []  # (release time, job)
+        self._ready: List[Job] = []
+
+    # ------------------------------------------------------------- internals
+
+    def _advance(self, t: int) -> None:
+        """Update the delay account up to time ``t`` and release due jobs."""
+        gap = t - self._last_t
+        if gap > 0:
+            served = self._period_service - self._service_at_last
+            if self._had_ready:
+                self.delay += max(0, gap - served)
+            self._last_t = t
+            self._service_at_last = self._period_service
+        self._release_due(t)
+        self._had_ready = bool(self._ready)
+
+    def _release_due(self, t: int) -> None:
+        due = [entry for entry in self._pending if entry[1].arrival + self.delay <= t]
+        if not due:
+            return
+        for entry in due:
+            self._pending.remove(entry)
+            self._ready.append(entry[1])
+        self._sort_ready()
+
+    def _sort_ready(self) -> None:
+        self._ready.sort(key=lambda j: (j.task.local_priority, j.arrival, j.job_id))
+
+    # ------------------------------------------------------------- interface
+
+    def on_replenish(self, t: int) -> None:
+        """New server period: flush deferred jobs, reset the delay account."""
+        self._advance(t)
+        for _, job in self._pending:
+            self._ready.append(job)
+        self._pending.clear()
+        self._sort_ready()
+        self.delay = 0
+        self._had_ready = bool(self._ready)
+
+    def on_arrival(self, job: Job, t: int) -> None:
+        self._advance(t)
+        if self.delay > 0:
+            # The partition has been held back; a dedicated processor would
+            # see this arrival correspondingly later.
+            self._pending.append((job.arrival + self.delay, job))
+        else:
+            self._ready.append(job)
+            self._sort_ready()
+        self._had_ready = bool(self._ready)
+
+    def on_complete(self, job: Job, t: int) -> None:
+        if job in self._ready:
+            self._ready.remove(job)
+        self._had_ready = bool(self._ready)
+
+    def on_executed(self, job: Job, duration: int, t: int) -> None:
+        self._period_service += duration
+        self._advance(t)
+
+    def pick(self, t: int) -> Optional[Job]:
+        self._advance(t)
+        return self._ready[0] if self._ready else None
+
+    def has_ready(self, t: int) -> bool:
+        return self.pick(t) is not None
+
+    def pending_count(self) -> int:
+        return len(self._ready) + len(self._pending)
+
+
+def blinder_factory(spec: Partition) -> BlinderLocalScheduler:
+    """``local_scheduler_factory`` adapter for the simulator."""
+    return BlinderLocalScheduler(spec)

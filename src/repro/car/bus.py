@@ -1,0 +1,56 @@
+"""A minimal publish/subscribe bus (the simulated ROS substrate).
+
+Topics are strings; messages are timestamped payloads. Delivery is
+synchronous within the simulation (the real platform's TCP latency is
+irrelevant to the timing channel, which lives entirely in the CPU schedule).
+The bus records every message, making the point the paper makes about overt
+channels: *everything on the bus can be monitored* — and the location never
+appears on it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable, DefaultDict, Dict, List
+
+
+@dataclass(frozen=True)
+class Message:
+    """One published message."""
+
+    topic: str
+    t: int
+    sender: str
+    payload: Any
+
+
+class PubSubBus:
+    """Synchronous topic-based publish/subscribe with full message logging."""
+
+    def __init__(self) -> None:
+        self._subscribers: DefaultDict[str, List[Callable[[Message], None]]] = defaultdict(list)
+        self.log: List[Message] = []
+
+    def subscribe(self, topic: str, callback: Callable[[Message], None]) -> None:
+        """Register ``callback`` for every future message on ``topic``."""
+        self._subscribers[topic].append(callback)
+
+    def publish(self, topic: str, t: int, sender: str, payload: Any) -> Message:
+        """Publish and synchronously deliver a message; returns it."""
+        message = Message(topic=topic, t=t, sender=sender, payload=payload)
+        self.log.append(message)
+        for callback in self._subscribers[topic]:
+            callback(message)
+        return message
+
+    def messages_on(self, topic: str) -> List[Message]:
+        """All logged messages on ``topic`` (the auditor's view)."""
+        return [m for m in self.log if m.topic == topic]
+
+    def topics(self) -> List[str]:
+        """Topics that have carried at least one message."""
+        seen: Dict[str, None] = {}
+        for message in self.log:
+            seen.setdefault(message.topic, None)
+        return list(seen)

@@ -1,0 +1,135 @@
+"""Application nodes of the car platform.
+
+Each node owns one task of one partition and reacts to that task's job
+completions (delivered by :class:`repro.car.platform.CarPlatform` through a
+trace observer). Nodes talk *only* over the bus — except for the covert
+pair: the :class:`PathPlanner` encodes the secret location into its
+execution timing (via the channel script), and the :class:`DataLogger`
+decodes it from its own response times, never touching the bus with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import cos, sin
+from typing import List, Optional, Tuple
+
+from repro.car.bus import Message, PubSubBus
+
+#: Bus topics (the authorized channels).
+STEERING_TOPIC = "/steering_cmd"
+NAV_TOPIC = "/nav_cmd"
+DRIVE_TOPIC = "/drive_cmd"
+LOG_TOPIC = "/telemetry"
+
+
+class Node:
+    """Base class: one application node driven by its task's completions."""
+
+    #: The simulator task this node reacts to.
+    task_name = ""
+
+    def __init__(self, bus: PubSubBus):
+        self.bus = bus
+
+    def on_job_complete(self, t: int) -> None:
+        raise NotImplementedError
+
+
+class VisionSteering(Node):
+    """Vision-based steering (Π₂): publishes a steering command per frame."""
+
+    task_name = "vision_steering_task"
+
+    def __init__(self, bus: PubSubBus):
+        super().__init__(bus)
+        self.frames = 0
+
+    def on_job_complete(self, t: int) -> None:
+        self.frames += 1
+        # A toy lane-keeping output; the value content is irrelevant to the
+        # timing channel, it exists so the bus carries realistic traffic.
+        angle = 0.1 * sin(self.frames / 7.0)
+        self.bus.publish(STEERING_TOPIC, t, "vision_steering", {"angle": angle})
+
+
+class PathPlanner(Node):
+    """Path planning (Π₃) — the covert **sender**.
+
+    Publishes waypoint navigation commands (authorized), while the precise
+    location it processes stays local. The location trace is serialized to
+    bits elsewhere (see :meth:`CarPlatform.secret_bits`); the planner's
+    *task* then modulates its execution length per the channel script, which
+    is what actually transmits.
+    """
+
+    task_name = "planner"
+
+    def __init__(self, bus: PubSubBus, waypoints: Optional[List[Tuple[float, float]]] = None):
+        super().__init__(bus)
+        self.position = (0.0, 0.0)
+        self.waypoints = waypoints or [(1.0, 0.0), (1.0, 1.0), (0.0, 1.0), (0.0, 0.0)]
+        self._next = 0
+        self.plans = 0
+
+    def on_job_complete(self, t: int) -> None:
+        self.plans += 1
+        target = self.waypoints[self._next % len(self.waypoints)]
+        # Advance the (secret) position toward the target.
+        dx, dy = target[0] - self.position[0], target[1] - self.position[1]
+        step = 0.05
+        self.position = (self.position[0] + step * dx, self.position[1] + step * dy)
+        if abs(dx) + abs(dy) < 0.1:
+            self._next += 1
+        # Only the *next waypoint* is authorized to leave the partition.
+        self.bus.publish(NAV_TOPIC, t, "planner", {"waypoint": target})
+
+
+class BehaviorController(Node):
+    """Top-level behavior control (Π₁): fuses steering + navigation."""
+
+    task_name = "behavior_control_task"
+
+    def __init__(self, bus: PubSubBus):
+        super().__init__(bus)
+        self.last_steering: Optional[Message] = None
+        self.last_nav: Optional[Message] = None
+        bus.subscribe(STEERING_TOPIC, self._on_steering)
+        bus.subscribe(NAV_TOPIC, self._on_nav)
+        self.commands = 0
+
+    def _on_steering(self, message: Message) -> None:
+        self.last_steering = message
+
+    def _on_nav(self, message: Message) -> None:
+        self.last_nav = message
+
+    def on_job_complete(self, t: int) -> None:
+        self.commands += 1
+        angle = self.last_steering.payload["angle"] if self.last_steering else 0.0
+        waypoint = self.last_nav.payload["waypoint"] if self.last_nav else (0.0, 0.0)
+        self.bus.publish(
+            DRIVE_TOPIC, t, "behavior_control", {"angle": angle, "toward": waypoint}
+        )
+
+
+class DataLogger(Node):
+    """Data logging (Π₄) — the covert **receiver**.
+
+    Subscribes to everything authorized for post-debugging, and measures its
+    own job response times: those measurements are the covert observations
+    from which the secret location bits are decoded.
+    """
+
+    task_name = "logger"
+
+    def __init__(self, bus: PubSubBus):
+        super().__init__(bus)
+        self.entries: List[Message] = []
+        for topic in (STEERING_TOPIC, NAV_TOPIC, DRIVE_TOPIC):
+            bus.subscribe(topic, self.entries.append)
+        self.flushes = 0
+
+    def on_job_complete(self, t: int) -> None:
+        self.flushes += 1
+        self.bus.publish(LOG_TOPIC, t, "logger", {"buffered": len(self.entries)})

@@ -1,0 +1,58 @@
+"""The covert timing channel between partitions (Sec. III).
+
+Pipeline:
+
+1. :mod:`repro.channel.dataset` runs a simulation with a
+   :class:`~repro.sim.behaviors.ChannelScript` and harvests one labeled
+   observation per monitoring window — the receiver's response time and its
+   execution vector.
+2. :mod:`repro.channel.profiling` implements the profiling phase: the
+   odd/even split of alternating-bit measurements into the empirical models
+   :math:`\\Pr(R|X=0)` and :math:`\\Pr(R|X=1)`.
+3. :mod:`repro.channel.bayes` decodes new observations by Bayesian inference
+   over those models (Sec. III-c).
+4. The learning-based decoder (Sec. III-d) is any :mod:`repro.ml` classifier
+   over execution vectors; :mod:`repro.channel.attack` wires both decoders
+   into end-to-end accuracy experiments.
+5. :mod:`repro.channel.capacity` estimates the channel capacity
+   :math:`C = H(X) - H(X|R)` (Eq. 6) from samples, plus a Blahut-Arimoto
+   solver for the true capacity of the estimated conditional distributions.
+"""
+
+from repro.channel.attack import AttackResult, ChannelExperiment, evaluate_attacks
+from repro.channel.bayes import BayesianDecoder
+from repro.channel.capacity import (
+    blahut_arimoto,
+    channel_capacity_from_samples,
+    conditional_entropy,
+    entropy,
+)
+from repro.channel.dataset import ChannelDataset, collect_dataset
+from repro.channel.multilevel import (
+    MultiLevelBayesianDecoder,
+    MultiLevelSenderBehavior,
+    SymbolScript,
+    collect_multilevel,
+    evaluate_multilevel,
+)
+from repro.channel.profiling import ResponseTimeProfile, profile_odd_even
+
+__all__ = [
+    "ChannelDataset",
+    "collect_dataset",
+    "ResponseTimeProfile",
+    "profile_odd_even",
+    "BayesianDecoder",
+    "entropy",
+    "conditional_entropy",
+    "channel_capacity_from_samples",
+    "blahut_arimoto",
+    "ChannelExperiment",
+    "AttackResult",
+    "evaluate_attacks",
+    "SymbolScript",
+    "MultiLevelSenderBehavior",
+    "MultiLevelBayesianDecoder",
+    "collect_multilevel",
+    "evaluate_multilevel",
+]

@@ -1,0 +1,158 @@
+"""End-to-end covert-channel attacks and their accuracy evaluation.
+
+Combines the dataset harvester, the Bayesian response-time decoder
+(Sec. III-b/c) and the learning-based execution-vector decoder (Sec. III-d)
+into the experiment shape the paper evaluates repeatedly: *channel accuracy
+as a function of the number of profiling windows*, under a given global
+scheduling policy (Figs. 4(c) and 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.channel.bayes import BayesianDecoder
+from repro.channel.dataset import ChannelDataset, collect_dataset
+from repro.ml.metrics import accuracy
+from repro.ml.svm import LSSVMClassifier
+from repro.model.system import System
+from repro.sim.behaviors import ChannelScript
+from repro.sim.policies import GlobalPolicyBase
+
+#: Method identifiers used in experiment outputs.
+RESPONSE_TIME = "response-time"
+EXECUTION_VECTOR = "execution-vector"
+
+
+@dataclass(frozen=True)
+class AttackResult:
+    """Accuracy of one decoding method at one profiling-set size."""
+
+    method: str
+    profile_windows: int
+    test_windows: int
+    accuracy: float
+
+
+def _default_classifier() -> LSSVMClassifier:
+    return LSSVMClassifier(c=10.0)
+
+
+def evaluate_attacks(
+    dataset: ChannelDataset,
+    profile_sizes: Sequence[int],
+    classifier_factory: Callable[[], object] = _default_classifier,
+) -> List[AttackResult]:
+    """Score both attacks for each profiling-set size.
+
+    For each size ``m`` (clamped to the available profiling windows, and
+    forced even so the odd/even split is balanced):
+
+    - the **response-time** attack profiles :math:`\\Pr(R|X)` on the first
+      ``m`` profiling measurements and Bayes-decodes every message window;
+    - the **execution-vector** attack trains ``classifier_factory()`` on the
+      first ``m`` labeled vectors and classifies every message window.
+    """
+    message = dataset.message_part()
+    if message.n_windows == 0:
+        raise ValueError("dataset has no message windows to test on")
+    profiling = dataset.profiling_part()
+    results: List[AttackResult] = []
+    for requested in profile_sizes:
+        m = min(requested, profiling.n_windows)
+        m -= m % 2  # balanced alternation
+        if m < 2:
+            continue
+        decoder = BayesianDecoder().fit(profiling.response_times[:m])
+        predicted = decoder.predict(message.response_times)
+        results.append(
+            AttackResult(
+                RESPONSE_TIME, m, message.n_windows, accuracy(message.labels, predicted)
+            )
+        )
+        train_x = profiling.vectors[:m].astype(np.float64)
+        train_y = profiling.labels[:m]
+        if len(set(train_y.tolist())) == 2:
+            classifier = classifier_factory()
+            classifier.fit(train_x, train_y)
+            predicted = classifier.predict(message.vectors.astype(np.float64))
+            results.append(
+                AttackResult(
+                    EXECUTION_VECTOR,
+                    m,
+                    message.n_windows,
+                    accuracy(message.labels, predicted),
+                )
+            )
+    if not results:
+        raise ValueError("no usable profiling sizes were provided")
+    return results
+
+
+@dataclass
+class ChannelExperiment:
+    """A reusable channel-experiment configuration.
+
+    Bundles everything needed to re-run the feasibility test under different
+    policies: the system, channel roles, window geometry, and seeds.
+
+    Attributes:
+        system: Partitioned system whose sender/receiver tasks carry the
+            ``sender``/``receiver`` behaviours.
+        receiver_partition / receiver_task: Observation point.
+        window: Monitoring window (µs).
+        profile_windows: Leading alternating-bit windows.
+        message_windows: Random uniform message bits to test on.
+        message_seed: Seed for the message bits.
+        sender_phases: Agreed sender launch offsets within each window (see
+            :func:`repro.sim.behaviors.default_sender_phases`); None keeps
+            the sender replenishment-periodic.
+        budget_donation: Run the simulator with the idle-budget donation rule
+            (the donation-channel ablation).
+    """
+
+    system: System
+    receiver_partition: str
+    receiver_task: str
+    window: int
+    profile_windows: int
+    message_windows: int
+    message_seed: int = 7
+    sender_phases: Optional[Sequence[int]] = None
+    budget_donation: bool = False
+
+    def script(self) -> ChannelScript:
+        return ChannelScript(
+            window=self.window,
+            profile_windows=self.profile_windows,
+            message_bits=ChannelScript.random_message(
+                self.message_windows, self.message_seed
+            ),
+            sender_phases=self.sender_phases,
+        )
+
+    def run(
+        self,
+        policy: Union[str, GlobalPolicyBase],
+        seed: int = 0,
+        m_micro: int = 150,
+        quantum: Optional[int] = None,
+        local_scheduler_factory=None,
+    ) -> ChannelDataset:
+        """Simulate under ``policy`` and harvest the labeled dataset."""
+        return collect_dataset(
+            self.system,
+            policy,
+            self.script(),
+            n_windows=self.profile_windows + self.message_windows,
+            receiver_partition=self.receiver_partition,
+            receiver_task=self.receiver_task,
+            seed=seed,
+            m_micro=m_micro,
+            quantum=quantum,
+            budget_donation=self.budget_donation,
+            local_scheduler_factory=local_scheduler_factory,
+        )

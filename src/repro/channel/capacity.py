@@ -1,0 +1,151 @@
+"""Information-theoretic channel measurements (Sec. V-B1, Eq. 6, Fig. 15).
+
+The paper measures the channel capacity as :math:`C = H(X) - H(X|R)` with a
+uniform binary input, where the channel noise
+
+.. math::
+
+    H(X|R) = \\sum_R \\sum_X \\Pr(X, R) \\log \\frac{\\Pr(R)}{\\Pr(X, R)}
+
+is estimated from samples by binning the response times. That quantity is
+the mutual information :math:`I(X; R)` at the uniform input;
+:func:`blahut_arimoto` additionally computes the true capacity
+:math:`\\max_{p(X)} I(X; R)` of the *estimated* conditional distributions,
+which is what the definition in the paper maximizes over.
+
+All entropies are in bits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro._time import MS
+
+DEFAULT_BIN_WIDTH = 1 * MS
+
+
+def entropy(p: np.ndarray) -> float:
+    """Shannon entropy (bits) of a probability vector (zeros contribute 0)."""
+    p = np.asarray(p, dtype=np.float64).ravel()
+    if p.size == 0:
+        raise ValueError("empty distribution")
+    if np.any(p < -1e-12):
+        raise ValueError("negative probabilities")
+    total = p.sum()
+    if not np.isclose(total, 1.0, atol=1e-6):
+        raise ValueError(f"probabilities must sum to 1, got {total}")
+    positive = p[p > 0]
+    return float(-(positive * np.log2(positive)).sum())
+
+
+def conditional_entropy(joint: np.ndarray) -> float:
+    """:math:`H(X|R)` (Eq. 6) from a joint distribution of shape (|X|, |R|)."""
+    joint = np.asarray(joint, dtype=np.float64)
+    if joint.ndim != 2:
+        raise ValueError("joint distribution must be 2-D (X rows, R columns)")
+    total = joint.sum()
+    if total <= 0:
+        raise ValueError("joint distribution is empty")
+    joint = joint / total
+    p_r = joint.sum(axis=0)
+    result = 0.0
+    for x in range(joint.shape[0]):
+        for r in range(joint.shape[1]):
+            if joint[x, r] > 0:
+                result += joint[x, r] * np.log2(p_r[r] / joint[x, r])
+    return float(result)
+
+
+def mutual_information(joint: np.ndarray) -> float:
+    """:math:`I(X; R) = H(X) - H(X|R)` from a joint distribution."""
+    joint = np.asarray(joint, dtype=np.float64)
+    joint = joint / joint.sum()
+    p_x = joint.sum(axis=1)
+    return entropy(p_x) - conditional_entropy(joint)
+
+
+def joint_from_samples(
+    labels: np.ndarray,
+    response_times: np.ndarray,
+    bin_width: int = DEFAULT_BIN_WIDTH,
+) -> np.ndarray:
+    """Empirical joint counts ``J[x, bin]`` from labeled measurements."""
+    labels = np.asarray(labels).ravel().astype(np.int64)
+    responses = np.asarray(response_times, dtype=np.float64).ravel()
+    if labels.shape != responses.shape:
+        raise ValueError("labels and response times must align")
+    if labels.size == 0:
+        raise ValueError("no samples")
+    if bin_width <= 0:
+        raise ValueError("bin width must be positive")
+    bins = (responses // bin_width).astype(np.int64)
+    offset = bins.min()
+    bins -= offset
+    joint = np.zeros((2, int(bins.max()) + 1), dtype=np.float64)
+    for label, bin_index in zip(labels, bins):
+        if label not in (0, 1):
+            raise ValueError("labels must be 0 or 1")
+        joint[label, bin_index] += 1.0
+    return joint
+
+
+def channel_capacity_from_samples(
+    labels: np.ndarray,
+    response_times: np.ndarray,
+    bin_width: int = DEFAULT_BIN_WIDTH,
+) -> float:
+    """The Fig. 15 measurement: :math:`I(X; R)` in bits per monitoring window.
+
+    Assumes the message bits were drawn uniformly (which the experiment
+    harness guarantees), so :math:`H(X) \\approx 1` and the value is directly
+    comparable to the paper's 0-to-1 scale.
+    """
+    joint = joint_from_samples(labels, response_times, bin_width)
+    return mutual_information(joint)
+
+
+def blahut_arimoto(
+    conditional: np.ndarray,
+    tolerance: float = 1e-9,
+    max_iterations: int = 10_000,
+) -> Tuple[float, np.ndarray]:
+    """True capacity :math:`\\max_{p(X)} I(X;R)` of a discrete channel.
+
+    Args:
+        conditional: Row-stochastic matrix ``P[x, r]`` = Pr(R=r | X=x).
+
+    Returns:
+        (capacity in bits, the optimizing input distribution).
+    """
+    p_r_given_x = np.asarray(conditional, dtype=np.float64)
+    if p_r_given_x.ndim != 2:
+        raise ValueError("conditional must be 2-D")
+    if np.any(p_r_given_x < 0):
+        raise ValueError("negative conditional probabilities")
+    row_sums = p_r_given_x.sum(axis=1)
+    if np.any(row_sums <= 0):
+        raise ValueError("every input symbol needs a valid output distribution")
+    p_r_given_x = p_r_given_x / row_sums[:, None]
+
+    n_inputs = p_r_given_x.shape[0]
+    p_x = np.full(n_inputs, 1.0 / n_inputs)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        log_cond = np.where(p_r_given_x > 0, np.log2(p_r_given_x), 0.0)
+    capacity = 0.0
+    for _ in range(max_iterations):
+        p_r = p_x @ p_r_given_x
+        with np.errstate(divide="ignore", invalid="ignore"):
+            log_ratio = np.where(
+                p_r_given_x > 0, log_cond - np.log2(np.maximum(p_r, 1e-300)), 0.0
+            )
+        divergence = (p_r_given_x * log_ratio).sum(axis=1)
+        new_capacity = float(np.log2(np.sum(p_x * np.exp2(divergence))))
+        p_x = p_x * np.exp2(divergence)
+        p_x = p_x / p_x.sum()
+        if abs(new_capacity - capacity) < tolerance:
+            return new_capacity, p_x
+        capacity = new_capacity
+    return capacity, p_x

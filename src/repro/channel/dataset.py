@@ -1,0 +1,169 @@
+"""Harvesting labeled channel observations from a simulation run.
+
+One observation per monitoring window:
+
+- the **response time** of the receiver's measurement job released at the
+  window start (Sec. III-a: "a single task of the receiver partition measures
+  times it takes to execute a block of code"), and
+- the **execution vector** — which of the window's M micro intervals the
+  receiver partition occupied (Sec. III-d).
+
+Ground-truth labels come from the :class:`~repro.sim.behaviors.ChannelScript`
+(the receiver of course never reads them; they are used for training labels
+during the profiling phase — where the alternation is agreed upon — and for
+scoring accuracy afterwards).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.model.system import System
+from repro.sim.behaviors import ChannelScript
+from repro.sim.engine import Simulator
+from repro.sim.policies import GlobalPolicyBase
+from repro.sim.trace import ExecutionVectorRecorder, ResponseTimeRecorder
+
+
+@dataclass
+class ChannelDataset:
+    """Aligned per-window arrays harvested from one run.
+
+    Attributes:
+        labels: Ground-truth bits, one per window.
+        response_times: Receiver response times (µs), one per window.
+        vectors: Execution vectors, shape ``(n_windows, m)``.
+        profile_windows: How many leading windows carry the profiling
+            alternation (their labels are 0,1,0,1,...).
+        window: Monitoring-window length (µs).
+    """
+
+    labels: np.ndarray
+    response_times: np.ndarray
+    vectors: np.ndarray
+    profile_windows: int
+    window: int
+
+    def __post_init__(self) -> None:
+        n = self.labels.shape[0]
+        if self.response_times.shape[0] != n or self.vectors.shape[0] != n:
+            raise ValueError("labels, response times, and vectors must align")
+        if not 0 <= self.profile_windows <= n:
+            raise ValueError("profile_windows outside dataset")
+
+    @property
+    def n_windows(self) -> int:
+        return int(self.labels.shape[0])
+
+    def profiling_part(self) -> "ChannelDataset":
+        """The leading profiling-phase windows."""
+        return self.head(self.profile_windows)
+
+    def message_part(self) -> "ChannelDataset":
+        """The communication-phase windows (everything after profiling)."""
+        p = self.profile_windows
+        return ChannelDataset(
+            self.labels[p:], self.response_times[p:], self.vectors[p:], 0, self.window
+        )
+
+    def head(self, n: int) -> "ChannelDataset":
+        """The first ``n`` windows (clamped), preserving phase bookkeeping."""
+        n = max(0, min(n, self.n_windows))
+        return ChannelDataset(
+            self.labels[:n],
+            self.response_times[:n],
+            self.vectors[:n],
+            min(self.profile_windows, n),
+            self.window,
+        )
+
+
+def collect_dataset(
+    system: System,
+    policy: Union[str, GlobalPolicyBase],
+    script: ChannelScript,
+    n_windows: int,
+    receiver_partition: str,
+    receiver_task: str,
+    seed: int = 0,
+    m_micro: int = 150,
+    quantum: Optional[int] = None,
+    settle_windows: int = 2,
+    budget_donation: bool = False,
+    extra_observers: Tuple = (),
+    local_scheduler_factory=None,
+) -> ChannelDataset:
+    """Run the simulation long enough to observe ``n_windows`` full windows.
+
+    Args:
+        system: The partitioned system (its sender/receiver tasks must use
+            the ``sender``/``receiver`` behaviours).
+        policy: Global policy name or instance.
+        script: The channel modulation schedule.
+        n_windows: Observations to harvest (profiling + message).
+        receiver_partition / receiver_task: Where to observe.
+        seed: Simulation seed.
+        m_micro: Micro intervals per execution vector (the paper uses 150).
+        quantum: TimeDice MIN_INV_SIZE override (µs).
+        settle_windows: Extra trailing windows simulated so the last
+            observation's job can finish even under worst-case delay.
+        budget_donation: Enable the Sec. II-a idle-budget donation rule in
+            the simulator (the donation-channel ablation).
+        extra_observers: Additional trace observers (e.g. the car platform's
+            application nodes).
+        local_scheduler_factory: Forwarded to the simulator (BLINDER plugs
+            its local transformation in here).
+
+    Returns:
+        A :class:`ChannelDataset`; windows whose measurement job never
+        completed in time are dropped from the tail.
+    """
+    response_recorder = ResponseTimeRecorder([receiver_task])
+    vector_recorder = ExecutionVectorRecorder(
+        receiver_partition, script.window, m=m_micro, start=script.start
+    )
+    kwargs = {}
+    if quantum is not None:
+        kwargs["quantum"] = quantum
+    simulator = Simulator(
+        system,
+        policy=policy,
+        seed=seed,
+        channel=script,
+        observers=[response_recorder, vector_recorder, *extra_observers],
+        budget_donation=budget_donation,
+        local_scheduler_factory=local_scheduler_factory,
+        **kwargs,
+    )
+    horizon = script.start + (n_windows + settle_windows) * script.window
+    simulator.run_until(horizon)
+
+    # Response time per window, keyed by the job's arrival window.
+    per_window: Dict[int, int] = {}
+    for record in response_recorder.records.get(receiver_task, []):
+        index = script.window_index(record.arrival)
+        if 0 <= index < n_windows and index not in per_window:
+            per_window[index] = record.response_time
+
+    # Keep the maximal complete prefix so labels/vectors stay aligned.
+    usable = 0
+    while usable < n_windows and usable in per_window:
+        usable += 1
+    if usable == 0:
+        raise RuntimeError(
+            "no receiver measurements completed; check the channel configuration"
+        )
+
+    labels = np.array([script.bit_of_window(i) for i in range(usable)], dtype=np.int64)
+    responses = np.array([per_window[i] for i in range(usable)], dtype=np.int64)
+    vectors = vector_recorder.matrix(usable)
+    return ChannelDataset(
+        labels=labels,
+        response_times=responses,
+        vectors=vectors,
+        profile_windows=min(script.profile_windows, usable),
+        window=script.window,
+    )

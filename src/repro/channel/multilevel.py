@@ -1,0 +1,254 @@
+"""The multi-bit (multi-level) channel extension (Sec. III-a).
+
+"They may even form a multi-bit channel by dividing the response time range
+into multiple levels." Here the sender modulates its budget consumption over
+:math:`K` levels — level :math:`s` burns a fraction :math:`s/(K-1)` of the
+budget per burst — and the receiver decodes the symbol from its response
+time with a per-symbol Bayesian model. The profiling phase cycles through
+the symbols 0,1,…,K−1,0,1,… so the receiver can label its measurements by
+position, exactly like the binary odd/even agreement.
+
+Capacity-wise a clean K-level channel carries :math:`\\log_2 K` bits per
+monitoring window; TimeDice collapses the levels into one overlapping blur
+(the multilevel experiment in ``benchmarks/test_bench_multilevel.py``
+measures both).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.channel.capacity import mutual_information
+from repro.channel.profiling import DEFAULT_BIN_WIDTH
+from repro.model.task import Task
+from repro.sim.behaviors import Behavior, ChannelScript, SENDER_LOW_EXEC
+
+
+@dataclass
+class SymbolScript:
+    """A K-ary modulation schedule (the multi-level ChannelScript).
+
+    Attributes:
+        window: Monitoring window (µs); one symbol per window.
+        levels: Number of symbols K (>= 2).
+        profile_cycles: Leading profiling cycles; each cycle transmits the
+            symbols 0..K-1 in order, so ``profile_cycles * levels`` windows
+            carry known labels.
+        message_symbols: Symbols transmitted afterwards (cycled).
+        sender_phases: Agreed launch offsets within each window (same
+            semantics as :class:`~repro.sim.behaviors.ChannelScript`).
+        start: Absolute start of window 0.
+    """
+
+    window: int
+    levels: int
+    profile_cycles: int = 0
+    message_symbols: Sequence[int] = field(default_factory=lambda: (0, 1))
+    sender_phases: Optional[Sequence[int]] = None
+    start: int = 0
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ValueError("window must be positive")
+        if self.levels < 2:
+            raise ValueError("a symbol channel needs at least 2 levels")
+        if any(not 0 <= s < self.levels for s in self.message_symbols):
+            raise ValueError("message symbols must be in [0, levels)")
+        if not self.message_symbols:
+            raise ValueError("message symbols must be non-empty")
+        if self.sender_phases is not None:
+            self.sender_phases = tuple(sorted(self.sender_phases))
+
+    @property
+    def profile_windows(self) -> int:
+        return self.profile_cycles * self.levels
+
+    def window_index(self, t: int) -> int:
+        return (t - self.start) // self.window
+
+    def symbol_of_window(self, index: int) -> int:
+        if index < 0:
+            raise ValueError("window index must be non-negative")
+        if index < self.profile_windows:
+            return index % self.levels
+        return self.message_symbols[
+            (index - self.profile_windows) % len(self.message_symbols)
+        ]
+
+    def symbol_at(self, t: int) -> int:
+        index = self.window_index(t)
+        return 0 if index < 0 else self.symbol_of_window(index)
+
+    @staticmethod
+    def random_message(n_symbols: int, levels: int, seed: int) -> List[int]:
+        rng = random.Random(seed)
+        return [rng.randrange(levels) for _ in range(n_symbols)]
+
+
+class MultiLevelSenderBehavior(Behavior):
+    """Burns ``symbol/(K-1)`` of the budget per burst (level modulation)."""
+
+    def __init__(self, script: SymbolScript, low_exec: int = SENDER_LOW_EXEC):
+        self.script = script
+        self.low_exec = low_exec
+
+    def execution_time(self, task: Task, arrival: int, rng: random.Random) -> int:
+        symbol = self.script.symbol_at(arrival)
+        fraction = symbol / (self.script.levels - 1)
+        return max(min(self.low_exec, task.wcet), round(task.wcet * fraction))
+
+    def inter_arrival(self, task: Task, arrival: int, rng: random.Random) -> int:
+        phases = self.script.sender_phases
+        if phases is None:
+            return task.period
+        window = self.script.window
+        phase = (arrival - self.script.start) % window
+        for candidate in phases:
+            if candidate > phase:
+                return candidate - phase
+        return window - phase + phases[0]
+
+
+class MultiLevelBayesianDecoder:
+    """Per-symbol histogram models + MAP decoding (the K-ary Sec. III-c)."""
+
+    def __init__(self, levels: int, bin_width: int = DEFAULT_BIN_WIDTH, laplace: float = 0.5):
+        if levels < 2:
+            raise ValueError("levels must be >= 2")
+        self.levels = levels
+        self.bin_width = bin_width
+        self.laplace = laplace
+        self._edges: Optional[np.ndarray] = None
+        self._likelihoods: Optional[np.ndarray] = None  # (levels, bins)
+
+    def fit(self, measurements: np.ndarray, labels: np.ndarray) -> "MultiLevelBayesianDecoder":
+        measurements = np.asarray(measurements, dtype=np.float64).ravel()
+        labels = np.asarray(labels).ravel().astype(np.int64)
+        if measurements.shape != labels.shape:
+            raise ValueError("measurements and labels must align")
+        if set(np.unique(labels)) != set(range(self.levels)):
+            raise ValueError(
+                f"profiling must cover all {self.levels} symbols, got "
+                f"{sorted(set(labels.tolist()))}"
+            )
+        lo = int(np.floor(measurements.min() / self.bin_width)) * self.bin_width
+        hi = int(np.ceil(measurements.max() / self.bin_width)) * self.bin_width
+        if hi <= lo:
+            hi = lo + self.bin_width
+        edges = np.arange(lo, hi + self.bin_width, self.bin_width, dtype=np.float64)
+        models = []
+        for symbol in range(self.levels):
+            counts, _ = np.histogram(measurements[labels == symbol], bins=edges)
+            smoothed = counts.astype(np.float64) + self.laplace
+            models.append(smoothed / smoothed.sum())
+        self._edges = edges
+        self._likelihoods = np.stack(models)
+        return self
+
+    def _bin_of(self, r: float) -> int:
+        index = int(np.searchsorted(self._edges, r, side="right")) - 1
+        return max(0, min(index, self._likelihoods.shape[1] - 1))
+
+    def predict(self, measurements: np.ndarray) -> np.ndarray:
+        if self._likelihoods is None:
+            raise RuntimeError("decoder is not fitted")
+        measurements = np.asarray(measurements, dtype=np.float64).ravel()
+        bins = np.array([self._bin_of(r) for r in measurements])
+        return np.argmax(self._likelihoods[:, bins], axis=0).astype(np.int64)
+
+    def conditional_matrix(self) -> np.ndarray:
+        """Pr(bin | symbol) — feedable to Blahut-Arimoto for capacity."""
+        if self._likelihoods is None:
+            raise RuntimeError("decoder is not fitted")
+        return self._likelihoods.copy()
+
+
+def collect_multilevel(
+    system,
+    policy,
+    script: SymbolScript,
+    n_windows: int,
+    receiver_task: str,
+    seed: int = 0,
+    settle_windows: int = 2,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Run the simulator with a K-ary sender and harvest (labels, responses).
+
+    The sender/receiver behaviours are injected explicitly (the binary
+    :class:`~repro.sim.behaviors.ChannelScript` machinery is bypassed).
+    Returns aligned arrays over the maximal complete window prefix.
+    """
+    from repro.sim.behaviors import ReceiverBehavior
+    from repro.sim.engine import Simulator
+    from repro.sim.trace import ResponseTimeRecorder
+
+    recorder = ResponseTimeRecorder([receiver_task])
+    simulator = Simulator(
+        system,
+        policy=policy,
+        seed=seed,
+        behaviors={
+            "sender": MultiLevelSenderBehavior(script),
+            "receiver": ReceiverBehavior(),
+        },
+        observers=[recorder],
+    )
+    simulator.run_until(script.start + (n_windows + settle_windows) * script.window)
+    per_window: Dict[int, int] = {}
+    for record in recorder.records.get(receiver_task, []):
+        index = script.window_index(record.arrival)
+        if 0 <= index < n_windows and index not in per_window:
+            per_window[index] = record.response_time
+    usable = 0
+    while usable < n_windows and usable in per_window:
+        usable += 1
+    if usable == 0:
+        raise RuntimeError("no receiver measurements completed")
+    labels = np.array([script.symbol_of_window(i) for i in range(usable)], dtype=np.int64)
+    responses = np.array([per_window[i] for i in range(usable)], dtype=np.int64)
+    return labels, responses
+
+
+@dataclass
+class MultiLevelResult:
+    """Outcome of one K-ary channel run."""
+
+    levels: int
+    symbol_accuracy: float
+    bits_per_window: float
+    max_bits: float
+
+
+def evaluate_multilevel(
+    labels: np.ndarray,
+    response_times: np.ndarray,
+    profile_windows: int,
+    levels: int,
+    bin_width: int = DEFAULT_BIN_WIDTH,
+) -> MultiLevelResult:
+    """Decode a K-ary dataset and measure accuracy + information throughput."""
+    labels = np.asarray(labels).ravel().astype(np.int64)
+    responses = np.asarray(response_times, dtype=np.float64).ravel()
+    train_x, train_y = responses[:profile_windows], labels[:profile_windows]
+    test_x, test_y = responses[profile_windows:], labels[profile_windows:]
+    if test_x.size == 0:
+        raise ValueError("no message windows to evaluate")
+    decoder = MultiLevelBayesianDecoder(levels, bin_width=bin_width).fit(train_x, train_y)
+    predicted = decoder.predict(test_x)
+    accuracy = float(np.mean(predicted == test_y))
+    # Empirical mutual information between sent symbol and received bin.
+    bins = np.array([decoder._bin_of(r) for r in test_x])
+    joint = np.zeros((levels, int(bins.max()) + 1))
+    for symbol, bin_index in zip(test_y, bins):
+        joint[symbol, bin_index] += 1
+    bits = mutual_information(joint) if joint.sum() else 0.0
+    return MultiLevelResult(
+        levels=levels,
+        symbol_accuracy=accuracy,
+        bits_per_window=float(bits),
+        max_bits=float(np.log2(levels)),
+    )

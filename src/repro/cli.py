@@ -1,0 +1,312 @@
+"""Command-line front end: ``python -m repro <experiment> [options]``.
+
+Each subcommand regenerates one of the paper's tables or figures as plain
+text. ``--quick`` shrinks sample counts for smoke runs; ``--full`` scales
+them up toward the paper's sample sizes (slower).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import (
+    classifier_comparison,
+    coding_study,
+    defense_matrix,
+    fig04_feasibility,
+    fig06_trace,
+    fig12_accuracy,
+    fig13_heatmap,
+    fig14_distributions,
+    fig15_capacity,
+    fig18_blinder,
+    load_sweep,
+    table2_wcrt,
+    table3_car,
+    table4_latency,
+)
+
+
+def _scale(args: argparse.Namespace, quick: int, default: int, full: int) -> int:
+    if args.quick:
+        return quick
+    if args.full:
+        return full
+    return default
+
+
+def _run_fig4(args) -> str:
+    sizes = (10, 20, 50) if args.quick else (20, 50, 100, 200)
+    messages = _scale(args, 100, 400, 2000)
+    return fig04_feasibility.run(
+        profile_sizes=sizes, message_windows=messages, seed=args.seed
+    ).format()
+
+
+def _run_fig6(args) -> str:
+    nr, td = fig06_trace.run_pair(horizon_ms=_scale(args, 150, 300, 1200), seed=args.seed)
+    return nr.format() + "\n\n" + td.format()
+
+
+def _run_fig12(args) -> str:
+    sizes = (10, 20, 50) if args.quick else (20, 50, 100, 200)
+    messages = _scale(args, 100, 400, 2000)
+    return fig12_accuracy.run(
+        profile_sizes=sizes, message_windows=messages, seed=args.seed
+    ).format()
+
+
+def _run_fig13(args) -> str:
+    return fig13_heatmap.run(
+        n_windows=_scale(args, 80, 300, 500), seed=args.seed
+    ).format()
+
+
+def _run_fig14(args) -> str:
+    return fig14_distributions.run(
+        n_windows=_scale(args, 100, 400, 2000), seed=args.seed
+    ).format()
+
+
+def _run_fig15(args) -> str:
+    return fig15_capacity.run(
+        n_samples=_scale(args, 150, 500, 10_000), seed=args.seed
+    ).format()
+
+
+def _run_fig16(args) -> str:
+    result = table2_wcrt.run(seconds=_scale(args, 10, 60, 600), seed=args.seed)
+    return result.format_boxplots()
+
+
+def _run_fig17(args) -> str:
+    result = table4_latency.run(seconds=_scale(args, 3, 10, 60), seed=args.seed)
+    return result.format_fig17()
+
+
+def _run_fig18(args) -> str:
+    return fig18_blinder.run(
+        n_windows=_scale(args, 100, 300, 1000),
+        profile_windows=_scale(args, 50, 200, 500),
+        message_windows=_scale(args, 100, 300, 2000),
+        seed=args.seed,
+    ).format()
+
+
+def _run_table2(args) -> str:
+    return table2_wcrt.run(seconds=_scale(args, 10, 60, 600), seed=args.seed).format()
+
+
+def _run_table3(args) -> str:
+    return table3_car.run(
+        profile_windows=_scale(args, 60, 150, 500),
+        message_windows=_scale(args, 100, 300, 2000),
+        responsiveness_seconds=_scale(args, 10, 30, 300),
+        seed=args.seed,
+    ).format()
+
+
+def _run_table4(args) -> str:
+    result = table4_latency.run(seconds=_scale(args, 3, 10, 60), seed=args.seed)
+    return result.format_table4()
+
+
+def _run_table5(args) -> str:
+    result = table4_latency.run(seconds=_scale(args, 3, 10, 60), seed=args.seed)
+    return result.format_table5()
+
+
+def _run_car(args) -> str:
+    return _run_table3(args)
+
+
+def _run_overhead(args) -> str:
+    return table4_latency.run(seconds=_scale(args, 3, 10, 60), seed=args.seed).format()
+
+
+def _run_defense_matrix(args) -> str:
+    return defense_matrix.run(
+        profile_windows=_scale(args, 40, 100, 300),
+        message_windows=_scale(args, 80, 200, 1000),
+        order_windows=_scale(args, 80, 200, 1000),
+        seed=args.seed,
+    ).format()
+
+
+def _run_load_sweep(args) -> str:
+    return load_sweep.run(
+        profile_windows=_scale(args, 40, 100, 300),
+        message_windows=_scale(args, 80, 250, 1000),
+        seed=args.seed,
+    ).format()
+
+
+def _run_classifiers(args) -> str:
+    return classifier_comparison.run(
+        profile_windows=_scale(args, 40, 100, 300),
+        message_windows=_scale(args, 80, 200, 1000),
+        seed=args.seed,
+    ).format()
+
+
+def _run_coding(args) -> str:
+    return coding_study.run(
+        payload_bits=_scale(args, 24, 48, 200),
+        profile_windows=_scale(args, 60, 100, 300),
+        seed=args.seed,
+    ).format()
+
+
+def _run_figures(args) -> str:
+    """Export SVG renderings of the main figures into --out (default ./figures)."""
+    from pathlib import Path
+
+    from repro._time import ms as _ms
+    from repro.experiments.render import gantt_svg, heatmap_svg, histogram_svg, series_svg
+    from repro.model.configs import three_partition_example
+    from repro.sim.engine import Simulator
+    from repro.sim.trace import SegmentRecorder
+
+    out = Path(args.out or "figures")
+    out.mkdir(parents=True, exist_ok=True)
+    written = []
+
+    # Fig. 6: schedule traces.
+    system = three_partition_example()
+    horizon = _ms(_scale(args, 150, 300, 600))
+    for policy in ("norandom", "timedice"):
+        recorder = SegmentRecorder()
+        Simulator(system, policy=policy, seed=args.seed, observers=[recorder]).run_until(horizon)
+        target = out / f"fig6_{policy}.svg"
+        gantt_svg(
+            recorder.segments, [p.name for p in system], horizon,
+            title=f"Fig. 6 — {policy}", path=target,
+        )
+        written.append(target)
+
+    # Fig. 4(a)/(b) and Fig. 13 content from one NoRandom + one TimeDice run.
+    messages = _scale(args, 100, 300, 600)
+    experiment = fig04_feasibility.run(
+        profile_sizes=(20,), message_windows=messages, seed=args.seed
+    )
+    dataset = experiment.dataset
+    r_ms = dataset.response_times / 1000.0
+    target = out / "fig4a_distributions.svg"
+    histogram_svg(
+        {
+            "Pr(R|X=0)": r_ms[dataset.labels == 0],
+            "Pr(R|X=1)": r_ms[dataset.labels == 1],
+        },
+        title="Fig. 4(a) — NoRandom response times",
+        path=target,
+    )
+    written.append(target)
+    target = out / "fig4b_heatmap.svg"
+    heatmap_svg(
+        dataset.vectors[:80], title="Fig. 4(b) — execution vectors (NoRandom)",
+        path=target,
+    )
+    written.append(target)
+
+    td = fig13_heatmap.run(n_windows=_scale(args, 60, 150, 300), seed=args.seed)
+    target = out / "fig13_heatmap_timedice.svg"
+    heatmap_svg(
+        td.datasets["timedice"].vectors[:80],
+        title="Fig. 13 — execution vectors (TimeDiceW)",
+        path=target,
+    )
+    written.append(target)
+
+    # Fig. 12: accuracy curves.
+    sizes = (10, 20, 50) if args.quick else (20, 50, 100, 200)
+    sweep = fig12_accuracy.run(
+        profile_sizes=sizes, message_windows=messages, seed=args.seed
+    )
+    curves = {}
+    for policy in sweep.policies:
+        curves[policy] = [
+            (m, sweep.results[("light", policy, "execution-vector", m)])
+            for m in sweep.profile_sizes
+            if ("light", policy, "execution-vector", m) in sweep.results
+        ]
+    target = out / "fig12_accuracy_light.svg"
+    series_svg(
+        curves, title="Fig. 12 — EV-attack accuracy, light load", path=target
+    )
+    written.append(target)
+
+    return "\n".join(f"wrote {target}" for target in written)
+
+
+COMMANDS: Dict[str, Callable] = {
+    "fig4": _run_fig4,
+    "fig4a": lambda args: fig04_feasibility.run(
+        profile_sizes=(20, 50), message_windows=_scale(args, 100, 400, 2000), seed=args.seed
+    ).format_distributions(),
+    "fig4b": lambda args: fig04_feasibility.run(
+        profile_sizes=(20, 50), message_windows=_scale(args, 100, 400, 2000), seed=args.seed
+    ).format_heatmap(),
+    "fig4c": lambda args: fig12_accuracy.accuracy_sweep(
+        policies=("norandom",),
+        profile_sizes=(10, 20, 50) if args.quick else (20, 50, 100, 200),
+        message_windows=_scale(args, 100, 400, 2000),
+        seed=args.seed,
+    ).format(),
+    "fig6": _run_fig6,
+    "fig12": _run_fig12,
+    "fig13": _run_fig13,
+    "fig14": _run_fig14,
+    "fig15": _run_fig15,
+    "fig16": _run_fig16,
+    "fig17": _run_fig17,
+    "fig18": _run_fig18,
+    "table2": _run_table2,
+    "table3": _run_table3,
+    "table4": _run_table4,
+    "table5": _run_table5,
+    "car": _run_car,
+    "overhead": _run_overhead,
+    "defense-matrix": _run_defense_matrix,
+    "load-sweep": _run_load_sweep,
+    "classifiers": _run_classifiers,
+    "coding": _run_coding,
+    "figures": _run_figures,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="timedice",
+        description="Regenerate the TimeDice paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(COMMANDS),
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument("--seed", type=int, default=3, help="simulation seed")
+    parser.add_argument(
+        "--out", default=None, help="output directory (figures command only)"
+    )
+    scale = parser.add_mutually_exclusive_group()
+    scale.add_argument("--quick", action="store_true", help="small smoke-test sizes")
+    scale.add_argument(
+        "--full", action="store_true", help="paper-scale sample counts (slow)"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    started = time.time()
+    output = COMMANDS[args.experiment](args)
+    print(output)
+    print(f"\n[{args.experiment} completed in {time.time() - started:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

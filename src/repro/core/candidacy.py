@@ -1,0 +1,118 @@
+"""Candidate search: Algorithms 1 and 2 with the Fig. 9 optimization.
+
+At decision time ``t``, let :math:`\\mathcal{L}_t = (\\Pi_{(1)}, \\dots,
+\\Pi_{(n)})` be the *active, ready* partitions in decreasing priority order,
+followed by the imaginary IDLE partition. The candidate list is built by
+walking that sequence:
+
+- :math:`\\Pi_{(1)}` is always a candidate — running the highest-priority
+  active partition is no inversion at all.
+- :math:`\\Pi_{(i)}` is a candidate iff every partition with priority above it
+  — **including inactive ones**, which are exposed to the indirect
+  interference of Fig. 8 — passes the schedulability test of Algorithm 3 for
+  an inversion of the quantum size ``w``.
+- The walk stops at the first failure: if some :math:`\\Pi_h` above
+  :math:`\\Pi_{(i)}` cannot absorb the inversion, it cannot absorb the same
+  inversion caused by :math:`\\Pi_{(i+1)}` either (the analysis depends only
+  on ``w``, not on who causes it).
+- IDLE is appended last and tested the same way: idling for ``w`` is an
+  inversion against *every* partition.
+
+Fig. 9's complexity argument is implemented literally: each partition in the
+system is schedulability-tested at most once per decision because partitions
+already vetted for :math:`\\Pi_{(i-1)}` are skipped when testing
+:math:`\\Pi_{(i)}` — hence :math:`\\mathcal{O}(|\\Pi|)` tests per decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple, Union
+
+from repro.core.busy_interval import schedulability_test
+from repro.core.state import IDLE, PartitionState, SystemState
+
+Candidate = Union[PartitionState, type(IDLE)]
+
+
+@dataclass
+class SearchStats:
+    """Bookkeeping for the overhead study (Fig. 17 / Table IV)."""
+
+    schedulability_tests: int = 0
+    candidates_found: int = 0
+    idle_allowed: bool = False
+
+
+def candidate_search(
+    state: SystemState,
+    w: int,
+    allow_idle: bool = True,
+) -> Tuple[List[Candidate], SearchStats]:
+    """Step 1 of Algorithm 1: the list of partitions allowed to take the CPU.
+
+    Args:
+        state: Full system snapshot at the decision time (all partitions).
+        w: The inversion quantum ``MIN_INV_SIZE`` (µs).
+        allow_idle: When True, the imaginary IDLE partition is tested and, if
+            schedulability-preserving, appended to the candidate list.
+
+    Returns:
+        ``(candidates, stats)``. ``candidates`` preserves decreasing priority
+        order, with :data:`~repro.core.state.IDLE` last when allowed. The
+        list is empty only when there is no active ready partition at all
+        (the caller should then idle until the next event).
+    """
+    t = state.t
+    stats = SearchStats()
+    active = state.active_ready()
+    if not active:
+        if allow_idle:
+            stats.idle_allowed = True
+            return [IDLE], stats
+        return [], stats
+
+    all_parts = state.partitions  # already sorted by decreasing priority
+    candidates: List[Candidate] = [active[0]]
+
+    # Index into all_parts of the first partition NOT yet schedulability-
+    # tested. Everything above the current candidate must have been vetted;
+    # the Fig. 9 optimization is that we never re-test a partition.
+    next_untested = 0
+    rank_of = {p.name: i for i, p in enumerate(all_parts)}
+
+    def vet_up_to(limit: int) -> bool:
+        """Test every not-yet-tested partition with rank < limit."""
+        nonlocal next_untested
+        while next_untested < limit:
+            h = all_parts[next_untested]
+            stats.schedulability_tests += 1
+            if not schedulability_test(h, all_parts[: rank_of[h.name]], t, w):
+                return False
+            next_untested += 1
+        return True
+
+    # Pi_(1) needs no vetting; nothing above it is disturbed by its own run
+    # beyond what fixed-priority scheduling already allows. Start the sweep
+    # at its rank so the inactive partitions *above* Pi_(1) are not tested
+    # on Pi_(1)'s account (its execution is not an inversion).
+    next_untested = rank_of[active[0].name]
+
+    feasible = True
+    for candidate in active[1:]:
+        # hp(Pi_(i)) - hp(Pi_(i-1)): all partitions, active or inactive,
+        # ranked above this candidate and not yet vetted.
+        if not vet_up_to(rank_of[candidate.name]):
+            feasible = False
+            break
+        candidates.append(candidate)
+
+    if feasible and allow_idle:
+        # IDLE sits below everything: idling is an inversion against every
+        # partition, so the remaining unvetted ones must pass too.
+        if vet_up_to(len(all_parts)):
+            stats.idle_allowed = True
+            candidates.append(IDLE)
+
+    stats.candidates_found = len(candidates)
+    return candidates, stats

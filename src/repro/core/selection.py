@@ -1,0 +1,176 @@
+"""Step 2 of Algorithm 1: random selection among the candidates.
+
+Four interchangeable strategies:
+
+- :class:`UniformSelector` — TimeDiceU: every candidate (including IDLE, when
+  allowed) is picked with probability :math:`1/|L_C|`.
+- :class:`WeightedUtilizationSelector` — TimeDiceW, the paper's default: a
+  lottery with tickets proportional to the remaining utilization
+  :math:`u_{i,t} = B_i(t)/(d_{i,t} - t)`; the IDLE option receives
+  :math:`1 - \\sum u_{i,t}` tickets (clamped at zero). Urgent partitions
+  (large leftover budget, close deadline) are favoured, which *levels* the
+  weights over time and spreads budget consumption — the Sec. IV-A2 argument.
+- :class:`InverseUtilizationSelector` — the Theorem 1 ablation: tickets
+  proportional to :math:`1/u_{i,t}`. The theorem proves this *increases*
+  temporal locality; the ablation benchmark demonstrates it.
+- :class:`HighestPrioritySelector` — degenerate "selector" that always takes
+  the first (highest-priority) candidate; with it, TimeDice collapses to the
+  NoRandom fixed-priority scheduler (useful for differential testing).
+
+All selectors draw from a caller-supplied :class:`random.Random` so that
+simulations are reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.core.state import IDLE, PartitionState
+from repro.core.candidacy import Candidate
+
+
+class Selector:
+    """Interface: pick one candidate from a non-empty candidate list."""
+
+    #: Short name used in experiment outputs.
+    name = "abstract"
+
+    def select(
+        self, candidates: Sequence[Candidate], t: int, rng: random.Random
+    ) -> Candidate:
+        raise NotImplementedError
+
+    def weights(
+        self, candidates: Sequence[Candidate], t: int
+    ) -> List[float]:
+        """Selection probabilities (useful for testing and introspection)."""
+        raise NotImplementedError
+
+
+class HighestPrioritySelector(Selector):
+    """Always pick the highest-priority candidate (degenerates to NoRandom)."""
+
+    name = "highest-priority"
+
+    def select(
+        self, candidates: Sequence[Candidate], t: int, rng: random.Random
+    ) -> Candidate:
+        _require_nonempty(candidates)
+        for candidate in candidates:
+            if candidate is not IDLE:
+                return candidate
+        return IDLE
+
+    def weights(self, candidates: Sequence[Candidate], t: int) -> List[float]:
+        _require_nonempty(candidates)
+        probabilities = [0.0] * len(candidates)
+        for index, candidate in enumerate(candidates):
+            if candidate is not IDLE:
+                probabilities[index] = 1.0
+                return probabilities
+        probabilities[-1] = 1.0
+        return probabilities
+
+
+class UniformSelector(Selector):
+    """TimeDiceU: each candidate has equal probability :math:`1/|L_C|`."""
+
+    name = "uniform"
+
+    def select(
+        self, candidates: Sequence[Candidate], t: int, rng: random.Random
+    ) -> Candidate:
+        _require_nonempty(candidates)
+        return candidates[rng.randrange(len(candidates))]
+
+    def weights(self, candidates: Sequence[Candidate], t: int) -> List[float]:
+        _require_nonempty(candidates)
+        return [1.0 / len(candidates)] * len(candidates)
+
+
+class WeightedUtilizationSelector(Selector):
+    """TimeDiceW: lottery tickets proportional to remaining utilization.
+
+    For candidate partitions, :math:`u_{i,t} = B_i(t)/(d_{i,t} - t)`; for the
+    IDLE option, :math:`\\max(0, 1 - \\sum_{\\Pi_x \\in L_C} u_{x,t})` — the
+    slack the system genuinely has. Weights are normalized to probabilities.
+    Degenerate corner (all weights zero, e.g. an IDLE-only list) falls back to
+    uniform.
+    """
+
+    name = "weighted"
+
+    def weights(self, candidates: Sequence[Candidate], t: int) -> List[float]:
+        _require_nonempty(candidates)
+        raw: List[float] = []
+        utilization_sum = 0.0
+        for candidate in candidates:
+            if candidate is IDLE:
+                raw.append(-1.0)  # placeholder, filled below
+            else:
+                u = candidate.remaining_utilization(t)
+                raw.append(u)
+                utilization_sum += u
+        idle_weight = max(0.0, 1.0 - utilization_sum)
+        raw = [idle_weight if value < 0 else value for value in raw]
+        total = sum(raw)
+        if total <= 0.0:
+            return [1.0 / len(candidates)] * len(candidates)
+        return [value / total for value in raw]
+
+    def select(
+        self, candidates: Sequence[Candidate], t: int, rng: random.Random
+    ) -> Candidate:
+        probabilities = self.weights(candidates, t)
+        return _draw(candidates, probabilities, rng)
+
+
+class InverseUtilizationSelector(Selector):
+    """Theorem 1 ablation: tickets *inversely* proportional to utilization.
+
+    Included to demonstrate (see ``benchmarks/test_bench_ablation.py``) that
+    favouring lax partitions drives weights apart and *increases* temporal
+    locality, exactly as Theorem 1 predicts.
+    """
+
+    name = "inverse"
+
+    #: Utilization floor so that a zero-utilization candidate does not absorb
+    #: all the probability mass.
+    epsilon = 1e-3
+
+    def weights(self, candidates: Sequence[Candidate], t: int) -> List[float]:
+        _require_nonempty(candidates)
+        raw: List[float] = []
+        for candidate in candidates:
+            if candidate is IDLE:
+                raw.append(1.0)  # idling is the "laziest" option
+            else:
+                raw.append(1.0 / max(candidate.remaining_utilization(t), self.epsilon))
+        total = sum(raw)
+        return [value / total for value in raw]
+
+    def select(
+        self, candidates: Sequence[Candidate], t: int, rng: random.Random
+    ) -> Candidate:
+        probabilities = self.weights(candidates, t)
+        return _draw(candidates, probabilities, rng)
+
+
+def _require_nonempty(candidates: Sequence[Candidate]) -> None:
+    if not candidates:
+        raise ValueError("cannot select from an empty candidate list")
+
+
+def _draw(
+    candidates: Sequence[Candidate], probabilities: Sequence[float], rng: random.Random
+) -> Candidate:
+    """Inverse-CDF draw; robust to tiny normalization error in the last bin."""
+    point = rng.random()
+    cumulative = 0.0
+    for candidate, probability in zip(candidates, probabilities):
+        cumulative += probability
+        if point < cumulative:
+            return candidate
+    return candidates[-1]

@@ -1,0 +1,150 @@
+"""Runtime partition state consumed by the TimeDice decision logic.
+
+The algorithm needs, for each partition at decision time ``t`` (Sec. IV-A):
+
+- the static parameters :math:`T_i`, :math:`B_i`, and the global priority;
+- the remaining budget :math:`B_i(t)`;
+- the last replenishment time :math:`r_{i,t}` (from which the next
+  replenishment offset :math:`o_{i,t} = r_{i,t} + T_i - t` and the deadline
+  :math:`d_{i,t} = r_{i,t} + T_i` follow);
+- whether the partition currently has ready work (only such partitions are
+  worth executing, though *all* are protected by the schedulability test).
+
+Keeping this as a plain immutable snapshot decouples :mod:`repro.core` from
+the simulator: the engine produces a :class:`SystemState` at every scheduling
+point, and the Table IV latency benchmarks synthesize them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+
+class _IdleSentinel:
+    """Singleton standing for the imaginary IDLE partition of Algorithm 1."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "IDLE"
+
+
+#: The imaginary idle "partition": selecting it leaves the CPU idle.
+IDLE = _IdleSentinel()
+
+
+@dataclass(frozen=True)
+class PartitionState:
+    """Snapshot of one partition's scheduling-relevant state at time ``t``.
+
+    Attributes:
+        name: Partition identifier.
+        period: Replenishment period :math:`T_i` (µs).
+        max_budget: Full budget :math:`B_i` (µs).
+        priority: Global priority (smaller = higher).
+        remaining_budget: :math:`B_i(t)` (µs), in ``[0, max_budget]``.
+        last_replenishment: :math:`r_{i,t}` (µs) — the most recent time at or
+            before ``t`` when the budget was set to :math:`B_i`.
+        ready: True when the partition has at least one pending job, i.e. it
+            would actually use the CPU if selected.
+    """
+
+    name: str
+    period: int
+    max_budget: int
+    priority: int
+    remaining_budget: int
+    last_replenishment: int
+    ready: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.remaining_budget <= self.max_budget:
+            raise ValueError(
+                f"{self.name}: remaining budget {self.remaining_budget} outside "
+                f"[0, {self.max_budget}]"
+            )
+
+    @property
+    def active(self) -> bool:
+        """A partition is *active* iff its remaining budget is non-zero (Sec. II-b)."""
+        return self.remaining_budget > 0
+
+    def deadline(self) -> int:
+        """Current-period deadline :math:`d_{i,t} = r_{i,t} + T_i` (absolute µs)."""
+        return self.last_replenishment + self.period
+
+    def next_replenishment_offset(self, t: int) -> int:
+        """Offset :math:`o_{i,t} = r_{i,t} + T_i - t` of the next replenishment.
+
+        Non-negative whenever the snapshot is consistent (``t`` lies within
+        the current period).
+        """
+        return self.last_replenishment + self.period - t
+
+    def remaining_utilization(self, t: int) -> float:
+        """TimeDiceW's lottery weight basis :math:`u_{i,t} = B_i(t)/(d_{i,t}-t)`.
+
+        A partition exactly at its deadline with leftover budget is maximally
+        urgent; we saturate at 1.0 (the CPU cannot supply more than one unit
+        of time per unit of time).
+        """
+        horizon = self.deadline() - t
+        if horizon <= 0:
+            return 1.0 if self.remaining_budget > 0 else 0.0
+        return min(1.0, self.remaining_budget / horizon)
+
+
+@dataclass(frozen=True)
+class SystemState:
+    """Snapshot of every partition at decision time ``t``.
+
+    ``partitions`` is ordered from highest to lowest global priority — the
+    order the candidate search walks. The snapshot always contains *all*
+    partitions (active or not): inactive higher-priority partitions are
+    exactly the ones subject to indirect interference (Fig. 8).
+    """
+
+    t: int
+    partitions: Tuple[PartitionState, ...]
+
+    def __init__(self, t: int, partitions: Sequence[PartitionState]):
+        ordered = tuple(sorted(partitions, key=lambda p: p.priority))
+        object.__setattr__(self, "t", t)
+        object.__setattr__(self, "partitions", ordered)
+        priorities = [p.priority for p in ordered]
+        if len(set(priorities)) != len(priorities):
+            raise ValueError(f"duplicate partition priorities in snapshot: {priorities}")
+        for p in ordered:
+            if p.last_replenishment > t:
+                raise ValueError(
+                    f"{p.name}: last replenishment {p.last_replenishment} lies in "
+                    f"the future of snapshot time {t}"
+                )
+
+    def __iter__(self):
+        return iter(self.partitions)
+
+    def __len__(self) -> int:
+        return len(self.partitions)
+
+    def by_name(self, name: str) -> PartitionState:
+        for p in self.partitions:
+            if p.name == name:
+                return p
+        raise KeyError(name)
+
+    def active_ready(self) -> List[PartitionState]:
+        """:math:`\\mathcal{L}_t`: partitions that could execute now.
+
+        Active (non-zero budget) and with ready work, highest priority first.
+        """
+        return [p for p in self.partitions if p.active and p.ready]
+
+    def higher_priority(self, priority: int) -> List[PartitionState]:
+        """All partitions with priority strictly higher than ``priority``."""
+        return [p for p in self.partitions if p.priority < priority]
+
+    def with_time(self, t: int) -> "SystemState":
+        """Copy of the snapshot re-stamped at a later time (testing helper)."""
+        return SystemState(t, self.partitions)

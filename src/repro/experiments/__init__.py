@@ -1,0 +1,33 @@
+"""One module per table/figure of the paper's evaluation.
+
+Every module exposes a ``run(...)`` function returning a result dataclass
+with a ``format()`` method that renders the same rows/series the paper
+reports. The CLI (``python -m repro <experiment>``) and the benchmark
+harness (``benchmarks/``) are thin wrappers over these.
+
+Index (see DESIGN.md §4 for the full mapping):
+
+========  =====================================================
+fig4      feasibility test: distributions, heatmap, accuracy
+fig6      3-partition schedule traces, NoRandom vs TimeDice
+fig12     accuracy vs profiling windows, all policies and loads
+fig13     execution-vector heatmaps under TimeDice
+fig14     Pr(R|X) distributions, light load, NR/TDU/TDW
+fig15     channel capacity (bits per monitoring window)
+fig16     response-time spreads, NR vs TD (Table I system)
+fig17     TimeDice overhead per second vs partition count
+fig18     BLINDER task-order channel and defenses
+table2    analytic + empirical WCRTs
+table3    car platform responsiveness (+ Sec. III-e accuracy)
+table4    TimeDice decision latency percentiles
+table5    scheduling decisions and switches per second
+========  =====================================================
+"""
+
+from repro.experiments.configs import (
+    feasibility_experiment,
+    fig18_system,
+    light_alpha,
+)
+
+__all__ = ["feasibility_experiment", "fig18_system", "light_alpha"]

@@ -1,0 +1,85 @@
+"""Extension: how much does the attacker's choice of classifier matter?
+
+Sec. III-d says "a supervised learning method (e.g., Support Vector
+Machine, Random Forest)". This experiment trains the full classifier zoo on
+the *same* execution-vector dataset and compares: if the channel's
+information is in the vectors, every reasonable learner finds it — and none
+of them survives TimeDice, i.e. the defense is not an artifact of one
+model's inductive bias.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.channel.dataset import ChannelDataset
+from repro.experiments.configs import feasibility_experiment
+from repro.experiments.report import format_table
+from repro.ml import (
+    KNeighborsClassifier,
+    LogisticRegression,
+    LSSVMClassifier,
+    NearestCentroidClassifier,
+    RandomForestClassifier,
+    SMOSVMClassifier,
+    accuracy,
+)
+
+CLASSIFIERS: Dict[str, Callable[[], object]] = {
+    "ls-svm (rbf)": lambda: LSSVMClassifier(c=10.0),
+    "smo-svm (rbf)": lambda: SMOSVMClassifier(c=10.0, seed=0),
+    "random forest": lambda: RandomForestClassifier(n_trees=25, seed=0),
+    "knn (k=5)": lambda: KNeighborsClassifier(k=5),
+    "logistic": lambda: LogisticRegression(),
+    "nearest centroid": lambda: NearestCentroidClassifier(),
+}
+
+
+@dataclass
+class ClassifierComparisonResult:
+    """(policy, classifier) -> execution-vector attack accuracy."""
+
+    cells: Dict[Tuple[str, str], float] = field(default_factory=dict)
+
+    def accuracy(self, policy: str, classifier: str) -> float:
+        return self.cells[(policy, classifier)]
+
+    def format(self) -> str:
+        policies = sorted({policy for policy, _ in self.cells})
+        headers = ["classifier"] + list(policies)
+        rows = []
+        for name in CLASSIFIERS:
+            rows.append(
+                [name]
+                + [f"{self.cells[(policy, name)] * 100:.1f}%" for policy in policies]
+            )
+        return format_table(
+            headers, rows, title="[extension] execution-vector attack by classifier"
+        )
+
+
+def score(dataset: ChannelDataset, factory: Callable[[], object]) -> float:
+    profiling = dataset.profiling_part()
+    message = dataset.message_part()
+    model = factory().fit(profiling.vectors.astype(float), profiling.labels)
+    return accuracy(message.labels, model.predict(message.vectors.astype(float)))
+
+
+def run(
+    policies: Sequence[str] = ("norandom", "timedice"),
+    profile_windows: int = 100,
+    message_windows: int = 200,
+    seed: int = 3,
+) -> ClassifierComparisonResult:
+    experiment = feasibility_experiment(
+        profile_windows=profile_windows, message_windows=message_windows
+    )
+    result = ClassifierComparisonResult()
+    for policy in policies:
+        dataset = experiment.run(policy, seed=seed)
+        for name, factory in CLASSIFIERS.items():
+            result.cells[(policy, name)] = score(dataset, factory)
+    return result

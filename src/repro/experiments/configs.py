@@ -1,0 +1,134 @@
+"""Shared experiment configurations.
+
+Centralizes the adversary-pair setup so every channel experiment (Figs. 4,
+12, 13, 14, 15, and the BLINDER comparison) runs the *same* channel under
+different policies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro._time import ms
+from repro.channel.attack import ChannelExperiment
+from repro.model.configs import DEFAULT_ALPHA, feasibility_system
+from repro.model.partition import Partition
+from repro.model.system import System
+from repro.model.task import Task
+from repro.sim.behaviors import default_sender_phases
+
+#: The light-load budget ratio ("partition budgets and task execution times
+#: are cut by half", Sec. III-f).
+LIGHT_ALPHA = DEFAULT_ALPHA / 2
+
+
+def light_alpha() -> float:
+    return LIGHT_ALPHA
+
+
+def feasibility_experiment(
+    alpha: float = DEFAULT_ALPHA,
+    profile_windows: int = 200,
+    message_windows: int = 400,
+    message_seed: int = 7,
+    budget_donation: bool = False,
+    positioned_sender: bool = True,
+) -> ChannelExperiment:
+    """The Sec. III-f adversary pair over the Table I partitions.
+
+    Sender Π₂, receiver Π₄, 150 ms monitoring window (3·T₄). With
+    ``positioned_sender`` (the default) the sender follows the agreed launch
+    schedule of :func:`~repro.sim.behaviors.default_sender_phases`:
+    replenishment-aligned bursts through the window body plus one positioned
+    at the start of the receiver's final budget period (this is what powers
+    the response-time observation). With it off, the sender stays strictly
+    replenishment-periodic — the variant the BLINDER comparison uses, since
+    period-aligned launches are untouched by lazy release.
+    """
+    system = feasibility_system(alpha=alpha)
+    sender = system.by_name("Pi_2")
+    receiver = system.by_name("Pi_4")
+    window = 3 * receiver.period
+    phases = (
+        default_sender_phases(window, sender.period, receiver.period)
+        if positioned_sender
+        else None
+    )
+    return ChannelExperiment(
+        system=system,
+        receiver_partition="Pi_4",
+        receiver_task="receiver_4",
+        window=window,
+        profile_windows=profile_windows,
+        message_windows=message_windows,
+        message_seed=message_seed,
+        sender_phases=phases,
+        budget_donation=budget_donation,
+    )
+
+
+def fig18_system() -> System:
+    """The BLINDER covert-channel scenario of Fig. 18.
+
+    A sender partition above a receiver partition holding **two** local
+    tasks: τ_R,1 (longer, lower local priority, released at the window
+    start) and τ_R,2 (shorter, higher local priority, released 5 ms later).
+    The sender's preemption length decides whether τ_R,1 finishes before
+    τ_R,2's release — so the local *completion order* carries the bit.
+    """
+    window = ms(100)
+    sender = Partition(
+        name="Pi_S",
+        period=ms(25),
+        budget=ms(5),
+        priority=1,
+        tasks=[
+            Task(
+                name="sender_S",
+                period=ms(25),
+                wcet=ms(5),
+                local_priority=0,
+                behavior="sender",
+            )
+        ],
+    )
+    receiver = Partition(
+        name="Pi_R",
+        period=ms(25),
+        budget=ms(8),
+        priority=2,
+        tasks=[
+            Task(
+                name="tau_R2",
+                period=window,
+                wcet=ms(2),
+                local_priority=0,
+                offset=ms(5),
+                behavior="periodic",
+            ),
+            Task(
+                name="tau_R1",
+                period=window,
+                wcet=ms(4),
+                local_priority=1,
+                offset=0,
+                behavior="periodic",
+            ),
+        ],
+    )
+    noise = Partition(
+        name="Pi_N",
+        period=ms(50),
+        budget=ms(6),
+        priority=3,
+        tasks=[
+            Task(
+                name="noise_N",
+                period=ms(50),
+                wcet=ms(3),
+                local_priority=0,
+                behavior="noisy",
+            )
+        ],
+    )
+    return System([sender, receiver, noise])

@@ -1,0 +1,120 @@
+"""Extension: the defense-composition matrix.
+
+The paper evaluates TimeDice and BLINDER against each other's channels
+(Sec. V-C). This experiment completes the picture: every combination of
+
+- global scheduler: NoRandom vs TimeDiceW, and
+- local scheduling: plain fixed-priority vs BLINDER's transformation,
+
+against both channel families:
+
+- the **budget-modulation channel** of this paper (response-time and
+  execution-vector observations), and
+- the **task-order channel** of BLINDER's paper (Fig. 18).
+
+Expected outcome (and what the benchmark asserts): only configurations with
+TimeDice defeat the budget channel; both BLINDER and TimeDice defeat the
+order channel; the combination defends everything at once — TimeDice at the
+global level and BLINDER at the local level compose cleanly because they
+operate on disjoint schedule layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.blinder import blinder_factory
+from repro.channel.attack import evaluate_attacks
+from repro.experiments.configs import LIGHT_ALPHA, feasibility_experiment, fig18_system
+from repro.experiments.fig18_blinder import WINDOW, _OrderObserver
+from repro.experiments.report import format_table
+from repro.ml.metrics import accuracy
+from repro.sim.behaviors import ChannelScript
+from repro.sim.engine import Simulator
+
+GLOBALS = (("NoRandom", "norandom"), ("TimeDice", "timedice"))
+LOCALS = (("FP", None), ("BLINDER", blinder_factory))
+
+
+@dataclass
+class DefenseMatrixResult:
+    """(global, local) -> {"budget-ev": acc, "budget-rt": acc, "order": acc}."""
+
+    cells: Dict[Tuple[str, str], Dict[str, float]] = field(default_factory=dict)
+
+    def format(self) -> str:
+        headers = ["global", "local", "budget channel (EV)", "budget channel (RT)", "order channel"]
+        rows = []
+        for (global_name, local_name), cell in sorted(self.cells.items()):
+            rows.append(
+                [
+                    global_name,
+                    local_name,
+                    f"{cell['budget-ev'] * 100:.1f}%",
+                    f"{cell['budget-rt'] * 100:.1f}%",
+                    f"{cell['order'] * 100:.1f}%",
+                ]
+            )
+        return format_table(
+            headers, rows, title="[extension] defense-composition matrix"
+        )
+
+    def defended(self, global_name: str, local_name: str, threshold: float = 0.7) -> bool:
+        """True when *every* channel is below the accuracy threshold."""
+        cell = self.cells[(global_name, local_name)]
+        return all(value < threshold for value in cell.values())
+
+
+def _order_accuracy(policy: str, factory, n_windows: int, seed: int) -> float:
+    system = fig18_system()
+    script = ChannelScript(
+        window=WINDOW,
+        profile_windows=0,
+        message_bits=ChannelScript.random_message(n_windows, seed + 11),
+        sender_phases=(0,),
+    )
+    observer = _OrderObserver(WINDOW)
+    simulator = Simulator(
+        system,
+        policy=policy,
+        seed=seed,
+        channel=script,
+        observers=[observer],
+        local_scheduler_factory=factory,
+    )
+    simulator.run_until((n_windows + 2) * WINDOW)
+    truth = np.array([script.bit_of_window(i) for i in range(n_windows)])
+    return accuracy(truth, observer.decoded_bits(n_windows))
+
+
+def run(
+    profile_windows: int = 100,
+    message_windows: int = 200,
+    order_windows: int = 200,
+    seed: int = 5,
+    alpha: float = LIGHT_ALPHA,
+) -> DefenseMatrixResult:
+    """Default load is the light configuration — the adversary's best case,
+    and therefore the most meaningful place to compare defenses."""
+    result = DefenseMatrixResult()
+    budget_experiment = feasibility_experiment(
+        alpha=alpha, profile_windows=profile_windows, message_windows=message_windows
+    )
+    for global_name, policy in GLOBALS:
+        for local_name, factory in LOCALS:
+            dataset = budget_experiment.run(
+                policy, seed=seed, local_scheduler_factory=factory
+            )
+            attacks = {
+                r.method: r.accuracy
+                for r in evaluate_attacks(dataset, [profile_windows])
+            }
+            result.cells[(global_name, local_name)] = {
+                "budget-ev": attacks["execution-vector"],
+                "budget-rt": attacks["response-time"],
+                "order": _order_accuracy(policy, factory, order_windows, seed),
+            }
+    return result

@@ -1,0 +1,87 @@
+"""Fig. 4 — feasibility of the covert channel under NoRandom.
+
+Three panels:
+
+- **(a)** the receiver's response-time distribution Pr(R) and the profiled
+  conditionals Pr(R|X=0) / Pr(R|X=1);
+- **(b)** the heatmap of execution vectors, grouped by the sender's signal
+  (distinct patterns = an exploitable channel);
+- **(c)** communication accuracy versus profiling-set size for the base and
+  light loads, response-time (Bayes) and execution-vector (SVM) attacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.channel.dataset import ChannelDataset
+from repro.experiments.configs import LIGHT_ALPHA, feasibility_experiment
+from repro.experiments.fig12_accuracy import (
+    DEFAULT_PROFILE_SIZES,
+    AccuracySweep,
+    accuracy_sweep,
+)
+from repro.experiments.report import ascii_heatmap, ascii_histogram, paired_histogram
+from repro.model.configs import DEFAULT_ALPHA
+
+
+@dataclass
+class Fig4Result:
+    dataset: ChannelDataset
+    sweep: AccuracySweep
+
+    def format_distributions(self) -> str:
+        """Panel (a): Pr(R), Pr(R|X=0), Pr(R|X=1) in ms."""
+        r_ms = self.dataset.response_times / 1000.0
+        labels = self.dataset.labels
+        top = ascii_histogram(r_ms, label="[Fig. 4(a)] Pr(R), response time (ms)")
+        bottom = paired_histogram(
+            r_ms[labels == 0],
+            r_ms[labels == 1],
+            labels=("Pr(R|X=0)", "Pr(R|X=1)"),
+        )
+        return top + "\n\n" + bottom
+
+    def format_heatmap(self, per_class: int = 60) -> str:
+        """Panel (b): execution vectors grouped by the sender's signal."""
+        vectors = self.dataset.vectors
+        labels = self.dataset.labels
+        zeros = vectors[labels == 0][:per_class]
+        ones = vectors[labels == 1][:per_class]
+        return (
+            "[Fig. 4(b)] execution vectors, X=0 windows:\n"
+            + ascii_heatmap(zeros)
+            + "\n\nX=1 windows:\n"
+            + ascii_heatmap(ones)
+        )
+
+    def format(self) -> str:
+        return "\n\n".join(
+            [self.format_distributions(), self.format_heatmap(), self.sweep.format()]
+        )
+
+
+def run(
+    profile_sizes: Sequence[int] = DEFAULT_PROFILE_SIZES,
+    message_windows: int = 400,
+    seed: int = 3,
+) -> Fig4Result:
+    """Collect one NoRandom base-load dataset for panels (a)/(b) and run the
+    NoRandom-only accuracy sweep for panel (c)."""
+    experiment = feasibility_experiment(
+        alpha=DEFAULT_ALPHA,
+        profile_windows=max(profile_sizes),
+        message_windows=message_windows,
+    )
+    dataset = experiment.run("norandom", seed=seed)
+    sweep = accuracy_sweep(
+        policies=("norandom",),
+        alphas=(DEFAULT_ALPHA, LIGHT_ALPHA),
+        profile_sizes=profile_sizes,
+        message_windows=message_windows,
+        seed=seed,
+    )
+    return Fig4Result(dataset=dataset, sweep=sweep)

@@ -1,0 +1,104 @@
+"""Fig. 12 — impact of TimeDice on covert-channel accuracy.
+
+Channel accuracy versus the number of monitoring windows used for
+profiling, for NoRandom / TimeDiceU / TimeDiceW, under the base (80 %) and
+light (40 %) loads, for both the response-time and execution-vector attacks.
+Fig. 4(c) is the NoRandom slice of the same sweep, so
+:mod:`repro.experiments.fig04_feasibility` reuses :func:`accuracy_sweep`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.channel.attack import AttackResult, evaluate_attacks
+from repro.experiments.configs import LIGHT_ALPHA, feasibility_experiment
+from repro.experiments.report import format_table
+from repro.model.configs import DEFAULT_ALPHA
+
+DEFAULT_POLICIES = ("norandom", "timedice-uniform", "timedice")
+DEFAULT_PROFILE_SIZES = (20, 50, 100, 200)
+
+#: Human-readable load names keyed by alpha.
+LOAD_NAMES = {DEFAULT_ALPHA: "base", LIGHT_ALPHA: "light"}
+
+
+@dataclass
+class AccuracySweep:
+    """Accuracy results keyed by (load, policy, method, profile size)."""
+
+    profile_sizes: Tuple[int, ...]
+    policies: Tuple[str, ...]
+    loads: Tuple[float, ...]
+    results: Dict[Tuple[str, str, str, int], float] = field(default_factory=dict)
+
+    def accuracy(self, load: str, policy: str, method: str, m: int) -> float:
+        return self.results[(load, policy, method, m)]
+
+    def format(self) -> str:
+        blocks = []
+        for load in sorted({key[0] for key in self.results}):
+            headers = ["profiling windows"] + [
+                f"{policy}/{method}"
+                for policy in self.policies
+                for method in ("RT", "EV")
+            ]
+            rows = []
+            for m in self.profile_sizes:
+                row: List[object] = [m]
+                for policy in self.policies:
+                    for method in ("response-time", "execution-vector"):
+                        value = self.results.get((load, policy, method, m))
+                        row.append("-" if value is None else f"{value * 100:.1f}%")
+                rows.append(row)
+            blocks.append(
+                format_table(headers, rows, title=f"[Fig. 12] channel accuracy — {load} load")
+            )
+        return "\n\n".join(blocks)
+
+
+def accuracy_sweep(
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    alphas: Sequence[float] = (DEFAULT_ALPHA, LIGHT_ALPHA),
+    profile_sizes: Sequence[int] = DEFAULT_PROFILE_SIZES,
+    message_windows: int = 400,
+    seed: int = 3,
+) -> AccuracySweep:
+    """Run the full sweep: one simulation per (policy, load), scored at every
+    profiling size against the same message windows."""
+    sweep = AccuracySweep(
+        profile_sizes=tuple(profile_sizes),
+        policies=tuple(policies),
+        loads=tuple(alphas),
+    )
+    max_profile = max(profile_sizes)
+    for alpha in alphas:
+        load = LOAD_NAMES.get(alpha, f"alpha={alpha:.2f}")
+        experiment = feasibility_experiment(
+            alpha=alpha,
+            profile_windows=max_profile,
+            message_windows=message_windows,
+        )
+        for policy in policies:
+            dataset = experiment.run(policy, seed=seed)
+            for result in evaluate_attacks(dataset, profile_sizes):
+                sweep.results[(load, policy, result.method, result.profile_windows)] = (
+                    result.accuracy
+                )
+    return sweep
+
+
+def run(
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    profile_sizes: Sequence[int] = DEFAULT_PROFILE_SIZES,
+    message_windows: int = 400,
+    seed: int = 3,
+) -> AccuracySweep:
+    """The Fig. 12 experiment with paper-shaped defaults."""
+    return accuracy_sweep(
+        policies=policies,
+        profile_sizes=profile_sizes,
+        message_windows=message_windows,
+        seed=seed,
+    )

@@ -1,0 +1,80 @@
+"""Extension: channel quality as a function of system load.
+
+The paper evaluates two load points (80 % "base" and 40 % "light") and
+observes that (i) the channel is stronger when the system is lighter and
+(ii) TimeDice is *most effective* exactly there. This experiment turns those
+two observations into curves: accuracy and capacity versus the partition
+utilization ratio α (B_i = α·T_i for all five Table I partitions), under
+NoRandom and TimeDiceW.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+from repro.channel.attack import evaluate_attacks
+from repro.channel.capacity import channel_capacity_from_samples
+from repro.experiments.configs import feasibility_experiment
+from repro.experiments.report import format_table
+
+DEFAULT_ALPHAS = (0.06, 0.10, 0.16)
+DEFAULT_POLICIES = ("norandom", "timedice")
+
+
+@dataclass
+class LoadSweepResult:
+    """(alpha, policy) -> {rt, ev, capacity}."""
+
+    cells: Dict[Tuple[float, str], Dict[str, float]] = field(default_factory=dict)
+
+    def accuracy(self, alpha: float, policy: str, method: str) -> float:
+        return self.cells[(alpha, policy)][method]
+
+    def capacity(self, alpha: float, policy: str) -> float:
+        return self.cells[(alpha, policy)]["capacity"]
+
+    def format(self) -> str:
+        headers = ["alpha", "utilization", "policy", "RT acc", "EV acc", "I(X;R) bits"]
+        rows = []
+        for (alpha, policy), cell in sorted(self.cells.items()):
+            rows.append(
+                [
+                    f"{alpha:.2f}",
+                    f"{5 * alpha * 100:.0f}%",
+                    policy,
+                    f"{cell['response-time'] * 100:.1f}%",
+                    f"{cell['execution-vector'] * 100:.1f}%",
+                    f"{cell['capacity']:.3f}",
+                ]
+            )
+        return format_table(
+            headers, rows, title="[extension] channel quality vs system load"
+        )
+
+
+def run(
+    alphas: Sequence[float] = DEFAULT_ALPHAS,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    profile_windows: int = 100,
+    message_windows: int = 250,
+    seed: int = 3,
+) -> LoadSweepResult:
+    result = LoadSweepResult()
+    for alpha in alphas:
+        experiment = feasibility_experiment(
+            alpha=alpha,
+            profile_windows=profile_windows,
+            message_windows=message_windows,
+        )
+        for policy in policies:
+            dataset = experiment.run(policy, seed=seed)
+            cell: Dict[str, float] = {}
+            for r in evaluate_attacks(dataset, [profile_windows]):
+                cell[r.method] = r.accuracy
+            message = dataset.message_part()
+            cell["capacity"] = channel_capacity_from_samples(
+                message.labels, message.response_times
+            )
+            result.cells[(alpha, policy)] = cell
+    return result

@@ -1,0 +1,225 @@
+"""SVG rendering of the paper's figures (pure standard library).
+
+The text renderers in :mod:`repro.experiments.report` put every figure's
+*content* in the terminal; this module produces shareable vector graphics:
+
+- :func:`gantt_svg` — Fig. 6-style schedule traces;
+- :func:`heatmap_svg` — Fig. 4(b)/13-style execution-vector heatmaps;
+- :func:`histogram_svg` — Fig. 4(a)/14-style conditional distributions;
+- :func:`series_svg` — Fig. 12-style accuracy-vs-profiling curves.
+
+No third-party plotting stack is available offline, so these emit plain SVG
+markup; every function returns the SVG text and optionally writes it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: A small qualitative palette (color-blind safe-ish).
+PALETTE = ("#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377", "#bbbbbb")
+
+
+def _svg_document(width: int, height: int, body: List[str], title: str) -> str:
+    head = (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">'
+    )
+    caption = (
+        f'<text x="{width / 2}" y="16" text-anchor="middle" '
+        f'font-family="sans-serif" font-size="13" font-weight="bold">{title}</text>'
+    )
+    return "\n".join([head, caption, *body, "</svg>"])
+
+
+def _write(svg: str, path) -> None:
+    Path(path).write_text(svg, encoding="utf-8")
+
+
+def gantt_svg(
+    segments: Sequence,
+    partitions: Sequence[str],
+    horizon_us: int,
+    title: str = "Schedule trace",
+    width: int = 900,
+    path=None,
+) -> str:
+    """Render execution segments as one lane per partition (idle omitted)."""
+    lane_height, top, left = 26, 30, 90
+    height = top + lane_height * len(partitions) + 30
+    scale = (width - left - 20) / max(horizon_us, 1)
+    body = []
+    lanes = {name: i for i, name in enumerate(partitions)}
+    for i, name in enumerate(partitions):
+        y = top + i * lane_height
+        body.append(
+            f'<text x="{left - 8}" y="{y + lane_height / 2 + 4}" text-anchor="end" '
+            f'font-family="sans-serif" font-size="11">{name}</text>'
+        )
+        body.append(
+            f'<line x1="{left}" y1="{y + lane_height - 4}" x2="{width - 20}" '
+            f'y2="{y + lane_height - 4}" stroke="#dddddd"/>'
+        )
+    for segment in segments:
+        if segment.partition is None or segment.start >= horizon_us:
+            continue
+        lane = lanes.get(segment.partition)
+        if lane is None:
+            continue
+        x = left + segment.start * scale
+        w = max(0.5, (min(segment.end, horizon_us) - segment.start) * scale)
+        y = top + lane * lane_height
+        color = PALETTE[lane % len(PALETTE)]
+        body.append(
+            f'<rect x="{x:.2f}" y="{y + 3}" width="{w:.2f}" '
+            f'height="{lane_height - 10}" fill="{color}"/>'
+        )
+    # time axis labels every quarter
+    for fraction in (0, 0.25, 0.5, 0.75, 1.0):
+        t = horizon_us * fraction
+        x = left + t * scale
+        body.append(
+            f'<text x="{x:.1f}" y="{height - 8}" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="10">{t / 1000:.0f}ms</text>'
+        )
+    svg = _svg_document(width, height, body, title)
+    if path is not None:
+        _write(svg, path)
+    return svg
+
+
+def heatmap_svg(
+    matrix: np.ndarray,
+    title: str = "Execution vectors",
+    cell: int = 4,
+    path=None,
+) -> str:
+    """Render a 0/1 matrix (rows = windows, columns = micro intervals)."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError("heatmap expects a 2-D matrix")
+    top, left = 26, 10
+    height = top + matrix.shape[0] * cell + 10
+    width = left + matrix.shape[1] * cell + 10
+    body = [
+        f'<rect x="{left}" y="{top}" width="{matrix.shape[1] * cell}" '
+        f'height="{matrix.shape[0] * cell}" fill="#f4f4f4"/>'
+    ]
+    for (row, col) in zip(*np.nonzero(matrix)):
+        body.append(
+            f'<rect x="{left + col * cell}" y="{top + row * cell}" '
+            f'width="{cell}" height="{cell}" fill="#222222"/>'
+        )
+    svg = _svg_document(width, height, body, title)
+    if path is not None:
+        _write(svg, path)
+    return svg
+
+
+def histogram_svg(
+    samples: Dict[str, np.ndarray],
+    bins: int = 40,
+    title: str = "Response-time distributions",
+    width: int = 640,
+    height: int = 320,
+    path=None,
+) -> str:
+    """Overlaid outline histograms of several labeled samples (ms values)."""
+    all_values = np.concatenate([np.asarray(v, dtype=float) for v in samples.values()])
+    if all_values.size == 0:
+        raise ValueError("no samples")
+    edges = np.histogram_bin_edges(all_values, bins=bins)
+    top, left, bottom = 30, 50, 30
+    plot_w, plot_h = width - left - 20, height - top - bottom
+    peak = 1
+    counts_by_label = {}
+    for label, values in samples.items():
+        counts, _ = np.histogram(np.asarray(values, dtype=float), bins=edges)
+        counts_by_label[label] = counts
+        peak = max(peak, counts.max())
+    body = [
+        f'<line x1="{left}" y1="{top + plot_h}" x2="{left + plot_w}" '
+        f'y2="{top + plot_h}" stroke="#333333"/>'
+    ]
+    span = edges[-1] - edges[0] or 1.0
+    for index, (label, counts) in enumerate(counts_by_label.items()):
+        color = PALETTE[index % len(PALETTE)]
+        points = []
+        for value, lo, hi in zip(counts, edges[:-1], edges[1:]):
+            x0 = left + (lo - edges[0]) / span * plot_w
+            x1 = left + (hi - edges[0]) / span * plot_w
+            y = top + plot_h - value / peak * plot_h
+            points.append(f"{x0:.1f},{y:.1f} {x1:.1f},{y:.1f}")
+        body.append(
+            f'<polyline points="{" ".join(points)}" fill="none" '
+            f'stroke="{color}" stroke-width="1.6"/>'
+        )
+        body.append(
+            f'<text x="{left + plot_w - 6}" y="{top + 14 + 14 * index}" '
+            f'text-anchor="end" font-family="sans-serif" font-size="11" '
+            f'fill="{color}">{label}</text>'
+        )
+    for fraction in (0, 0.5, 1.0):
+        value = edges[0] + span * fraction
+        x = left + plot_w * fraction
+        body.append(
+            f'<text x="{x:.1f}" y="{height - 8}" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="10">{value:.1f}ms</text>'
+        )
+    svg = _svg_document(width, height, body, title)
+    if path is not None:
+        _write(svg, path)
+    return svg
+
+
+def series_svg(
+    series: Dict[str, List[Tuple[float, float]]],
+    title: str = "Accuracy vs profiling windows",
+    width: int = 640,
+    height: int = 320,
+    y_limits: Tuple[float, float] = (0.4, 1.0),
+    path=None,
+) -> str:
+    """Line chart of named (x, y) series (e.g. Fig. 12 accuracy curves)."""
+    if not series:
+        raise ValueError("no series")
+    top, left, bottom = 30, 56, 30
+    plot_w, plot_h = width - left - 20, height - top - bottom
+    xs = [x for points in series.values() for x, _ in points]
+    x_min, x_max = min(xs), max(xs)
+    x_span = (x_max - x_min) or 1.0
+    y_min, y_max = y_limits
+    body = [
+        f'<rect x="{left}" y="{top}" width="{plot_w}" height="{plot_h}" '
+        f'fill="none" stroke="#999999"/>'
+    ]
+    for index, (label, points) in enumerate(series.items()):
+        color = PALETTE[index % len(PALETTE)]
+        svg_points = " ".join(
+            f"{left + (x - x_min) / x_span * plot_w:.1f},"
+            f"{top + plot_h - (min(max(y, y_min), y_max) - y_min) / (y_max - y_min) * plot_h:.1f}"
+            for x, y in sorted(points)
+        )
+        body.append(
+            f'<polyline points="{svg_points}" fill="none" stroke="{color}" '
+            f'stroke-width="1.8"/>'
+        )
+        body.append(
+            f'<text x="{left + plot_w - 6}" y="{top + 14 + 14 * index}" '
+            f'text-anchor="end" font-family="sans-serif" font-size="11" '
+            f'fill="{color}">{label}</text>'
+        )
+    for fraction in (0.0, 0.5, 1.0):
+        y_value = y_min + (y_max - y_min) * fraction
+        y = top + plot_h - fraction * plot_h
+        body.append(
+            f'<text x="{left - 6}" y="{y + 4}" text-anchor="end" '
+            f'font-family="sans-serif" font-size="10">{y_value * 100:.0f}%</text>'
+        )
+    svg = _svg_document(width, height, body, title)
+    if path is not None:
+        _write(svg, path)
+    return svg

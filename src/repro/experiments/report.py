@@ -1,0 +1,99 @@
+"""Plain-text rendering helpers shared by the experiment modules.
+
+Everything renders to monospace text: aligned tables, ASCII histograms for
+the distribution figures, and block-character heatmaps for the
+execution-vector figures. The goal is that ``python -m repro <experiment>``
+reproduces the *content* of each figure in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[col]) for row in cells) for col in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(separator)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_histogram(
+    values: np.ndarray,
+    bins: int = 30,
+    width: int = 50,
+    label: str = "",
+    value_format: str = "{:8.1f}",
+) -> str:
+    """Horizontal-bar histogram of a sample."""
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size == 0:
+        return f"{label}: (no data)"
+    counts, edges = np.histogram(values, bins=bins)
+    peak = counts.max() if counts.max() > 0 else 1
+    lines = [f"{label} (n={values.size}, mean={values.mean():.2f}, std={values.std():.2f})"]
+    for count, lo in zip(counts, edges[:-1]):
+        bar = "#" * max(0, round(width * count / peak))
+        lines.append(f"{value_format.format(lo)} | {bar} {count}" if count else f"{value_format.format(lo)} |")
+    return "\n".join(lines)
+
+
+def paired_histogram(
+    low: np.ndarray,
+    high: np.ndarray,
+    bins: int = 30,
+    width: int = 40,
+    labels: Sequence[str] = ("X=0", "X=1"),
+) -> str:
+    """Two overlaid sample distributions on a shared support (Fig. 4(a)/14)."""
+    low = np.asarray(low, dtype=np.float64).ravel()
+    high = np.asarray(high, dtype=np.float64).ravel()
+    combined = np.concatenate([low, high])
+    if combined.size == 0:
+        return "(no data)"
+    edges = np.histogram_bin_edges(combined, bins=bins)
+    counts_low, _ = np.histogram(low, bins=edges)
+    counts_high, _ = np.histogram(high, bins=edges)
+    peak = max(counts_low.max(), counts_high.max(), 1)
+    lines = [f"{'bin':>9}  {labels[0]:<{width}}  {labels[1]}"]
+    for lo, c0, c1 in zip(edges[:-1], counts_low, counts_high):
+        bar0 = "0" * max(0, round(width * c0 / peak))
+        bar1 = "1" * max(0, round(width * c1 / peak))
+        lines.append(f"{lo:9.1f}  {bar0:<{width}}  {bar1}")
+    return "\n".join(lines)
+
+
+def ascii_heatmap(matrix: np.ndarray, max_rows: int = 60, max_cols: int = 150) -> str:
+    """Render a 0/1 matrix as a block-character heatmap (Fig. 4(b)/13)."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError("heatmap expects a 2-D matrix")
+    row_step = max(1, matrix.shape[0] // max_rows)
+    col_step = max(1, matrix.shape[1] // max_cols)
+    view = matrix[::row_step, ::col_step]
+    lines = []
+    for row in view:
+        lines.append("".join("█" if cell else "·" for cell in row))
+    return "\n".join(lines)
+
+
+def percentile_summary(values_us: np.ndarray, percentiles=(25, 50, 75, 99, 100)) -> List[float]:
+    """Percentiles of a latency sample (µs), Table IV style."""
+    values = np.asarray(values_us, dtype=np.float64).ravel()
+    if values.size == 0:
+        return [float("nan")] * len(percentiles)
+    return [float(np.percentile(values, p)) for p in percentiles]

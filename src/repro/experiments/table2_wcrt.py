@@ -1,0 +1,116 @@
+"""Table II / Fig. 16 — analytic and empirical worst-case response times.
+
+The analytic columns come straight from :mod:`repro.analysis.wcrt` (they are
+exact — the unit tests pin all fifty values of the paper's table). The
+empirical columns come from simulating the Table I system under NoRandom and
+TimeDice with the paper's added variations (tasks vary execution and
+inter-arrival times). Fig. 16's box-plot content is the per-task quartile
+summary of the same runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro._time import to_ms
+from repro.analysis.wcrt import WcrtRow, wcrt_table
+from repro.experiments.report import format_table
+from repro.model.configs import table1_system
+from repro.model.system import System
+from repro.sim.engine import Simulator
+from repro.sim.trace import ResponseTimeRecorder
+
+
+def noisy_table1_system() -> System:
+    """Table I with the paper's empirical-run variations enabled."""
+    base = table1_system()
+    partitions = []
+    for partition in base:
+        partitions.append(
+            partition.with_tasks(
+                [replace(task, behavior="noisy") for task in partition.tasks]
+            )
+        )
+    return System(partitions)
+
+
+@dataclass
+class Table2Result:
+    analytic: List[WcrtRow]
+    empirical: Dict[str, Dict[str, np.ndarray]]  # policy -> task -> response µs
+    simulated_seconds: float
+
+    def empirical_wcrt_ms(self, policy: str, task: str) -> Optional[float]:
+        values = self.empirical[policy].get(task)
+        if values is None or values.size == 0:
+            return None
+        return float(values.max()) / 1000.0
+
+    def format(self) -> str:
+        headers = [
+            "task",
+            "deadline",
+            "NR anal.",
+            "NR empr.",
+            "TD anal.",
+            "TD empr.",
+            "TD-NR anal.",
+        ]
+        rows = []
+        for row in self.analytic:
+            nr_emp = self.empirical_wcrt_ms("norandom", row.task)
+            td_emp = self.empirical_wcrt_ms("timedice", row.task)
+            rows.append(
+                [
+                    row.task,
+                    f"{row.deadline_ms:.2f}",
+                    "-" if row.norandom_ms is None else f"{row.norandom_ms:.2f}",
+                    "-" if nr_emp is None else f"{nr_emp:.2f}",
+                    "-" if row.timedice_ms is None else f"{row.timedice_ms:.2f}",
+                    "-" if td_emp is None else f"{td_emp:.2f}",
+                    "-" if row.delta_ms is None else f"{row.delta_ms:.2f}",
+                ]
+            )
+        return format_table(
+            headers,
+            rows,
+            title=(
+                "[Table II] worst-case response times (ms), analytic vs empirical "
+                f"({self.simulated_seconds:.0f} simulated seconds)"
+            ),
+        )
+
+    def format_boxplots(self) -> str:
+        """Fig. 16: the box-plot five-number summaries per task and policy."""
+        headers = ["task", "policy", "min", "q1", "median", "q3", "max"]
+        rows = []
+        for task in sorted(self.empirical["norandom"]):
+            for policy, tag in (("norandom", "NR"), ("timedice", "TD")):
+                values = self.empirical[policy][task] / 1000.0
+                if values.size == 0:
+                    continue
+                q = np.percentile(values, [0, 25, 50, 75, 100])
+                rows.append(
+                    [task, tag] + [f"{value:.2f}" for value in q]
+                )
+        return format_table(headers, rows, title="[Fig. 16] response-time spreads (ms)")
+
+
+def run(seconds: float = 60.0, seed: int = 1) -> Table2Result:
+    """Analytic table plus empirical runs under both schedulers."""
+    system = noisy_table1_system()
+    analytic = wcrt_table(table1_system())
+    empirical: Dict[str, Dict[str, np.ndarray]] = {}
+    for policy in ("norandom", "timedice"):
+        recorder = ResponseTimeRecorder()
+        simulator = Simulator(system, policy=policy, seed=seed, observers=[recorder])
+        simulator.run_for_seconds(seconds)
+        empirical[policy] = {
+            task: recorder.response_times(task) for task in recorder.records
+        }
+    return Table2Result(
+        analytic=analytic, empirical=empirical, simulated_seconds=seconds
+    )

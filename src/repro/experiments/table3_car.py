@@ -1,0 +1,89 @@
+"""Table III / Sec. III-e — the self-driving car platform.
+
+Runs the simulated vehicle under NoRandom and TimeDice:
+
+- the covert location leak from the path planner (Π₃) to the data logger
+  (Π₄) — the paper measures 95.23 % accuracy under NoRandom dropping to
+  56.30 % with TimeDice enabled;
+- the application tasks' responsiveness (Table III: avg/std/max, all within
+  deadlines under both schedulers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro._time import to_ms
+from repro.car.platform import TABLE3_TASKS, CarChannelResult, CarPlatform
+from repro.experiments.report import format_table
+from repro.model.configs import car_system
+
+#: Table III deadlines (ms) per measured task.
+DEADLINES_MS = {
+    "behavior_control_task": 20.0,
+    "vision_steering_task": 50.0,
+    "planner": 50.0,
+}
+
+
+@dataclass
+class Table3Result:
+    channel: Dict[str, CarChannelResult]
+    responsiveness: Dict[str, Dict[str, Dict[str, float]]]
+
+    def format(self) -> str:
+        channel_rows = [
+            [
+                policy,
+                f"{result.accuracy_response_time * 100:.2f}%",
+                f"{result.accuracy_execution_vector * 100:.2f}%",
+                str(result.location_on_bus),
+            ]
+            for policy, result in self.channel.items()
+        ]
+        channel_table = format_table(
+            ["policy", "RT attack", "EV attack", "location on bus?"],
+            channel_rows,
+            title="[Sec. III-e] planner -> logger covert leak on the car platform",
+        )
+        resp_rows = []
+        for task in TABLE3_TASKS:
+            for policy in self.responsiveness:
+                stats = self.responsiveness[policy][task]
+                resp_rows.append(
+                    [
+                        task,
+                        policy,
+                        f"{DEADLINES_MS[task]:.0f}",
+                        f"{stats['avg']:.2f}",
+                        f"{stats['std']:.2f}",
+                        f"{stats['max']:.2f}",
+                        "yes" if stats["max"] <= DEADLINES_MS[task] else "NO",
+                    ]
+                )
+        resp_table = format_table(
+            ["task", "policy", "deadline", "avg", "std", "max", "meets deadline"],
+            resp_rows,
+            title="[Table III] car application responsiveness (ms)",
+        )
+        return channel_table + "\n\n" + resp_table
+
+
+def run(
+    profile_windows: int = 150,
+    message_windows: int = 300,
+    responsiveness_seconds: float = 30.0,
+    seed: int = 5,
+) -> Table3Result:
+    platform = CarPlatform(
+        profile_windows=profile_windows, message_windows=message_windows
+    )
+    channel = {}
+    responsiveness = {}
+    for policy in ("norandom", "timedice"):
+        channel[policy] = platform.run_channel(policy, seed=seed)
+        responsiveness[policy] = platform.responsiveness(
+            policy, seconds=responsiveness_seconds, seed=seed
+        )
+    return Table3Result(channel=channel, responsiveness=responsiveness)

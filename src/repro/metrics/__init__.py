@@ -1,0 +1,29 @@
+"""Schedule-randomness and channel-separability metrics.
+
+Quantifies what TimeDice is trying to achieve — low *temporal locality* in
+partition schedules — and what the attacker needs — separable conditional
+response-time distributions:
+
+- :func:`slot_entropy` — mean Shannon entropy of "which partition owns this
+  quantum slot", taken per schedule offset across many hyperperiods; 0 for a
+  deterministic schedule, higher when the dice spread executions.
+- :func:`occupancy_autocorrelation` — lag autocorrelation of a partition's
+  CPU-occupancy indicator; strong periodic peaks = high temporal locality.
+- :func:`js_divergence` / :func:`total_variation` — distances between
+  Pr(R|X=0) and Pr(R|X=1); the smaller they are, the blinder the receiver.
+"""
+
+from repro.metrics.locality import (
+    occupancy_autocorrelation,
+    occupancy_grid,
+    slot_entropy,
+)
+from repro.metrics.separation import js_divergence, total_variation
+
+__all__ = [
+    "occupancy_grid",
+    "slot_entropy",
+    "occupancy_autocorrelation",
+    "js_divergence",
+    "total_variation",
+]

@@ -1,0 +1,46 @@
+"""Numpy-only classifiers for the learning-based covert-channel attack.
+
+The paper's receiver trains an SVM with an RBF kernel on execution vectors
+(Sec. III-d). No third-party ML stack is available offline, so this package
+implements the needed pieces from scratch:
+
+- :mod:`repro.ml.kernels` — linear / polynomial / RBF kernels with a
+  median-heuristic bandwidth.
+- :mod:`repro.ml.svm` — a least-squares SVM (closed-form dual, the workhorse)
+  and a simplified-SMO soft-margin SVM (reference implementation).
+- :mod:`repro.ml.tree` / :mod:`repro.ml.forest` — CART decision trees and
+  random forests (the paper's other named classifier).
+- :mod:`repro.ml.neighbors` — k-nearest-neighbours and nearest-centroid.
+- :mod:`repro.ml.logistic` — L2-regularized logistic regression.
+- :mod:`repro.ml.metrics` — accuracy and confusion matrices.
+- :mod:`repro.ml.model_selection` — deterministic train/test splitting.
+
+All classifiers share the minimal ``fit(X, y)`` / ``predict(X)`` protocol
+with labels in {0, 1}.
+"""
+
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.kernels import linear_kernel, median_gamma, polynomial_kernel, rbf_kernel
+from repro.ml.logistic import LogisticRegression
+from repro.ml.tree import DecisionTreeClassifier
+from repro.ml.metrics import accuracy, confusion_matrix
+from repro.ml.model_selection import train_test_split
+from repro.ml.neighbors import KNeighborsClassifier, NearestCentroidClassifier
+from repro.ml.svm import LSSVMClassifier, SMOSVMClassifier
+
+__all__ = [
+    "rbf_kernel",
+    "linear_kernel",
+    "polynomial_kernel",
+    "median_gamma",
+    "LSSVMClassifier",
+    "SMOSVMClassifier",
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "KNeighborsClassifier",
+    "NearestCentroidClassifier",
+    "LogisticRegression",
+    "accuracy",
+    "confusion_matrix",
+    "train_test_split",
+]

@@ -1,0 +1,84 @@
+"""Random forests (bagged CART trees with feature subsampling).
+
+The second learning-based decoder the paper names (Sec. III-d). Majority
+vote over bootstrap-trained trees, each restricted to sqrt(d) candidate
+features per split.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier:
+    """Bagging + feature-subsampled CART trees, labels in {0, 1}.
+
+    Args:
+        n_trees: Ensemble size.
+        max_depth: Per-tree depth cap.
+        min_samples_split: Per-tree split floor.
+        max_features: Features per split; default "sqrt".
+        seed: Seed for bootstrapping and per-tree feature sampling.
+    """
+
+    def __init__(
+        self,
+        n_trees: int = 25,
+        max_depth: int = 12,
+        min_samples_split: int = 2,
+        max_features="sqrt",
+        seed: int = 0,
+    ):
+        if n_trees < 1:
+            raise ValueError("n_trees must be >= 1")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self.seed = seed
+        self._trees: List[DecisionTreeClassifier] = []
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y).ravel().astype(np.int64)
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("X and y row counts differ")
+        if not set(np.unique(y)) <= {0, 1}:
+            raise ValueError("labels must be in {0, 1}")
+        if len(set(np.unique(y))) < 2:
+            raise ValueError("training data must contain both classes")
+        rng = np.random.default_rng(self.seed)
+        n = x.shape[0]
+        self._trees = []
+        for _ in range(self.n_trees):
+            indices = rng.integers(0, n, size=n)  # bootstrap sample
+            # Guarantee both classes in the sample (tiny sets can miss one).
+            if len(np.unique(y[indices])) < 2:
+                indices[0] = int(np.flatnonzero(y == 0)[0])
+                indices[1] = int(np.flatnonzero(y == 1)[0])
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                max_features=self.max_features,
+                rng=np.random.default_rng(rng.integers(2**63)),
+            )
+            tree.fit(x[indices], y[indices])
+            self._trees.append(tree)
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Mean of the trees' leaf frequencies."""
+        if not self._trees:
+            raise RuntimeError("classifier is not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x.reshape(1, -1)
+        votes = np.stack([tree.predict_proba(x) for tree in self._trees])
+        return votes.mean(axis=0)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(x) >= 0.5).astype(np.int64)

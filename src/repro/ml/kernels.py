@@ -1,0 +1,68 @@
+"""Kernel functions (numpy, vectorized)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_2d(x: np.ndarray) -> np.ndarray:
+    array = np.asarray(x, dtype=np.float64)
+    if array.ndim == 1:
+        array = array.reshape(1, -1)
+    if array.ndim != 2:
+        raise ValueError(f"expected 1-D or 2-D input, got shape {array.shape}")
+    return array
+
+
+def linear_kernel(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Gram matrix :math:`K_{ij} = a_i \\cdot b_j`."""
+    return _as_2d(a) @ _as_2d(b).T
+
+
+def polynomial_kernel(
+    a: np.ndarray, b: np.ndarray, degree: int = 3, coef0: float = 1.0
+) -> np.ndarray:
+    """Gram matrix :math:`K_{ij} = (a_i \\cdot b_j + c_0)^d`."""
+    if degree < 1:
+        raise ValueError(f"degree must be >= 1, got {degree}")
+    return (linear_kernel(a, b) + coef0) ** degree
+
+
+def squared_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise squared Euclidean distances, clipped at zero."""
+    a2d, b2d = _as_2d(a), _as_2d(b)
+    aa = np.sum(a2d * a2d, axis=1)[:, None]
+    bb = np.sum(b2d * b2d, axis=1)[None, :]
+    d2 = aa + bb - 2.0 * (a2d @ b2d.T)
+    return np.maximum(d2, 0.0)
+
+
+def rbf_kernel(a: np.ndarray, b: np.ndarray, gamma: float = 1.0) -> np.ndarray:
+    """Radial-basis-function Gram matrix :math:`\\exp(-\\gamma \\|a_i-b_j\\|^2)`.
+
+    This is the kernel the paper's receiver uses to classify execution
+    vectors (Sec. III-f).
+    """
+    if gamma <= 0:
+        raise ValueError(f"gamma must be positive, got {gamma}")
+    return np.exp(-gamma * squared_distances(a, b))
+
+
+def median_gamma(x: np.ndarray) -> float:
+    """Median-heuristic RBF bandwidth: :math:`\\gamma = 1 / \\mathrm{median}(\\|x_i-x_j\\|^2)`.
+
+    A robust default when the caller does not cross-validate gamma; falls
+    back to :math:`1/d` (the usual "scale" default) for degenerate data where
+    the median pairwise distance is zero.
+    """
+    x2d = _as_2d(x)
+    n = x2d.shape[0]
+    if n < 2:
+        return 1.0 / max(1, x2d.shape[1])
+    sample = x2d if n <= 512 else x2d[:: max(1, n // 512)]
+    d2 = squared_distances(sample, sample)
+    off_diagonal = d2[np.triu_indices_from(d2, k=1)]
+    median = float(np.median(off_diagonal)) if off_diagonal.size else 0.0
+    if median <= 0.0:
+        return 1.0 / max(1, x2d.shape[1])
+    return 1.0 / median

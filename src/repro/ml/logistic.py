@@ -1,0 +1,77 @@
+"""L2-regularized logistic regression trained by full-batch gradient descent."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    # Numerically stable piecewise evaluation.
+    out = np.empty_like(z)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exp_z = np.exp(z[~positive])
+    out[~positive] = exp_z / (1.0 + exp_z)
+    return out
+
+
+class LogisticRegression:
+    """Binary logistic regression, labels in {0, 1}.
+
+    Args:
+        l2: Ridge penalty on the weights (not the intercept).
+        lr: Gradient-descent step size.
+        iterations: Fixed iteration budget (deterministic training).
+    """
+
+    def __init__(self, l2: float = 1e-3, lr: float = 0.5, iterations: int = 500):
+        if l2 < 0:
+            raise ValueError("l2 must be non-negative")
+        self.l2 = l2
+        self.lr = lr
+        self.iterations = iterations
+        self._weights: Optional[np.ndarray] = None
+        self._bias: float = 0.0
+        self._mean: Optional[np.ndarray] = None
+        self._scale: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y).ravel().astype(np.float64)
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("X and y row counts differ")
+        # Standardize for a well-conditioned loss surface.
+        self._mean = x.mean(axis=0)
+        scale = x.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self._scale = scale
+        xs = (x - self._mean) / self._scale
+        n, d = xs.shape
+        weights = np.zeros(d)
+        bias = 0.0
+        for _ in range(self.iterations):
+            margins = xs @ weights + bias
+            probabilities = _sigmoid(margins)
+            errors = probabilities - y
+            grad_w = xs.T @ errors / n + self.l2 * weights
+            grad_b = float(errors.mean())
+            weights -= self.lr * grad_w
+            bias -= self.lr * grad_b
+        self._weights = weights
+        self._bias = bias
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """:math:`\\Pr(y = 1 \\mid x)` for each row."""
+        if self._weights is None:
+            raise RuntimeError("classifier is not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x.reshape(1, -1)
+        xs = (x - self._mean) / self._scale
+        return _sigmoid(xs @ self._weights + self._bias)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(x) >= 0.5).astype(np.int64)

@@ -1,0 +1,30 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of matching labels (the paper's channel-accuracy metric)."""
+    y_true = np.asarray(y_true).ravel()
+    y_pred = np.asarray(y_pred).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("cannot score an empty label set")
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+    """2x2 matrix ``M[i, j]`` = count of true class ``i`` predicted as ``j``."""
+    y_true = np.asarray(y_true).ravel().astype(np.int64)
+    y_pred = np.asarray(y_pred).ravel().astype(np.int64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    matrix = np.zeros((2, 2), dtype=np.int64)
+    for true, pred in zip(y_true, y_pred):
+        if true not in (0, 1) or pred not in (0, 1):
+            raise ValueError("labels must be in {0, 1}")
+        matrix[true, pred] += 1
+    return matrix

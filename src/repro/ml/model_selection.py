@@ -1,0 +1,35 @@
+"""Dataset splitting utilities (deterministic, seed-driven)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def train_test_split(
+    x: np.ndarray,
+    y: np.ndarray,
+    train_fraction: float = 0.5,
+    seed: int = 0,
+    shuffle: bool = True,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split (X, y) into train and test portions.
+
+    With ``shuffle=False`` the split is chronological — the right choice for
+    the covert channel, where the profiling phase strictly precedes the
+    communication phase.
+    """
+    x = np.asarray(x)
+    y = np.asarray(y).ravel()
+    if x.shape[0] != y.shape[0]:
+        raise ValueError("X and y row counts differ")
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError(f"train_fraction must be in (0, 1), got {train_fraction}")
+    n = x.shape[0]
+    n_train = max(1, min(n - 1, round(n * train_fraction)))
+    indices = np.arange(n)
+    if shuffle:
+        np.random.default_rng(seed).shuffle(indices)
+    train_idx, test_idx = indices[:n_train], indices[n_train:]
+    return x[train_idx], x[test_idx], y[train_idx], y[test_idx]

@@ -1,0 +1,83 @@
+"""Distance-based classifiers: k-nearest-neighbours and nearest centroid."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.kernels import squared_distances
+
+
+class KNeighborsClassifier:
+    """Majority vote over the ``k`` nearest training points (Euclidean).
+
+    Ties (even vote counts) resolve toward the closer class, matching the
+    behaviour of distance-weighted voting in the two-class case.
+    """
+
+    def __init__(self, k: int = 5):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._x: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        self._x = np.asarray(x, dtype=np.float64)
+        self._y = np.asarray(y).ravel().astype(np.int64)
+        if self._x.shape[0] != self._y.shape[0]:
+            raise ValueError("X and y row counts differ")
+        if self._x.shape[0] < 1:
+            raise ValueError("training set is empty")
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("classifier is not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x.reshape(1, -1)
+        k = min(self.k, self._x.shape[0])
+        d2 = squared_distances(x, self._x)
+        nearest = np.argpartition(d2, kth=k - 1, axis=1)[:, :k]
+        predictions = np.empty(x.shape[0], dtype=np.int64)
+        for row in range(x.shape[0]):
+            votes = self._y[nearest[row]]
+            ones = int(votes.sum())
+            zeros = k - ones
+            if ones != zeros:
+                predictions[row] = 1 if ones > zeros else 0
+            else:
+                # Tie-break toward the class of the single nearest neighbour.
+                closest = nearest[row][np.argmin(d2[row, nearest[row]])]
+                predictions[row] = self._y[closest]
+        return predictions
+
+
+class NearestCentroidClassifier:
+    """Assign each point to the class with the nearer mean vector.
+
+    The simplest possible execution-vector decoder; useful as a baseline
+    showing how much of the channel is linearly recoverable.
+    """
+
+    def __init__(self) -> None:
+        self._centroids: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "NearestCentroidClassifier":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y).ravel().astype(np.int64)
+        if set(np.unique(y).tolist()) != {0, 1}:
+            raise ValueError("training data must contain both classes 0 and 1")
+        self._centroids = np.stack([x[y == 0].mean(axis=0), x[y == 1].mean(axis=0)])
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self._centroids is None:
+            raise RuntimeError("classifier is not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x.reshape(1, -1)
+        d2 = squared_distances(x, self._centroids)
+        return np.argmin(d2, axis=1).astype(np.int64)

@@ -1,0 +1,214 @@
+"""Support-vector machines with RBF kernels, from scratch.
+
+Two implementations:
+
+- :class:`LSSVMClassifier` — a least-squares SVM (Suykens & Vandewalle). The
+  dual reduces to one linear system
+
+  .. math::
+
+      \\begin{pmatrix} 0 & \\mathbf{1}^T \\\\ \\mathbf{1} & K + I/C \\end{pmatrix}
+      \\begin{pmatrix} b \\\\ \\alpha \\end{pmatrix}
+      = \\begin{pmatrix} 0 \\\\ y \\end{pmatrix}
+
+  solved in :math:`\\mathcal{O}(n^3)` with one factorization — fast, exact,
+  and deterministic. This is the default classifier for the execution-vector
+  attack: on the paper's binary, near-separable data it matches a hinge-loss
+  SVM while training orders of magnitude faster in pure numpy.
+
+- :class:`SMOSVMClassifier` — a classic soft-margin SVM trained with
+  simplified SMO (Platt). Kept as a reference implementation and used in
+  tests to cross-validate the LS-SVM decisions.
+
+Labels are {0, 1} at the API boundary and mapped to {-1, +1} internally.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.ml.kernels import median_gamma, rbf_kernel
+
+
+def _validate_xy(x: np.ndarray, y: np.ndarray):
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y).ravel()
+    if x.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {x.shape}")
+    if y.shape[0] != x.shape[0]:
+        raise ValueError(f"X has {x.shape[0]} rows but y has {y.shape[0]}")
+    labels = set(np.unique(y).tolist())
+    if not labels <= {0, 1}:
+        raise ValueError(f"labels must be in {{0, 1}}, got {sorted(labels)}")
+    if len(labels) < 2:
+        raise ValueError("training data must contain both classes")
+    return x, y.astype(np.int64)
+
+
+class LSSVMClassifier:
+    """Least-squares SVM with an RBF kernel (the paper's attack classifier).
+
+    Args:
+        c: Regularization weight; larger fits the training set more tightly.
+        gamma: RBF bandwidth; None selects the median heuristic at fit time.
+    """
+
+    def __init__(self, c: float = 10.0, gamma: Optional[float] = None):
+        if c <= 0:
+            raise ValueError(f"C must be positive, got {c}")
+        self.c = c
+        self.gamma = gamma
+        self._x: Optional[np.ndarray] = None
+        self._alpha: Optional[np.ndarray] = None
+        self._bias: float = 0.0
+        self._gamma_fitted: float = 1.0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LSSVMClassifier":
+        x, y = _validate_xy(x, y)
+        signs = np.where(y == 1, 1.0, -1.0)
+        n = x.shape[0]
+        self._gamma_fitted = self.gamma if self.gamma is not None else median_gamma(x)
+        gram = rbf_kernel(x, x, self._gamma_fitted)
+        system = np.zeros((n + 1, n + 1))
+        system[0, 1:] = 1.0
+        system[1:, 0] = 1.0
+        system[1:, 1:] = gram + np.eye(n) / self.c
+        rhs = np.concatenate(([0.0], signs))
+        solution = np.linalg.solve(system, rhs)
+        self._bias = float(solution[0])
+        self._alpha = solution[1:]
+        self._x = x
+        return self
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        """Signed margin :math:`\\sum_i \\alpha_i k(x_i, x) + b`."""
+        if self._x is None:
+            raise RuntimeError("classifier is not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x.reshape(1, -1)
+        return rbf_kernel(x, self._x, self._gamma_fitted) @ self._alpha + self._bias
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted labels in {0, 1}."""
+        return (self.decision_function(x) >= 0.0).astype(np.int64)
+
+
+class SMOSVMClassifier:
+    """Soft-margin SVM trained with simplified SMO (reference implementation).
+
+    Args:
+        c: Box constraint.
+        gamma: RBF bandwidth; None selects the median heuristic at fit time.
+        tol: KKT violation tolerance.
+        max_passes: Consecutive violation-free sweeps before stopping.
+        seed: RNG seed for the partner-choice heuristic.
+    """
+
+    def __init__(
+        self,
+        c: float = 10.0,
+        gamma: Optional[float] = None,
+        tol: float = 1e-3,
+        max_passes: int = 5,
+        max_iterations: int = 200,
+        seed: int = 0,
+    ):
+        if c <= 0:
+            raise ValueError(f"C must be positive, got {c}")
+        self.c = c
+        self.gamma = gamma
+        self.tol = tol
+        self.max_passes = max_passes
+        self.max_iterations = max_iterations
+        self.seed = seed
+        self._x: Optional[np.ndarray] = None
+        self._signs: Optional[np.ndarray] = None
+        self._alpha: Optional[np.ndarray] = None
+        self._bias: float = 0.0
+        self._gamma_fitted: float = 1.0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "SMOSVMClassifier":
+        x, y = _validate_xy(x, y)
+        signs = np.where(y == 1, 1.0, -1.0)
+        n = x.shape[0]
+        self._gamma_fitted = self.gamma if self.gamma is not None else median_gamma(x)
+        gram = rbf_kernel(x, x, self._gamma_fitted)
+        alpha = np.zeros(n)
+        bias = 0.0
+        rng = np.random.default_rng(self.seed)
+
+        def decision(index: int) -> float:
+            return float((alpha * signs) @ gram[:, index] + bias)
+
+        passes = 0
+        iterations = 0
+        while passes < self.max_passes and iterations < self.max_iterations:
+            changed = 0
+            for i in range(n):
+                error_i = decision(i) - signs[i]
+                if (signs[i] * error_i < -self.tol and alpha[i] < self.c) or (
+                    signs[i] * error_i > self.tol and alpha[i] > 0
+                ):
+                    j = int(rng.integers(n - 1))
+                    if j >= i:
+                        j += 1
+                    error_j = decision(j) - signs[j]
+                    alpha_i_old, alpha_j_old = alpha[i], alpha[j]
+                    if signs[i] != signs[j]:
+                        low = max(0.0, alpha[j] - alpha[i])
+                        high = min(self.c, self.c + alpha[j] - alpha[i])
+                    else:
+                        low = max(0.0, alpha[i] + alpha[j] - self.c)
+                        high = min(self.c, alpha[i] + alpha[j])
+                    if low >= high:
+                        continue
+                    eta = 2.0 * gram[i, j] - gram[i, i] - gram[j, j]
+                    if eta >= 0:
+                        continue
+                    alpha[j] -= signs[j] * (error_i - error_j) / eta
+                    alpha[j] = float(np.clip(alpha[j], low, high))
+                    if abs(alpha[j] - alpha_j_old) < 1e-7:
+                        continue
+                    alpha[i] += signs[i] * signs[j] * (alpha_j_old - alpha[j])
+                    b1 = (
+                        bias
+                        - error_i
+                        - signs[i] * (alpha[i] - alpha_i_old) * gram[i, i]
+                        - signs[j] * (alpha[j] - alpha_j_old) * gram[i, j]
+                    )
+                    b2 = (
+                        bias
+                        - error_j
+                        - signs[i] * (alpha[i] - alpha_i_old) * gram[i, j]
+                        - signs[j] * (alpha[j] - alpha_j_old) * gram[j, j]
+                    )
+                    if 0 < alpha[i] < self.c:
+                        bias = b1
+                    elif 0 < alpha[j] < self.c:
+                        bias = b2
+                    else:
+                        bias = (b1 + b2) / 2.0
+                    changed += 1
+            passes = passes + 1 if changed == 0 else 0
+            iterations += 1
+
+        self._x = x
+        self._signs = signs
+        self._alpha = alpha
+        self._bias = bias
+        return self
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("classifier is not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x.reshape(1, -1)
+        gram = rbf_kernel(x, self._x, self._gamma_fitted)
+        return gram @ (self._alpha * self._signs) + self._bias
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return (self.decision_function(x) >= 0.0).astype(np.int64)

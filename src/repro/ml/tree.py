@@ -1,0 +1,189 @@
+"""CART decision trees (numpy-only).
+
+Binary classification trees with Gini-impurity splits, supporting the
+feature subsampling hook random forests need. Execution vectors are
+0/1-valued and 150-dimensional, so axis-aligned splits are a natural fit —
+this is the second classifier family the paper names for the
+learning-based attack ("e.g., Support Vector Machine, Random Forest").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    """A tree node; leaves carry a prediction, internal nodes a split."""
+
+    prediction: int
+    probability_one: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - (p * p).sum())
+
+
+class DecisionTreeClassifier:
+    """A CART classifier for labels in {0, 1}.
+
+    Args:
+        max_depth: Depth cap (root = depth 0).
+        min_samples_split: Do not split nodes smaller than this.
+        max_features: Features examined per split — None (all), an int, or
+            the string ``"sqrt"`` (the forest default).
+        rng: numpy Generator for feature subsampling (injected by forests).
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 12,
+        min_samples_split: int = 2,
+        max_features=None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._root: Optional[_Node] = None
+        self._n_features = 0
+
+    # ------------------------------------------------------------------ fit
+
+    def _n_split_features(self) -> int:
+        if self.max_features is None:
+            return self._n_features
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(self._n_features)))
+        return max(1, min(int(self.max_features), self._n_features))
+
+    def _leaf(self, y: np.ndarray) -> _Node:
+        ones = int(y.sum())
+        zeros = y.size - ones
+        return _Node(
+            prediction=1 if ones > zeros else 0,
+            probability_one=ones / y.size if y.size else 0.5,
+        )
+
+    def _best_split(self, x: np.ndarray, y: np.ndarray):
+        """(feature, threshold, weighted impurity) of the best split, or None."""
+        n = y.size
+        features = self.rng.choice(
+            self._n_features, size=self._n_split_features(), replace=False
+        )
+        parent_counts = np.bincount(y, minlength=2)
+        best = None
+        for feature in features:
+            values = x[:, feature]
+            order = np.argsort(values, kind="stable")
+            sorted_values = values[order]
+            sorted_y = y[order]
+            ones_prefix = np.cumsum(sorted_y)
+            # candidate cut between distinct adjacent values
+            distinct = np.nonzero(sorted_values[1:] > sorted_values[:-1])[0]
+            for cut in distinct:
+                left_n = cut + 1
+                right_n = n - left_n
+                left_counts = np.array(
+                    [left_n - ones_prefix[cut], ones_prefix[cut]], dtype=np.float64
+                )
+                right_counts = parent_counts - left_counts
+                impurity = (
+                    left_n * _gini(left_counts) + right_n * _gini(right_counts)
+                ) / n
+                if best is None or impurity < best[2]:
+                    threshold = (sorted_values[cut] + sorted_values[cut + 1]) / 2.0
+                    best = (int(feature), float(threshold), impurity)
+        return best
+
+    def _grow(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        if (
+            depth >= self.max_depth
+            or y.size < self.min_samples_split
+            or len(np.unique(y)) < 2
+        ):
+            return self._leaf(y)
+        split = self._best_split(x, y)
+        if split is None:
+            return self._leaf(y)
+        # Note: zero-improvement splits are allowed (as in standard CART) —
+        # XOR-like patterns need them, and recursion terminates regardless
+        # because every split strictly shrinks both children.
+        feature, threshold, _ = split
+        mask = x[:, feature] <= threshold
+        node = self._leaf(y)
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(x[mask], y[mask], depth + 1)
+        node.right = self._grow(x[~mask], y[~mask], depth + 1)
+        return node
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y).ravel().astype(np.int64)
+        if x.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {x.shape}")
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("X and y row counts differ")
+        if not set(np.unique(y)) <= {0, 1}:
+            raise ValueError("labels must be in {0, 1}")
+        self._n_features = x.shape[1]
+        self._root = self._grow(x, y, depth=0)
+        return self
+
+    # -------------------------------------------------------------- predict
+
+    def _walk(self, row: np.ndarray) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("classifier is not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x.reshape(1, -1)
+        return np.array([self._walk(row).prediction for row in x], dtype=np.int64)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Leaf-frequency estimate of Pr(y=1 | x)."""
+        if self._root is None:
+            raise RuntimeError("classifier is not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x.reshape(1, -1)
+        return np.array([self._walk(row).probability_one for row in x])
+
+    def depth(self) -> int:
+        """Actual depth of the grown tree."""
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        if self._root is None:
+            raise RuntimeError("classifier is not fitted")
+        return walk(self._root)

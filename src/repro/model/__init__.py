@@ -1,0 +1,16 @@
+"""Partition and task models (Sec. II of the paper).
+
+A :class:`~repro.model.task.Task` is a sporadic task ``(p, e)`` with a local
+fixed priority; a :class:`~repro.model.partition.Partition` is a budget server
+``(T, B)`` with a unique global priority holding a set of tasks; a
+:class:`~repro.model.system.System` is the full set of partitions plus
+validation. :mod:`repro.model.configs` builds every configuration used in the
+paper's evaluation (Table I, the car platform, load scaling, partition-count
+scaling).
+"""
+
+from repro.model.partition import Partition
+from repro.model.system import System
+from repro.model.task import Task
+
+__all__ = ["Task", "Partition", "System"]

@@ -1,0 +1,365 @@
+"""Every system configuration used in the paper's evaluation.
+
+- :func:`table1_system` — the 5-partition benchmark of Table I
+  (T = 20/30/40/50/60 ms, B_i = α·T_i, five tasks per partition with
+  p = 2·T_i·2^k and e = β·p; defaults α = 16 %, β = 3 %).
+- :func:`feasibility_system` — the Sec. III-f covert-channel configuration:
+  the Table I partitions with Π₂ as sender, Π₄ as receiver, and noise tasks
+  in Π₁/Π₃/Π₅ (periods/WCETs jittered up to 20 % at run time).
+- :func:`car_system` — the 1/10th-scale self-driving car platform of Fig. 5
+  (behavior control, vision steering, path planning, data logging).
+- :func:`scaled_partition_count` — the |Π| = 10/20 variants of Table IV /
+  Fig. 17 / Table V, built by duplicating partitions while keeping total
+  utilization constant.
+- :func:`three_partition_example` — the small system behind the Fig. 6
+  schedule traces.
+- :func:`random_system` — UUniFast-based random systems for property tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro._time import ms
+from repro.model.partition import Partition
+from repro.model.system import System
+from repro.model.task import Task
+
+#: Table I replenishment periods (ms).
+TABLE1_PERIODS_MS = (20, 30, 40, 50, 60)
+#: Default partition-budget ratio α (B_i = α·T_i).
+DEFAULT_ALPHA = 0.16
+#: Default task-WCET ratio β (e_{i,j} = β·p_{i,j}).
+DEFAULT_BETA = 0.03
+#: Tasks per partition in Table I.
+TASKS_PER_PARTITION = 5
+
+
+def _table1_tasks(index: int, period_ms: float, beta: float, n_tasks: int) -> List[Task]:
+    """Tasks of partition Π_index: p = 2·T_i·2^k, e = β·p, RM priorities."""
+    tasks = []
+    for j in range(n_tasks):
+        p = ms(period_ms * 2 * (2 ** j))
+        tasks.append(
+            Task(
+                name=f"tau_{index},{j + 1}",
+                period=p,
+                wcet=max(1, round(beta * p)),
+                local_priority=j,
+            )
+        )
+    return tasks
+
+
+def table1_system(
+    alpha: float = DEFAULT_ALPHA,
+    beta: float = DEFAULT_BETA,
+    n_tasks: int = TASKS_PER_PARTITION,
+) -> System:
+    """The Table I 5-partition benchmark system.
+
+    With the defaults, total partition utilization is 5 · 16 % = 80 %
+    (the paper's "base load"); ``alpha=0.08, beta=0.015`` gives the
+    "light load" 40 % configuration.
+    """
+    partitions = []
+    for index, period_ms in enumerate(TABLE1_PERIODS_MS, start=1):
+        partitions.append(
+            Partition(
+                name=f"Pi_{index}",
+                period=ms(period_ms),
+                budget=max(1, round(alpha * ms(period_ms))),
+                priority=index,
+                tasks=_table1_tasks(index, period_ms, beta, n_tasks),
+            )
+        )
+    return System(partitions)
+
+
+def light_load_system(n_tasks: int = TASKS_PER_PARTITION) -> System:
+    """Table I at half budgets and half WCETs (the paper's 40 % "light load")."""
+    return table1_system(alpha=DEFAULT_ALPHA / 2, beta=DEFAULT_BETA / 2, n_tasks=n_tasks)
+
+
+def feasibility_system(
+    alpha: float = DEFAULT_ALPHA,
+    sender: str = "Pi_2",
+    receiver: str = "Pi_4",
+    window_factor: int = 3,
+) -> System:
+    """The Sec. III-f covert-channel feasibility configuration.
+
+    The Table I partitions with:
+
+    - the **sender** partition holding a single channel task that arrives at
+      every replenishment and burns the full budget (bit 1) or almost nothing
+      (bit 0);
+    - the **receiver** partition holding a single measurement task arriving
+      every ``window_factor * T_R`` (150 ms by default) whose code block
+      demands ``window_factor`` full budgets of CPU in the worst case;
+    - **noise** tasks in the remaining partitions, whose periods and WCETs the
+      simulator jitters by up to 20 % per job.
+
+    With ``alpha = 0.16`` this is the paper's 80 % base load; pass
+    ``alpha = 0.08`` for the 40 % light load (the receiver block then demands
+    half as much CPU, mirroring "task execution times are cut by half").
+    """
+    partitions = []
+    for index, period_ms in enumerate(TABLE1_PERIODS_MS, start=1):
+        name = f"Pi_{index}"
+        period = ms(period_ms)
+        budget = max(1, round(alpha * period))
+        if name == sender:
+            tasks = [
+                Task(
+                    name=f"sender_{index}",
+                    period=period,
+                    wcet=budget,
+                    local_priority=0,
+                    behavior="sender",
+                )
+            ]
+        elif name == receiver:
+            window = window_factor * period
+            tasks = [
+                Task(
+                    name=f"receiver_{index}",
+                    period=window,
+                    wcet=window_factor * budget,
+                    local_priority=0,
+                    behavior="receiver",
+                )
+            ]
+        else:
+            # Noise tasks jointly demand ~60 % of the partition's bandwidth
+            # with jobs no longer than the budget, so the partitions perturb
+            # the channel without building long backlogs (the paper leaves
+            # the noise task structure open: "tasks ... vary their periods
+            # and execution times randomly (by up to 20%)").
+            tasks = [
+                Task(
+                    name=f"noise_{index},{j + 1}",
+                    period=period * (2 ** j),
+                    wcet=max(1, round(0.2 * alpha * period * (2 ** j))),
+                    local_priority=j,
+                    behavior="noisy",
+                )
+                for j in range(3)
+            ]
+        partitions.append(
+            Partition(name=name, period=period, budget=budget, priority=index, tasks=tasks)
+        )
+    return System(partitions)
+
+
+#: Fig. 5 partition table of the self-driving car: (name, T_i ms, B_i ms).
+CAR_PARTITIONS_MS = (
+    ("behavior_control", 10, 1),
+    ("vision_steering", 20, 10),
+    ("path_planning", 30, 3),
+    ("data_logging", 50, 5),
+)
+
+
+def car_system() -> System:
+    """The Fig. 5 self-driving-car partition set.
+
+    Priorities follow the paper's listing order (Π₁ behavior control
+    highest). Each partition carries one application task; periods and
+    deadlines follow Table III (behavior control 20 ms, vision 50 ms,
+    planning 50 ms). The planner (sender) task uses a 50 ms period and
+    modulates its execution length every three arrivals (Sec. III-e); the
+    logger (receiver) observes its own job response times over a 150 ms
+    monitoring window.
+    """
+    partitions = []
+    for index, (name, period_ms, budget_ms) in enumerate(CAR_PARTITIONS_MS, start=1):
+        period = ms(period_ms)
+        budget = ms(budget_ms)
+        if name == "behavior_control":
+            tasks = [
+                Task(
+                    name="behavior_control_task",
+                    period=ms(20),
+                    wcet=max(1, round(0.8 * budget)),
+                    local_priority=0,
+                    deadline=ms(20),
+                    behavior="noisy",
+                )
+            ]
+        elif name == "vision_steering":
+            tasks = [
+                Task(
+                    name="vision_steering_task",
+                    period=ms(50),
+                    wcet=ms(12),
+                    local_priority=0,
+                    deadline=ms(50),
+                    behavior="noisy",
+                )
+            ]
+        elif name == "path_planning":
+            tasks = [
+                Task(
+                    name="planner",
+                    period=ms(50),
+                    wcet=budget,
+                    local_priority=0,
+                    deadline=ms(50),
+                    behavior="sender",
+                )
+            ]
+        else:  # data_logging
+            tasks = [
+                Task(
+                    name="logger",
+                    period=ms(150),
+                    wcet=3 * budget,
+                    local_priority=0,
+                    behavior="receiver",
+                )
+            ]
+        partitions.append(
+            Partition(name=name, period=period, budget=budget, priority=index, tasks=tasks)
+        )
+    return System(partitions)
+
+
+def three_partition_example() -> System:
+    """A small 3-partition system used for the Fig. 6 schedule traces."""
+    specs = ((20, 6), (30, 9), (50, 10))
+    partitions = []
+    for index, (period_ms, budget_ms) in enumerate(specs, start=1):
+        period = ms(period_ms)
+        budget = ms(budget_ms)
+        partitions.append(
+            Partition(
+                name=f"Pi_{index}",
+                period=period,
+                budget=budget,
+                priority=index,
+                tasks=[
+                    Task(
+                        name=f"tau_{index},1",
+                        period=period,
+                        wcet=budget,
+                        local_priority=0,
+                    )
+                ],
+            )
+        )
+    return System(partitions)
+
+
+def scaled_partition_count(factor: int, alpha: float = DEFAULT_ALPHA) -> System:
+    """Duplicate the Table I partitions ``factor`` times at constant utilization.
+
+    This is how the paper builds its |Π| = 10 and |Π| = 20 systems for the
+    overhead study: "we double and quadruple the number of partitions by
+    duplicating the partitions while adjusting the partition budgets and task
+    execution times accordingly so that the total system utilization remains
+    the same".
+    """
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    partitions = []
+    priority = 1
+    for copy in range(factor):
+        for index, period_ms in enumerate(TABLE1_PERIODS_MS, start=1):
+            period = ms(period_ms)
+            budget = max(1, round(alpha * period / factor))
+            tasks = [
+                task.scaled(wcet_factor=1.0 / factor)
+                for task in _table1_tasks(priority, period_ms, DEFAULT_BETA, TASKS_PER_PARTITION)
+            ]
+            tasks = [
+                Task(
+                    name=f"tau_{priority},{j + 1}",
+                    period=t.period,
+                    wcet=t.wcet,
+                    local_priority=t.local_priority,
+                )
+                for j, t in enumerate(tasks)
+            ]
+            partitions.append(
+                Partition(
+                    name=f"Pi_{priority}",
+                    period=period,
+                    budget=budget,
+                    priority=priority,
+                    tasks=tasks,
+                )
+            )
+            priority += 1
+    return System(partitions)
+
+
+def uunifast(n: int, total_utilization: float, rng: random.Random) -> List[float]:
+    """The UUniFast algorithm: n utilizations summing to ``total_utilization``.
+
+    Bini & Buttazzo's standard generator for unbiased random task/partition
+    utilizations; used by :func:`random_system` and the property-based tests.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if not 0 < total_utilization <= 1:
+        raise ValueError("total utilization must be in (0, 1]")
+    utilizations = []
+    remaining = total_utilization
+    for i in range(1, n):
+        next_remaining = remaining * rng.random() ** (1.0 / (n - i))
+        utilizations.append(remaining - next_remaining)
+        remaining = next_remaining
+    utilizations.append(remaining)
+    return utilizations
+
+
+def random_system(
+    n_partitions: int,
+    total_utilization: float,
+    seed: int,
+    period_choices_ms: Sequence[int] = (10, 20, 25, 40, 50, 80, 100),
+    tasks_per_partition: int = 0,
+    task_load: float = 0.8,
+) -> System:
+    """A random but structurally valid system for property-based testing.
+
+    Partition budgets come from UUniFast shares of ``total_utilization``;
+    periods are drawn from ``period_choices_ms`` (harmonic-ish values keep
+    hyperperiods small). When ``tasks_per_partition > 0``, each partition gets
+    that many RM-prioritized tasks jointly demanding ``task_load`` of the
+    partition's budget bandwidth.
+    """
+    rng = random.Random(seed)
+    shares = uunifast(n_partitions, total_utilization, rng)
+    partitions = []
+    for index, share in enumerate(shares, start=1):
+        period = ms(rng.choice(list(period_choices_ms)))
+        budget = max(1, round(share * period))
+        tasks: List[Task] = []
+        if tasks_per_partition > 0:
+            bandwidth = (budget / period) * task_load
+            task_shares = uunifast(tasks_per_partition, max(bandwidth, 1e-6), rng)
+            for j, task_share in enumerate(task_shares):
+                task_period = period * rng.choice((2, 4, 8))
+                wcet = max(1, round(task_share * task_period))
+                wcet = min(wcet, task_period)
+                tasks.append(
+                    Task(
+                        name=f"tau_{index},{j + 1}",
+                        period=task_period,
+                        wcet=wcet,
+                        local_priority=j,
+                    )
+                )
+        partitions.append(
+            Partition(
+                name=f"Pi_{index}",
+                period=period,
+                budget=budget,
+                priority=index,
+                tasks=tasks,
+            )
+        )
+    return System(partitions)

@@ -1,0 +1,120 @@
+"""Real-time partition (budget server) model.
+
+A partition :math:`\\Pi_i` is characterized by a maximum budget :math:`B_i`
+and a replenishment period :math:`T_i` (Sec. II-a): it may serve its local
+tasks for up to :math:`B_i` units of CPU time in every period of length
+:math:`T_i`. Each partition carries a unique global priority; a smaller
+``priority`` number means higher priority, matching the paper's convention
+:math:`Pri(\\Pi_i) > Pri(\\Pi_{i+1})`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Sequence, Tuple
+
+from repro._time import to_ms
+from repro.model.task import Task
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A priority-based budget-server partition, times in integer microseconds.
+
+    Attributes:
+        name: Human-readable identifier, e.g. ``"Pi_2"``.
+        period: Replenishment period :math:`T_i` (µs).
+        budget: Maximum budget :math:`B_i` (µs), replenished every period.
+        priority: Unique global priority; smaller is higher priority.
+        tasks: The partition's local task set, scheduled by fixed-priority
+            preemptive scheduling inside the partition.
+        server: Budget-discharge semantics (Sec. V-A lists the compatible
+            server algorithms):
+
+            - ``"deferrable"`` (default, matching the paper's analysis):
+              budget is retained until the next replenishment and depletes
+              only while a task executes;
+            - ``"polling"``: budget is forfeited whenever the partition has
+              no pending work — work arriving mid-period after an idle spell
+              waits for the next replenishment;
+            - ``"periodic"``: the server holds the CPU (idling it) to drain
+              its budget even without work, making its interference pattern
+              fully deterministic.
+    """
+
+    #: Valid budget-discharge policies.
+    SERVER_KINDS = ("deferrable", "polling", "periodic")
+
+    name: str
+    period: int
+    budget: int
+    priority: int
+    tasks: Tuple[Task, ...] = ()
+    server: str = "deferrable"
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError(f"{self.name}: period must be positive, got {self.period}")
+        if not 0 < self.budget <= self.period:
+            raise ValueError(
+                f"{self.name}: budget must be in (0, period], got "
+                f"budget={self.budget}, period={self.period}"
+            )
+        if self.server not in self.SERVER_KINDS:
+            raise ValueError(
+                f"{self.name}: unknown server kind {self.server!r}; "
+                f"expected one of {self.SERVER_KINDS}"
+            )
+        object.__setattr__(self, "tasks", tuple(self.tasks))
+        seen = set()
+        for task in self.tasks:
+            if task.local_priority in seen:
+                raise ValueError(
+                    f"{self.name}: duplicate local priority {task.local_priority}"
+                )
+            seen.add(task.local_priority)
+
+    @property
+    def utilization(self) -> float:
+        """Partition-level CPU share :math:`B_i / T_i`."""
+        return self.budget / self.period
+
+    @property
+    def task_utilization(self) -> float:
+        """Total utilization of the local task set (relative to the CPU)."""
+        return sum(task.utilization for task in self.tasks)
+
+    def tasks_by_priority(self) -> List[Task]:
+        """Local tasks sorted from highest to lowest local priority."""
+        return sorted(self.tasks, key=lambda task: task.local_priority)
+
+    def higher_priority_tasks(self, task: Task) -> List[Task]:
+        """Local tasks with strictly higher priority than ``task`` (hp set of Eq. 5)."""
+        return [
+            other
+            for other in self.tasks
+            if other.local_priority < task.local_priority
+        ]
+
+    def with_tasks(self, tasks: Sequence[Task]) -> "Partition":
+        """Return a copy holding ``tasks`` instead of the current task set."""
+        return replace(self, tasks=tuple(tasks))
+
+    def scaled(self, budget_factor: float = 1.0, wcet_factor: float = 1.0) -> "Partition":
+        """Return a copy with scaled budget and task WCETs (load sweeps).
+
+        The paper's "light load" configuration halves both the partition
+        budgets and the task execution times (``budget_factor=0.5,
+        wcet_factor=0.5``).
+        """
+        return replace(
+            self,
+            budget=max(1, round(self.budget * budget_factor)),
+            tasks=tuple(task.scaled(wcet_factor=wcet_factor) for task in self.tasks),
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.name}(T={to_ms(self.period)}ms, B={to_ms(self.budget)}ms, "
+            f"prio={self.priority}, {len(self.tasks)} tasks)"
+        )

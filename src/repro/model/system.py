@@ -1,0 +1,104 @@
+"""The full partitioned system: a validated set of partitions.
+
+The :class:`System` is the single input shared by the simulator, the TimeDice
+scheduler, and the analyses. It enforces the paper's structural assumptions:
+unique partition priorities, per-partition budget/period sanity, and total
+partition utilization at most 1 (a necessary condition for partition-level
+schedulability under any work-conserving policy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import reduce
+from math import gcd
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.model.partition import Partition
+
+
+def _lcm(a: int, b: int) -> int:
+    return a // gcd(a, b) * b
+
+
+@dataclass(frozen=True)
+class System:
+    """An ordered, validated collection of partitions.
+
+    Partitions are stored sorted from highest to lowest global priority
+    (ascending ``priority`` number), which is the order the TimeDice candidate
+    search iterates in.
+    """
+
+    partitions: Tuple[Partition, ...]
+
+    def __init__(self, partitions: Sequence[Partition]):
+        ordered = tuple(sorted(partitions, key=lambda p: p.priority))
+        object.__setattr__(self, "partitions", ordered)
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self.partitions:
+            raise ValueError("a System needs at least one partition")
+        priorities = [p.priority for p in self.partitions]
+        if len(set(priorities)) != len(priorities):
+            raise ValueError(f"partition priorities must be unique, got {priorities}")
+        names = [p.name for p in self.partitions]
+        if len(set(names)) != len(names):
+            raise ValueError(f"partition names must be unique, got {names}")
+
+    # ------------------------------------------------------------------ views
+
+    def __iter__(self) -> Iterator[Partition]:
+        return iter(self.partitions)
+
+    def __len__(self) -> int:
+        return len(self.partitions)
+
+    def __getitem__(self, index: int) -> Partition:
+        return self.partitions[index]
+
+    def by_name(self, name: str) -> Partition:
+        """Look a partition up by name; raises ``KeyError`` if absent."""
+        for partition in self.partitions:
+            if partition.name == name:
+                return partition
+        raise KeyError(name)
+
+    def index_of(self, partition: Partition) -> int:
+        """Priority rank of ``partition`` (0 = highest priority)."""
+        for index, candidate in enumerate(self.partitions):
+            if candidate.name == partition.name:
+                return index
+        raise KeyError(partition.name)
+
+    def higher_priority(self, partition: Partition) -> List[Partition]:
+        """The set :math:`hp(\\Pi_i)`: partitions with strictly higher priority."""
+        rank = self.index_of(partition)
+        return list(self.partitions[:rank])
+
+    # ------------------------------------------------------------- properties
+
+    @property
+    def utilization(self) -> float:
+        """Total partition-level utilization :math:`\\sum_i B_i / T_i`."""
+        return sum(p.utilization for p in self.partitions)
+
+    @property
+    def hyperperiod(self) -> int:
+        """Least common multiple of all replenishment periods (µs)."""
+        return reduce(_lcm, (p.period for p in self.partitions), 1)
+
+    def utilization_map(self) -> Dict[str, float]:
+        """Per-partition utilization, keyed by partition name."""
+        return {p.name: p.utilization for p in self.partitions}
+
+    def scaled(self, budget_factor: float = 1.0, wcet_factor: float = 1.0) -> "System":
+        """System-wide load scaling (see :meth:`Partition.scaled`)."""
+        return System(
+            [p.scaled(budget_factor=budget_factor, wcet_factor=wcet_factor) for p in self]
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        rows = ", ".join(str(p.name) for p in self.partitions)
+        return f"System({rows}; U={self.utilization:.2f})"

@@ -1,0 +1,55 @@
+"""Discrete-event hierarchical-scheduling simulator.
+
+This is the substrate that stands in for LITMUS^RT (Sec. V-A): a
+deterministic, integer-microsecond, two-level scheduler simulation.
+
+- :mod:`repro.sim.events` — the event queue (replenishments, job arrivals).
+- :mod:`repro.sim.behaviors` — per-task workload behaviours: strictly
+  periodic, noisy (±20 % jitter, the paper's noise partitions), covert-channel
+  sender and receiver driven by a :class:`~repro.sim.behaviors.ChannelScript`.
+- :mod:`repro.sim.local` — partition-local schedulers (fixed-priority
+  preemptive by default; BLINDER's transformation plugs in here).
+- :mod:`repro.sim.policies` — global scheduling policies: fixed priority
+  (NoRandom), TimeDiceU/W/inverse, static TDMA.
+- :mod:`repro.sim.trace` — observers: segment traces, response-time records,
+  execution vectors, budget accounting, decision/switch counters.
+- :mod:`repro.sim.engine` — the :class:`~repro.sim.engine.Simulator` itself.
+"""
+
+from repro.sim.behaviors import ChannelScript
+from repro.sim.engine import SimulationResult, Simulator
+from repro.sim.policies import (
+    POLICY_NAMES,
+    FixedPriorityPolicy,
+    GlobalPolicy,
+    TDMAPolicy,
+    TimeDicePolicy,
+    make_policy,
+)
+from repro.sim.trace import (
+    BudgetAccountant,
+    DecisionCounter,
+    ExecutionVectorRecorder,
+    ResponseTimeRecorder,
+    SegmentRecorder,
+)
+from repro.sim.validation import InvariantChecker, InvariantViolation
+
+__all__ = [
+    "Simulator",
+    "SimulationResult",
+    "ChannelScript",
+    "GlobalPolicy",
+    "FixedPriorityPolicy",
+    "TimeDicePolicy",
+    "TDMAPolicy",
+    "make_policy",
+    "POLICY_NAMES",
+    "SegmentRecorder",
+    "ResponseTimeRecorder",
+    "ExecutionVectorRecorder",
+    "BudgetAccountant",
+    "DecisionCounter",
+    "InvariantChecker",
+    "InvariantViolation",
+]

@@ -1,0 +1,255 @@
+"""Per-task workload behaviours.
+
+A behaviour answers two questions whenever a job of its task arrives:
+
+- how much CPU work does *this* job demand (its actual execution time,
+  upper-bounded by the task's WCET for well-formed behaviours), and
+- when does the *next* job arrive (the sporadic inter-arrival time).
+
+Four behaviours cover everything in the paper's evaluation:
+
+- :class:`PeriodicBehavior` — strictly periodic, always executes the WCET
+  (the ``rtspin``-style benchmark tasks of Table I).
+- :class:`NoisyBehavior` — the Sec. III-f noise partitions: execution times
+  and inter-arrival times vary randomly by up to 20 % per job.
+- :class:`SenderBehavior` — the covert-channel sender: burns the full
+  partition budget when the current channel bit is 1, and as little as
+  possible when it is 0 (Fig. 3).
+- :class:`ReceiverBehavior` — the covert-channel receiver: a fixed-demand
+  code block released once per monitoring window whose response time is the
+  channel observation.
+
+Senders and receivers are synchronized through a shared
+:class:`ChannelScript`, the "agreed-upon start time and monitoring window"
+of Sec. III-a.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.model.task import Task
+
+#: The sender's "consume as little as possible" execution time (µs).
+SENDER_LOW_EXEC = 50
+
+
+@dataclass
+class ChannelScript:
+    """The covert channel's shared modulation schedule.
+
+    One bit is transmitted per monitoring window. During the **profiling
+    phase** the sender sends 0 and 1 alternately (Sec. III-b); afterwards it
+    sends ``message_bits``. The receiver never reads the bits — experiments
+    use :meth:`bit_at` as ground truth for training labels and accuracy
+    scoring only.
+
+    Attributes:
+        window: Monitoring-window length (µs); also the per-bit duration.
+        profile_windows: Number of leading windows carrying the alternating
+            profiling pattern 0,1,0,1,…
+        message_bits: Bits transmitted after the profiling phase; cycled if
+            the run outlasts the list. Experiments typically generate a
+            random message with :meth:`random_message`.
+        start: Absolute start time of window 0 (µs).
+        sender_phases: Optional agreed launch offsets (µs) of the sender's
+            jobs *within each window*. The adversary model grants precise
+            task launches (Sec. III-g); positioning one burst at the start of
+            the receiver's final budget period makes the sender's signal land
+            inside the receiver's completion-critical region, which is what
+            gives the response-time attack its power. None keeps the sender
+            strictly periodic at its replenishments.
+    """
+
+    window: int
+    profile_windows: int = 0
+    message_bits: Sequence[int] = field(default_factory=lambda: (0, 1))
+    start: int = 0
+    sender_phases: Optional[Sequence[int]] = None
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ValueError(f"window must be positive, got {self.window}")
+        if self.profile_windows < 0:
+            raise ValueError("profile_windows must be non-negative")
+        if not self.message_bits:
+            raise ValueError("message_bits must be non-empty")
+        if any(bit not in (0, 1) for bit in self.message_bits):
+            raise ValueError("message bits must be 0 or 1")
+        if self.sender_phases is not None:
+            phases = tuple(sorted(self.sender_phases))
+            if not phases:
+                raise ValueError("sender_phases must be non-empty when given")
+            if phases[0] < 0 or phases[-1] >= self.window:
+                raise ValueError("sender phases must lie within [0, window)")
+            if len(set(phases)) != len(phases):
+                raise ValueError("sender phases must be distinct")
+            object.__setattr__(self, "sender_phases", phases)
+
+    def window_index(self, t: int) -> int:
+        """Index of the monitoring window containing time ``t``.
+
+        Negative before :attr:`start` (no bit is being transmitted yet).
+        """
+        return (t - self.start) // self.window
+
+    def bit_at(self, t: int) -> int:
+        """The bit the sender is modulating at time ``t`` (0 before start)."""
+        index = self.window_index(t)
+        if index < 0:
+            return 0
+        return self.bit_of_window(index)
+
+    def bit_of_window(self, index: int) -> int:
+        """The bit carried by window ``index``."""
+        if index < 0:
+            raise ValueError(f"window index must be non-negative, got {index}")
+        if index < self.profile_windows:
+            return index % 2
+        return self.message_bits[(index - self.profile_windows) % len(self.message_bits)]
+
+    def is_profiling(self, index: int) -> bool:
+        """Whether window ``index`` belongs to the profiling phase."""
+        return index < self.profile_windows
+
+    @staticmethod
+    def random_message(n_bits: int, seed: int) -> List[int]:
+        """A reproducible random message (uniform i.i.d. bits)."""
+        rng = random.Random(seed)
+        return [rng.randrange(2) for _ in range(n_bits)]
+
+
+class Behavior:
+    """Workload behaviour interface (stateless; all randomness via ``rng``)."""
+
+    def execution_time(self, task: Task, arrival: int, rng: random.Random) -> int:
+        """Actual CPU demand of the job arriving at ``arrival`` (µs, >= 1)."""
+        raise NotImplementedError
+
+    def inter_arrival(self, task: Task, arrival: int, rng: random.Random) -> int:
+        """Gap from this arrival to the next one (µs, >= task.period)."""
+        raise NotImplementedError
+
+
+class PeriodicBehavior(Behavior):
+    """Strictly periodic, always demanding the full WCET."""
+
+    def execution_time(self, task: Task, arrival: int, rng: random.Random) -> int:
+        return task.wcet
+
+    def inter_arrival(self, task: Task, arrival: int, rng: random.Random) -> int:
+        return task.period
+
+
+class NoisyBehavior(Behavior):
+    """The paper's noise tasks: periods and execution times vary up to ±20 %.
+
+    Execution times are drawn uniformly from ``[(1 - jitter)·e, e]`` — never
+    above the WCET, so the task model stays well-formed — and inter-arrival
+    times from ``[p, (1 + jitter)·p]`` — never below the period, so the
+    sporadic minimum-separation constraint holds.
+    """
+
+    def __init__(self, jitter: float = 0.2):
+        if not 0 <= jitter < 1:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        self.jitter = jitter
+
+    def execution_time(self, task: Task, arrival: int, rng: random.Random) -> int:
+        low = max(1, round(task.wcet * (1.0 - self.jitter)))
+        return rng.randint(low, task.wcet)
+
+    def inter_arrival(self, task: Task, arrival: int, rng: random.Random) -> int:
+        high = round(task.period * (1.0 + self.jitter))
+        return rng.randint(task.period, max(task.period, high))
+
+
+class SenderBehavior(Behavior):
+    """Covert-channel sender: modulates budget consumption by the current bit.
+
+    The sender task's WCET is configured to the full partition budget; a job
+    arriving while the script says bit 1 demands the full WCET (using the
+    budget up), while bit 0 demands :data:`SENDER_LOW_EXEC` (as little as the
+    runtime allows).
+
+    Arrivals: with ``script.sender_phases`` unset, strictly periodic at the
+    task's period (budget-replenishment aligned). With phases set, the sender
+    launches one job per phase per window — the precisely-timed launches the
+    adversary model allows (Sec. III-g). Whoever configures the phases must
+    keep consecutive launches at least one replenishment period apart so the
+    budget is full at each burst; :func:`default_sender_phases` does this.
+    """
+
+    def __init__(self, script: ChannelScript, low_exec: int = SENDER_LOW_EXEC):
+        if low_exec <= 0:
+            raise ValueError("low_exec must be positive")
+        self.script = script
+        self.low_exec = low_exec
+
+    def execution_time(self, task: Task, arrival: int, rng: random.Random) -> int:
+        if self.script.bit_at(arrival) == 1:
+            return task.wcet
+        return min(self.low_exec, task.wcet)
+
+    def inter_arrival(self, task: Task, arrival: int, rng: random.Random) -> int:
+        phases = self.script.sender_phases
+        if phases is None:
+            return task.period
+        window = self.script.window
+        phase = (arrival - self.script.start) % window
+        for candidate in phases:
+            if candidate > phase:
+                return candidate - phase
+        return window - phase + phases[0]
+
+
+def default_sender_phases(window: int, sender_period: int, receiver_period: int) -> Tuple[int, ...]:
+    """The launch schedule the feasibility test's adversary pair agrees on.
+
+    Regular bursts at the sender's replenishments for the body of the window
+    (they shape the receiver's execution vector), plus one burst positioned
+    at the start of the receiver's **final** budget period — the only place a
+    burst directly stretches the receiver's completion time, which is what
+    the response-time observation measures. Bursts are kept at least one
+    sender period apart so each launches with a full budget.
+    """
+    if window % receiver_period != 0:
+        raise ValueError("window must be a whole number of receiver periods")
+    target = window - receiver_period
+    phases = [p for p in range(0, max(target - sender_period + 1, 0), sender_period)]
+    phases.append(target)
+    return tuple(phases)
+
+
+class ReceiverBehavior(Behavior):
+    """Covert-channel receiver: one fixed-demand code block per window.
+
+    The receiver task's period is configured to the monitoring window and its
+    WCET to the block's demand (three full budget replenishments' worth in
+    the Sec. III-f feasibility test). Response times — arrival to finish —
+    are collected by a :class:`~repro.sim.trace.ResponseTimeRecorder`.
+    """
+
+    def execution_time(self, task: Task, arrival: int, rng: random.Random) -> int:
+        return task.wcet
+
+    def inter_arrival(self, task: Task, arrival: int, rng: random.Random) -> int:
+        return task.period
+
+
+def default_behaviors(script: Optional[ChannelScript] = None) -> dict:
+    """The behaviour registry keyed by :attr:`Task.behavior`.
+
+    ``sender``/``receiver`` require a channel script; requesting them without
+    one raises at simulation start rather than mid-run.
+    """
+    registry = {
+        "periodic": PeriodicBehavior(),
+        "noisy": NoisyBehavior(),
+    }
+    if script is not None:
+        registry["sender"] = SenderBehavior(script)
+        registry["receiver"] = ReceiverBehavior()
+    return registry

@@ -1,0 +1,425 @@
+"""The discrete-event two-level scheduling simulator.
+
+The engine advances time from scheduling point to scheduling point. At each
+point it (i) delivers due events (budget replenishments, job arrivals),
+(ii) consults the global policy with a fresh :class:`SystemState` snapshot,
+and (iii) lets the chosen partition's highest-priority ready job run for the
+longest slice compatible with the next event, the policy's slice bound (the
+TimeDice quantum or the TDMA slot end), the partition's remaining budget, and
+the job's remaining demand. Budget depletes only while a task of the
+partition executes (Sec. II-a), and is replenished to :math:`B_i` at every
+multiple of :math:`T_i`.
+
+Determinism: one seeded :class:`random.Random` drives workload jitter and a
+second, independent one drives the policy's dice, so the same seed replays
+the same run bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+import time as _wall
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro._time import MS, SEC
+from repro.core.state import PartitionState, SystemState
+from repro.core.timedice import DEFAULT_QUANTUM
+from repro.model.system import System
+from repro.sim.behaviors import Behavior, ChannelScript, default_behaviors
+from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.local import FixedPriorityLocalScheduler, Job, LocalScheduler
+from repro.sim.policies import GlobalPolicyBase, make_policy
+from repro.sim.trace import JobRecord, Observer
+
+
+class _PartitionRuntime:
+    """Mutable per-partition state owned by the engine."""
+
+    __slots__ = ("spec", "remaining_budget", "last_replenishment", "local")
+
+    def __init__(self, spec, local: LocalScheduler):
+        self.spec = spec
+        self.remaining_budget = spec.budget
+        self.last_replenishment = 0
+        self.local = local
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate outcome of one run.
+
+    Attributes:
+        end_time: Simulated time reached (µs).
+        decisions: Number of global scheduling decisions made.
+        switches: Number of times the running partition changed (idle counts
+            as a distinct context).
+        overhead_ns_total: Wall-clock nanoseconds spent inside
+            ``policy.decide`` (only populated with ``measure_overhead=True``).
+        overhead_ns_by_second: Wall-clock decide-time per simulated second
+            (the Fig. 17 series).
+        decide_latencies_ns: Individual decide-call latencies (Table IV),
+            collected only with ``measure_overhead=True``.
+        deadline_misses: Count of jobs finishing after ``arrival + deadline``.
+    """
+
+    end_time: int
+    decisions: int
+    switches: int
+    overhead_ns_total: int = 0
+    overhead_ns_by_second: Dict[int, int] = field(default_factory=dict)
+    decide_latencies_ns: List[int] = field(default_factory=list)
+    deadline_misses: int = 0
+
+    def rates(self) -> Dict[str, float]:
+        seconds = self.end_time / SEC
+        return {
+            "decisions_per_sec": self.decisions / seconds if seconds else 0.0,
+            "switches_per_sec": self.switches / seconds if seconds else 0.0,
+        }
+
+
+class Simulator:
+    """Two-level hierarchical scheduling simulator.
+
+    Args:
+        system: The validated partition set.
+        policy: A policy instance or canonical name
+            (see :data:`repro.sim.policies.POLICY_NAMES`).
+        seed: Master seed; workload jitter and policy randomness derive
+            independent streams from it.
+        channel: Optional covert-channel script; required when any task uses
+            the ``sender``/``receiver`` behaviours.
+        behaviors: Optional overrides of the behaviour registry
+            (``{behavior_key: Behavior}``).
+        observers: Trace observers to notify.
+        local_scheduler_factory: Builds the per-partition local scheduler;
+            defaults to fixed-priority preemptive. BLINDER substitutes its
+            transformation here.
+        quantum: TimeDice MIN_INV_SIZE when ``policy`` is given by name.
+        measure_overhead: Record wall-clock latency of every policy decision
+            (Table IV / Fig. 17). Off by default — it roughly doubles the
+            Python overhead of a run.
+        budget_donation: Sec. II-a's optional rule: when the CPU would
+            otherwise idle (no *active* partition has ready work), a
+            budget-depleted partition with pending work may run on the unused
+            budget of a higher-priority active-but-idle partition. This (i)
+            curbs the donor's deferred-execution interference and (ii)
+            improves responsiveness. Off by default so runs match the strict
+            budget model of the analyses; switching it on opens an
+            *additional* covert channel (the receiver finishes early whenever
+            the sender's bit-0 budget is donated to it), exercised by the
+            donation-channel ablation. Deliberate TimeDice IDLE selections
+            are honoured (the dice outrank the donation fallback); donation
+            fires only when there is genuinely nothing schedulable.
+    """
+
+    def __init__(
+        self,
+        system: System,
+        policy: Union[str, GlobalPolicyBase] = "norandom",
+        seed: int = 0,
+        channel: Optional[ChannelScript] = None,
+        behaviors: Optional[Dict[str, Behavior]] = None,
+        observers: Sequence[Observer] = (),
+        local_scheduler_factory=None,
+        quantum: int = DEFAULT_QUANTUM,
+        measure_overhead: bool = False,
+        budget_donation: bool = False,
+    ):
+        self.system = system
+        # Distinct, process-stable streams derived from the master seed.
+        self.workload_rng = random.Random(seed * 2 + 1)
+        if isinstance(policy, str):
+            policy = make_policy(
+                policy, system=system, seed=seed * 2 + 0x9E3779B9, quantum=quantum
+            )
+        self.policy = policy
+        self.channel = channel
+        registry = default_behaviors(channel)
+        if behaviors:
+            registry.update(behaviors)
+        self.behaviors = registry
+        self.observers = list(observers)
+        self.measure_overhead = measure_overhead
+        self.budget_donation = budget_donation
+
+        factory = local_scheduler_factory or (lambda spec: FixedPriorityLocalScheduler())
+        self._runtimes: List[_PartitionRuntime] = [
+            _PartitionRuntime(spec, factory(spec)) for spec in system
+        ]
+        self._by_name: Dict[str, _PartitionRuntime] = {
+            rt.spec.name: rt for rt in self._runtimes
+        }
+        for rt in self._runtimes:
+            for task in rt.spec.tasks:
+                if task.behavior not in self.behaviors:
+                    raise ValueError(
+                        f"task {task.name} uses behavior {task.behavior!r} but no such "
+                        f"behavior is registered (did you forget to pass a channel?)"
+                    )
+
+        self._queue = EventQueue()
+        self._jobs: Dict[int, Job] = {}
+        self.now = 0
+        self._last_running: Optional[str] = "__none__"
+        self._result = SimulationResult(end_time=0, decisions=0, switches=0)
+        self._primed = False
+
+    # ----------------------------------------------------------------- setup
+
+    def _prime(self) -> None:
+        """Enqueue the first replenishments and arrivals."""
+        for index, rt in enumerate(self._runtimes):
+            self._queue.push(Event(rt.spec.period, EventKind.REPLENISH, index))
+            for task_index, task in enumerate(rt.spec.tasks):
+                self._queue.push(
+                    Event(task.offset, EventKind.ARRIVAL, (index, task_index))
+                )
+        self._primed = True
+
+    # ---------------------------------------------------------------- events
+
+    def _handle_replenish(self, event: Event) -> None:
+        rt = self._runtimes[event.payload]
+        rt.remaining_budget = rt.spec.budget
+        rt.last_replenishment = event.time
+        rt.local.on_replenish(event.time)
+        self._queue.push(
+            Event(event.time + rt.spec.period, EventKind.REPLENISH, event.payload)
+        )
+
+    def _handle_arrival(self, event: Event) -> None:
+        part_index, task_index = event.payload
+        rt = self._runtimes[part_index]
+        task = rt.spec.tasks[task_index]
+        behavior = self.behaviors[task.behavior]
+        demand = behavior.execution_time(task, event.time, self.workload_rng)
+        demand = max(1, min(demand, task.wcet))
+        job = Job(task=task, partition=rt.spec.name, arrival=event.time, demand=demand)
+        rt.local.on_arrival(job, event.time)
+        gap = behavior.inter_arrival(task, event.time, self.workload_rng)
+        gap = max(gap, 1)
+        self._queue.push(Event(event.time + gap, EventKind.ARRIVAL, event.payload))
+
+    # -------------------------------------------------------------- notifier
+
+    def _emit_segment(self, start: int, end: int, partition: Optional[str], task: Optional[str]) -> None:
+        if end <= start:
+            return
+        key = partition or "__idle__"
+        if key != self._last_running:
+            if self._last_running != "__none__":
+                self._result.switches += 1
+            self._last_running = key
+        for observer in self.observers:
+            observer.on_segment(start, end, partition, task)
+
+    def _emit_completion(self, job: Job) -> None:
+        record = JobRecord(
+            task=job.task.name,
+            partition=job.partition,
+            arrival=job.arrival,
+            started_at=job.started_at,
+            finished_at=job.finished_at,
+            demand=job.demand,
+        )
+        if job.finished_at - job.arrival > job.task.deadline:
+            self._result.deadline_misses += 1
+        for observer in self.observers:
+            observer.on_job_complete(record)
+
+    # ------------------------------------------------------------- donation
+
+    def _find_donation(self):
+        """The Sec. II-a fallback for an otherwise-idle CPU.
+
+        Returns ``(recipient, donor)`` — the highest-priority budget-depleted
+        partition with ready work, paired with the highest-priority partition
+        strictly above it that still holds unused budget — or None when no
+        such pair exists. Only called when no active partition has ready
+        work, so running the recipient delays nobody; consuming the donor's
+        budget can only *reduce* future interference.
+        """
+        for index, rt in enumerate(self._runtimes):  # decreasing priority
+            if rt.remaining_budget == 0 and rt.local.has_ready(self.now):
+                for donor in self._runtimes[:index]:
+                    if donor.remaining_budget > 0:
+                        return rt, donor
+        return None
+
+    def _run_donated(self, recipient, donor, horizon: int, max_slice) -> None:
+        """Run the recipient's job on the donor's budget for one slice."""
+        job = recipient.local.pick(self.now)
+        duration = horizon - self.now
+        if max_slice is not None:
+            duration = min(duration, max_slice)
+        duration = min(duration, donor.remaining_budget, job.remaining)
+        if duration <= 0:  # pragma: no cover - all caps are positive here
+            raise RuntimeError("donation slice collapsed to zero")
+        if job.started_at is None:
+            job.started_at = self.now
+        job.remaining -= duration
+        donor.remaining_budget -= duration
+        start = self.now
+        self.now += duration
+        recipient.local.on_executed(job, duration, self.now)
+        self._emit_segment(start, self.now, recipient.spec.name, job.task.name)
+        if job.remaining == 0:
+            job.finished_at = self.now
+            recipient.local.on_complete(job, self.now)
+            self._emit_completion(job)
+
+    # ------------------------------------------------------------- main loop
+
+    def _enforce_server_semantics(self) -> None:
+        """Apply per-partition budget-discharge rules at a scheduling point.
+
+        A polling server forfeits leftover budget the moment it has no
+        pending work; deferrable (the default) and periodic servers retain
+        it (the periodic server instead *drains* budget by idling on the CPU
+        when scheduled without work — handled in the run loop).
+        """
+        for rt in self._runtimes:
+            if (
+                rt.spec.server == "polling"
+                and rt.remaining_budget > 0
+                and not rt.local.has_ready(self.now)
+            ):
+                rt.remaining_budget = 0
+
+    def snapshot(self) -> SystemState:
+        """The current :class:`SystemState` (also useful in tests)."""
+        states = [
+            PartitionState(
+                name=rt.spec.name,
+                period=rt.spec.period,
+                max_budget=rt.spec.budget,
+                priority=rt.spec.priority,
+                remaining_budget=rt.remaining_budget,
+                last_replenishment=rt.last_replenishment,
+                ready=(
+                    rt.local.has_ready(self.now)
+                    or (rt.spec.server == "periodic" and rt.remaining_budget > 0)
+                ),
+            )
+            for rt in self._runtimes
+        ]
+        return SystemState(self.now, states)
+
+    def run_until(self, t_end: int) -> SimulationResult:
+        """Advance the simulation to absolute time ``t_end`` (µs).
+
+        Runs may be resumed by calling ``run_until`` again with a later
+        time. Note that the pause boundary itself acts as a scheduling
+        point: deterministic policies produce bit-identical traces either
+        way, while randomized policies consume one extra RNG draw there, so
+        a paused-and-resumed TimeDice run is a *valid* trace but not
+        bit-identical to the uninterrupted one.
+        """
+        if not self._primed:
+            self._prime()
+        queue = self._queue
+        result = self._result
+        while self.now < t_end:
+            for event in queue.pop_due(self.now):
+                if event.kind == EventKind.REPLENISH:
+                    self._handle_replenish(event)
+                else:
+                    self._handle_arrival(event)
+
+            self._enforce_server_semantics()
+            state = self.snapshot()
+            if self.measure_overhead:
+                t0 = _wall.perf_counter_ns()
+                choice = self.policy.decide(state)
+                elapsed = _wall.perf_counter_ns() - t0
+                result.overhead_ns_total += elapsed
+                second = self.now // SEC
+                result.overhead_ns_by_second[second] = (
+                    result.overhead_ns_by_second.get(second, 0) + elapsed
+                )
+                result.decide_latencies_ns.append(elapsed)
+            else:
+                choice = self.policy.decide(state)
+            result.decisions += 1
+            for observer in self.observers:
+                observer.on_decision(self.now, choice.partition)
+
+            next_event = queue.peek_time()
+            horizon = t_end if next_event is None else min(next_event, t_end)
+            if horizon <= self.now:
+                # All events due now were already delivered; the queue head
+                # must lie strictly in the future unless we've hit t_end.
+                break
+
+            if choice.partition is None:
+                donation = None
+                if self.budget_donation and not state.active_ready():
+                    donation = self._find_donation()
+                if donation is not None:
+                    recipient, donor = donation
+                    self._run_donated(recipient, donor, horizon, choice.max_slice)
+                    continue
+                end = horizon
+                if choice.max_slice is not None:
+                    end = min(end, self.now + max(1, choice.max_slice))
+                self._emit_segment(self.now, end, None, None)
+                self.now = end
+                continue
+
+            rt = self._by_name[choice.partition]
+            job = rt.local.pick(self.now)
+            if job is None and rt.spec.server == "periodic" and rt.remaining_budget > 0:
+                # A periodic server occupies the CPU and drains its budget
+                # even without work — that determinism is its whole point.
+                end = horizon
+                if choice.max_slice is not None:
+                    end = min(end, self.now + max(1, choice.max_slice))
+                duration = min(end - self.now, rt.remaining_budget)
+                rt.remaining_budget -= duration
+                start = self.now
+                self.now += duration
+                self._emit_segment(start, self.now, rt.spec.name, None)
+                continue
+            if job is None or rt.remaining_budget <= 0:
+                # Defensive: a policy should never select a partition that
+                # cannot run; treat it as (bounded) idling rather than crash.
+                end = horizon
+                if choice.max_slice is not None:
+                    end = min(end, self.now + max(1, choice.max_slice))
+                self._emit_segment(self.now, end, None, None)
+                self.now = end
+                continue
+
+            duration = horizon - self.now
+            if choice.max_slice is not None:
+                duration = min(duration, choice.max_slice)
+            duration = min(duration, rt.remaining_budget, job.remaining)
+            if duration <= 0:  # pragma: no cover - guarded by checks above
+                raise RuntimeError("scheduling slice collapsed to zero")
+
+            if job.started_at is None:
+                job.started_at = self.now
+            job.remaining -= duration
+            rt.remaining_budget -= duration
+            start = self.now
+            self.now += duration
+            rt.local.on_executed(job, duration, self.now)
+            self._emit_segment(start, self.now, rt.spec.name, job.task.name)
+            if job.remaining == 0:
+                job.finished_at = self.now
+                rt.local.on_complete(job, self.now)
+                self._emit_completion(job)
+
+        result.end_time = self.now
+        return result
+
+    def run_for_ms(self, duration_ms: float) -> SimulationResult:
+        """Run for ``duration_ms`` simulated milliseconds from the current time."""
+        return self.run_until(self.now + round(duration_ms * MS))
+
+    def run_for_seconds(self, duration_s: float) -> SimulationResult:
+        """Run for ``duration_s`` simulated seconds from the current time."""
+        return self.run_until(self.now + round(duration_s * SEC))

@@ -1,0 +1,74 @@
+"""Event queue for the discrete-event engine.
+
+Only two event kinds need to be *scheduled ahead of time*: budget
+replenishments (strictly periodic per partition) and job arrivals (the next
+arrival is enqueued when the current one fires). Job completions, budget
+depletions, and quantum expiries are *derived* inside the run loop — they
+depend on who is executing, so the engine computes them as caps on the
+current execution slice rather than as queued events.
+
+Events at the same timestamp are delivered in insertion order per kind, with
+replenishments before arrivals (a job arriving exactly at a replenishment
+boundary must see the fresh budget, matching how a kernel's timer handler
+would order the two).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Any, List, Optional, Tuple
+
+
+class EventKind(IntEnum):
+    """Event kinds; the integer value is the same-timestamp delivery order."""
+
+    REPLENISH = 0
+    ARRIVAL = 1
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled event.
+
+    ``payload`` is a partition index for REPLENISH events and a
+    ``(partition_index, task_index)`` pair for ARRIVAL events.
+    """
+
+    time: int
+    kind: EventKind
+    payload: Any
+
+
+class EventQueue:
+    """A stable min-heap of events keyed by (time, kind, insertion order)."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, int, Event]] = []
+        self._counter = itertools.count()
+
+    def push(self, event: Event) -> None:
+        if event.time < 0:
+            raise ValueError(f"event time must be non-negative, got {event.time}")
+        heapq.heappush(
+            self._heap, (event.time, int(event.kind), next(self._counter), event)
+        )
+
+    def peek_time(self) -> Optional[int]:
+        """Timestamp of the earliest pending event, or None when empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def pop_due(self, now: int) -> List[Event]:
+        """Pop and return every event with ``time <= now``, in delivery order."""
+        due: List[Event] = []
+        while self._heap and self._heap[0][0] <= now:
+            due.append(heapq.heappop(self._heap)[3])
+        return due
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

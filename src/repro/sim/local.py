@@ -1,0 +1,125 @@
+"""Partition-local scheduling.
+
+The paper's implementation (and its analysis, Sec. IV-B) assume
+fixed-priority preemptive scheduling *inside* each partition; TimeDice never
+touches the local level. The local scheduler is nevertheless pluggable so
+that BLINDER's local-schedule transformation
+(:class:`repro.baselines.blinder.BlinderLocalScheduler`) can be swapped in
+for the Sec. V-C comparison.
+
+A :class:`Job` is one activation of a task; the engine owns job lifecycle
+(arrival → executing → complete) and calls into the local scheduler only to
+order the ready queue.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.model.task import Task
+
+_job_ids = itertools.count()
+
+
+@dataclass
+class Job:
+    """One activation of a task.
+
+    Attributes:
+        task: The owning task.
+        partition: Name of the owning partition.
+        arrival: Absolute release time (µs).
+        demand: Actual execution demand of this activation (µs).
+        remaining: Work still to do (µs); 0 means complete.
+        started_at: First time the job got the CPU (None until then).
+        finished_at: Completion time (None until complete).
+    """
+
+    task: Task
+    partition: str
+    arrival: int
+    demand: int
+    remaining: int = field(default=-1)
+    started_at: Optional[int] = None
+    finished_at: Optional[int] = None
+    job_id: int = field(default_factory=lambda: next(_job_ids))
+
+    def __post_init__(self) -> None:
+        if self.demand <= 0:
+            raise ValueError(f"job demand must be positive, got {self.demand}")
+        if self.remaining < 0:
+            self.remaining = self.demand
+
+    @property
+    def complete(self) -> bool:
+        return self.remaining == 0
+
+    @property
+    def response_time(self) -> Optional[int]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.arrival
+
+
+class LocalScheduler:
+    """Interface for partition-local scheduling policies.
+
+    One instance per partition; the engine notifies arrivals and completions
+    and asks :meth:`pick` for the job to run whenever the partition holds the
+    CPU. ``has_ready`` feeds the global scheduler's view of whether the
+    partition would actually use the CPU.
+    """
+
+    def on_arrival(self, job: Job, t: int) -> None:
+        raise NotImplementedError
+
+    def on_complete(self, job: Job, t: int) -> None:
+        raise NotImplementedError
+
+    def on_executed(self, job: Job, duration: int, t: int) -> None:
+        """Called after the partition executed ``job`` for ``duration`` µs."""
+
+    def on_replenish(self, t: int) -> None:
+        """Called when the partition's budget is replenished (period start)."""
+
+    def pick(self, t: int) -> Optional[Job]:
+        """The job the partition runs if given the CPU at ``t``."""
+        raise NotImplementedError
+
+    def has_ready(self, t: int) -> bool:
+        return self.pick(t) is not None
+
+    def pending_count(self) -> int:
+        """Jobs arrived but not yet complete (ready or withheld)."""
+        raise NotImplementedError
+
+
+class FixedPriorityLocalScheduler(LocalScheduler):
+    """Fixed-priority preemptive local scheduling, FIFO within a task.
+
+    The ready queue is kept sorted by (local priority, arrival, job id); the
+    head is re-evaluated at every engine scheduling point, which yields
+    preemptive behaviour: a newly arrived higher-priority job is picked at
+    the next decision even though a lower-priority one was in progress.
+    """
+
+    def __init__(self) -> None:
+        self._ready: List[Job] = []
+
+    def on_arrival(self, job: Job, t: int) -> None:
+        self._ready.append(job)
+        self._ready.sort(key=lambda j: (j.task.local_priority, j.arrival, j.job_id))
+
+    def on_complete(self, job: Job, t: int) -> None:
+        self._ready.remove(job)
+
+    def pick(self, t: int) -> Optional[Job]:
+        return self._ready[0] if self._ready else None
+
+    def has_ready(self, t: int) -> bool:
+        return bool(self._ready)
+
+    def pending_count(self) -> int:
+        return len(self._ready)

@@ -1,0 +1,316 @@
+"""Simulation observers: traces, response times, execution vectors, counters.
+
+Observers subscribe to the engine's three notification streams —
+
+- ``on_segment(start, end, partition, task)`` whenever a contiguous slice of
+  CPU time ends (``partition is None`` for idle slices),
+- ``on_job_complete(record)`` whenever a job finishes,
+- ``on_decision(t, chosen)`` whenever the global policy is consulted —
+
+and aggregate them on the fly, so that multi-minute simulated runs do not
+need to retain millions of raw events unless a full
+:class:`SegmentRecorder` is explicitly attached.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._time import SEC, to_ms
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A maximal contiguous execution slice."""
+
+    start: int
+    end: int
+    partition: Optional[str]  # None = idle
+    task: Optional[str]
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Completion record of one job."""
+
+    task: str
+    partition: str
+    arrival: int
+    started_at: int
+    finished_at: int
+    demand: int
+
+    @property
+    def response_time(self) -> int:
+        return self.finished_at - self.arrival
+
+
+class Observer:
+    """Base observer; all hooks optional."""
+
+    def on_segment(
+        self, start: int, end: int, partition: Optional[str], task: Optional[str]
+    ) -> None:
+        pass
+
+    def on_job_complete(self, record: JobRecord) -> None:
+        pass
+
+    def on_decision(self, t: int, chosen: Optional[str]) -> None:
+        pass
+
+
+class SegmentRecorder(Observer):
+    """Records every execution segment (use on short runs only).
+
+    ``limit`` guards against unbounded memory on accidental long runs.
+    """
+
+    def __init__(self, limit: Optional[int] = None, merge: bool = True):
+        self.segments: List[Segment] = []
+        self.limit = limit
+        self.merge = merge
+
+    def on_segment(
+        self, start: int, end: int, partition: Optional[str], task: Optional[str]
+    ) -> None:
+        if self.limit is not None and len(self.segments) >= self.limit:
+            return
+        if (
+            self.merge
+            and self.segments
+            and self.segments[-1].end == start
+            and self.segments[-1].partition == partition
+            and self.segments[-1].task == task
+        ):
+            last = self.segments[-1]
+            self.segments[-1] = Segment(last.start, end, partition, task)
+            return
+        self.segments.append(Segment(start, end, partition, task))
+
+    def partition_timeline(self) -> List[Tuple[float, float, str]]:
+        """(start_ms, end_ms, partition-or-'idle') rows for trace rendering."""
+        return [
+            (to_ms(s.start), to_ms(s.end), s.partition or "idle") for s in self.segments
+        ]
+
+    def busy_time(self, partition: str, start: int, end: int) -> int:
+        """CPU time ``partition`` received within [start, end)."""
+        total = 0
+        for segment in self.segments:
+            if segment.partition != partition:
+                continue
+            lo = max(segment.start, start)
+            hi = min(segment.end, end)
+            if hi > lo:
+                total += hi - lo
+        return total
+
+    def to_csv(self, path) -> int:
+        """Write the trace as ``start_us,end_us,partition,task`` rows.
+
+        Returns the number of segments written. Idle slices are kept (empty
+        partition/task columns) so the file accounts for the full timeline.
+        """
+        import csv
+
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["start_us", "end_us", "partition", "task"])
+            for segment in self.segments:
+                writer.writerow(
+                    [
+                        segment.start,
+                        segment.end,
+                        segment.partition or "",
+                        segment.task or "",
+                    ]
+                )
+        return len(self.segments)
+
+    @staticmethod
+    def from_csv(path) -> "SegmentRecorder":
+        """Reload a trace written by :meth:`to_csv`."""
+        import csv
+
+        recorder = SegmentRecorder(merge=False)
+        with open(path, newline="") as handle:
+            reader = csv.DictReader(handle)
+            for row in reader:
+                recorder.segments.append(
+                    Segment(
+                        start=int(row["start_us"]),
+                        end=int(row["end_us"]),
+                        partition=row["partition"] or None,
+                        task=row["task"] or None,
+                    )
+                )
+        return recorder
+
+
+class ResponseTimeRecorder(Observer):
+    """Collects per-task response times (µs).
+
+    Args:
+        task_names: Restrict to these tasks; None records all tasks.
+    """
+
+    def __init__(self, task_names: Optional[Sequence[str]] = None):
+        self.task_filter = set(task_names) if task_names is not None else None
+        self.records: Dict[str, List[JobRecord]] = defaultdict(list)
+
+    def on_job_complete(self, record: JobRecord) -> None:
+        if self.task_filter is None or record.task in self.task_filter:
+            self.records[record.task].append(record)
+
+    def response_times(self, task: str) -> np.ndarray:
+        """Response times of ``task`` in µs, in completion order."""
+        return np.array([r.response_time for r in self.records.get(task, [])], dtype=np.int64)
+
+    def response_times_ms(self, task: str) -> np.ndarray:
+        return self.response_times(task) / 1000.0
+
+    def empirical_wcrt(self, task: str) -> Optional[int]:
+        times = self.response_times(task)
+        return int(times.max()) if times.size else None
+
+    def summary(self, task: str) -> Dict[str, float]:
+        """avg/std/max in ms — the Table III row format."""
+        times = self.response_times_ms(task)
+        if not times.size:
+            return {"count": 0, "avg": float("nan"), "std": float("nan"), "max": float("nan")}
+        return {
+            "count": int(times.size),
+            "avg": float(times.mean()),
+            "std": float(times.std()),
+            "max": float(times.max()),
+        }
+
+
+class ExecutionVectorRecorder(Observer):
+    """Builds the receiver's execution vectors online (Sec. III-d).
+
+    The observation window of length ``window`` is divided into ``m`` micro
+    intervals; element :math:`v_i` of a window's vector is 1 iff the observed
+    partition executed at any point during the :math:`i`-th interval. Windows
+    are aligned to ``start`` (the channel's agreed start time).
+    """
+
+    def __init__(self, partition: str, window: int, m: int = 150, start: int = 0):
+        if window <= 0 or m <= 0:
+            raise ValueError("window and m must be positive")
+        if window % m != 0:
+            raise ValueError(
+                f"window {window} must be divisible into m={m} micro intervals"
+            )
+        self.partition = partition
+        self.window = window
+        self.m = m
+        self.start = start
+        self.micro = window // m
+        self._vectors: Dict[int, np.ndarray] = {}
+
+    def on_segment(
+        self, start: int, end: int, partition: Optional[str], task: Optional[str]
+    ) -> None:
+        if partition != self.partition or end <= self.start:
+            return
+        start = max(start, self.start)
+        first_window = (start - self.start) // self.window
+        last_window = (end - 1 - self.start) // self.window
+        for index in range(first_window, last_window + 1):
+            window_start = self.start + index * self.window
+            lo = max(start, window_start) - window_start
+            hi = min(end, window_start + self.window) - window_start
+            if hi <= lo:
+                continue
+            vector = self._vectors.get(index)
+            if vector is None:
+                vector = np.zeros(self.m, dtype=np.uint8)
+                self._vectors[index] = vector
+            vector[lo // self.micro : (hi - 1) // self.micro + 1] = 1
+
+    def vector(self, index: int) -> np.ndarray:
+        """The execution vector of window ``index`` (all-zero if never ran)."""
+        return self._vectors.get(index, np.zeros(self.m, dtype=np.uint8)).copy()
+
+    def matrix(self, n_windows: int, first: int = 0) -> np.ndarray:
+        """Vectors of windows [first, first + n_windows) stacked row-wise."""
+        return np.stack([self.vector(first + i) for i in range(n_windows)])
+
+
+class BudgetAccountant(Observer):
+    """Tracks CPU time served to each partition per replenishment period.
+
+    The schedulability-preservation property tests use this: a partition with
+    saturating demand must receive exactly its budget every period, TimeDice
+    or not.
+    """
+
+    def __init__(self, periods: Dict[str, int]):
+        self.periods = dict(periods)
+        self.served: Dict[str, Dict[int, int]] = {name: defaultdict(int) for name in periods}
+
+    def on_segment(
+        self, start: int, end: int, partition: Optional[str], task: Optional[str]
+    ) -> None:
+        if partition is None or partition not in self.periods:
+            return
+        period = self.periods[partition]
+        buckets = self.served[partition]
+        t = start
+        while t < end:
+            index = t // period
+            boundary = (index + 1) * period
+            slice_end = min(end, boundary)
+            buckets[index] += slice_end - t
+            t = slice_end
+
+    def served_in_period(self, partition: str, index: int) -> int:
+        return self.served[partition].get(index, 0)
+
+    def min_served(self, partition: str, first: int, last: int) -> int:
+        """Minimum service over period indices [first, last]."""
+        return min(
+            self.served_in_period(partition, index) for index in range(first, last + 1)
+        )
+
+
+class DecisionCounter(Observer):
+    """Counts scheduling decisions and partition switches (Table V)."""
+
+    def __init__(self) -> None:
+        self.decisions = 0
+        self.switches = 0
+        self._last: Optional[str] = "__none__"
+
+    def on_decision(self, t: int, chosen: Optional[str]) -> None:
+        self.decisions += 1
+
+    def on_segment(
+        self, start: int, end: int, partition: Optional[str], task: Optional[str]
+    ) -> None:
+        key = partition or "__idle__"
+        if key != self._last:
+            if self._last != "__none__":
+                self.switches += 1
+            self._last = key
+
+    def rates(self, sim_time: int) -> Dict[str, float]:
+        """Decisions and switches per simulated second."""
+        seconds = sim_time / SEC
+        if seconds <= 0:
+            return {"decisions_per_sec": 0.0, "switches_per_sec": 0.0}
+        return {
+            "decisions_per_sec": self.decisions / seconds,
+            "switches_per_sec": self.switches / seconds,
+        }

@@ -1,0 +1,53 @@
+"""Shared fixtures.
+
+Expensive simulation artifacts (channel datasets, long traces) are cached at
+session scope so the many tests that inspect them pay for one run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._time import ms
+from repro.channel.dataset import ChannelDataset
+from repro.experiments.configs import feasibility_experiment
+from repro.model.configs import (
+    car_system,
+    feasibility_system,
+    table1_system,
+    three_partition_example,
+)
+
+
+@pytest.fixture(scope="session")
+def table1():
+    return table1_system()
+
+
+@pytest.fixture(scope="session")
+def three_partitions():
+    return three_partition_example()
+
+
+@pytest.fixture(scope="session")
+def car():
+    return car_system()
+
+
+@pytest.fixture(scope="session")
+def feasibility():
+    return feasibility_system()
+
+
+@pytest.fixture(scope="session")
+def channel_norandom() -> ChannelDataset:
+    """A modest NoRandom channel dataset shared by the attack-layer tests."""
+    experiment = feasibility_experiment(profile_windows=60, message_windows=120)
+    return experiment.run("norandom", seed=3)
+
+
+@pytest.fixture(scope="session")
+def channel_timedice() -> ChannelDataset:
+    """The TimeDiceW counterpart of :func:`channel_norandom`."""
+    experiment = feasibility_experiment(profile_windows=60, message_windows=120)
+    return experiment.run("timedice", seed=3)

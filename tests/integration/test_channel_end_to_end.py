@@ -1,0 +1,78 @@
+"""End-to-end covert-channel shape tests (Figs. 4, 12 in miniature).
+
+These assert the *qualitative* results the paper reports:
+
+- under NoRandom the channel is highly accurate (both attack styles);
+- TimeDice degrades it substantially;
+- the light load is at least as good for the attacker under NoRandom;
+- the execution-vector attack is at least as strong as the response-time one
+  under NoRandom (it subsumes the information).
+
+Sample counts are kept modest so the whole module runs in ~30 s; the full
+benchmark harness reproduces the paper-scale numbers.
+"""
+
+import pytest
+
+from repro.channel.attack import evaluate_attacks
+from repro.experiments.configs import LIGHT_ALPHA, feasibility_experiment
+
+
+@pytest.fixture(scope="module")
+def accuracies():
+    results = {}
+    for alpha, load in ((0.16, "base"), (LIGHT_ALPHA, "light")):
+        experiment = feasibility_experiment(
+            alpha=alpha, profile_windows=100, message_windows=200
+        )
+        for policy in ("norandom", "timedice"):
+            dataset = experiment.run(policy, seed=3)
+            for r in evaluate_attacks(dataset, [100]):
+                results[(load, policy, r.method)] = r.accuracy
+    return results
+
+
+class TestNoRandomChannelWorks:
+    def test_base_response_time_accuracy(self, accuracies):
+        assert accuracies[("base", "norandom", "response-time")] > 0.85
+
+    def test_base_execution_vector_accuracy(self, accuracies):
+        assert accuracies[("base", "norandom", "execution-vector")] > 0.9
+
+    def test_light_load_at_least_as_good(self, accuracies):
+        assert (
+            accuracies[("light", "norandom", "response-time")]
+            >= accuracies[("base", "norandom", "response-time")] - 0.03
+        )
+
+    def test_execution_vector_subsumes_response_time(self, accuracies):
+        assert (
+            accuracies[("base", "norandom", "execution-vector")]
+            >= accuracies[("base", "norandom", "response-time")] - 0.05
+        )
+
+
+class TestTimeDiceDefends:
+    @pytest.mark.parametrize("method", ["response-time", "execution-vector"])
+    def test_base_load_degraded(self, accuracies, method):
+        assert (
+            accuracies[("base", "timedice", method)]
+            < accuracies[("base", "norandom", method)] - 0.1
+        )
+
+    @pytest.mark.parametrize("method", ["response-time", "execution-vector"])
+    def test_light_load_near_random_guess(self, accuracies, method):
+        # The paper's headline: 98-99% down to "not significantly better
+        # than a random guess" (57-60%).
+        assert accuracies[("light", "timedice", method)] < 0.70
+
+    def test_defense_stronger_at_light_load(self, accuracies):
+        drop_light = (
+            accuracies[("light", "norandom", "execution-vector")]
+            - accuracies[("light", "timedice", "execution-vector")]
+        )
+        drop_base = (
+            accuracies[("base", "norandom", "execution-vector")]
+            - accuracies[("base", "timedice", "execution-vector")]
+        )
+        assert drop_light > drop_base - 0.05

@@ -1,0 +1,105 @@
+"""Integration tests for the extension experiments."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    classifier_comparison,
+    coding_study,
+    defense_matrix,
+    load_sweep,
+)
+
+
+class TestDefenseMatrix:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return defense_matrix.run(
+            profile_windows=60, message_windows=120, order_windows=120, seed=5
+        )
+
+    def test_all_four_cells_present(self, result):
+        assert len(result.cells) == 4
+        for cell in result.cells.values():
+            assert set(cell) == {"budget-ev", "budget-rt", "order"}
+
+    def test_only_timedice_defends_budget_channel(self, result):
+        assert result.cells[("NoRandom", "FP")]["budget-ev"] > 0.9
+        assert result.cells[("NoRandom", "BLINDER")]["budget-ev"] > 0.9
+        assert result.cells[("TimeDice", "FP")]["budget-ev"] < 0.7
+        assert result.cells[("TimeDice", "BLINDER")]["budget-ev"] < 0.7
+
+    def test_blinder_or_timedice_defend_order_channel(self, result):
+        assert result.cells[("NoRandom", "FP")]["order"] > 0.9
+        for key in (("NoRandom", "BLINDER"), ("TimeDice", "FP"), ("TimeDice", "BLINDER")):
+            assert result.cells[key]["order"] < 0.7, key
+
+    def test_format(self, result):
+        assert "defense-composition" in result.format()
+
+
+class TestLoadSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return load_sweep.run(
+            alphas=(0.08, 0.16), profile_windows=60, message_windows=120, seed=3
+        )
+
+    def test_all_cells(self, result):
+        assert len(result.cells) == 4
+
+    def test_timedice_suppresses_capacity_everywhere(self, result):
+        for alpha in (0.08, 0.16):
+            assert result.capacity(alpha, "timedice") < result.capacity(alpha, "norandom")
+
+    def test_format(self, result):
+        assert "vs system load" in result.format()
+
+
+class TestClassifierComparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return classifier_comparison.run(
+            profile_windows=60, message_windows=120, seed=3
+        )
+
+    def test_every_classifier_scored(self, result):
+        names = {name for _, name in result.cells}
+        assert names == set(classifier_comparison.CLASSIFIERS)
+
+    def test_strong_learners_find_the_channel(self, result):
+        for name in ("ls-svm (rbf)", "random forest", "knn (k=5)"):
+            assert result.accuracy("norandom", name) > 0.85, name
+
+    def test_no_learner_survives_timedice(self, result):
+        for name in classifier_comparison.CLASSIFIERS:
+            assert result.accuracy("timedice", name) < result.accuracy(
+                "norandom", name
+            ), name
+
+    def test_format(self, result):
+        assert "by classifier" in result.format()
+
+
+class TestCodingStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return coding_study.run(
+            payload_bits=24, profile_windows=60, seed=3, schemes=("none", "rep3")
+        )
+
+    def test_norandom_clean_transfer(self, result):
+        assert result.payload_error("norandom", "none") < 0.1
+
+    def test_timedice_starves_goodput(self, result):
+        for scheme in ("none", "rep3"):
+            assert result.goodput("timedice", scheme) < result.goodput(
+                "norandom", scheme
+            )
+
+    def test_coding_rate_cost_visible(self, result):
+        # rep3 uses three windows per payload bit under any policy.
+        assert result.goodput("norandom", "rep3") <= result.goodput("norandom", "none") / 2
+
+    def test_format(self, result):
+        assert "coded transfer" in result.format()

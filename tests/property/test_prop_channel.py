@@ -1,0 +1,117 @@
+"""Property-based tests for the channel math (profiling, capacity, ML)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.channel.capacity import (
+    blahut_arimoto,
+    channel_capacity_from_samples,
+    joint_from_samples,
+    mutual_information,
+)
+from repro.channel.profiling import profile_from_groups, profile_odd_even
+from repro.metrics.separation import js_divergence, total_variation
+from repro.ml.kernels import rbf_kernel, squared_distances
+
+
+positive_samples = arrays(
+    np.int64,
+    st.integers(min_value=4, max_value=60),
+    elements=st.integers(min_value=0, max_value=500_000),
+)
+
+
+class TestProfilingProperties:
+    @given(positive_samples)
+    @settings(max_examples=100, deadline=None)
+    def test_profile_always_normalized(self, measurements):
+        profile = profile_odd_even(measurements)
+        assert abs(profile.p_r_given_0.sum() - 1.0) < 1e-9
+        assert abs(profile.p_r_given_1.sum() - 1.0) < 1e-9
+        assert profile.mean_0 <= profile.mean_1
+
+    @given(positive_samples)
+    @settings(max_examples=100, deadline=None)
+    def test_likelihoods_positive_everywhere(self, measurements):
+        profile = profile_odd_even(measurements)
+        for r in (0, 250_000, 10**7):
+            like0, like1 = profile.likelihoods(r)
+            assert like0 > 0 and like1 > 0
+
+
+class TestCapacityProperties:
+    @given(
+        arrays(np.int64, 40, elements=st.integers(min_value=0, max_value=1)),
+        arrays(np.int64, 40, elements=st.integers(min_value=0, max_value=300_000)),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_mi_bounds(self, labels, responses):
+        if len(set(labels.tolist())) < 2:
+            return
+        mi = channel_capacity_from_samples(labels, responses)
+        assert -1e-9 <= mi <= 1.0 + 1e-9
+
+    @given(
+        arrays(
+            np.float64,
+            (2, 6),
+            elements=st.floats(min_value=0.01, max_value=1.0),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_blahut_arimoto_dominates_uniform_mi(self, conditional):
+        conditional = conditional / conditional.sum(axis=1, keepdims=True)
+        capacity, p_x = blahut_arimoto(conditional)
+        uniform_mi = mutual_information(conditional / 2.0)
+        assert capacity >= uniform_mi - 1e-6
+        assert abs(p_x.sum() - 1.0) < 1e-6
+
+
+class TestSeparationProperties:
+    @given(
+        arrays(np.float64, 8, elements=st.floats(min_value=0.001, max_value=1.0)),
+        arrays(np.float64, 8, elements=st.floats(min_value=0.001, max_value=1.0)),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bounds_and_symmetry(self, p, q):
+        p, q = p / p.sum(), q / q.sum()
+        tv = total_variation(p, q)
+        js = js_divergence(p, q)
+        assert 0.0 <= tv <= 1.0 + 1e-9
+        assert -1e-9 <= js <= 1.0 + 1e-9
+        assert abs(js - js_divergence(q, p)) < 1e-9
+        # Pinsker-flavoured consistency: zero TV iff zero JS.
+        if tv < 1e-12:
+            assert js < 1e-9
+
+
+class TestKernelProperties:
+    @given(
+        arrays(
+            np.float64,
+            (6, 3),
+            elements=st.floats(min_value=-100, max_value=100),
+        ),
+        st.floats(min_value=0.001, max_value=10.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_rbf_gram_symmetric_unit_diagonal(self, x, gamma):
+        gram = rbf_kernel(x, x, gamma)
+        assert np.allclose(gram, gram.T, atol=1e-9)
+        assert np.allclose(np.diag(gram), 1.0)
+        assert (gram >= 0).all() and (gram <= 1.0 + 1e-12).all()
+
+    @given(
+        arrays(
+            np.float64,
+            (5, 2),
+            elements=st.floats(min_value=-50, max_value=50),
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_squared_distances_nonnegative_zero_diagonal(self, x):
+        d2 = squared_distances(x, x)
+        assert (d2 >= 0).all()
+        assert np.allclose(np.diag(d2), 0.0, atol=1e-6)

@@ -1,0 +1,125 @@
+"""Property-based tests for the coding layer and the multilevel script."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro._time import ms
+from repro.channel.coding import (
+    effective_goodput,
+    hamming_decode,
+    hamming_encode,
+    repetition_decode,
+    repetition_encode,
+    repetition_residual_error,
+)
+from repro.channel.multilevel import SymbolScript
+
+bit_arrays = arrays(
+    np.int64,
+    st.integers(min_value=1, max_value=64),
+    elements=st.integers(min_value=0, max_value=1),
+)
+
+
+class TestRepetitionProperties:
+    @given(bit_arrays, st.sampled_from([1, 3, 5, 7, 9]))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_identity(self, bits, n):
+        assert (repetition_decode(repetition_encode(bits, n), n) == bits).all()
+
+    @given(bit_arrays, st.sampled_from([3, 5, 7]), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_corrects_up_to_minority_flips(self, bits, n, data):
+        coded = repetition_encode(bits, n)
+        flips_per_block = data.draw(st.integers(min_value=0, max_value=(n - 1) // 2))
+        for block in range(bits.size):
+            positions = data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=n - 1),
+                    min_size=flips_per_block,
+                    max_size=flips_per_block,
+                    unique=True,
+                )
+            )
+            for p in positions:
+                coded[block * n + p] ^= 1
+        assert (repetition_decode(coded, n) == bits).all()
+
+    @given(
+        st.floats(min_value=0.0, max_value=0.49),
+        st.sampled_from([3, 5, 7, 9]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_residual_error_improves_below_half(self, p, n):
+        assert repetition_residual_error(p, n) <= p + 1e-12
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_half_is_fixed_point(self, p):
+        assert abs(repetition_residual_error(0.5, 5) - 0.5) < 1e-12
+        assert 0.0 <= repetition_residual_error(p, 3) <= 1.0
+
+
+class TestHammingProperties:
+    @given(bit_arrays)
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_identity_on_padded_payload(self, bits):
+        decoded = hamming_decode(hamming_encode(bits))
+        assert (decoded[: bits.size] == bits).all()
+
+    @given(bit_arrays, st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_single_error_per_block_corrected(self, bits, data):
+        coded = hamming_encode(bits)
+        n_blocks = coded.size // 7
+        for block in range(n_blocks):
+            if data.draw(st.booleans()):
+                position = data.draw(st.integers(min_value=0, max_value=6))
+                coded[block * 7 + position] ^= 1
+        decoded = hamming_decode(coded)
+        assert (decoded[: bits.size] == bits).all()
+
+
+class TestGoodputProperties:
+    @given(st.floats(min_value=0.5, max_value=1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_goodput_bounded_by_rate(self, accuracy):
+        for scheme, rate in (("none", 1.0), ("rep3", 1 / 3), ("hamming74", 4 / 7)):
+            result = effective_goodput(accuracy, scheme)
+            assert 0.0 <= result.goodput_bits_per_window <= rate + 1e-12
+
+    @given(st.floats(min_value=0.5, max_value=1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_repetition_monotone_reliability(self, accuracy):
+        r3 = effective_goodput(accuracy, "rep3")
+        r9 = effective_goodput(accuracy, "rep9")
+        assert r9.residual_bit_error <= r3.residual_bit_error + 1e-12
+
+
+class TestSymbolScriptProperties:
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=200),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_symbols_always_in_range(self, levels, cycles, index):
+        script = SymbolScript(
+            window=ms(150),
+            levels=levels,
+            profile_cycles=cycles,
+            message_symbols=SymbolScript.random_message(16, levels, seed=1),
+        )
+        assert 0 <= script.symbol_of_window(index) < levels
+
+    @given(st.integers(min_value=2, max_value=8), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=100, deadline=None)
+    def test_profiling_phase_covers_every_symbol(self, levels, cycles):
+        script = SymbolScript(
+            window=ms(150), levels=levels, profile_cycles=cycles,
+            message_symbols=(0,),
+        )
+        seen = {script.symbol_of_window(i) for i in range(script.profile_windows)}
+        assert seen == set(range(levels))

@@ -1,0 +1,122 @@
+"""Property-based tests for the TimeDice core (busy interval, candidacy,
+selection)."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro._time import ms
+from repro.core.busy_interval import INFEASIBLE, busy_interval, schedulability_test
+from repro.core.candidacy import candidate_search
+from repro.core.selection import (
+    InverseUtilizationSelector,
+    UniformSelector,
+    WeightedUtilizationSelector,
+)
+from repro.core.state import IDLE, PartitionState, SystemState
+
+
+@st.composite
+def partition_states(draw, priority=1, t=0):
+    period = draw(st.integers(min_value=2, max_value=200)) * 1000
+    budget = draw(st.integers(min_value=1, max_value=period // 1000 - 1)) * 1000
+    remaining = draw(st.integers(min_value=0, max_value=budget // 1000)) * 1000
+    repl_back = draw(st.integers(min_value=0, max_value=period // 1000 - 1)) * 1000
+    return PartitionState(
+        name=f"p{priority}",
+        period=period,
+        max_budget=budget,
+        priority=priority,
+        remaining_budget=remaining,
+        last_replenishment=max(0, t - repl_back),
+        ready=draw(st.booleans()),
+    )
+
+
+@st.composite
+def system_states(draw, max_partitions=5):
+    t = draw(st.integers(min_value=0, max_value=500)) * 1000
+    n = draw(st.integers(min_value=1, max_value=max_partitions))
+    states = [draw(partition_states(priority=i + 1, t=t)) for i in range(n)]
+    return SystemState(t, states)
+
+
+class TestBusyIntervalProperties:
+    @given(system_states(), st.integers(min_value=0, max_value=20))
+    @settings(max_examples=120, deadline=None)
+    def test_monotone_in_inversion_size(self, state, w_ms):
+        h = state.partitions[-1]
+        higher = list(state.partitions[:-1])
+        small = busy_interval(h, higher, state.t, ms(w_ms))
+        large = busy_interval(h, higher, state.t, ms(w_ms + 1))
+        assert large >= small
+
+    @given(system_states())
+    @settings(max_examples=120, deadline=None)
+    def test_lower_bounded_by_components(self, state):
+        h = state.partitions[-1]
+        higher = list(state.partitions[:-1])
+        w = ms(1)
+        result = busy_interval(h, higher, state.t, w)
+        if result != INFEASIBLE:
+            floor = w + h.remaining_budget + sum(p.remaining_budget for p in higher)
+            assert result >= floor
+
+    @given(system_states())
+    @settings(max_examples=100, deadline=None)
+    def test_schedulability_antitone_in_w(self, state):
+        # If a long inversion is tolerable, every shorter one is too.
+        h = state.partitions[-1]
+        higher = list(state.partitions[:-1])
+        if schedulability_test(h, higher, state.t, ms(4)):
+            assert schedulability_test(h, higher, state.t, ms(1))
+
+
+class TestCandidacyProperties:
+    @given(system_states(), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=120, deadline=None)
+    def test_candidate_list_structure(self, state, w_ms):
+        candidates, stats = candidate_search(state, ms(w_ms))
+        active = state.active_ready()
+        if not active:
+            assert candidates in ([IDLE], [])
+            return
+        # First candidate is the highest-priority active ready partition.
+        assert candidates[0].name == active[0].name
+        # Candidates (sans IDLE) form a prefix of the active list.
+        names = [c.name for c in candidates if c is not IDLE]
+        assert names == [p.name for p in active[: len(names)]]
+        # IDLE, if present, is last.
+        if IDLE in candidates:
+            assert candidates[-1] is IDLE
+        # Fig. 9 bound: at most one schedulability test per partition.
+        assert stats.schedulability_tests <= len(state.partitions)
+
+    @given(system_states())
+    @settings(max_examples=100, deadline=None)
+    def test_shrinking_quantum_never_shrinks_candidates(self, state):
+        wide, _ = candidate_search(state, ms(5))
+        narrow, _ = candidate_search(state, ms(1))
+        assert len(narrow) >= len(wide)
+
+
+class TestSelectorProperties:
+    @given(system_states(), st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=120, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_weights_normalized_and_selection_supported(self, state, seed):
+        candidates, _ = candidate_search(state, ms(1))
+        if not candidates:
+            return
+        rng = random.Random(seed)
+        for selector in (
+            UniformSelector(),
+            WeightedUtilizationSelector(),
+            InverseUtilizationSelector(),
+        ):
+            weights = selector.weights(candidates, state.t)
+            assert len(weights) == len(candidates)
+            assert all(w >= -1e-12 for w in weights)
+            assert abs(sum(weights) - 1.0) < 1e-9
+            choice = selector.select(candidates, state.t, rng)
+            assert choice in candidates

@@ -1,0 +1,84 @@
+"""Property-based tests of the simulator's global invariants.
+
+The big one is the paper's guarantee: for *any* schedulable random system
+and any seed, TimeDice never shorts a saturated partition a microsecond of
+its budget.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._time import ms
+from repro.analysis.schedulability import partition_set_schedulable
+from repro.model.configs import random_system
+from repro.model.partition import Partition
+from repro.model.system import System
+from repro.model.task import Task
+from repro.sim.engine import Simulator
+from repro.sim.trace import BudgetAccountant, Segment, SegmentRecorder
+
+
+def saturated(system: System) -> System:
+    return System(
+        [
+            p.with_tasks(
+                [Task(name=f"{p.name}_hog", period=p.period, wcet=p.period, local_priority=0)]
+            )
+            for p in system
+        ]
+    )
+
+
+def schedulable_random_system(seed: int, n: int = 4, utilization: float = 0.8):
+    for candidate in range(seed, seed + 100):
+        system = random_system(n, utilization, seed=candidate)
+        if partition_set_schedulable(system):
+            return system
+    raise AssertionError("no schedulable system found")
+
+
+class TestSchedulabilityPreservationProperty:
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=10_000),
+        st.sampled_from(["timedice", "timedice-uniform", "timedice-inverse"]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_budget_always_served(self, system_seed, sim_seed, policy):
+        system = saturated(schedulable_random_system(system_seed))
+        acct = BudgetAccountant({p.name: p.period for p in system})
+        sim = Simulator(system, policy=policy, seed=sim_seed, observers=[acct])
+        horizon = 4 * max(p.period for p in system) + 100_000
+        sim.run_until(horizon)
+        for p in system:
+            periods = horizon // p.period
+            for k in range(periods - 1):
+                assert acct.served_in_period(p.name, k) == p.budget
+
+
+class TestTraceWellFormedness:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_segments_contiguous_and_monotone(self, seed):
+        system = saturated(schedulable_random_system(seed))
+        recorder = SegmentRecorder(merge=False)
+        sim = Simulator(system, policy="timedice", seed=seed, observers=[recorder])
+        sim.run_for_ms(300)
+        previous_end = 0
+        for segment in recorder.segments:
+            assert segment.start == previous_end  # no holes, no overlap
+            assert segment.end > segment.start
+            previous_end = segment.end
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_budget_never_oversubscribed(self, seed):
+        system = saturated(schedulable_random_system(seed))
+        acct = BudgetAccountant({p.name: p.period for p in system})
+        sim = Simulator(system, policy="timedice", seed=seed, observers=[acct])
+        sim.run_for_ms(300)
+        for p in system:
+            for k in range(300_000 // p.period):
+                assert acct.served_in_period(p.name, k) <= p.budget

@@ -1,0 +1,82 @@
+"""Property-based tests of the TDMA table construction."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro._time import ms
+from repro.model.partition import Partition
+from repro.model.system import System
+from repro.sim.policies import TDMAPolicy, TDMAUnschedulableError
+
+
+@st.composite
+def harmonic_systems(draw):
+    """Systems with harmonic periods (always statically schedulable when
+    total utilization <= 1)."""
+    n = draw(st.integers(min_value=1, max_value=4))
+    base = draw(st.sampled_from([10, 20, 25]))
+    periods = [base * (2 ** i) for i in range(n)]
+    budgets = []
+    remaining = 0.95
+    for period in periods:
+        share = draw(st.floats(min_value=0.05, max_value=max(0.06, remaining / 2)))
+        share = min(share, remaining)
+        remaining -= share
+        budgets.append(max(1, round(share * ms(period))))
+    partitions = [
+        Partition(name=f"p{i}", period=ms(p), budget=b, priority=i + 1)
+        for i, (p, b) in enumerate(zip(periods, budgets))
+    ]
+    return System(partitions)
+
+
+class TestTDMATableProperties:
+    @given(harmonic_systems())
+    @settings(max_examples=60, deadline=None)
+    def test_full_budget_every_period(self, system):
+        try:
+            policy = TDMAPolicy(system)
+        except TDMAUnschedulableError:
+            assume(False)
+            return
+        for partition in system:
+            for k in range(policy.hyperperiod // partition.period):
+                lo, hi = k * partition.period, (k + 1) * partition.period
+                served = sum(
+                    min(s.end, hi) - max(s.start, lo)
+                    for s in policy.slots
+                    if s.partition == partition.name and s.start < hi and s.end > lo
+                )
+                assert served == partition.budget
+
+    @given(harmonic_systems())
+    @settings(max_examples=60, deadline=None)
+    def test_slots_disjoint_sorted_within_hyperperiod(self, system):
+        try:
+            policy = TDMAPolicy(system)
+        except TDMAUnschedulableError:
+            assume(False)
+            return
+        previous_end = 0
+        for slot in policy.slots:
+            assert slot.start >= previous_end
+            assert slot.end > slot.start
+            assert slot.end <= policy.hyperperiod
+            previous_end = slot.end
+
+    @given(harmonic_systems(), st.integers(min_value=0, max_value=10**7))
+    @settings(max_examples=60, deadline=None)
+    def test_slot_lookup_consistent(self, system, t):
+        try:
+            policy = TDMAPolicy(system)
+        except TDMAUnschedulableError:
+            assume(False)
+            return
+        slot, until = policy.slot_at(t)
+        assert until > 0
+        phase = t % policy.hyperperiod
+        if slot is not None:
+            assert slot.start <= phase < slot.end
+            assert until == slot.end - phase
+        else:
+            assert all(not (s.start <= phase < s.end) for s in policy.slots)

@@ -1,0 +1,81 @@
+"""Unit tests for ChannelExperiment and the experiment configurations."""
+
+import pytest
+
+from repro._time import ms
+from repro.channel.attack import ChannelExperiment
+from repro.experiments.configs import feasibility_experiment, fig18_system
+from repro.model.configs import feasibility_system
+
+
+class TestChannelExperiment:
+    def test_script_carries_configuration(self):
+        experiment = feasibility_experiment(profile_windows=40, message_windows=80)
+        script = experiment.script()
+        assert script.window == ms(150)
+        assert script.profile_windows == 40
+        assert len(script.message_bits) == 80
+        assert script.sender_phases == (0, ms(30), ms(60), ms(100))
+
+    def test_message_seed_determinism(self):
+        a = feasibility_experiment(message_seed=5).script().message_bits
+        b = feasibility_experiment(message_seed=5).script().message_bits
+        c = feasibility_experiment(message_seed=6).script().message_bits
+        assert a == b
+        assert a != c
+
+    def test_periodic_sender_variant(self):
+        experiment = feasibility_experiment(positioned_sender=False)
+        assert experiment.script().sender_phases is None
+
+    def test_run_produces_aligned_dataset(self):
+        experiment = feasibility_experiment(profile_windows=10, message_windows=20)
+        dataset = experiment.run("norandom", seed=1)
+        assert dataset.n_windows == 30
+        assert dataset.profile_windows == 10
+        assert dataset.vectors.shape == (30, 150)
+
+    def test_run_respects_m_micro(self):
+        experiment = feasibility_experiment(profile_windows=6, message_windows=6)
+        dataset = experiment.run("norandom", seed=1, m_micro=75)
+        assert dataset.vectors.shape[1] == 75
+
+    def test_run_quantum_override(self):
+        experiment = feasibility_experiment(profile_windows=4, message_windows=8)
+        coarse = experiment.run("timedice", seed=1, quantum=ms(5))
+        fine = experiment.run("timedice", seed=1, quantum=ms(1))
+        assert coarse.n_windows == fine.n_windows
+        # Different quanta must change the schedule and thus the vectors.
+        assert (coarse.vectors != fine.vectors).any()
+
+
+class TestFig18System:
+    def test_structure(self):
+        system = fig18_system()
+        assert [p.name for p in system] == ["Pi_S", "Pi_R", "Pi_N"]
+        receiver = system.by_name("Pi_R")
+        tasks = {t.name: t for t in receiver.tasks}
+        assert tasks["tau_R2"].local_priority < tasks["tau_R1"].local_priority
+        assert tasks["tau_R2"].offset == ms(5)
+        assert tasks["tau_R1"].offset == 0
+
+    def test_schedulable(self):
+        from repro.analysis import partition_set_schedulable
+
+        assert partition_set_schedulable(fig18_system())
+
+    def test_sender_is_sender_behavior(self):
+        system = fig18_system()
+        assert system.by_name("Pi_S").tasks[0].behavior == "sender"
+
+
+class TestFeasibilitySystemLoads:
+    @pytest.mark.parametrize("alpha,expected_util", [(0.16, 0.8), (0.08, 0.4)])
+    def test_partition_utilization(self, alpha, expected_util):
+        system = feasibility_system(alpha=alpha)
+        assert system.utilization == pytest.approx(expected_util, abs=0.01)
+
+    def test_receiver_demand_tracks_budget(self):
+        base = feasibility_system(alpha=0.16).by_name("Pi_4").tasks[0]
+        light = feasibility_system(alpha=0.08).by_name("Pi_4").tasks[0]
+        assert light.wcet == base.wcet // 2

@@ -1,0 +1,54 @@
+"""Unit tests for the Bayesian decoder."""
+
+import numpy as np
+import pytest
+
+from repro.channel.bayes import BayesianDecoder
+
+
+def alternating(low, high, n):
+    """Profiling-phase style measurements: bit 0 at even indices."""
+    values = np.empty(n)
+    values[0::2] = low
+    values[1::2] = high
+    return values
+
+
+class TestBayesianDecoder:
+    def test_decodes_separated_distributions(self):
+        decoder = BayesianDecoder().fit(alternating(100_000, 120_000, 40))
+        # With the smaller-mean group mapped to X=0:
+        assert decoder.predict(np.array([100_000]))[0] == 0
+        assert decoder.predict(np.array([120_000]))[0] == 1
+        # Batch decoding at the modes:
+        assert list(decoder.predict(np.array([100_200, 120_100, 100_900]))) == [0, 1, 0]
+
+    def test_posterior_bounds(self):
+        decoder = BayesianDecoder().fit(alternating(100_000, 120_000, 40))
+        for r in (90_000, 105_000, 130_000):
+            assert 0.0 <= decoder.posterior_one(r) <= 1.0
+
+    def test_posterior_monotone_between_modes(self):
+        decoder = BayesianDecoder().fit(alternating(100_000, 120_000, 200))
+        assert decoder.posterior_one(100_000) < decoder.posterior_one(120_000)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            BayesianDecoder().predict(np.array([1.0]))
+
+    def test_noisy_overlap_still_better_than_chance(self):
+        rng = np.random.default_rng(0)
+        n = 400
+        low = rng.normal(100_000, 3_000, n // 2)
+        high = rng.normal(106_000, 3_000, n // 2)
+        measurements = np.empty(n)
+        measurements[0::2] = low
+        measurements[1::2] = high
+        decoder = BayesianDecoder().fit(measurements)
+        test_low = rng.normal(100_000, 3_000, 200)
+        test_high = rng.normal(106_000, 3_000, 200)
+        accuracy = (
+            (decoder.predict(test_low) == 0).mean()
+            + (decoder.predict(test_high) == 1).mean()
+        ) / 2
+        assert accuracy > 0.7

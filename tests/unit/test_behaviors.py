@@ -1,0 +1,163 @@
+"""Unit tests for workload behaviours and the channel script."""
+
+import random
+
+import pytest
+
+from repro._time import ms
+from repro.model.task import Task
+from repro.sim.behaviors import (
+    ChannelScript,
+    NoisyBehavior,
+    PeriodicBehavior,
+    ReceiverBehavior,
+    SenderBehavior,
+    default_behaviors,
+    default_sender_phases,
+)
+
+
+def make_task(period=30, wcet=4.8, behavior="periodic"):
+    return Task(
+        name="t", period=ms(period), wcet=ms(wcet), local_priority=0, behavior=behavior
+    )
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0)
+
+
+class TestChannelScript:
+    def test_profiling_alternates(self):
+        script = ChannelScript(window=ms(150), profile_windows=4, message_bits=[1, 1])
+        assert [script.bit_of_window(i) for i in range(4)] == [0, 1, 0, 1]
+
+    def test_message_cycles(self):
+        script = ChannelScript(window=ms(150), profile_windows=2, message_bits=[1, 0, 0])
+        assert [script.bit_of_window(i) for i in range(2, 8)] == [1, 0, 0, 1, 0, 0]
+
+    def test_window_index(self):
+        script = ChannelScript(window=ms(150), start=ms(300))
+        assert script.window_index(ms(300)) == 0
+        assert script.window_index(ms(449)) == 0
+        assert script.window_index(ms(450)) == 1
+        assert script.window_index(ms(0)) == -2
+
+    def test_bit_before_start_is_zero(self):
+        script = ChannelScript(window=ms(150), start=ms(300), message_bits=[1])
+        assert script.bit_at(0) == 0
+
+    def test_is_profiling(self):
+        script = ChannelScript(window=ms(150), profile_windows=3)
+        assert script.is_profiling(2)
+        assert not script.is_profiling(3)
+
+    def test_random_message_reproducible(self):
+        assert ChannelScript.random_message(16, 5) == ChannelScript.random_message(16, 5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChannelScript(window=0)
+        with pytest.raises(ValueError):
+            ChannelScript(window=10, message_bits=[2])
+        with pytest.raises(ValueError):
+            ChannelScript(window=10, message_bits=[])
+        with pytest.raises(ValueError):
+            ChannelScript(window=ms(150), sender_phases=(ms(150),))
+        with pytest.raises(ValueError):
+            ChannelScript(window=ms(150), sender_phases=(0, 0))
+
+    def test_phases_sorted(self):
+        script = ChannelScript(window=ms(150), sender_phases=(ms(100), 0))
+        assert script.sender_phases == (0, ms(100))
+
+
+class TestPeriodic:
+    def test_full_wcet(self, rng):
+        behavior = PeriodicBehavior()
+        task = make_task()
+        assert behavior.execution_time(task, 0, rng) == task.wcet
+        assert behavior.inter_arrival(task, 0, rng) == task.period
+
+
+class TestNoisy:
+    def test_bounds(self, rng):
+        behavior = NoisyBehavior(jitter=0.2)
+        task = make_task()
+        for _ in range(100):
+            e = behavior.execution_time(task, 0, rng)
+            assert round(task.wcet * 0.8) <= e <= task.wcet
+            p = behavior.inter_arrival(task, 0, rng)
+            assert task.period <= p <= round(task.period * 1.2)
+
+    def test_rejects_bad_jitter(self):
+        with pytest.raises(ValueError):
+            NoisyBehavior(jitter=1.0)
+
+
+class TestSender:
+    def test_bit_modulation(self, rng):
+        script = ChannelScript(window=ms(150), profile_windows=0, message_bits=[1, 0])
+        behavior = SenderBehavior(script)
+        task = make_task(behavior="sender")
+        assert behavior.execution_time(task, 0, rng) == task.wcet  # bit 1
+        assert behavior.execution_time(task, ms(150), rng) == behavior.low_exec  # bit 0
+
+    def test_periodic_without_phases(self, rng):
+        script = ChannelScript(window=ms(150))
+        behavior = SenderBehavior(script)
+        assert behavior.inter_arrival(make_task(), 0, rng) == ms(30)
+
+    def test_phase_schedule(self, rng):
+        script = ChannelScript(
+            window=ms(150), sender_phases=(0, ms(30), ms(60), ms(100))
+        )
+        behavior = SenderBehavior(script)
+        task = make_task()
+        assert behavior.inter_arrival(task, 0, rng) == ms(30)
+        assert behavior.inter_arrival(task, ms(60), rng) == ms(40)
+        # last phase wraps to phase 0 of the next window
+        assert behavior.inter_arrival(task, ms(100), rng) == ms(50)
+
+    def test_rejects_bad_low_exec(self):
+        with pytest.raises(ValueError):
+            SenderBehavior(ChannelScript(window=ms(150)), low_exec=0)
+
+
+class TestReceiver:
+    def test_fixed_demand(self, rng):
+        behavior = ReceiverBehavior()
+        task = make_task(period=150, wcet=24)
+        assert behavior.execution_time(task, 0, rng) == ms(24)
+        assert behavior.inter_arrival(task, 0, rng) == ms(150)
+
+
+class TestDefaultSenderPhases:
+    def test_feasibility_shape(self):
+        phases = default_sender_phases(ms(150), ms(30), ms(50))
+        assert phases == (0, ms(30), ms(60), ms(100))
+
+    def test_positioned_burst_at_final_period(self):
+        phases = default_sender_phases(ms(150), ms(30), ms(50))
+        assert phases[-1] == ms(100)
+
+    def test_spacing_at_least_sender_period(self):
+        phases = default_sender_phases(ms(150), ms(30), ms(50))
+        assert all(b - a >= ms(30) for a, b in zip(phases, phases[1:]))
+
+    def test_rejects_misaligned_window(self):
+        with pytest.raises(ValueError):
+            default_sender_phases(ms(140), ms(30), ms(50))
+
+
+class TestRegistry:
+    def test_without_script(self):
+        registry = default_behaviors(None)
+        assert "sender" not in registry
+        assert "periodic" in registry and "noisy" in registry
+
+    def test_with_script(self):
+        registry = default_behaviors(ChannelScript(window=ms(150)))
+        assert isinstance(registry["sender"], SenderBehavior)
+        assert isinstance(registry["receiver"], ReceiverBehavior)

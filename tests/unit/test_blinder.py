@@ -1,0 +1,120 @@
+"""Unit tests for the BLINDER local-schedule transformation."""
+
+import pytest
+
+from repro._time import ms
+from repro.baselines.blinder import BlinderLocalScheduler, blinder_factory
+from repro.model.partition import Partition
+from repro.model.task import Task
+from repro.sim.local import Job
+
+
+def make_partition(period=25, budget=5):
+    return Partition(name="R", period=ms(period), budget=ms(budget), priority=1)
+
+
+def make_job(name, arrival, demand, prio=0):
+    task = Task(
+        name=name, period=ms(100), wcet=ms(demand / 1000 if demand >= 1000 else 1),
+        local_priority=prio,
+    )
+    # build the task with proper wcet in us
+    task = Task(name=name, period=ms(100), wcet=demand, local_priority=prio)
+    return Job(task=task, partition="R", arrival=arrival, demand=demand)
+
+
+class TestImmediateRelease:
+    def test_job_at_period_start_released_immediately(self):
+        sched = blinder_factory(make_partition())
+        job = make_job("a", arrival=0, demand=ms(2))
+        sched.on_arrival(job, 0)
+        assert sched.pick(0) is job
+
+    def test_no_delay_no_deferral(self):
+        # Partition never delayed: mid-period arrival releases at once.
+        sched = BlinderLocalScheduler(make_partition())
+        first = make_job("a", 0, ms(2))
+        sched.on_arrival(first, 0)
+        sched.on_executed(first, ms(2), ms(2))
+        sched.on_complete(first, ms(2))
+        second = make_job("b", ms(2), ms(1))
+        sched.on_arrival(second, ms(2))
+        assert sched.pick(ms(2)) is second
+
+
+class TestLagDeferral:
+    def test_delay_defers_release(self):
+        sched = BlinderLocalScheduler(make_partition())
+        first = make_job("long", 0, ms(4), prio=1)
+        sched.on_arrival(first, 0)
+        # The partition is preempted for 5ms: pick() polls track the delay.
+        assert sched.pick(ms(5)) is first
+        assert sched.delay == ms(5)
+        # A higher-priority job arriving now is deferred by that same 5ms.
+        second = make_job("short", ms(5), ms(2), prio=0)
+        sched.on_arrival(second, ms(5))
+        assert sched.pick(ms(5)) is first  # not yet released
+        # After the partition runs 5ms (first job), time 10: release point
+        # of second = 5 + 5 = 10.
+        sched.on_executed(first, ms(4), ms(9))
+        sched.on_complete(first, ms(9))
+        assert sched.pick(ms(9)) is None  # 9 < 10: still deferred
+        assert sched.pick(ms(10)) is second
+
+    def test_order_invariant_to_preemption_length(self):
+        """The Fig. 18 property: completion order is delay-independent.
+
+        Under plain FP locals, a 6 ms preemption flips the order (the short
+        high-priority job arrives mid-delay and runs first); under BLINDER
+        the short job's release is deferred by the same delay, so the order
+        is whatever the dedicated processor would produce — in both runs.
+        """
+
+        def completion_order(preemption_ms):
+            sched = BlinderLocalScheduler(make_partition())
+            long_job = make_job("long", 0, ms(4), prio=1)
+            short_job = make_job("short", ms(5), ms(2), prio=0)
+            sched.on_arrival(long_job, 0)
+            order = []
+            arrived = False
+            t = ms(preemption_ms)  # the CPU is unavailable before this
+            if t >= ms(5):
+                sched.on_arrival(short_job, ms(5))
+                arrived = True
+            while len(order) < 2 and t < ms(100):
+                if not arrived and t >= ms(5):
+                    sched.on_arrival(short_job, t)
+                    arrived = True
+                job = sched.pick(t)
+                if job is None:
+                    t += ms(1)
+                    continue
+                job.remaining -= ms(1)
+                sched.on_executed(job, ms(1), t + ms(1))
+                t += ms(1)
+                if job.remaining == 0:
+                    sched.on_complete(job, t)
+                    order.append(job.task.name)
+            return order
+
+        assert completion_order(0) == completion_order(6) == ["long", "short"]
+
+
+class TestReplenishFlush:
+    def test_leftover_pending_released_at_replenishment(self):
+        sched = BlinderLocalScheduler(make_partition(period=25, budget=5))
+        blocker = make_job("blocker", 0, ms(3), prio=1)
+        sched.on_arrival(blocker, 0)
+        sched.pick(ms(20))  # 20ms of delay accumulated
+        late = make_job("late", ms(20), ms(1), prio=0)
+        sched.on_arrival(late, ms(20))
+        assert sched.pending_count() == 2
+        sched.on_replenish(ms(25))
+        assert sched.delay == 0
+        # Everything is in the ready queue now; higher priority first.
+        assert sched.pick(ms(25)).task.name == "late"
+
+    def test_pending_count(self):
+        sched = BlinderLocalScheduler(make_partition())
+        sched.on_arrival(make_job("a", 0, ms(1)), 0)
+        assert sched.pending_count() == 1

@@ -1,0 +1,130 @@
+"""Unit tests for the busy-interval analysis (Definition 2, Eqs. 1-3)."""
+
+import pytest
+
+from repro._time import ms
+from repro.core.busy_interval import (
+    INFEASIBLE,
+    busy_interval,
+    deadline_slack,
+    schedulability_test,
+)
+from repro.core.state import PartitionState
+
+
+def pstate(name, priority, period, budget, remaining, repl=0, ready=True):
+    return PartitionState(
+        name=name,
+        period=ms(period),
+        max_budget=ms(budget),
+        priority=priority,
+        remaining_budget=ms(remaining),
+        last_replenishment=ms(repl),
+        ready=ready,
+    )
+
+
+class TestBusyIntervalNoHigher:
+    def test_just_own_budget_plus_inversion(self):
+        h = pstate("h", 1, 20, 4, 4)
+        assert busy_interval(h, [], t=0, w=ms(1)) == ms(5)
+
+    def test_zero_inversion(self):
+        h = pstate("h", 1, 20, 4, 4)
+        assert busy_interval(h, [], t=0, w=0) == ms(4)
+
+    def test_rejects_negative_inversion(self):
+        h = pstate("h", 1, 20, 4, 4)
+        with pytest.raises(ValueError):
+            busy_interval(h, [], 0, -1)
+
+
+class TestBusyIntervalWithInterference:
+    def test_single_interferer_no_rearrival(self):
+        # W0 = 1 + 4 + 3 = 8ms; hp next replenishment at offset 10 > 8 => no growth.
+        h = pstate("h", 2, 20, 4, 4)
+        hp = pstate("hp", 1, 10, 3, 3, repl=0)
+        assert busy_interval(h, [hp], t=0, w=ms(1)) == ms(8)
+
+    def test_interferer_rearrives_inside_window(self):
+        # W0 = 2 + 4 + 3 = 9; hp replenishes at offsets 5 and 10, both inside
+        # the growing window: 9 -> 12 -> 15; next arrival at 15 is exclusive,
+        # so the fixed point is 15.
+        h = pstate("h", 2, 40, 4, 4)
+        hp = pstate("hp", 1, 5, 3, 3, repl=0)
+        assert busy_interval(h, [hp], t=0, w=ms(2)) == ms(15)
+
+    def test_horizon_cutoff_returns_infeasible(self):
+        h = pstate("h", 2, 40, 4, 4)
+        hp = pstate("hp", 1, 5, 3, 3, repl=0)
+        assert busy_interval(h, [hp], 0, ms(2), horizon=ms(10)) == INFEASIBLE
+
+    def test_divergent_interference_is_infeasible(self):
+        # hp uses 100% of the CPU: the busy interval never closes.
+        h = pstate("h", 2, 40, 4, 4)
+        hp = pstate("hp", 1, 5, 5, 5, repl=0)
+        assert busy_interval(h, [hp], 0, ms(1), horizon=ms(40)) == INFEASIBLE
+
+    def test_offsets_respected(self):
+        # At t=8, hp last replenished at 0 with period 10 -> offset 2.
+        # W0 = 1 + 4 + 0 (hp budget spent) = 5; hp arrival at offset 2 -> +3 = 8;
+        # next hp at 12 > 8 -> fixed point 8.
+        h = pstate("h", 2, 40, 4, 4, repl=0)
+        hp = pstate("hp", 1, 10, 3, 0, repl=0)
+        assert busy_interval(h, [hp], t=ms(8), w=ms(1)) == ms(8)
+
+
+class TestInactiveIndirectInterference:
+    def test_inactive_h_counts_its_upcoming_budget(self):
+        # h inactive (budget spent); its own next replenishment at offset 10
+        # enters the window as interference (Fig. 8).
+        h = pstate("h", 2, 20, 6, 0, repl=0)
+        hp = pstate("hp", 1, 10, 5, 5, repl=0)
+        # W0 = 6 + 0 + 5 = 11; hp re-arrives at offset 10 -> +5 = 16;
+        # h's own upcoming budget at offset 20 stays outside => fixed at 16.
+        assert busy_interval(h, [hp], t=0, w=ms(6)) == ms(16)
+
+    def test_inactive_h_budget_enters_when_window_reaches_it(self):
+        # Same as above with a longer inversion: the window crosses h's
+        # replenishment at 20, pulling its own 6ms in (plus hp again at 20).
+        h = pstate("h", 2, 20, 6, 0, repl=0)
+        hp = pstate("hp", 1, 10, 5, 5, repl=0)
+        # W0 = 11 + 0 + 5 = 16 (w=11); hp@10 -> 21; hp@20 -> 26; h@20 -> 32;
+        # hp@30 -> 37; hp@40 > 37 => fixed at 37.
+        assert busy_interval(h, [hp], t=0, w=ms(11)) == ms(37)
+
+    def test_deadline_slack_doubles_for_inactive(self):
+        active = pstate("h", 1, 20, 4, 4, repl=0)
+        inactive = pstate("h", 1, 20, 4, 0, repl=0)
+        assert deadline_slack(active, ms(5)) == ms(15)
+        assert deadline_slack(inactive, ms(5)) == ms(35)
+
+
+class TestSchedulabilityTest:
+    def test_passes_with_room(self):
+        h = pstate("h", 1, 20, 4, 4, repl=0)
+        assert schedulability_test(h, [], t=0, w=ms(10))
+
+    def test_fails_when_inversion_too_long(self):
+        # 4ms budget + 17ms inversion > 20ms period.
+        h = pstate("h", 1, 20, 4, 4, repl=0)
+        assert not schedulability_test(h, [], t=0, w=ms(17))
+
+    def test_boundary_exact_fit_passes(self):
+        # 4 + 16 = 20 = deadline exactly.
+        h = pstate("h", 1, 20, 4, 4, repl=0)
+        assert schedulability_test(h, [], t=0, w=ms(16))
+
+    def test_late_in_period_fails_sooner(self):
+        h = pstate("h", 1, 20, 4, 4, repl=0)
+        # At t=15 only 5ms remain: a 2ms inversion + 4ms budget > 5ms slack.
+        assert not schedulability_test(h, [], t=ms(15), w=ms(2))
+        assert schedulability_test(h, [], t=ms(15), w=ms(1))
+
+    def test_inversion_independent_of_causer(self):
+        # The test only sees w, matching the Fig. 9 argument that the
+        # causer's identity is irrelevant.
+        h = pstate("h", 1, 20, 4, 4, repl=0)
+        assert schedulability_test(h, [], 0, ms(16)) == schedulability_test(
+            h, [], 0, ms(16)
+        )

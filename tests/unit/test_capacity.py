@@ -1,0 +1,115 @@
+"""Unit tests for the information-theoretic channel measurements."""
+
+import numpy as np
+import pytest
+
+from repro.channel.capacity import (
+    blahut_arimoto,
+    channel_capacity_from_samples,
+    conditional_entropy,
+    entropy,
+    joint_from_samples,
+    mutual_information,
+)
+
+
+class TestEntropy:
+    def test_uniform_binary_is_one_bit(self):
+        assert entropy(np.array([0.5, 0.5])) == pytest.approx(1.0)
+
+    def test_deterministic_is_zero(self):
+        assert entropy(np.array([1.0, 0.0])) == pytest.approx(0.0)
+
+    def test_uniform_n(self):
+        assert entropy(np.full(8, 1 / 8)) == pytest.approx(3.0)
+
+    def test_rejects_unnormalized(self):
+        with pytest.raises(ValueError):
+            entropy(np.array([0.5, 0.4]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            entropy(np.array([1.5, -0.5]))
+
+
+class TestConditionalEntropy:
+    def test_perfect_channel_zero_noise(self):
+        joint = np.array([[0.5, 0.0], [0.0, 0.5]])
+        assert conditional_entropy(joint) == pytest.approx(0.0)
+
+    def test_useless_channel_full_noise(self):
+        joint = np.array([[0.25, 0.25], [0.25, 0.25]])
+        assert conditional_entropy(joint) == pytest.approx(1.0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            conditional_entropy(np.array([0.5, 0.5]))
+
+
+class TestMutualInformation:
+    def test_perfect_channel_one_bit(self):
+        joint = np.array([[0.5, 0.0], [0.0, 0.5]])
+        assert mutual_information(joint) == pytest.approx(1.0)
+
+    def test_independent_zero(self):
+        joint = np.outer([0.5, 0.5], [0.3, 0.7])
+        assert mutual_information(joint) == pytest.approx(0.0, abs=1e-9)
+
+    def test_bounds(self):
+        rng = np.random.default_rng(1)
+        joint = rng.random((2, 10))
+        mi = mutual_information(joint)
+        assert 0.0 <= mi <= 1.0 + 1e-9
+
+
+class TestFromSamples:
+    def test_joint_counts(self):
+        labels = np.array([0, 0, 1, 1])
+        responses = np.array([1000, 1000, 3000, 3000])
+        joint = joint_from_samples(labels, responses, bin_width=1000)
+        assert joint[0, 0] == 2
+        assert joint[1, 2] == 2
+
+    def test_perfectly_separated_capacity_one(self):
+        labels = np.array([0, 1] * 100)
+        responses = np.where(labels == 0, 100_000, 120_000)
+        assert channel_capacity_from_samples(labels, responses) == pytest.approx(1.0)
+
+    def test_identical_responses_capacity_zero(self):
+        labels = np.array([0, 1] * 100)
+        responses = np.full(200, 100_000)
+        assert channel_capacity_from_samples(labels, responses) == pytest.approx(0.0)
+
+    def test_rejects_label_mismatch(self):
+        with pytest.raises(ValueError):
+            joint_from_samples(np.array([0, 2]), np.array([1000, 2000]))
+
+
+class TestBlahutArimoto:
+    def test_noiseless_binary(self):
+        capacity, p_x = blahut_arimoto(np.eye(2))
+        assert capacity == pytest.approx(1.0, abs=1e-6)
+        assert p_x == pytest.approx([0.5, 0.5], abs=1e-3)
+
+    def test_useless_channel(self):
+        capacity, _ = blahut_arimoto(np.array([[0.5, 0.5], [0.5, 0.5]]))
+        assert capacity == pytest.approx(0.0, abs=1e-9)
+
+    def test_binary_symmetric_channel(self):
+        eps = 0.1
+        conditional = np.array([[1 - eps, eps], [eps, 1 - eps]])
+        capacity, _ = blahut_arimoto(conditional)
+        h = -(eps * np.log2(eps) + (1 - eps) * np.log2(1 - eps))
+        assert capacity == pytest.approx(1 - h, abs=1e-6)
+
+    def test_at_least_uniform_mi(self):
+        rng = np.random.default_rng(3)
+        conditional = rng.random((2, 6))
+        conditional /= conditional.sum(axis=1, keepdims=True)
+        joint_uniform = conditional / 2
+        capacity, _ = blahut_arimoto(conditional)
+        assert capacity >= mutual_information(joint_uniform) - 1e-9
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            blahut_arimoto(np.array([[-0.1, 1.1], [0.5, 0.5]]))

@@ -1,0 +1,102 @@
+"""Unit tests for the car platform's bus and nodes."""
+
+import pytest
+
+from repro.car.bus import Message, PubSubBus
+from repro.car.nodes import (
+    DRIVE_TOPIC,
+    LOG_TOPIC,
+    NAV_TOPIC,
+    STEERING_TOPIC,
+    BehaviorController,
+    DataLogger,
+    PathPlanner,
+    VisionSteering,
+)
+from repro.car.platform import CarPlatform
+
+
+class TestBus:
+    def test_publish_delivers_to_subscribers(self):
+        bus = PubSubBus()
+        received = []
+        bus.subscribe("/t", received.append)
+        bus.publish("/t", 10, "s", {"x": 1})
+        assert len(received) == 1
+        assert received[0].payload == {"x": 1}
+
+    def test_no_cross_topic_delivery(self):
+        bus = PubSubBus()
+        received = []
+        bus.subscribe("/a", received.append)
+        bus.publish("/b", 10, "s", None)
+        assert received == []
+
+    def test_log_records_everything(self):
+        bus = PubSubBus()
+        bus.publish("/a", 1, "s", None)
+        bus.publish("/b", 2, "s", None)
+        assert len(bus.log) == 2
+        assert bus.topics() == ["/a", "/b"]
+
+    def test_messages_on(self):
+        bus = PubSubBus()
+        bus.publish("/a", 1, "s", None)
+        bus.publish("/b", 2, "s", None)
+        assert len(bus.messages_on("/a")) == 1
+
+
+class TestNodes:
+    def test_vision_publishes_steering(self):
+        bus = PubSubBus()
+        node = VisionSteering(bus)
+        node.on_job_complete(100)
+        assert len(bus.messages_on(STEERING_TOPIC)) == 1
+
+    def test_planner_publishes_waypoints_not_position(self):
+        bus = PubSubBus()
+        node = PathPlanner(bus)
+        node.on_job_complete(100)
+        messages = bus.messages_on(NAV_TOPIC)
+        assert len(messages) == 1
+        assert "waypoint" in messages[0].payload
+        assert "position" not in str(messages[0].payload)
+
+    def test_behavior_fuses_inputs(self):
+        bus = PubSubBus()
+        vision = VisionSteering(bus)
+        planner = PathPlanner(bus)
+        controller = BehaviorController(bus)
+        vision.on_job_complete(10)
+        planner.on_job_complete(20)
+        controller.on_job_complete(30)
+        drive = bus.messages_on(DRIVE_TOPIC)
+        assert len(drive) == 1
+        assert "angle" in drive[0].payload and "toward" in drive[0].payload
+
+    def test_logger_buffers_and_flushes(self):
+        bus = PubSubBus()
+        logger = DataLogger(bus)
+        VisionSteering(bus).on_job_complete(10)
+        assert len(logger.entries) == 1
+        logger.on_job_complete(20)
+        assert bus.messages_on(LOG_TOPIC)[0].payload == {"buffered": 1}
+
+
+class TestSecretBits:
+    def test_roundtrip_quantized(self):
+        platform = CarPlatform(secret_location=[(1.0, 2.5), (3.0, 0.5)])
+        bits = platform.secret_bits()
+        assert len(bits) == 16
+        import numpy as np
+
+        recovered = CarPlatform.bits_to_locations(np.array(bits))
+        assert recovered == [(1.0, 2.5), (3.0, 0.5)]
+
+    def test_clamps_out_of_range(self):
+        platform = CarPlatform(secret_location=[(99.0, -5.0)])
+        bits = platform.secret_bits()
+        import numpy as np
+
+        (x, y), = CarPlatform.bits_to_locations(np.array(bits))
+        assert x == 7.5 and y == 0.0

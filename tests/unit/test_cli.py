@@ -1,0 +1,52 @@
+"""Unit tests for the CLI front end."""
+
+import pytest
+
+from repro.cli import COMMANDS, build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for name in ("fig4", "fig6", "fig12", "fig13", "fig14", "fig15",
+                     "fig16", "fig17", "fig18", "table2", "table3", "table4",
+                     "table5", "car", "defense-matrix", "load-sweep",
+                     "classifiers", "coding", "figures"):
+            args = parser.parse_args([name])
+            assert args.experiment == name
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_quick_and_full_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig6", "--quick", "--full"])
+
+    def test_seed_option(self):
+        args = build_parser().parse_args(["fig6", "--seed", "42"])
+        assert args.seed == 42
+
+
+class TestExecution:
+    def test_fig6_quick_runs(self, capsys):
+        assert main(["fig6", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "[Fig. 6]" in out
+        assert "completed in" in out
+
+    def test_table4_quick_runs(self, capsys):
+        assert main(["table4", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Table IV" in out
+
+    def test_every_command_is_callable(self):
+        for name, fn in COMMANDS.items():
+            assert callable(fn), name
+
+    def test_figures_writes_svgs(self, tmp_path, capsys):
+        assert main(["figures", "--quick", "--out", str(tmp_path / "figs")]) == 0
+        written = list((tmp_path / "figs").glob("*.svg"))
+        assert len(written) >= 5
+        for path in written:
+            assert path.read_text().startswith("<svg")

@@ -1,0 +1,120 @@
+"""Unit tests for the error-correction coding layer."""
+
+import numpy as np
+import pytest
+
+from repro.channel.coding import (
+    CodedChannel,
+    effective_goodput,
+    hamming_decode,
+    hamming_encode,
+    repetition_decode,
+    repetition_encode,
+    repetition_residual_error,
+)
+
+
+class TestRepetition:
+    def test_roundtrip_clean(self):
+        bits = np.array([1, 0, 1, 1, 0])
+        assert (repetition_decode(repetition_encode(bits, 3), 3) == bits).all()
+
+    def test_corrects_minority_flips(self):
+        bits = np.array([1, 0])
+        coded = repetition_encode(bits, 5)
+        coded[0] ^= 1  # one flip in the first block
+        coded[7] ^= 1  # one flip in the second block
+        assert (repetition_decode(coded, 5) == bits).all()
+
+    def test_majority_flips_corrupt(self):
+        coded = repetition_encode(np.array([1]), 3)
+        coded[0] ^= 1
+        coded[1] ^= 1
+        assert repetition_decode(coded, 3)[0] == 0
+
+    def test_partial_trailing_block_dropped(self):
+        coded = np.array([1, 1, 1, 0])
+        assert repetition_decode(coded, 3).size == 1
+
+    def test_rejects_even_n(self):
+        with pytest.raises(ValueError):
+            repetition_encode(np.array([1]), 2)
+        with pytest.raises(ValueError):
+            repetition_decode(np.array([1, 1]), 2)
+
+    def test_residual_error_formula(self):
+        # n=3: residual = 3p^2(1-p) + p^3.
+        p = 0.1
+        expected = 3 * p**2 * (1 - p) + p**3
+        assert repetition_residual_error(p, 3) == pytest.approx(expected)
+
+    def test_residual_error_monotone_in_p(self):
+        errors = [repetition_residual_error(p, 5) for p in (0.05, 0.2, 0.4)]
+        assert errors[0] < errors[1] < errors[2]
+
+    def test_more_repetition_helps(self):
+        assert repetition_residual_error(0.2, 9) < repetition_residual_error(0.2, 3)
+
+
+class TestHamming:
+    def test_roundtrip_clean(self):
+        bits = np.array([1, 0, 1, 1, 0, 0, 1, 0])
+        assert (hamming_decode(hamming_encode(bits)) == bits).all()
+
+    def test_pads_to_nibbles(self):
+        bits = np.array([1, 0, 1])
+        decoded = hamming_decode(hamming_encode(bits))
+        assert (decoded[:3] == bits).all()
+        assert decoded.size == 4  # padded payload
+
+    def test_corrects_any_single_error_per_block(self):
+        bits = np.array([1, 0, 1, 1])
+        coded = hamming_encode(bits)
+        for position in range(7):
+            corrupted = coded.copy()
+            corrupted[position] ^= 1
+            assert (hamming_decode(corrupted) == bits).all(), position
+
+    def test_double_error_corrupts(self):
+        bits = np.array([1, 0, 1, 1])
+        coded = hamming_encode(bits)
+        coded[0] ^= 1
+        coded[1] ^= 1
+        assert not (hamming_decode(coded) == bits).all()
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            hamming_encode(np.array([0, 2]))
+
+
+class TestGoodput:
+    def test_clean_channel_uncoded(self):
+        result = effective_goodput(1.0, "none")
+        assert result.goodput_bits_per_window == pytest.approx(1.0)
+        assert result.residual_bit_error == 0.0
+
+    def test_repetition_trades_rate_for_reliability(self):
+        noisy = 0.75
+        uncoded = effective_goodput(noisy, "none")
+        coded = effective_goodput(noisy, "rep5")
+        assert coded.residual_bit_error < uncoded.residual_bit_error
+        assert coded.code_rate == pytest.approx(0.2)
+
+    def test_random_channel_unrecoverable(self):
+        # At 50% accuracy no code helps: residual stays ~0.5.
+        for scheme in ("none", "rep3", "rep9"):
+            result = effective_goodput(0.5, scheme)
+            assert result.residual_bit_error == pytest.approx(0.5, abs=0.01)
+
+    def test_hamming_rate(self):
+        result = effective_goodput(0.99, "hamming74")
+        assert result.code_rate == pytest.approx(4 / 7)
+        assert result.residual_bit_error < 0.01
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            effective_goodput(0.9, "turbo")
+
+    def test_rejects_bad_accuracy(self):
+        with pytest.raises(ValueError):
+            effective_goodput(1.5, "none")

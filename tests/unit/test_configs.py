@@ -1,0 +1,136 @@
+"""Unit tests for the paper's system configurations."""
+
+import random
+
+import pytest
+
+from repro._time import ms
+from repro.model.configs import (
+    DEFAULT_ALPHA,
+    DEFAULT_BETA,
+    TABLE1_PERIODS_MS,
+    car_system,
+    feasibility_system,
+    light_load_system,
+    random_system,
+    scaled_partition_count,
+    table1_system,
+    three_partition_example,
+    uunifast,
+)
+
+
+class TestTable1:
+    def test_five_partitions(self, table1):
+        assert len(table1) == 5
+
+    def test_periods_match_paper(self, table1):
+        assert [p.period for p in table1] == [ms(t) for t in TABLE1_PERIODS_MS]
+
+    def test_budget_ratio(self, table1):
+        for p in table1:
+            assert p.budget == pytest.approx(DEFAULT_ALPHA * p.period, abs=1)
+
+    def test_total_utilization_80_percent(self, table1):
+        assert table1.utilization == pytest.approx(0.80, abs=0.001)
+
+    def test_task_periods_double(self, table1):
+        p1 = table1.by_name("Pi_1")
+        periods = [t.period for t in p1.tasks_by_priority()]
+        assert periods == [ms(40), ms(80), ms(160), ms(320), ms(640)]
+
+    def test_task_wcet_ratio(self, table1):
+        for p in table1:
+            for t in p.tasks:
+                assert t.wcet == pytest.approx(DEFAULT_BETA * t.period, abs=1)
+
+    def test_light_load_is_half(self):
+        light = light_load_system()
+        assert light.utilization == pytest.approx(0.40, abs=0.001)
+
+
+class TestFeasibility:
+    def test_sender_task_burns_full_budget(self, feasibility):
+        sender = feasibility.by_name("Pi_2")
+        assert sender.tasks[0].behavior == "sender"
+        assert sender.tasks[0].wcet == sender.budget
+        assert sender.tasks[0].period == sender.period
+
+    def test_receiver_window_is_three_periods(self, feasibility):
+        receiver = feasibility.by_name("Pi_4")
+        task = receiver.tasks[0]
+        assert task.behavior == "receiver"
+        assert task.period == 3 * receiver.period
+        assert task.wcet == 3 * receiver.budget
+
+    def test_noise_partitions_have_noisy_tasks(self, feasibility):
+        for name in ("Pi_1", "Pi_3", "Pi_5"):
+            part = feasibility.by_name(name)
+            assert all(t.behavior == "noisy" for t in part.tasks)
+
+    def test_noise_jobs_fit_in_budget(self, feasibility):
+        for name in ("Pi_1", "Pi_3", "Pi_5"):
+            part = feasibility.by_name(name)
+            assert all(t.wcet <= part.budget for t in part.tasks)
+
+
+class TestCar:
+    def test_fig5_parameters(self, car):
+        assert car.by_name("behavior_control").period == ms(10)
+        assert car.by_name("behavior_control").budget == ms(1)
+        assert car.by_name("vision_steering").budget == ms(10)
+        assert car.by_name("path_planning").budget == ms(3)
+        assert car.by_name("data_logging").budget == ms(5)
+
+    def test_planner_is_sender_at_50ms(self, car):
+        planner = car.by_name("path_planning").tasks[0]
+        assert planner.behavior == "sender"
+        assert planner.period == ms(50)
+
+    def test_utilization_80_percent(self, car):
+        assert car.utilization == pytest.approx(0.8, abs=0.001)
+
+
+class TestScaledPartitionCount:
+    @pytest.mark.parametrize("factor,count", [(1, 5), (2, 10), (4, 20)])
+    def test_partition_counts(self, factor, count):
+        assert len(scaled_partition_count(factor)) == count
+
+    def test_utilization_constant(self):
+        u1 = scaled_partition_count(1).utilization
+        for factor in (2, 4):
+            assert scaled_partition_count(factor).utilization == pytest.approx(u1, rel=0.02)
+
+    def test_rejects_zero_factor(self):
+        with pytest.raises(ValueError):
+            scaled_partition_count(0)
+
+
+class TestUUniFast:
+    def test_sums_to_target(self):
+        rng = random.Random(1)
+        shares = uunifast(8, 0.75, rng)
+        assert sum(shares) == pytest.approx(0.75)
+
+    def test_all_positive(self):
+        rng = random.Random(2)
+        assert all(s > 0 for s in uunifast(10, 0.9, rng))
+
+    def test_rejects_bad_utilization(self):
+        with pytest.raises(ValueError):
+            uunifast(3, 1.5, random.Random(0))
+
+
+class TestRandomSystem:
+    def test_valid_and_seeded(self):
+        a = random_system(6, 0.7, seed=5, tasks_per_partition=3)
+        b = random_system(6, 0.7, seed=5, tasks_per_partition=3)
+        assert [p.budget for p in a] == [p.budget for p in b]
+
+    def test_utilization_close_to_target(self):
+        system = random_system(6, 0.7, seed=9)
+        assert system.utilization == pytest.approx(0.7, abs=0.05)
+
+    def test_three_partition_example(self, three_partitions):
+        assert len(three_partitions) == 3
+        assert three_partitions.utilization <= 1.0

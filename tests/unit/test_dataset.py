@@ -1,0 +1,99 @@
+"""Unit tests for channel dataset harvesting and attack evaluation."""
+
+import numpy as np
+import pytest
+
+from repro._time import ms
+from repro.channel.attack import AttackResult, evaluate_attacks
+from repro.channel.dataset import ChannelDataset
+
+
+def synthetic_dataset(n=40, profile=20, window=ms(150), separation=20_000, seed=0):
+    """A fabricated dataset whose response times perfectly encode the bits."""
+    rng = np.random.default_rng(seed)
+    labels = np.array([i % 2 for i in range(profile)] + list(rng.integers(0, 2, n - profile)))
+    responses = 100_000 + labels * separation + rng.integers(0, 2_000, n)
+    vectors = np.zeros((n, 150), dtype=np.uint8)
+    for i, bit in enumerate(labels):
+        vectors[i, : 30 + 40 * bit] = 1
+    return ChannelDataset(
+        labels=labels,
+        response_times=responses,
+        vectors=vectors,
+        profile_windows=profile,
+        window=window,
+    )
+
+
+class TestChannelDataset:
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            ChannelDataset(
+                labels=np.zeros(3, dtype=np.int64),
+                response_times=np.zeros(2),
+                vectors=np.zeros((3, 10)),
+                profile_windows=0,
+                window=ms(150),
+            )
+
+    def test_profile_bounds(self):
+        with pytest.raises(ValueError):
+            synthetic_dataset(n=10, profile=20)
+
+    def test_split_phases(self):
+        ds = synthetic_dataset(n=40, profile=20)
+        assert ds.profiling_part().n_windows == 20
+        message = ds.message_part()
+        assert message.n_windows == 20
+        assert message.profile_windows == 0
+
+    def test_head_clamps(self):
+        ds = synthetic_dataset(n=40, profile=20)
+        assert ds.head(10).n_windows == 10
+        assert ds.head(10).profile_windows == 10
+        assert ds.head(999).n_windows == 40
+
+
+class TestEvaluateAttacks:
+    def test_perfect_channel_scores_high(self):
+        ds = synthetic_dataset()
+        results = evaluate_attacks(ds, [20])
+        by_method = {r.method: r for r in results}
+        assert by_method["response-time"].accuracy == pytest.approx(1.0)
+        assert by_method["execution-vector"].accuracy == pytest.approx(1.0)
+
+    def test_profile_sizes_clamped_and_evened(self):
+        ds = synthetic_dataset()
+        results = evaluate_attacks(ds, [7, 100])
+        sizes = {r.profile_windows for r in results}
+        assert sizes == {6, 20}
+
+    def test_tiny_sizes_skipped(self):
+        ds = synthetic_dataset()
+        with pytest.raises(ValueError):
+            evaluate_attacks(ds, [1])
+
+    def test_no_message_windows_raises(self):
+        ds = synthetic_dataset(n=20, profile=20)
+        with pytest.raises(ValueError):
+            evaluate_attacks(ds, [20])
+
+    def test_results_carry_test_count(self):
+        ds = synthetic_dataset()
+        result = evaluate_attacks(ds, [20])[0]
+        assert result.test_windows == 20
+
+    def test_random_dataset_near_chance(self):
+        rng = np.random.default_rng(9)
+        n = 200
+        labels = np.array([i % 2 for i in range(60)] + list(rng.integers(0, 2, n - 60)))
+        ds = ChannelDataset(
+            labels=labels,
+            response_times=rng.integers(100_000, 150_000, n),
+            vectors=rng.integers(0, 2, (n, 150)).astype(np.uint8),
+            profile_windows=60,
+            window=ms(150),
+        )
+        results = evaluate_attacks(ds, [60])
+        for result in results:
+            assert 0.3 < result.accuracy < 0.7

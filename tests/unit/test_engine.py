@@ -1,0 +1,236 @@
+"""Unit tests for the simulation engine."""
+
+import pytest
+
+from repro._time import ms
+from repro.model.partition import Partition
+from repro.model.system import System
+from repro.model.task import Task
+from repro.sim.behaviors import ChannelScript
+from repro.sim.engine import Simulator
+from repro.sim.trace import (
+    BudgetAccountant,
+    ResponseTimeRecorder,
+    SegmentRecorder,
+)
+
+
+def simple_system(budget_ms=4, period_ms=20, wcet_ms=None, priority=1, name="P"):
+    wcet = ms(wcet_ms) if wcet_ms is not None else ms(budget_ms)
+    return Partition(
+        name=name,
+        period=ms(period_ms),
+        budget=ms(budget_ms),
+        priority=priority,
+        tasks=[Task(name=f"{name}_t", period=ms(period_ms), wcet=wcet, local_priority=0)],
+    )
+
+
+class TestBudgetEnforcement:
+    def test_budget_capped_per_period(self):
+        # Task wants the whole period but only gets the budget.
+        system = System(
+            [
+                Partition(
+                    name="P",
+                    period=ms(20),
+                    budget=ms(4),
+                    priority=1,
+                    tasks=[
+                        Task(name="hog", period=ms(20), wcet=ms(20), local_priority=0)
+                    ],
+                )
+            ]
+        )
+        acct = BudgetAccountant({"P": ms(20)})
+        sim = Simulator(system, policy="norandom", seed=0, observers=[acct])
+        sim.run_for_ms(200)
+        for k in range(9):
+            assert acct.served_in_period("P", k) == ms(4)
+
+    def test_budget_replenishes_each_period(self):
+        system = System([simple_system()])
+        acct = BudgetAccountant({"P": ms(20)})
+        sim = Simulator(system, policy="norandom", seed=0, observers=[acct])
+        sim.run_for_ms(100)
+        assert acct.min_served("P", 0, 3) == ms(4)
+
+
+class TestPriorities:
+    def test_high_priority_runs_first(self):
+        system = System(
+            [simple_system(name="hi", priority=1), simple_system(name="lo", priority=2)]
+        )
+        rec = SegmentRecorder()
+        sim = Simulator(system, policy="norandom", seed=0, observers=[rec])
+        sim.run_for_ms(20)
+        assert rec.segments[0].partition == "hi"
+        assert rec.segments[1].partition == "lo"
+
+    def test_idle_when_everyone_depleted(self):
+        system = System([simple_system(budget_ms=4)])
+        rec = SegmentRecorder()
+        sim = Simulator(system, policy="norandom", seed=0, observers=[rec])
+        sim.run_for_ms(20)
+        assert rec.segments[-1].partition is None
+        assert rec.segments[-1].end == ms(20)
+
+
+class TestJobLifecycle:
+    def test_response_times_recorded(self):
+        system = System([simple_system(budget_ms=4, wcet_ms=4)])
+        rec = ResponseTimeRecorder()
+        sim = Simulator(system, policy="norandom", seed=0, observers=[rec])
+        sim.run_for_ms(100)
+        times = rec.response_times("P_t")
+        assert times.size == 5
+        assert all(t == ms(4) for t in times)
+
+    def test_job_spanning_periods(self):
+        # wcet = 2 budgets: response = budget + gap + budget.
+        system = System([simple_system(budget_ms=4, wcet_ms=8, period_ms=20)])
+        rec = ResponseTimeRecorder()
+        sim = Simulator(system, policy="norandom", seed=0, observers=[rec])
+        sim.run_for_ms(100)
+        times = rec.response_times("P_t")
+        assert times[0] == ms(24)  # 4 + 16 gap + 4
+
+    def test_deadline_misses_counted(self):
+        # Demand exceeds what two periods can serve within the deadline.
+        system = System(
+            [
+                Partition(
+                    name="P",
+                    period=ms(20),
+                    budget=ms(4),
+                    priority=1,
+                    tasks=[
+                        Task(
+                            name="t",
+                            period=ms(40),
+                            wcet=ms(12),
+                            local_priority=0,
+                            deadline=ms(40),
+                        )
+                    ],
+                )
+            ]
+        )
+        sim = Simulator(system, policy="norandom", seed=0)
+        result = sim.run_for_ms(400)
+        assert result.deadline_misses > 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        from repro.model.configs import feasibility_system
+
+        def run(seed):
+            rec = SegmentRecorder()
+            script = ChannelScript(window=ms(150))
+            sim = Simulator(
+                feasibility_system(), policy="timedice", seed=seed,
+                channel=script, observers=[rec],
+            )
+            sim.run_for_ms(500)
+            return rec.segments
+
+        assert run(5) == run(5)
+
+    def test_different_seed_different_trace(self):
+        from repro.model.configs import feasibility_system
+
+        def run(seed):
+            rec = SegmentRecorder()
+            script = ChannelScript(window=ms(150))
+            sim = Simulator(
+                feasibility_system(), policy="timedice", seed=seed,
+                channel=script, observers=[rec],
+            )
+            sim.run_for_ms(500)
+            return rec.segments
+
+        assert run(5) != run(6)
+
+
+class TestOverheadMeasurement:
+    def test_latencies_collected(self):
+        system = System([simple_system()])
+        sim = Simulator(system, policy="timedice", seed=0, measure_overhead=True)
+        result = sim.run_for_ms(100)
+        assert len(result.decide_latencies_ns) == result.decisions
+        assert result.overhead_ns_total > 0
+        assert sum(result.overhead_ns_by_second.values()) == result.overhead_ns_total
+
+    def test_rates(self):
+        system = System([simple_system()])
+        sim = Simulator(system, policy="norandom", seed=0)
+        result = sim.run_for_ms(1000)
+        rates = result.rates()
+        assert rates["decisions_per_sec"] > 0
+
+
+class TestValidation:
+    def test_unknown_behavior_rejected_up_front(self):
+        system = System(
+            [
+                Partition(
+                    name="P",
+                    period=ms(20),
+                    budget=ms(4),
+                    priority=1,
+                    tasks=[
+                        Task(
+                            name="t",
+                            period=ms(20),
+                            wcet=ms(4),
+                            local_priority=0,
+                            behavior="sender",  # no channel passed
+                        )
+                    ],
+                )
+            ]
+        )
+        with pytest.raises(ValueError, match="behavior"):
+            Simulator(system, policy="norandom", seed=0)
+
+
+class TestDonation:
+    def _donation_system(self):
+        # "donor" (high priority) has budget but no task; "needy" (low
+        # priority) has a small budget and a large backlog.
+        donor = Partition(name="donor", period=ms(20), budget=ms(10), priority=1)
+        needy = Partition(
+            name="needy",
+            period=ms(20),
+            budget=ms(2),
+            priority=2,
+            tasks=[Task(name="work", period=ms(20), wcet=ms(12), local_priority=0)],
+        )
+        return System([donor, needy])
+
+    def test_donation_extends_service(self):
+        acct = BudgetAccountant({"needy": ms(20)})
+        sim = Simulator(
+            self._donation_system(), policy="norandom", seed=0,
+            observers=[acct], budget_donation=True,
+        )
+        sim.run_for_ms(20)
+        assert acct.served_in_period("needy", 0) == ms(12)  # 2 own + 10 donated
+
+    def test_no_donation_respects_budget(self):
+        acct = BudgetAccountant({"needy": ms(20)})
+        sim = Simulator(
+            self._donation_system(), policy="norandom", seed=0,
+            observers=[acct], budget_donation=False,
+        )
+        sim.run_for_ms(20)
+        assert acct.served_in_period("needy", 0) == ms(2)
+
+    def test_donor_budget_actually_consumed(self):
+        sim = Simulator(
+            self._donation_system(), policy="norandom", seed=0, budget_donation=True
+        )
+        sim.run_for_ms(15)
+        donor = next(rt for rt in sim._runtimes if rt.spec.name == "donor")
+        assert donor.remaining_budget == 0

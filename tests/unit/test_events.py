@@ -1,0 +1,48 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.sim.events import Event, EventKind, EventQueue
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.push(Event(30, EventKind.ARRIVAL, None))
+        q.push(Event(10, EventKind.ARRIVAL, None))
+        q.push(Event(20, EventKind.ARRIVAL, None))
+        assert [e.time for e in q.pop_due(30)] == [10, 20, 30]
+
+    def test_replenish_before_arrival_at_same_time(self):
+        q = EventQueue()
+        q.push(Event(10, EventKind.ARRIVAL, "arrival"))
+        q.push(Event(10, EventKind.REPLENISH, "replenish"))
+        kinds = [e.kind for e in q.pop_due(10)]
+        assert kinds == [EventKind.REPLENISH, EventKind.ARRIVAL]
+
+    def test_stable_within_kind(self):
+        q = EventQueue()
+        q.push(Event(10, EventKind.ARRIVAL, "first"))
+        q.push(Event(10, EventKind.ARRIVAL, "second"))
+        payloads = [e.payload for e in q.pop_due(10)]
+        assert payloads == ["first", "second"]
+
+    def test_pop_due_leaves_future_events(self):
+        q = EventQueue()
+        q.push(Event(5, EventKind.ARRIVAL, None))
+        q.push(Event(15, EventKind.ARRIVAL, None))
+        assert len(q.pop_due(10)) == 1
+        assert q.peek_time() == 15
+
+    def test_peek_empty_is_none(self):
+        assert EventQueue().peek_time() is None
+
+    def test_bool_and_len(self):
+        q = EventQueue()
+        assert not q
+        q.push(Event(1, EventKind.ARRIVAL, None))
+        assert q and len(q) == 1
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(Event(-1, EventKind.ARRIVAL, None))

@@ -1,0 +1,130 @@
+"""Unit tests for the CART tree and random forest."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    RandomForestClassifier,
+    accuracy,
+    train_test_split,
+)
+
+
+def blobs(n=80, separation=4.0, seed=0):
+    rng = np.random.default_rng(seed)
+    x0 = rng.normal(0.0, 1.0, (n // 2, 3))
+    x1 = rng.normal(separation, 1.0, (n // 2, 3))
+    x = np.vstack([x0, x1])
+    y = np.array([0] * (n // 2) + [1] * (n // 2))
+    perm = rng.permutation(n)
+    return x[perm], y[perm]
+
+
+def binary_vectors(n=120, d=40, signal=10, seed=1):
+    """Execution-vector-like data: bit 1 sets a band of indicators."""
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, n)
+    x = rng.integers(0, 2, (n, d)).astype(np.float64)
+    for i in range(n):
+        if y[i] == 1:
+            x[i, :signal] = 1.0
+        else:
+            x[i, :signal] = rng.integers(0, 2, signal)
+    return x, y
+
+
+class TestDecisionTree:
+    def test_separable_blobs(self):
+        x, y = blobs()
+        x_train, x_test, y_train, y_test = train_test_split(x, y, 0.6, seed=1)
+        tree = DecisionTreeClassifier().fit(x_train, y_train)
+        assert accuracy(y_test, tree.predict(x_test)) >= 0.9
+
+    def test_pure_node_is_leaf(self):
+        x = np.zeros((6, 2))
+        y = np.zeros(6, dtype=np.int64)
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert tree.depth() == 0
+        assert (tree.predict(x) == 0).all()
+
+    def test_xor_needs_depth_two(self):
+        x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        y = np.array([0, 1, 1, 0])
+        tree = DecisionTreeClassifier(max_depth=3).fit(x, y)
+        assert (tree.predict(x) == y).all()
+        assert tree.depth() == 2
+
+    def test_depth_cap_respected(self):
+        x, y = binary_vectors()
+        tree = DecisionTreeClassifier(max_depth=2).fit(x, y)
+        assert tree.depth() <= 2
+
+    def test_predict_proba_bounds(self):
+        x, y = blobs()
+        tree = DecisionTreeClassifier().fit(x, y)
+        proba = tree.predict_proba(x)
+        assert (proba >= 0).all() and (proba <= 1).all()
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict(np.zeros((1, 2)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_split=1)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((3, 2)), np.array([0, 1, 2]))
+
+
+class TestRandomForest:
+    def test_separable_blobs(self):
+        x, y = blobs()
+        x_train, x_test, y_train, y_test = train_test_split(x, y, 0.6, seed=1)
+        forest = RandomForestClassifier(n_trees=15, seed=2).fit(x_train, y_train)
+        assert accuracy(y_test, forest.predict(x_test)) >= 0.9
+
+    def test_binary_vector_pattern(self):
+        x, y = binary_vectors()
+        x_train, x_test, y_train, y_test = train_test_split(x, y, 0.6, seed=3)
+        forest = RandomForestClassifier(n_trees=25, seed=2).fit(x_train, y_train)
+        assert accuracy(y_test, forest.predict(x_test)) >= 0.8
+
+    def test_seeded_reproducibility(self):
+        x, y = blobs()
+        a = RandomForestClassifier(n_trees=5, seed=9).fit(x, y).predict(x)
+        b = RandomForestClassifier(n_trees=5, seed=9).fit(x, y).predict(x)
+        assert (a == b).all()
+
+    def test_proba_is_vote_average(self):
+        x, y = blobs()
+        forest = RandomForestClassifier(n_trees=7, seed=1).fit(x, y)
+        proba = forest.predict_proba(x)
+        assert (proba >= 0).all() and (proba <= 1).all()
+
+    def test_requires_both_classes(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier().fit(np.zeros((4, 2)), np.zeros(4))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier().predict(np.zeros((1, 2)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_trees=0)
+
+
+class TestForestOnChannelData(object):
+    def test_decodes_execution_vectors(self, channel_norandom):
+        """The paper's alternative classifier works on the real attack data."""
+        ds = channel_norandom
+        profiling = ds.profiling_part()
+        message = ds.message_part()
+        forest = RandomForestClassifier(n_trees=20, seed=4).fit(
+            profiling.vectors.astype(float), profiling.labels
+        )
+        predictions = forest.predict(message.vectors.astype(float))
+        assert accuracy(message.labels, predictions) > 0.85

@@ -1,0 +1,83 @@
+"""Unit tests for jobs and the fixed-priority local scheduler."""
+
+import pytest
+
+from repro._time import ms
+from repro.model.task import Task
+from repro.sim.local import FixedPriorityLocalScheduler, Job
+
+
+def make_task(name="t", prio=0, period=40, wcet=4):
+    return Task(name=name, period=ms(period), wcet=ms(wcet), local_priority=prio)
+
+
+def make_job(task=None, arrival=0, demand=None):
+    task = task or make_task()
+    return Job(
+        task=task,
+        partition="P",
+        arrival=arrival,
+        demand=demand if demand is not None else task.wcet,
+    )
+
+
+class TestJob:
+    def test_remaining_defaults_to_demand(self):
+        job = make_job(demand=ms(3))
+        assert job.remaining == ms(3)
+        assert not job.complete
+
+    def test_rejects_nonpositive_demand(self):
+        with pytest.raises(ValueError):
+            make_job(demand=0)
+
+    def test_response_time(self):
+        job = make_job(arrival=ms(10))
+        assert job.response_time is None
+        job.finished_at = ms(25)
+        assert job.response_time == ms(15)
+
+    def test_job_ids_unique(self):
+        assert make_job().job_id != make_job().job_id
+
+
+class TestFixedPriorityLocal:
+    def test_picks_highest_priority(self):
+        sched = FixedPriorityLocalScheduler()
+        low = make_job(make_task("low", prio=2))
+        high = make_job(make_task("high", prio=0))
+        sched.on_arrival(low, 0)
+        sched.on_arrival(high, 0)
+        assert sched.pick(0).task.name == "high"
+
+    def test_fifo_within_task(self):
+        sched = FixedPriorityLocalScheduler()
+        task = make_task()
+        first = make_job(task, arrival=0)
+        second = make_job(task, arrival=ms(40))
+        sched.on_arrival(second, ms(40))
+        sched.on_arrival(first, ms(40))
+        assert sched.pick(ms(40)) is first
+
+    def test_complete_removes(self):
+        sched = FixedPriorityLocalScheduler()
+        job = make_job()
+        sched.on_arrival(job, 0)
+        sched.on_complete(job, ms(4))
+        assert sched.pick(ms(4)) is None
+        assert not sched.has_ready(ms(4))
+
+    def test_pending_count(self):
+        sched = FixedPriorityLocalScheduler()
+        sched.on_arrival(make_job(), 0)
+        sched.on_arrival(make_job(), 0)
+        assert sched.pending_count() == 2
+
+    def test_preemptive_head_reevaluation(self):
+        sched = FixedPriorityLocalScheduler()
+        low = make_job(make_task("low", prio=2))
+        sched.on_arrival(low, 0)
+        assert sched.pick(0) is low
+        high = make_job(make_task("high", prio=0), arrival=ms(1))
+        sched.on_arrival(high, ms(1))
+        assert sched.pick(ms(1)) is high

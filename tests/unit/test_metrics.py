@@ -1,0 +1,106 @@
+"""Unit tests for the locality and separability metrics."""
+
+import numpy as np
+import pytest
+
+from repro._time import MS, ms
+from repro.metrics.locality import (
+    occupancy_autocorrelation,
+    occupancy_grid,
+    slot_entropy,
+)
+from repro.metrics.separation import js_divergence, total_variation
+from repro.sim.trace import Segment
+
+
+def alternating_segments(period_ms=10, horizon_ms=100):
+    """A owns [0,5), B owns [5,10) of every 10ms period."""
+    segments = []
+    for k in range(horizon_ms // period_ms):
+        base = ms(k * period_ms)
+        segments.append(Segment(base, base + ms(5), "A", "t"))
+        segments.append(Segment(base + ms(5), base + ms(10), "B", "t"))
+    return segments
+
+
+class TestOccupancyGrid:
+    def test_majority_owner_per_slot(self):
+        grid = occupancy_grid(alternating_segments(), 1 * MS, ms(10), ["A", "B"])
+        assert list(grid[:5]) == [0] * 5
+        assert list(grid[5:10]) == [1] * 5
+
+    def test_idle_coded_last(self):
+        segments = [Segment(0, ms(2), "A", "t")]
+        grid = occupancy_grid(segments, 1 * MS, ms(4), ["A"])
+        assert list(grid) == [0, 0, 1, 1]  # 1 == idle
+
+    def test_rejects_bad_slot(self):
+        with pytest.raises(ValueError):
+            occupancy_grid([], 0, 10, [])
+
+
+class TestSlotEntropy:
+    def test_deterministic_schedule_zero_entropy(self):
+        entropy = slot_entropy(
+            alternating_segments(horizon_ms=100), 1 * MS, ms(10), ms(100), ["A", "B"]
+        )
+        assert entropy == pytest.approx(0.0)
+
+    def test_alternating_owner_positive_entropy(self):
+        # A owns slot 0 in even periods, B in odd periods -> 1 bit.
+        segments = []
+        for k in range(10):
+            owner = "A" if k % 2 == 0 else "B"
+            segments.append(Segment(ms(10 * k), ms(10 * k + 10), owner, "t"))
+        entropy = slot_entropy(segments, ms(10), ms(10), ms(100), ["A", "B"])
+        assert entropy == pytest.approx(1.0)
+
+    def test_needs_two_periods(self):
+        with pytest.raises(ValueError):
+            slot_entropy(alternating_segments(horizon_ms=10), 1 * MS, ms(10), ms(10), ["A", "B"])
+
+
+class TestAutocorrelation:
+    def test_periodic_signal_peaks_at_period(self):
+        acf = occupancy_autocorrelation(
+            alternating_segments(horizon_ms=200), "A", 1 * MS, ms(200), max_lag=20
+        )
+        assert acf[0] == pytest.approx(1.0)
+        # Lag = one period: near-perfect correlation (truncation shaves a
+        # few percent off the unbiased estimate).
+        assert acf[10] > 0.9
+        assert acf[5] < 0  # anti-phase
+
+    def test_absent_partition_zero(self):
+        acf = occupancy_autocorrelation(
+            alternating_segments(), "ZZZ", 1 * MS, ms(100), max_lag=5
+        )
+        assert acf == pytest.approx(np.zeros(6))
+
+
+class TestSeparation:
+    def test_tv_identical_zero(self):
+        p = np.array([0.25, 0.75])
+        assert total_variation(p, p) == 0.0
+
+    def test_tv_disjoint_one(self):
+        assert total_variation(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == 1.0
+
+    def test_js_identical_zero(self):
+        p = np.array([0.3, 0.7])
+        assert js_divergence(p, p) == pytest.approx(0.0)
+
+    def test_js_disjoint_one_bit(self):
+        assert js_divergence(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(1.0)
+
+    def test_js_symmetric(self):
+        p, q = np.array([0.2, 0.8]), np.array([0.6, 0.4])
+        assert js_divergence(p, q) == pytest.approx(js_divergence(q, p))
+
+    def test_rejects_mismatched_support(self):
+        with pytest.raises(ValueError):
+            total_variation(np.array([1.0]), np.array([0.5, 0.5]))
+
+    def test_rejects_unnormalized(self):
+        with pytest.raises(ValueError):
+            js_divergence(np.array([0.5, 0.6]), np.array([0.5, 0.5]))

@@ -1,0 +1,195 @@
+"""Unit tests for the numpy-only ML stack."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    KNeighborsClassifier,
+    LogisticRegression,
+    LSSVMClassifier,
+    NearestCentroidClassifier,
+    SMOSVMClassifier,
+    accuracy,
+    confusion_matrix,
+    linear_kernel,
+    median_gamma,
+    polynomial_kernel,
+    rbf_kernel,
+    train_test_split,
+)
+
+
+def blobs(n=60, separation=4.0, seed=0):
+    """Two Gaussian blobs, labels 0/1."""
+    rng = np.random.default_rng(seed)
+    x0 = rng.normal(0.0, 1.0, (n // 2, 2))
+    x1 = rng.normal(separation, 1.0, (n // 2, 2))
+    x = np.vstack([x0, x1])
+    y = np.array([0] * (n // 2) + [1] * (n // 2))
+    perm = rng.permutation(n)
+    return x[perm], y[perm]
+
+
+def xor_data(n=80, seed=1):
+    """The XOR pattern: linearly inseparable, RBF-separable."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, (n, 2))
+    y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(np.int64)
+    return x + rng.normal(0, 0.05, x.shape), y
+
+
+class TestKernels:
+    def test_linear(self):
+        a = np.array([[1.0, 0.0], [0.0, 2.0]])
+        assert linear_kernel(a, a) == pytest.approx(np.array([[1, 0], [0, 4]]))
+
+    def test_polynomial(self):
+        a = np.array([[1.0, 1.0]])
+        assert polynomial_kernel(a, a, degree=2, coef0=1.0)[0, 0] == pytest.approx(9.0)
+
+    def test_rbf_diagonal_is_one(self):
+        a = np.random.default_rng(0).normal(size=(5, 3))
+        gram = rbf_kernel(a, a, gamma=0.7)
+        assert np.diag(gram) == pytest.approx(np.ones(5))
+
+    def test_rbf_decays_with_distance(self):
+        a = np.array([[0.0], [1.0], [10.0]])
+        gram = rbf_kernel(a, a, gamma=1.0)
+        assert gram[0, 1] > gram[0, 2]
+
+    def test_rbf_rejects_bad_gamma(self):
+        with pytest.raises(ValueError):
+            rbf_kernel(np.zeros((2, 2)), np.zeros((2, 2)), gamma=0.0)
+
+    def test_median_gamma_positive(self):
+        x, _ = blobs()
+        assert median_gamma(x) > 0
+
+    def test_median_gamma_degenerate(self):
+        assert median_gamma(np.zeros((10, 4))) == pytest.approx(0.25)
+
+
+class TestClassifiersOnBlobs:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: LSSVMClassifier(c=10.0),
+            lambda: SMOSVMClassifier(c=10.0, seed=0),
+            lambda: KNeighborsClassifier(k=5),
+            lambda: NearestCentroidClassifier(),
+            lambda: LogisticRegression(),
+        ],
+    )
+    def test_high_accuracy_on_separable(self, factory):
+        x, y = blobs()
+        x_train, x_test, y_train, y_test = train_test_split(x, y, 0.6, seed=1)
+        model = factory().fit(x_train, y_train)
+        assert accuracy(y_test, model.predict(x_test)) >= 0.9
+
+
+class TestNonlinear:
+    def test_lssvm_solves_xor(self):
+        x, y = xor_data(n=160)
+        x_train, x_test, y_train, y_test = train_test_split(x, y, 0.6, seed=2)
+        model = LSSVMClassifier(c=50.0, gamma=5.0).fit(x_train, y_train)
+        assert accuracy(y_test, model.predict(x_test)) >= 0.85
+
+    def test_centroid_fails_xor(self):
+        # Sanity check that XOR really is linearly inseparable.
+        x, y = xor_data()
+        model = NearestCentroidClassifier().fit(x, y)
+        assert accuracy(y, model.predict(x)) < 0.75
+
+    def test_lssvm_and_smo_agree(self):
+        x, y = blobs(separation=3.0)
+        lssvm = LSSVMClassifier(c=10.0).fit(x, y)
+        smo = SMOSVMClassifier(c=10.0, seed=0).fit(x, y)
+        agreement = (lssvm.predict(x) == smo.predict(x)).mean()
+        assert agreement >= 0.95
+
+
+class TestValidation:
+    def test_lssvm_requires_both_classes(self):
+        with pytest.raises(ValueError):
+            LSSVMClassifier().fit(np.zeros((4, 2)), np.zeros(4))
+
+    def test_lssvm_rejects_bad_labels(self):
+        with pytest.raises(ValueError):
+            LSSVMClassifier().fit(np.zeros((4, 2)), np.array([0, 1, 2, 1]))
+
+    def test_unfitted_predict_raises(self):
+        for model in (LSSVMClassifier(), SMOSVMClassifier(), KNeighborsClassifier(),
+                      NearestCentroidClassifier(), LogisticRegression()):
+            with pytest.raises(RuntimeError):
+                model.predict(np.zeros((1, 2)))
+
+    def test_rejects_nonpositive_c(self):
+        with pytest.raises(ValueError):
+            LSSVMClassifier(c=0)
+        with pytest.raises(ValueError):
+            SMOSVMClassifier(c=-1)
+
+    def test_knn_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(k=0)
+
+
+class TestKNN:
+    def test_k_larger_than_train_set(self):
+        x = np.array([[0.0], [1.0], [10.0]])
+        y = np.array([0, 0, 1])
+        model = KNeighborsClassifier(k=50).fit(x, y)
+        assert model.predict(np.array([[0.5]]))[0] == 0
+
+    def test_tie_breaks_toward_nearest(self):
+        x = np.array([[0.0], [10.0]])
+        y = np.array([0, 1])
+        model = KNeighborsClassifier(k=2).fit(x, y)
+        assert model.predict(np.array([[1.0]]))[0] == 0
+        assert model.predict(np.array([[9.0]]))[0] == 1
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy([1, 0, 1, 1], [1, 0, 0, 1]) == pytest.approx(0.75)
+
+    def test_accuracy_rejects_empty(self):
+        with pytest.raises(ValueError):
+            accuracy([], [])
+
+    def test_accuracy_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy([1, 0], [1])
+
+    def test_confusion_matrix(self):
+        matrix = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        assert matrix.tolist() == [[1, 1], [0, 2]]
+
+    def test_confusion_rejects_bad_labels(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([0, 2], [0, 1])
+
+
+class TestSplit:
+    def test_sizes(self):
+        x = np.arange(20).reshape(10, 2)
+        y = np.arange(10) % 2
+        x_train, x_test, y_train, y_test = train_test_split(x, y, 0.7, seed=0)
+        assert x_train.shape[0] == 7 and x_test.shape[0] == 3
+
+    def test_chronological_when_not_shuffled(self):
+        x = np.arange(10).reshape(10, 1)
+        y = np.zeros(10)
+        x_train, x_test, _, _ = train_test_split(x, y, 0.5, shuffle=False)
+        assert x_train.max() < x_test.min()
+
+    def test_seeded_shuffle_reproducible(self):
+        x = np.arange(10).reshape(10, 1)
+        y = np.zeros(10)
+        a = train_test_split(x, y, 0.5, seed=3)[0]
+        b = train_test_split(x, y, 0.5, seed=3)[0]
+        assert (a == b).all()
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), np.zeros(4), 1.0)

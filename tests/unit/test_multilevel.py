@@ -1,0 +1,135 @@
+"""Unit tests for the multi-bit (K-level) channel extension."""
+
+import numpy as np
+import pytest
+
+from repro._time import ms
+from repro.channel.multilevel import (
+    MultiLevelBayesianDecoder,
+    MultiLevelSenderBehavior,
+    SymbolScript,
+    evaluate_multilevel,
+)
+from repro.model.task import Task
+
+import random
+
+
+def make_script(levels=4, cycles=2, message=None):
+    if message is None:
+        message = (levels - 1, 1, 0)
+    return SymbolScript(
+        window=ms(150), levels=levels, profile_cycles=cycles, message_symbols=message
+    )
+
+
+class TestSymbolScript:
+    def test_profiling_cycles_through_symbols(self):
+        script = make_script(levels=3, cycles=2)
+        assert [script.symbol_of_window(i) for i in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_message_follows_profiling(self):
+        script = make_script(levels=4, cycles=1, message=(3, 2))
+        assert script.symbol_of_window(4) == 3
+        assert script.symbol_of_window(5) == 2
+        assert script.symbol_of_window(6) == 3  # cycles
+
+    def test_profile_windows(self):
+        assert make_script(levels=4, cycles=3).profile_windows == 12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SymbolScript(window=ms(150), levels=1)
+        with pytest.raises(ValueError):
+            SymbolScript(window=ms(150), levels=2, message_symbols=(2,))
+        with pytest.raises(ValueError):
+            SymbolScript(window=0, levels=2)
+
+    def test_random_message_in_range(self):
+        message = SymbolScript.random_message(100, 4, seed=1)
+        assert all(0 <= s < 4 for s in message)
+        assert SymbolScript.random_message(10, 4, 5) == SymbolScript.random_message(10, 4, 5)
+
+
+class TestMultiLevelSender:
+    def test_execution_scales_with_symbol(self):
+        script = SymbolScript(
+            window=ms(150), levels=4, profile_cycles=1, message_symbols=(0,)
+        )
+        behavior = MultiLevelSenderBehavior(script)
+        task = Task(name="s", period=ms(30), wcet=ms(6), local_priority=0)
+        rng = random.Random(0)
+        # profiling windows carry symbols 0,1,2,3
+        execs = [
+            behavior.execution_time(task, i * ms(150), rng) for i in range(4)
+        ]
+        assert execs[0] <= execs[1] <= execs[2] <= execs[3]
+        assert execs[3] == task.wcet
+        assert execs[0] < task.wcet // 4
+
+    def test_periodic_without_phases(self):
+        script = make_script()
+        behavior = MultiLevelSenderBehavior(script)
+        task = Task(name="s", period=ms(30), wcet=ms(6), local_priority=0)
+        assert behavior.inter_arrival(task, 0, random.Random(0)) == ms(30)
+
+
+class TestDecoder:
+    def _training(self, levels=3, n_per=40, spacing=10_000, noise=1_000, seed=0):
+        rng = np.random.default_rng(seed)
+        labels = np.tile(np.arange(levels), n_per)
+        responses = 100_000 + labels * spacing + rng.integers(0, noise, labels.size)
+        return responses.astype(np.float64), labels
+
+    def test_decodes_separated_levels(self):
+        x, y = self._training()
+        decoder = MultiLevelBayesianDecoder(levels=3).fit(x, y)
+        test = np.array([100_500, 110_500, 120_500])
+        assert list(decoder.predict(test)) == [0, 1, 2]
+
+    def test_requires_all_symbols(self):
+        with pytest.raises(ValueError):
+            MultiLevelBayesianDecoder(levels=3).fit(
+                np.array([1.0, 2.0]), np.array([0, 1])
+            )
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MultiLevelBayesianDecoder(levels=2).predict(np.array([1.0]))
+
+    def test_conditional_matrix_rows_normalized(self):
+        x, y = self._training()
+        decoder = MultiLevelBayesianDecoder(levels=3).fit(x, y)
+        matrix = decoder.conditional_matrix()
+        assert matrix.shape[0] == 3
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+
+class TestEvaluate:
+    def test_clean_channel_full_rate(self):
+        rng = np.random.default_rng(1)
+        levels, profile = 4, 40
+        labels = np.concatenate(
+            [np.tile(np.arange(levels), profile // levels), rng.integers(0, levels, 200)]
+        )
+        responses = 100_000 + labels * 10_000 + rng.integers(0, 500, labels.size)
+        result = evaluate_multilevel(labels, responses, profile, levels)
+        assert result.symbol_accuracy > 0.95
+        assert result.bits_per_window > 1.8
+        assert result.max_bits == pytest.approx(2.0)
+
+    def test_scrambled_channel_near_zero(self):
+        rng = np.random.default_rng(2)
+        levels, profile = 4, 40
+        labels = np.concatenate(
+            [np.tile(np.arange(levels), profile // levels), rng.integers(0, levels, 400)]
+        )
+        responses = rng.integers(100_000, 140_000, labels.size)
+        result = evaluate_multilevel(labels, responses, profile, levels)
+        assert result.symbol_accuracy < 0.45
+        assert result.bits_per_window < 0.4
+
+    def test_requires_message_windows(self):
+        labels = np.array([0, 1, 0, 1])
+        with pytest.raises(ValueError):
+            evaluate_multilevel(labels, np.ones(4), 4, 2)

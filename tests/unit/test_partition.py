@@ -1,0 +1,74 @@
+"""Unit tests for the partition (budget server) model."""
+
+import pytest
+
+from repro._time import ms
+from repro.model.partition import Partition
+from repro.model.task import Task
+
+
+def make_partition(**overrides):
+    defaults = dict(name="Pi", period=ms(20), budget=ms(3.2), priority=1)
+    defaults.update(overrides)
+    return Partition(**defaults)
+
+
+def make_task(name="tau", prio=0, period=40, wcet=1.2):
+    return Task(name=name, period=ms(period), wcet=ms(wcet), local_priority=prio)
+
+
+class TestPartitionValidation:
+    def test_valid(self):
+        p = make_partition()
+        assert p.utilization == pytest.approx(0.16)
+
+    def test_rejects_zero_budget(self):
+        with pytest.raises(ValueError):
+            make_partition(budget=0)
+
+    def test_rejects_budget_over_period(self):
+        with pytest.raises(ValueError):
+            make_partition(budget=ms(21))
+
+    def test_budget_equal_period_allowed(self):
+        assert make_partition(budget=ms(20)).utilization == 1.0
+
+    def test_rejects_duplicate_local_priorities(self):
+        with pytest.raises(ValueError):
+            make_partition(tasks=[make_task("a", 0), make_task("b", 0)])
+
+
+class TestTaskAccessors:
+    def test_tasks_by_priority(self):
+        p = make_partition(tasks=[make_task("low", 3), make_task("high", 1)])
+        assert [t.name for t in p.tasks_by_priority()] == ["high", "low"]
+
+    def test_higher_priority_tasks(self):
+        tasks = [make_task("a", 0), make_task("b", 1), make_task("c", 2)]
+        p = make_partition(tasks=tasks)
+        hp = p.higher_priority_tasks(tasks[2])
+        assert {t.name for t in hp} == {"a", "b"}
+
+    def test_higher_priority_of_highest_is_empty(self):
+        tasks = [make_task("a", 0), make_task("b", 1)]
+        p = make_partition(tasks=tasks)
+        assert p.higher_priority_tasks(tasks[0]) == []
+
+    def test_task_utilization(self):
+        p = make_partition(tasks=[make_task("a", 0, period=40, wcet=4)])
+        assert p.task_utilization == pytest.approx(0.1)
+
+    def test_with_tasks_replaces(self):
+        p = make_partition(tasks=[make_task("a", 0)])
+        p2 = p.with_tasks([make_task("b", 0)])
+        assert [t.name for t in p2.tasks] == ["b"]
+        assert [t.name for t in p.tasks] == ["a"]
+
+
+class TestScaled:
+    def test_light_load_halving(self):
+        p = make_partition(tasks=[make_task("a", 0, wcet=1.2)])
+        light = p.scaled(budget_factor=0.5, wcet_factor=0.5)
+        assert light.budget == ms(1.6)
+        assert light.tasks[0].wcet == ms(0.6)
+        assert light.period == p.period

@@ -1,0 +1,155 @@
+"""Unit tests for the global scheduling policies."""
+
+import pytest
+
+from repro._time import ms
+from repro.core.state import PartitionState, SystemState
+from repro.model.configs import table1_system, three_partition_example
+from repro.model.partition import Partition
+from repro.model.system import System
+from repro.sim.policies import (
+    POLICY_NAMES,
+    FixedPriorityPolicy,
+    TDMAPolicy,
+    TDMAUnschedulableError,
+    TimeDicePolicy,
+    make_policy,
+)
+
+
+def pstate(name, priority, period, budget, remaining, repl=0, ready=True):
+    return PartitionState(
+        name=name,
+        period=ms(period),
+        max_budget=ms(budget),
+        priority=priority,
+        remaining_budget=ms(remaining),
+        last_replenishment=ms(repl),
+        ready=ready,
+    )
+
+
+class TestFixedPriority:
+    def test_picks_highest_ready(self):
+        policy = FixedPriorityPolicy()
+        state = SystemState(
+            0, [pstate("a", 1, 20, 4, 0), pstate("b", 2, 30, 4, 4)]
+        )
+        assert policy.decide(state).partition == "b"
+
+    def test_idles_when_nothing_ready(self):
+        policy = FixedPriorityPolicy()
+        state = SystemState(0, [pstate("a", 1, 20, 4, 4, ready=False)])
+        choice = policy.decide(state)
+        assert choice.partition is None
+        assert choice.max_slice is None
+
+
+class TestTimeDicePolicy:
+    def test_quantum_capped_slice(self):
+        policy = TimeDicePolicy(seed=0, quantum=ms(2))
+        state = SystemState(0, [pstate("a", 1, 20, 4, 4)])
+        choice = policy.decide(state)
+        assert choice.max_slice == ms(2)
+
+    def test_name_includes_selector(self):
+        assert TimeDicePolicy(seed=0).name == "timedice-weighted"
+
+    def test_counter_passthrough(self):
+        policy = TimeDicePolicy(seed=0)
+        state = SystemState(
+            0, [pstate("a", 1, 20, 4, 4), pstate("b", 2, 30, 4, 4)]
+        )
+        policy.decide(state)
+        assert policy.total_schedulability_tests >= 1
+
+
+class TestTDMA:
+    def test_table_covers_budgets(self, three_partitions):
+        policy = TDMAPolicy(three_partitions)
+        for partition in three_partitions:
+            total = sum(
+                slot.end - slot.start
+                for slot in policy.slots
+                if slot.partition == partition.name
+            )
+            expected = partition.budget * (policy.hyperperiod // partition.period)
+            assert total == expected
+
+    def test_slots_disjoint_and_ordered(self, three_partitions):
+        policy = TDMAPolicy(three_partitions)
+        for a, b in zip(policy.slots, policy.slots[1:]):
+            assert a.end <= b.start
+
+    def test_budget_served_within_each_period(self, three_partitions):
+        policy = TDMAPolicy(three_partitions)
+        for partition in three_partitions:
+            for k in range(policy.hyperperiod // partition.period):
+                lo, hi = k * partition.period, (k + 1) * partition.period
+                served = sum(
+                    min(s.end, hi) - max(s.start, lo)
+                    for s in policy.slots
+                    if s.partition == partition.name and s.start < hi and s.end > lo
+                )
+                assert served == partition.budget
+
+    def test_decides_owner_only(self, three_partitions):
+        policy = TDMAPolicy(three_partitions)
+        slot = policy.slots[0]
+        states = [
+            pstate(p.name, p.priority, p.period // 1000, p.budget / 1000, p.budget / 1000)
+            for p in three_partitions
+        ]
+        state = SystemState(slot.start, states)
+        assert policy.decide(state).partition == slot.partition
+
+    def test_idles_when_owner_not_ready(self, three_partitions):
+        policy = TDMAPolicy(three_partitions)
+        slot = policy.slots[0]
+        states = [
+            pstate(
+                p.name,
+                p.priority,
+                p.period // 1000,
+                p.budget / 1000,
+                p.budget / 1000,
+                ready=(p.name != slot.partition),
+            )
+            for p in three_partitions
+        ]
+        choice = policy.decide(SystemState(slot.start, states))
+        assert choice.partition is None  # non-work-conserving by design
+
+    def test_unschedulable_set_rejected(self):
+        overloaded = System(
+            [
+                Partition(name="a", period=ms(10), budget=ms(8), priority=1),
+                Partition(name="b", period=ms(10), budget=ms(8), priority=2),
+            ]
+        )
+        with pytest.raises(TDMAUnschedulableError):
+            TDMAPolicy(overloaded)
+
+    def test_slot_lookup_in_gap(self):
+        system = System(
+            [Partition(name="a", period=ms(20), budget=ms(5), priority=1)]
+        )
+        policy = TDMAPolicy(system)
+        slot, until = policy.slot_at(ms(10))
+        assert slot is None
+        assert until == ms(10)  # next period starts at 20
+
+
+class TestMakePolicy:
+    @pytest.mark.parametrize("name", POLICY_NAMES)
+    def test_all_names_construct(self, name, three_partitions):
+        policy = make_policy(name, system=three_partitions, seed=0)
+        assert policy is not None
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_policy("fancy")
+
+    def test_tdma_requires_system(self):
+        with pytest.raises(ValueError):
+            make_policy("tdma")

@@ -1,0 +1,81 @@
+"""Unit tests for the profiling phase (odd/even split, histograms)."""
+
+import numpy as np
+import pytest
+
+from repro._time import ms
+from repro.channel.profiling import (
+    ResponseTimeProfile,
+    profile_from_groups,
+    profile_odd_even,
+)
+
+
+class TestOddEvenSplit:
+    def test_smaller_mean_becomes_x0(self):
+        # Even positions (bit 0) short, odd positions (bit 1) long.
+        measurements = np.array([100, 200, 100, 200, 100, 200]) * 1000
+        profile = profile_odd_even(measurements)
+        assert profile.mean_0 == pytest.approx(100_000)
+        assert profile.mean_1 == pytest.approx(200_000)
+
+    def test_swapped_alternation_still_resolves(self):
+        # If the receiver's indexing is off by one, the groups swap but the
+        # smaller-mean rule still lands on X=0.
+        measurements = np.array([200, 100, 200, 100]) * 1000
+        profile = profile_odd_even(measurements)
+        assert profile.mean_0 == pytest.approx(100_000)
+
+    def test_needs_two_measurements(self):
+        with pytest.raises(ValueError):
+            profile_odd_even(np.array([100.0]))
+
+
+class TestHistograms:
+    def test_probabilities_sum_to_one(self):
+        profile = profile_from_groups(
+            np.array([100, 101, 102]) * 1000.0, np.array([110, 111]) * 1000.0
+        )
+        assert profile.p_r_given_0.sum() == pytest.approx(1.0)
+        assert profile.p_r_given_1.sum() == pytest.approx(1.0)
+
+    def test_shared_support(self):
+        profile = profile_from_groups(
+            np.array([100.0]) * 1000, np.array([110.0]) * 1000
+        )
+        assert profile.p_r_given_0.shape == profile.p_r_given_1.shape
+
+    def test_laplace_smoothing_no_zero_bins(self):
+        profile = profile_from_groups(
+            np.array([100.0]) * 1000, np.array([110.0]) * 1000, laplace=0.5
+        )
+        assert (profile.p_r_given_0 > 0).all()
+        assert (profile.p_r_given_1 > 0).all()
+
+    def test_bin_of_clamps(self):
+        profile = profile_from_groups(
+            np.array([100.0]) * 1000, np.array([110.0]) * 1000
+        )
+        assert profile.bin_of(0) == 0
+        assert profile.bin_of(10**9) == profile.n_bins - 1
+
+    def test_likelihoods_separate(self):
+        profile = profile_from_groups(
+            np.array([100, 100, 100]) * 1000.0, np.array([110, 110]) * 1000.0
+        )
+        like0_at_low, like1_at_low = profile.likelihoods(100_000)
+        assert like0_at_low > like1_at_low
+
+    def test_rejects_empty_group(self):
+        with pytest.raises(ValueError):
+            profile_from_groups(np.array([]), np.array([1.0]))
+
+    def test_rejects_bad_bin_width(self):
+        with pytest.raises(ValueError):
+            profile_from_groups(np.array([1.0]), np.array([2.0]), bin_width=0)
+
+    def test_degenerate_identical_samples(self):
+        profile = profile_from_groups(
+            np.array([100.0]) * 1000, np.array([100.0]) * 1000
+        )
+        assert profile.n_bins >= 1

@@ -1,0 +1,79 @@
+"""Unit tests for the SVG renderers."""
+
+import numpy as np
+import pytest
+
+from repro._time import ms
+from repro.experiments.render import gantt_svg, heatmap_svg, histogram_svg, series_svg
+from repro.sim.trace import Segment
+
+
+def _segments():
+    return [
+        Segment(0, ms(5), "A", "t"),
+        Segment(ms(5), ms(8), None, None),
+        Segment(ms(8), ms(12), "B", "t"),
+    ]
+
+
+class TestGantt:
+    def test_valid_svg_with_lanes(self):
+        svg = gantt_svg(_segments(), ["A", "B"], ms(20), title="demo")
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        assert svg.count("<rect") == 2  # idle omitted
+        assert ">A<" in svg and ">B<" in svg and "demo" in svg
+
+    def test_clips_to_horizon(self):
+        segments = [Segment(0, ms(100), "A", "t")]
+        svg = gantt_svg(segments, ["A"], ms(10))
+        assert "<rect" in svg
+
+    def test_writes_file(self, tmp_path):
+        out = tmp_path / "trace.svg"
+        gantt_svg(_segments(), ["A", "B"], ms(20), path=out)
+        assert out.read_text().startswith("<svg")
+
+
+class TestHeatmap:
+    def test_cells_match_ones(self):
+        matrix = np.array([[1, 0], [0, 1]])
+        svg = heatmap_svg(matrix)
+        # background + two filled cells
+        assert svg.count("<rect") == 3
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            heatmap_svg(np.ones(4))
+
+
+class TestHistogram:
+    def test_one_polyline_per_label(self):
+        svg = histogram_svg(
+            {"X=0": np.array([1.0, 1.1, 1.2]), "X=1": np.array([2.0, 2.1])}
+        )
+        assert svg.count("<polyline") == 2
+        assert "X=0" in svg and "X=1" in svg
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            histogram_svg({"a": np.array([])})
+
+
+class TestSeries:
+    def test_curves_rendered(self):
+        svg = series_svg(
+            {
+                "norandom": [(20, 0.95), (50, 0.97), (100, 0.98)],
+                "timedice": [(20, 0.55), (50, 0.57), (100, 0.58)],
+            }
+        )
+        assert svg.count("<polyline") == 2
+        assert "norandom" in svg
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            series_svg({})
+
+    def test_y_values_clamped(self):
+        svg = series_svg({"x": [(0, 5.0), (1, -3.0)]}, y_limits=(0.0, 1.0))
+        assert "<polyline" in svg

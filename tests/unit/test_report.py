@@ -1,0 +1,66 @@
+"""Unit tests for the plain-text report renderers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.report import (
+    ascii_heatmap,
+    ascii_histogram,
+    format_table,
+    paired_histogram,
+    percentile_summary,
+)
+
+
+class TestFormatTable:
+    def test_aligned_columns(self):
+        text = format_table(["a", "bbb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bbb" in lines[0]
+        assert "333" in lines[2] or "333" in lines[3]
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+
+class TestHistograms:
+    def test_ascii_histogram_contains_stats(self):
+        text = ascii_histogram(np.array([1.0, 2.0, 2.0, 3.0]), bins=3, label="demo")
+        assert "demo" in text and "n=4" in text
+
+    def test_ascii_histogram_empty(self):
+        assert "(no data)" in ascii_histogram(np.array([]), label="x")
+
+    def test_paired_histogram_shared_support(self):
+        text = paired_histogram(np.array([1.0, 1.1]), np.array([2.0, 2.1]), bins=4)
+        assert "0" in text and "1" in text
+
+
+class TestHeatmap:
+    def test_block_rendering(self):
+        matrix = np.array([[1, 0], [0, 1]])
+        text = ascii_heatmap(matrix)
+        assert text.splitlines()[0] == "█·"
+        assert text.splitlines()[1] == "·█"
+
+    def test_downsamples_large(self):
+        matrix = np.ones((600, 600), dtype=int)
+        text = ascii_heatmap(matrix, max_rows=10, max_cols=10)
+        assert len(text.splitlines()) <= 60
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.ones(5))
+
+
+class TestPercentiles:
+    def test_values(self):
+        values = np.arange(1, 101, dtype=float)
+        p25, p50, p75, p99, p100 = percentile_summary(values)
+        assert p50 == pytest.approx(50.5)
+        assert p100 == 100.0
+
+    def test_empty_is_nan(self):
+        assert all(np.isnan(v) for v in percentile_summary(np.array([])))

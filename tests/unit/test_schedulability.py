@@ -1,0 +1,84 @@
+"""Unit tests for the offline schedulability predicates."""
+
+import pytest
+
+from repro._time import ms
+from repro.analysis.schedulability import (
+    partition_budget_response,
+    partition_schedulable,
+    partition_set_schedulable,
+    system_schedulability_report,
+    task_schedulable,
+)
+from repro.model.configs import car_system, table1_system, three_partition_example
+from repro.model.partition import Partition
+from repro.model.system import System
+from repro.model.task import Task
+
+
+def overloaded_system():
+    return System(
+        [
+            Partition(name="a", period=ms(10), budget=ms(8), priority=1),
+            Partition(name="b", period=ms(10), budget=ms(8), priority=2),
+        ]
+    )
+
+
+class TestPartitionLevel:
+    def test_table1_all_schedulable(self, table1):
+        assert partition_set_schedulable(table1)
+
+    def test_car_schedulable(self, car):
+        assert partition_set_schedulable(car)
+
+    def test_three_partition_schedulable(self, three_partitions):
+        assert partition_set_schedulable(three_partitions)
+
+    def test_overloaded_rejected(self):
+        system = overloaded_system()
+        assert not partition_set_schedulable(system)
+        assert partition_schedulable(system, system.by_name("a"))
+        assert not partition_schedulable(system, system.by_name("b"))
+
+    def test_budget_response_values(self, table1):
+        # Pi_1 has no interference: response == own budget.
+        p1 = table1.by_name("Pi_1")
+        assert partition_budget_response(table1, p1) == p1.budget
+        # Pi_2 waits for Pi_1's budget first.
+        p2 = table1.by_name("Pi_2")
+        assert partition_budget_response(table1, p2) == p1.budget + p2.budget
+
+    def test_divergent_returns_none(self):
+        system = overloaded_system()
+        assert partition_budget_response(system, system.by_name("b")) is None
+
+
+class TestTaskLevel:
+    def test_table1_tasks_schedulable_both_ways(self, table1):
+        for part in table1:
+            for task in part.tasks:
+                assert task_schedulable(part, task, timedice=False)
+                assert task_schedulable(part, task, timedice=True)
+
+    def test_unschedulable_task_detected(self):
+        part = Partition(
+            name="P", period=ms(20), budget=ms(2), priority=1,
+            tasks=[Task(name="t", period=ms(20), wcet=ms(2), local_priority=0)],
+        )
+        # Needs 2ms within 20ms; TimeDice worst case is (T-B)+L+(T-B) = 38 > 20.
+        assert not task_schedulable(part, part.tasks[0], timedice=True)
+
+
+class TestReport:
+    def test_full_report_table1(self, table1):
+        report = system_schedulability_report(table1)
+        assert report.all_partitions_schedulable
+        assert report.all_tasks_schedulable_norandom
+        assert report.all_tasks_schedulable_timedice
+        assert len(report.task_ok_timedice) == 25
+
+    def test_report_flags_overload(self):
+        report = system_schedulability_report(overloaded_system())
+        assert not report.all_partitions_schedulable
+        assert report.partition_budget_response_ms["b"] is None

@@ -1,0 +1,128 @@
+"""Unit tests for the random-selection strategies (Sec. IV-A2, Theorem 1)."""
+
+import random
+
+import pytest
+
+from repro._time import ms
+from repro.core.selection import (
+    HighestPrioritySelector,
+    InverseUtilizationSelector,
+    UniformSelector,
+    WeightedUtilizationSelector,
+)
+from repro.core.state import IDLE, PartitionState
+
+
+def pstate(name, priority, period, budget, remaining, repl=0):
+    return PartitionState(
+        name=name,
+        period=ms(period),
+        max_budget=ms(budget),
+        priority=priority,
+        remaining_budget=ms(remaining),
+        last_replenishment=ms(repl),
+    )
+
+
+@pytest.fixture
+def rng():
+    return random.Random(42)
+
+
+class TestUniform:
+    def test_equal_weights(self):
+        selector = UniformSelector()
+        candidates = [pstate("a", 1, 20, 4, 4), pstate("b", 2, 30, 5, 5), IDLE]
+        assert selector.weights(candidates, 0) == [pytest.approx(1 / 3)] * 3
+
+    def test_selects_all_eventually(self, rng):
+        selector = UniformSelector()
+        candidates = [pstate("a", 1, 20, 4, 4), pstate("b", 2, 30, 5, 5)]
+        seen = {selector.select(candidates, 0, rng).name for _ in range(200)}
+        assert seen == {"a", "b"}
+
+    def test_empty_raises(self, rng):
+        with pytest.raises(ValueError):
+            UniformSelector().select([], 0, rng)
+
+
+class TestWeighted:
+    def test_weights_proportional_to_remaining_utilization(self):
+        selector = WeightedUtilizationSelector()
+        # u_a = 4/20 = 0.2; u_b = 5/25... use distinct values.
+        a = pstate("a", 1, 20, 8, 8)   # u = 0.4
+        b = pstate("b", 2, 40, 4, 4)   # u = 0.1
+        weights = selector.weights([a, b], 0)
+        assert weights[0] == pytest.approx(0.8)
+        assert weights[1] == pytest.approx(0.2)
+
+    def test_weights_sum_to_one(self):
+        selector = WeightedUtilizationSelector()
+        candidates = [pstate("a", 1, 20, 8, 8), pstate("b", 2, 40, 4, 4), IDLE]
+        assert sum(selector.weights(candidates, 0)) == pytest.approx(1.0)
+
+    def test_idle_gets_slack_weight(self):
+        selector = WeightedUtilizationSelector()
+        a = pstate("a", 1, 20, 4, 4)  # u = 0.2
+        weights = selector.weights([a, IDLE], 0)
+        assert weights[0] == pytest.approx(0.2)
+        assert weights[1] == pytest.approx(0.8)
+
+    def test_idle_weight_clamped_when_overloaded(self):
+        selector = WeightedUtilizationSelector()
+        a = pstate("a", 1, 20, 16, 16)  # u = 0.8
+        b = pstate("b", 2, 40, 16, 16)  # u = 0.4
+        weights = selector.weights([a, b, IDLE], 0)
+        assert weights[2] == pytest.approx(0.0)
+
+    def test_urgency_grows_as_deadline_nears(self):
+        selector = WeightedUtilizationSelector()
+        a = pstate("a", 1, 20, 4, 4)
+        b = pstate("b", 2, 40, 4, 4)
+        early = selector.weights([a, b], 0)
+        late = selector.weights([a, b], ms(15))  # a has 5ms left to deadline
+        assert late[0] > early[0]
+
+    def test_idle_only_falls_back_to_uniform(self):
+        selector = WeightedUtilizationSelector()
+        assert selector.weights([IDLE], 0) == [1.0]
+
+    def test_selection_follows_weights(self, rng):
+        selector = WeightedUtilizationSelector()
+        a = pstate("a", 1, 20, 16, 16)  # heavily weighted
+        b = pstate("b", 2, 400, 4, 4)   # u = 0.01
+        picks = sum(
+            1 for _ in range(500) if selector.select([a, b], 0, rng).name == "a"
+        )
+        assert picks > 400
+
+
+class TestInverse:
+    def test_weights_inverted(self):
+        selector = InverseUtilizationSelector()
+        a = pstate("a", 1, 20, 8, 8)   # u = 0.4
+        b = pstate("b", 2, 40, 4, 4)   # u = 0.1
+        weights = selector.weights([a, b], 0)
+        assert weights[1] > weights[0]
+
+    def test_weights_sum_to_one(self):
+        selector = InverseUtilizationSelector()
+        candidates = [pstate("a", 1, 20, 8, 8), IDLE]
+        assert sum(selector.weights(candidates, 0)) == pytest.approx(1.0)
+
+
+class TestHighestPriority:
+    def test_picks_first_partition(self, rng):
+        selector = HighestPrioritySelector()
+        candidates = [pstate("a", 1, 20, 4, 4), pstate("b", 2, 30, 4, 4), IDLE]
+        assert selector.select(candidates, 0, rng).name == "a"
+
+    def test_skips_leading_idle(self, rng):
+        selector = HighestPrioritySelector()
+        assert selector.select([IDLE], 0, rng) is IDLE
+
+    def test_weights_are_degenerate(self):
+        selector = HighestPrioritySelector()
+        candidates = [pstate("a", 1, 20, 4, 4), IDLE]
+        assert selector.weights(candidates, 0) == [1.0, 0.0]

@@ -1,0 +1,91 @@
+"""Unit tests for the core runtime-state snapshots."""
+
+import pytest
+
+from repro._time import ms
+from repro.core.state import IDLE, PartitionState, SystemState
+
+
+def pstate(name="P", priority=1, period=20, budget=3.2, remaining=3.2, repl=0, ready=True):
+    return PartitionState(
+        name=name,
+        period=ms(period),
+        max_budget=ms(budget),
+        priority=priority,
+        remaining_budget=ms(remaining),
+        last_replenishment=ms(repl),
+        ready=ready,
+    )
+
+
+class TestPartitionState:
+    def test_active_iff_budget(self):
+        assert pstate(remaining=1 / 1000).active
+        assert not pstate(remaining=0).active
+
+    def test_rejects_negative_remaining(self):
+        with pytest.raises(ValueError):
+            pstate(remaining=-1 / 1000)
+
+    def test_rejects_remaining_over_max(self):
+        with pytest.raises(ValueError):
+            pstate(remaining=4)
+
+    def test_deadline(self):
+        assert pstate(repl=40).deadline() == ms(60)
+
+    def test_next_replenishment_offset(self):
+        state = pstate(repl=40)
+        assert state.next_replenishment_offset(ms(45)) == ms(15)
+
+    def test_remaining_utilization(self):
+        state = pstate(remaining=3.2, repl=0)
+        # u = 3.2 / (20 - 10) at t = 10ms
+        assert state.remaining_utilization(ms(10)) == pytest.approx(0.32)
+
+    def test_remaining_utilization_saturates_at_one(self):
+        state = pstate(remaining=3.2, repl=0)
+        assert state.remaining_utilization(ms(18)) == 1.0
+
+    def test_remaining_utilization_at_deadline(self):
+        state = pstate(remaining=3.2, repl=0)
+        assert state.remaining_utilization(ms(20)) == 1.0
+        assert pstate(remaining=0).remaining_utilization(ms(20)) == 0.0
+
+
+class TestSystemState:
+    def test_sorts_by_priority(self):
+        state = SystemState(0, [pstate("b", 2), pstate("a", 1)])
+        assert [p.name for p in state] == ["a", "b"]
+
+    def test_rejects_duplicate_priorities(self):
+        with pytest.raises(ValueError):
+            SystemState(0, [pstate("a", 1), pstate("b", 1)])
+
+    def test_rejects_future_replenishment(self):
+        with pytest.raises(ValueError):
+            SystemState(0, [pstate("a", 1, repl=5)])
+
+    def test_active_ready_filters(self):
+        state = SystemState(
+            0,
+            [
+                pstate("run", 1),
+                pstate("no_budget", 2, remaining=0),
+                pstate("no_work", 3, ready=False),
+            ],
+        )
+        assert [p.name for p in state.active_ready()] == ["run"]
+
+    def test_by_name(self):
+        state = SystemState(0, [pstate("a", 1)])
+        assert state.by_name("a").priority == 1
+        with pytest.raises(KeyError):
+            state.by_name("nope")
+
+    def test_higher_priority(self):
+        state = SystemState(0, [pstate("a", 1), pstate("b", 2), pstate("c", 3)])
+        assert [p.name for p in state.higher_priority(3)] == ["a", "b"]
+
+    def test_idle_repr(self):
+        assert repr(IDLE) == "IDLE"

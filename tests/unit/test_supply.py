@@ -1,0 +1,95 @@
+"""Unit tests for the periodic-resource supply bound functions."""
+
+import pytest
+
+from repro._time import ms
+from repro.analysis.supply import lsbf, rbf, sbf, sbf_schedulable, sbf_wcrt
+from repro.analysis.wcrt import wcrt_timedice
+from repro.model.configs import table1_system
+from repro.model.partition import Partition
+from repro.model.task import Task
+
+
+@pytest.fixture
+def resource():
+    return Partition(name="R", period=ms(20), budget=ms(5), priority=1)
+
+
+class TestSbf:
+    def test_zero_through_double_gap(self, resource):
+        # gap = 15ms: no guaranteed supply before 2*gap = 30ms.
+        assert sbf(resource, 0) == 0
+        assert sbf(resource, ms(15)) == 0
+        assert sbf(resource, ms(30)) == 0
+
+    def test_ramps_after_starvation(self, resource):
+        assert sbf(resource, ms(31)) == ms(1)
+        assert sbf(resource, ms(35)) == ms(5)
+
+    def test_plateaus_between_periods(self, resource):
+        assert sbf(resource, ms(36)) == ms(5)
+        assert sbf(resource, ms(50)) == ms(5)
+        assert sbf(resource, ms(51)) == ms(6)
+
+    def test_full_budget_every_period_asymptotically(self, resource):
+        assert sbf(resource, ms(30) + 10 * ms(20)) == 10 * ms(5)
+
+    def test_rejects_negative(self, resource):
+        with pytest.raises(ValueError):
+            sbf(resource, -1)
+
+
+class TestLsbf:
+    def test_lower_bounds_sbf_everywhere(self, resource):
+        for t in range(0, 200_001, 777):
+            assert lsbf(resource, t) <= sbf(resource, t) + 1e-9
+
+    def test_matches_bandwidth_slope(self, resource):
+        t1, t2 = ms(100), ms(200)
+        slope = (lsbf(resource, t2) - lsbf(resource, t1)) / (t2 - t1)
+        assert slope == pytest.approx(resource.utilization)
+
+
+class TestRbf:
+    def test_single_task(self, resource):
+        task = Task(name="t", period=ms(40), wcet=ms(3), local_priority=0)
+        part = resource.with_tasks([task])
+        assert rbf(part, task, ms(10)) == ms(3)
+
+    def test_steps_at_hp_arrivals(self):
+        tasks = [
+            Task(name="hp", period=ms(10), wcet=ms(1), local_priority=0),
+            Task(name="lo", period=ms(40), wcet=ms(3), local_priority=1),
+        ]
+        part = Partition(name="R", period=ms(20), budget=ms(5), priority=1, tasks=tasks)
+        assert rbf(part, tasks[1], ms(10)) == ms(4)
+        assert rbf(part, tasks[1], ms(11)) == ms(5)
+
+
+class TestSchedulability:
+    def test_sbf_schedulable_implies_timedice_schedulable(self):
+        # sbf assumes nothing about supply placement — at least as
+        # pessimistic as the TimeDice worst case for implicit deadlines.
+        system = table1_system()
+        for part in system:
+            for task in part.tasks:
+                if sbf_schedulable(part, task):
+                    td = wcrt_timedice(part, task)
+                    assert td is not None and td <= task.deadline, task.name
+
+    def test_sbf_wcrt_dominates_timedice_wcrt(self):
+        system = table1_system()
+        for part in system:
+            for task in part.tasks:
+                bound = sbf_wcrt(part, task)
+                td = wcrt_timedice(part, task)
+                if bound is not None and td is not None:
+                    assert bound >= td - part.period, task.name
+
+    def test_infeasible_task_rejected(self, resource):
+        task = Task(name="big", period=ms(20), wcet=ms(6), local_priority=0)
+        part = resource.with_tasks([task])
+        assert not sbf_schedulable(part, task)
+        assert sbf_wcrt(part, task, horizon=ms(40)) is None or sbf_wcrt(
+            part, task, horizon=ms(40)
+        ) > task.deadline

@@ -1,0 +1,75 @@
+"""Unit tests for the System container."""
+
+import pytest
+
+from repro._time import ms
+from repro.model.partition import Partition
+from repro.model.system import System
+
+
+def part(name, priority, period=20, budget=3.2):
+    return Partition(name=name, period=ms(period), budget=ms(budget), priority=priority)
+
+
+class TestValidation:
+    def test_sorts_by_priority(self):
+        system = System([part("b", 2), part("a", 1)])
+        assert [p.name for p in system] == ["a", "b"]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            System([])
+
+    def test_rejects_duplicate_priorities(self):
+        with pytest.raises(ValueError):
+            System([part("a", 1), part("b", 1)])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError):
+            System([part("a", 1), part("a", 2)])
+
+
+class TestAccessors:
+    def test_by_name(self):
+        system = System([part("a", 1), part("b", 2)])
+        assert system.by_name("b").priority == 2
+
+    def test_by_name_missing_raises(self):
+        with pytest.raises(KeyError):
+            System([part("a", 1)]).by_name("zzz")
+
+    def test_index_of(self):
+        system = System([part("a", 1), part("b", 2)])
+        assert system.index_of(system.by_name("b")) == 1
+
+    def test_higher_priority(self):
+        system = System([part("a", 1), part("b", 2), part("c", 3)])
+        hp = system.higher_priority(system.by_name("c"))
+        assert [p.name for p in hp] == ["a", "b"]
+
+    def test_higher_priority_of_top_is_empty(self):
+        system = System([part("a", 1), part("b", 2)])
+        assert system.higher_priority(system.by_name("a")) == []
+
+    def test_len_and_getitem(self):
+        system = System([part("a", 1), part("b", 2)])
+        assert len(system) == 2
+        assert system[0].name == "a"
+
+
+class TestDerived:
+    def test_utilization_sums(self):
+        system = System([part("a", 1, 20, 4), part("b", 2, 40, 4)])
+        assert system.utilization == pytest.approx(0.2 + 0.1)
+
+    def test_hyperperiod(self):
+        system = System([part("a", 1, 20), part("b", 2, 30), part("c", 3, 50)])
+        assert system.hyperperiod == ms(300)
+
+    def test_scaled(self):
+        system = System([part("a", 1, 20, 4)])
+        assert system.scaled(budget_factor=0.5).utilization == pytest.approx(0.1)
+
+    def test_utilization_map(self):
+        system = System([part("a", 1, 20, 4)])
+        assert system.utilization_map() == {"a": pytest.approx(0.2)}

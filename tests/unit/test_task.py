@@ -1,0 +1,86 @@
+"""Unit tests for the sporadic task model."""
+
+import pytest
+
+from repro._time import ms
+from repro.model.task import Task, rate_monotonic
+
+
+def make_task(**overrides):
+    defaults = dict(name="tau", period=ms(40), wcet=ms(1.2), local_priority=0)
+    defaults.update(overrides)
+    return Task(**defaults)
+
+
+class TestTaskValidation:
+    def test_valid_task(self):
+        task = make_task()
+        assert task.period == 40_000
+        assert task.wcet == 1_200
+
+    def test_implicit_deadline_defaults_to_period(self):
+        assert make_task().deadline == ms(40)
+
+    def test_explicit_deadline_preserved(self):
+        assert make_task(deadline=ms(30)).deadline == ms(30)
+
+    def test_rejects_zero_period(self):
+        with pytest.raises(ValueError):
+            make_task(period=0)
+
+    def test_rejects_zero_wcet(self):
+        with pytest.raises(ValueError):
+            make_task(wcet=0)
+
+    def test_rejects_wcet_exceeding_period(self):
+        with pytest.raises(ValueError):
+            make_task(wcet=ms(50))
+
+    def test_rejects_negative_offset(self):
+        with pytest.raises(ValueError):
+            make_task(offset=-1)
+
+    def test_utilization(self):
+        assert make_task().utilization == pytest.approx(0.03)
+
+    def test_default_behavior_is_periodic(self):
+        assert make_task().behavior == "periodic"
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            make_task().wcet = 1
+
+
+class TestScaled:
+    def test_scaled_wcet(self):
+        task = make_task().scaled(wcet_factor=0.5)
+        assert task.wcet == 600
+
+    def test_scaled_period_scales_deadline(self):
+        task = make_task().scaled(period_factor=2.0)
+        assert task.period == ms(80)
+        assert task.deadline == ms(80)
+
+    def test_scaled_never_below_one(self):
+        task = make_task(wcet=1).scaled(wcet_factor=0.001)
+        assert task.wcet == 1
+
+
+class TestRateMonotonic:
+    def test_orders_by_period(self):
+        tasks = [
+            make_task(name="slow", period=ms(100), local_priority=0),
+            make_task(name="fast", period=ms(10), local_priority=1),
+        ]
+        ordered = rate_monotonic(tasks)
+        by_name = {t.name: t.local_priority for t in ordered}
+        assert by_name["fast"] == 0
+        assert by_name["slow"] == 1
+
+    def test_ties_keep_original_order(self):
+        tasks = [
+            make_task(name="a", period=ms(10), local_priority=5),
+            make_task(name="b", period=ms(10), local_priority=2),
+        ]
+        ordered = rate_monotonic(tasks)
+        assert [t.name for t in sorted(ordered, key=lambda t: t.local_priority)] == ["a", "b"]

@@ -1,0 +1,71 @@
+"""Unit tests for the integer-microsecond time base."""
+
+import pytest
+
+from repro._time import MS, SEC, ceil_div, ceil_div0, ms, sec, to_ms, to_sec, us
+
+
+class TestConversions:
+    def test_ms_integer(self):
+        assert ms(20) == 20_000
+
+    def test_ms_fractional(self):
+        assert ms(1.5) == 1_500
+
+    def test_ms_rounds_to_nearest_microsecond(self):
+        assert ms(0.0004) == 0
+        assert ms(0.0006) == 1
+
+    def test_sec(self):
+        assert sec(2) == 2_000_000
+        assert sec(0.5) == 500_000
+
+    def test_us_identity(self):
+        assert us(123) == 123
+
+    def test_roundtrip_ms(self):
+        assert to_ms(ms(34.8)) == pytest.approx(34.8)
+
+    def test_roundtrip_sec(self):
+        assert to_sec(sec(1.25)) == pytest.approx(1.25)
+
+    def test_units_relate(self):
+        assert SEC == 1000 * MS
+
+
+class TestCeilDiv:
+    def test_exact_division(self):
+        assert ceil_div(8, 2) == 4
+
+    def test_rounds_up(self):
+        assert ceil_div(7, 2) == 4
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 5) == 0
+
+    def test_large_values_stay_exact(self):
+        # 94.8 / 3.2 in ms would round badly in floats; integers do not.
+        assert ceil_div(94_800, 3_200) == 30
+
+    def test_rejects_negative_numerator(self):
+        with pytest.raises(ValueError):
+            ceil_div(-1, 2)
+
+    def test_rejects_nonpositive_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+
+class TestCeilDiv0:
+    def test_negative_clamps_to_zero(self):
+        assert ceil_div0(-3, 2) == 0
+
+    def test_zero_is_zero(self):
+        assert ceil_div0(0, 7) == 0
+
+    def test_positive_matches_ceil_div(self):
+        assert ceil_div0(3, 2) == ceil_div(3, 2)
+
+    def test_rejects_nonpositive_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div0(3, -1)

@@ -1,0 +1,89 @@
+"""Unit tests for the TimeDice facade."""
+
+import random
+
+import pytest
+
+from repro._time import ms
+from repro.core.selection import UniformSelector
+from repro.core.state import IDLE, PartitionState, SystemState
+from repro.core.timedice import DEFAULT_QUANTUM, TimeDice
+
+
+def pstate(name, priority, period, budget, remaining, repl=0, ready=True):
+    return PartitionState(
+        name=name,
+        period=ms(period),
+        max_budget=ms(budget),
+        priority=priority,
+        remaining_budget=ms(remaining),
+        last_replenishment=ms(repl),
+        ready=ready,
+    )
+
+
+class TestConstruction:
+    def test_default_quantum_is_1ms(self):
+        assert DEFAULT_QUANTUM == ms(1)
+        assert TimeDice(seed=0).quantum == ms(1)
+
+    def test_rejects_nonpositive_quantum(self):
+        with pytest.raises(ValueError):
+            TimeDice(quantum=0)
+
+    def test_default_selector_is_weighted(self):
+        assert TimeDice(seed=0).selector.name == "weighted"
+
+
+class TestDecide:
+    def test_decision_from_candidates(self):
+        scheduler = TimeDice(seed=1)
+        state = SystemState(0, [pstate("a", 1, 20, 4, 4), pstate("b", 2, 40, 4, 4)])
+        decision = scheduler.decide(state)
+        assert decision.partition_name in ("a", "b", None)
+        assert decision.quantum == ms(1)
+        assert len(decision.candidates) == 3  # a, b, IDLE
+
+    def test_idle_decision_when_nothing_active(self):
+        scheduler = TimeDice(seed=1)
+        state = SystemState(0, [pstate("a", 1, 20, 4, 0)])
+        decision = scheduler.decide(state)
+        assert decision.is_idle
+        assert decision.partition_name is None
+
+    def test_counters_accumulate(self):
+        scheduler = TimeDice(seed=1)
+        state = SystemState(0, [pstate("a", 1, 20, 4, 4), pstate("b", 2, 40, 4, 4)])
+        for _ in range(5):
+            scheduler.decide(state)
+        assert scheduler.total_decisions == 5
+        assert scheduler.total_schedulability_tests > 0
+        scheduler.reset_counters()
+        assert scheduler.total_decisions == 0
+
+    def test_seed_reproducibility(self):
+        state = SystemState(0, [pstate("a", 1, 20, 4, 4), pstate("b", 2, 40, 4, 4)])
+        picks_a = [TimeDice(seed=7).decide(state).partition_name for _ in range(1)]
+        picks_b = [TimeDice(seed=7).decide(state).partition_name for _ in range(1)]
+        assert picks_a == picks_b
+
+    def test_shared_rng(self):
+        rng = random.Random(3)
+        scheduler = TimeDice(rng=rng)
+        assert scheduler.rng is rng
+
+    def test_never_selects_unschedulable_inversion(self):
+        # "low" may not run: high's 18/20 budget tolerates no 3ms inversion.
+        scheduler = TimeDice(selector=UniformSelector(), quantum=ms(3), seed=2)
+        state = SystemState(
+            0, [pstate("high", 1, 20, 18, 18), pstate("low", 2, 40, 4, 4)]
+        )
+        for _ in range(50):
+            decision = scheduler.decide(state)
+            assert decision.partition_name == "high"
+
+    def test_allow_idle_false(self):
+        scheduler = TimeDice(seed=1, allow_idle=False)
+        state = SystemState(0, [pstate("a", 1, 20, 4, 4)])
+        for _ in range(20):
+            assert scheduler.decide(state).partition_name == "a"

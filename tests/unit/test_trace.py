@@ -1,0 +1,177 @@
+"""Unit tests for the trace observers."""
+
+import numpy as np
+import pytest
+
+from repro._time import ms
+from repro.sim.trace import (
+    BudgetAccountant,
+    DecisionCounter,
+    ExecutionVectorRecorder,
+    JobRecord,
+    ResponseTimeRecorder,
+    SegmentRecorder,
+)
+
+
+def record(task="t", partition="P", arrival=0, start=0, finish=1000, demand=1000):
+    return JobRecord(
+        task=task,
+        partition=partition,
+        arrival=arrival,
+        started_at=start,
+        finished_at=finish,
+        demand=demand,
+    )
+
+
+class TestSegmentRecorder:
+    def test_merges_adjacent_same_owner(self):
+        rec = SegmentRecorder()
+        rec.on_segment(0, 10, "A", "t")
+        rec.on_segment(10, 20, "A", "t")
+        assert len(rec.segments) == 1
+        assert rec.segments[0].duration == 20
+
+    def test_does_not_merge_different_owner(self):
+        rec = SegmentRecorder()
+        rec.on_segment(0, 10, "A", "t")
+        rec.on_segment(10, 20, "B", "t")
+        assert len(rec.segments) == 2
+
+    def test_limit(self):
+        rec = SegmentRecorder(limit=2, merge=False)
+        for i in range(5):
+            rec.on_segment(i * 10, i * 10 + 5, "A", "t")
+        assert len(rec.segments) == 2
+
+    def test_busy_time_clips_to_range(self):
+        rec = SegmentRecorder()
+        rec.on_segment(0, 100, "A", "t")
+        assert rec.busy_time("A", 50, 80) == 30
+        assert rec.busy_time("B", 0, 100) == 0
+
+    def test_partition_timeline(self):
+        rec = SegmentRecorder()
+        rec.on_segment(0, ms(5), None, None)
+        timeline = rec.partition_timeline()
+        assert timeline == [(0.0, 5.0, "idle")]
+
+    def test_csv_roundtrip(self, tmp_path):
+        rec = SegmentRecorder()
+        rec.on_segment(0, ms(5), "A", "t1")
+        rec.on_segment(ms(5), ms(7), None, None)
+        rec.on_segment(ms(7), ms(9), "B", "t2")
+        target = tmp_path / "trace.csv"
+        assert rec.to_csv(target) == 3
+        loaded = SegmentRecorder.from_csv(target)
+        assert loaded.segments == rec.segments
+
+
+class TestResponseTimeRecorder:
+    def test_records_and_summarizes(self):
+        rec = ResponseTimeRecorder()
+        rec.on_job_complete(record(finish=2000))
+        rec.on_job_complete(record(finish=4000))
+        times = rec.response_times("t")
+        assert list(times) == [2000, 4000]
+        assert rec.empirical_wcrt("t") == 4000
+        summary = rec.summary("t")
+        assert summary["count"] == 2
+        assert summary["max"] == pytest.approx(4.0)
+
+    def test_filter(self):
+        rec = ResponseTimeRecorder(["wanted"])
+        rec.on_job_complete(record(task="wanted"))
+        rec.on_job_complete(record(task="other"))
+        assert rec.response_times("other").size == 0
+        assert rec.response_times("wanted").size == 1
+
+    def test_empty_summary(self):
+        rec = ResponseTimeRecorder()
+        assert rec.empirical_wcrt("nope") is None
+        assert rec.summary("nope")["count"] == 0
+
+
+class TestExecutionVectorRecorder:
+    def test_marks_micro_intervals(self):
+        rec = ExecutionVectorRecorder("P", window=ms(150), m=150)
+        rec.on_segment(0, ms(2), "P", "t")  # covers micro intervals 0 and 1
+        vector = rec.vector(0)
+        assert vector[0] == 1 and vector[1] == 1 and vector[2] == 0
+
+    def test_boundary_exclusive(self):
+        rec = ExecutionVectorRecorder("P", window=ms(150), m=150)
+        rec.on_segment(0, ms(1), "P", "t")  # exactly one micro interval
+        assert rec.vector(0)[0] == 1
+        assert rec.vector(0)[1] == 0
+
+    def test_ignores_other_partitions(self):
+        rec = ExecutionVectorRecorder("P", window=ms(150), m=150)
+        rec.on_segment(0, ms(5), "Q", "t")
+        assert rec.vector(0).sum() == 0
+
+    def test_spans_windows(self):
+        rec = ExecutionVectorRecorder("P", window=ms(150), m=150)
+        rec.on_segment(ms(149), ms(151), "P", "t")
+        assert rec.vector(0)[149] == 1
+        assert rec.vector(1)[0] == 1
+
+    def test_matrix_shape(self):
+        rec = ExecutionVectorRecorder("P", window=ms(150), m=150)
+        rec.on_segment(0, ms(1), "P", "t")
+        matrix = rec.matrix(3)
+        assert matrix.shape == (3, 150)
+        assert matrix[1].sum() == 0
+
+    def test_respects_start(self):
+        rec = ExecutionVectorRecorder("P", window=ms(150), m=150, start=ms(150))
+        rec.on_segment(0, ms(10), "P", "t")  # before channel start
+        assert rec.vector(0).sum() == 0
+        rec.on_segment(ms(150), ms(152), "P", "t")
+        assert rec.vector(0)[0] == 1
+
+    def test_rejects_indivisible_window(self):
+        with pytest.raises(ValueError):
+            ExecutionVectorRecorder("P", window=100, m=33)
+
+
+class TestBudgetAccountant:
+    def test_buckets_by_period(self):
+        acct = BudgetAccountant({"P": ms(20)})
+        acct.on_segment(ms(18), ms(24), "P", "t")
+        assert acct.served_in_period("P", 0) == ms(2)
+        assert acct.served_in_period("P", 1) == ms(4)
+
+    def test_min_served(self):
+        acct = BudgetAccountant({"P": ms(20)})
+        acct.on_segment(0, ms(3), "P", "t")
+        acct.on_segment(ms(20), ms(25), "P", "t")
+        assert acct.min_served("P", 0, 1) == ms(3)
+
+    def test_ignores_unknown(self):
+        acct = BudgetAccountant({"P": ms(20)})
+        acct.on_segment(0, ms(3), "Q", "t")
+        acct.on_segment(0, ms(3), None, None)
+        assert acct.served_in_period("P", 0) == 0
+
+
+class TestDecisionCounter:
+    def test_counts(self):
+        counter = DecisionCounter()
+        counter.on_decision(0, "A")
+        counter.on_decision(5, "A")
+        counter.on_segment(0, 5, "A", "t")
+        counter.on_segment(5, 8, "B", "t")
+        counter.on_segment(8, 9, None, None)
+        assert counter.decisions == 2
+        assert counter.switches == 2
+
+    def test_rates(self):
+        counter = DecisionCounter()
+        counter.on_decision(0, "A")
+        rates = counter.rates(ms(500))
+        assert rates["decisions_per_sec"] == pytest.approx(2.0)
+
+    def test_zero_time(self):
+        assert DecisionCounter().rates(0)["decisions_per_sec"] == 0.0

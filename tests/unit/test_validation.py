@@ -1,0 +1,116 @@
+"""Unit tests for the online invariant checker."""
+
+import pytest
+
+from repro._time import ms
+from repro.model.configs import table1_system, three_partition_example
+from repro.sim.engine import Simulator
+from repro.sim.trace import JobRecord
+from repro.sim.validation import InvariantChecker, InvariantViolation
+
+
+class TestSegmentChecks:
+    def test_accepts_contiguous_stream(self, three_partitions):
+        checker = InvariantChecker(three_partitions)
+        checker.on_segment(0, ms(5), "Pi_1", "t")
+        checker.on_segment(ms(5), ms(8), None, None)
+        checker.on_segment(ms(8), ms(10), "Pi_2", "t")
+        assert checker.segments_seen == 3
+
+    def test_rejects_gap(self, three_partitions):
+        checker = InvariantChecker(three_partitions)
+        checker.on_segment(0, ms(5), "Pi_1", "t")
+        with pytest.raises(InvariantViolation, match="contiguous"):
+            checker.on_segment(ms(6), ms(7), "Pi_1", "t")
+
+    def test_rejects_overlap(self, three_partitions):
+        checker = InvariantChecker(three_partitions)
+        checker.on_segment(0, ms(5), "Pi_1", "t")
+        with pytest.raises(InvariantViolation, match="contiguous"):
+            checker.on_segment(ms(4), ms(6), "Pi_1", "t")
+
+    def test_rejects_empty_segment(self, three_partitions):
+        checker = InvariantChecker(three_partitions)
+        with pytest.raises(InvariantViolation, match="empty"):
+            checker.on_segment(ms(5), ms(5), "Pi_1", "t")
+
+    def test_rejects_unknown_partition(self, three_partitions):
+        checker = InvariantChecker(three_partitions)
+        with pytest.raises(InvariantViolation, match="unknown"):
+            checker.on_segment(0, ms(1), "Pi_99", "t")
+
+    def test_rejects_budget_overrun(self, three_partitions):
+        checker = InvariantChecker(three_partitions)
+        budget = three_partitions.by_name("Pi_1").budget
+        with pytest.raises(InvariantViolation, match="exceeding"):
+            checker.on_segment(0, budget + 1, "Pi_1", "t")
+
+    def test_donation_mode_allows_overrun(self, three_partitions):
+        checker = InvariantChecker(three_partitions, allow_donation=True)
+        budget = three_partitions.by_name("Pi_1").budget
+        checker.on_segment(0, budget + ms(2), "Pi_1", "t")  # no raise
+
+
+class TestJobChecks:
+    def _record(self, **overrides):
+        defaults = dict(
+            task="t", partition="Pi_1", arrival=0, started_at=ms(1),
+            finished_at=ms(5), demand=ms(2),
+        )
+        defaults.update(overrides)
+        return JobRecord(**defaults)
+
+    def test_accepts_sane_record(self, three_partitions):
+        InvariantChecker(three_partitions).on_job_complete(self._record())
+
+    def test_rejects_start_before_arrival(self, three_partitions):
+        with pytest.raises(InvariantViolation, match="before its"):
+            InvariantChecker(three_partitions).on_job_complete(
+                self._record(arrival=ms(2), started_at=ms(1))
+            )
+
+    def test_rejects_response_below_demand(self, three_partitions):
+        with pytest.raises(InvariantViolation, match="demand"):
+            InvariantChecker(three_partitions).on_job_complete(
+                self._record(finished_at=ms(1), demand=ms(2), started_at=0)
+            )
+
+
+class TestLiveRuns:
+    @pytest.mark.parametrize("policy", ["norandom", "timedice", "tdma"])
+    def test_clean_run_validates(self, policy):
+        system = three_partition_example()
+        checker = InvariantChecker(system)
+        sim = Simulator(system, policy=policy, seed=2, observers=[checker])
+        sim.run_for_ms(900)
+        assert checker.segments_seen > 0
+        assert checker.jobs_seen > 0
+
+    def test_table1_timedice_validates(self):
+        system = table1_system()
+        checker = InvariantChecker(system)
+        sim = Simulator(system, policy="timedice", seed=3, observers=[checker])
+        sim.run_for_seconds(3)
+
+    def test_donation_run_needs_donation_mode(self):
+        from repro.model.partition import Partition
+        from repro.model.system import System
+        from repro.model.task import Task
+
+        donor = Partition(name="donor", period=ms(20), budget=ms(10), priority=1)
+        needy = Partition(
+            name="needy", period=ms(20), budget=ms(2), priority=2,
+            tasks=[Task(name="w", period=ms(20), wcet=ms(12), local_priority=0)],
+        )
+        system = System([donor, needy])
+        strict = InvariantChecker(system)
+        sim = Simulator(
+            system, policy="norandom", seed=0, observers=[strict], budget_donation=True
+        )
+        with pytest.raises(InvariantViolation):
+            sim.run_for_ms(40)
+        lenient = InvariantChecker(system, allow_donation=True)
+        sim = Simulator(
+            system, policy="norandom", seed=0, observers=[lenient], budget_donation=True
+        )
+        sim.run_for_ms(40)

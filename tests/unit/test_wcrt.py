@@ -1,0 +1,174 @@
+"""Unit tests for the WCRT analyses — pinned against the paper's Table II.
+
+The TimeDice column is reproduced digit-for-digit (25/25). The NoRandom
+reconstruction matches 19/25 exactly; the six documented exceptions are
+lower by exactly one higher-priority budget (see the module docstring of
+``repro.analysis.wcrt``).
+"""
+
+import pytest
+
+from repro._time import ms, to_ms
+from repro.analysis.wcrt import (
+    local_load,
+    partition_busy_period,
+    wcrt_norandom,
+    wcrt_norandom_modular,
+    wcrt_table,
+    wcrt_timedice,
+)
+from repro.model.configs import table1_system
+from repro.model.partition import Partition
+from repro.model.task import Task
+
+#: Table II analytic columns, ms, in (partition, task) order.
+PAPER_NORANDOM = [
+    18.00, 37.20, 60.00, 158.40, 598.80,
+    30.20, 59.00, 93.20, 330.80, 903.20,
+    44.00, 84.80, 128.00, 444.80, 1208.00,
+    59.40, 110.40, 167.60, 560.40, 1517.60,
+    79.60, 145.60, 210.40, 685.60, 1830.40,
+]
+PAPER_TIMEDICE = [
+    34.80, 55.20, 76.80, 235.20, 616.80,
+    52.20, 82.80, 115.20, 352.80, 925.20,
+    69.60, 110.40, 153.60, 470.40, 1233.60,
+    87.00, 138.00, 192.00, 588.00, 1542.00,
+    104.40, 165.60, 230.40, 705.60, 1850.40,
+]
+#: Tasks whose NoRandom reconstruction is known to undershoot the paper by
+#: exactly one hp budget (alignment-dependent carry-in, see DESIGN.md).
+KNOWN_NR_DEVIATIONS = {
+    "tau_4,3": 3.2, "tau_4,5": 3.2,
+    "tau_5,2": 4.8, "tau_5,3": 4.8, "tau_5,4": 4.8, "tau_5,5": 4.8,
+}
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return wcrt_table(table1_system())
+
+
+class TestTable2TimeDice:
+    def test_all_25_values_exact(self, rows):
+        for row, expected in zip(rows, PAPER_TIMEDICE):
+            assert row.timedice_ms == pytest.approx(expected, abs=0.005), row.task
+
+
+class TestTable2NoRandom:
+    def test_19_values_exact(self, rows):
+        for row, expected in zip(rows, PAPER_NORANDOM):
+            if row.task in KNOWN_NR_DEVIATIONS:
+                continue
+            assert row.norandom_ms == pytest.approx(expected, abs=0.005), row.task
+
+    def test_deviations_are_exactly_one_hp_budget(self, rows):
+        for row, expected in zip(rows, PAPER_NORANDOM):
+            if row.task not in KNOWN_NR_DEVIATIONS:
+                continue
+            assert expected - row.norandom_ms == pytest.approx(
+                KNOWN_NR_DEVIATIONS[row.task], abs=0.005
+            ), row.task
+
+
+class TestStructuralProperties:
+    def test_timedice_never_faster(self, rows):
+        for row in rows:
+            assert row.timedice_ms >= row.norandom_ms
+
+    def test_delta_bounded_by_partition_period_mostly(self, rows):
+        # Sec. V-B2: "in most cases, the difference in the analytic WCRT did
+        # not exceed one replenishment period" — the paper's own Table II has
+        # two exceptions (tau_1,4 at 76.8 ms and tau_3,5); assert the "most".
+        system = table1_system()
+        within = sum(
+            1
+            for row in rows
+            if row.delta_ms <= to_ms(system.by_name(row.partition).period) + 1e-9
+        )
+        assert within >= 22
+
+    def test_delta_never_negative(self, rows):
+        for row in rows:
+            assert row.delta_ms >= -1e-9, row.task
+
+    def test_all_schedulable(self, rows):
+        for row in rows:
+            assert row.schedulable_norandom, row.task
+            assert row.schedulable_timedice, row.task
+
+
+class TestLocalLoad:
+    def test_single_task(self):
+        part = Partition(
+            name="P", period=ms(20), budget=ms(4), priority=1,
+            tasks=[Task(name="a", period=ms(40), wcet=ms(2), local_priority=0)],
+        )
+        assert local_load(part, part.tasks[0], ms(10)) == ms(2)
+
+    def test_includes_local_hp(self):
+        tasks = [
+            Task(name="a", period=ms(40), wcet=ms(2), local_priority=0),
+            Task(name="b", period=ms(80), wcet=ms(3), local_priority=1),
+        ]
+        part = Partition(name="P", period=ms(20), budget=ms(4), priority=1, tasks=tasks)
+        # window = (20-4) + 24 = 40 -> exactly one arrival of "a"
+        assert local_load(part, tasks[1], ms(24)) == ms(5)
+        # window = 56 -> two arrivals of "a"
+        assert local_load(part, tasks[1], ms(40)) == ms(7)
+
+
+class TestPartitionBusyPeriod:
+    def test_empty(self):
+        assert partition_busy_period([]) == 0
+
+    def test_table1_values(self):
+        system = table1_system()
+        # The constants used by the Table II NoRandom column.
+        expected = {"Pi_2": 3.2, "Pi_3": 8.0, "Pi_4": 14.4, "Pi_5": 25.6}
+        for name, value in expected.items():
+            busy = partition_busy_period(system.higher_priority(system.by_name(name)))
+            assert to_ms(busy) == pytest.approx(value)
+
+    def test_full_utilization_single_partition_converges(self):
+        # Exactly one saturating partition has a finite busy period (= B).
+        full = [Partition(name="x", period=ms(10), budget=ms(10), priority=1)]
+        assert partition_busy_period(full) == ms(10)
+
+    def test_divergent_returns_none(self):
+        overloaded = [
+            Partition(name="x", period=ms(10), budget=ms(8), priority=1),
+            Partition(name="y", period=ms(10), budget=ms(8), priority=2),
+        ]
+        assert partition_busy_period(overloaded) is None
+
+
+class TestUnschedulable:
+    def test_divergent_local_load_returns_none(self):
+        # The local hp task alone outstrips the partition bandwidth, so the
+        # recurrence diverges past the limit.
+        part = Partition(
+            name="P", period=ms(20), budget=ms(2), priority=1,
+            tasks=[
+                Task(name="greedy", period=ms(20), wcet=ms(4), local_priority=0),
+                Task(name="victim", period=ms(40), wcet=ms(1), local_priority=1),
+            ],
+        )
+        assert wcrt_timedice(part, part.tasks[1]) is None
+        assert wcrt_norandom(part, part.tasks[1]) is None
+
+    def test_merely_late_task_returns_value_beyond_deadline(self):
+        part = Partition(
+            name="P", period=ms(20), budget=ms(2), priority=1,
+            tasks=[Task(name="hog", period=ms(40), wcet=ms(20), local_priority=0)],
+        )
+        wcrt = wcrt_norandom(part, part.tasks[0])
+        assert wcrt is not None and wcrt > part.tasks[0].deadline
+
+    def test_modular_leq_hierarchical(self):
+        system = table1_system()
+        for part in system:
+            for task in part.tasks:
+                modular = wcrt_norandom_modular(part, task)
+                hierarchical = wcrt_norandom(part, task, system=system)
+                assert modular <= hierarchical
