@@ -1,0 +1,71 @@
+"""Campaign-runner throughput: jobs=1 vs jobs=4, cold vs warm cache.
+
+Uses the built-in ``checksum_cell`` spin task so the numbers measure the
+runner itself (dispatch, pooling, caching, telemetry) rather than simulator
+time. ``extra_info`` records cells/second for each configuration plus the
+parallel speedup and the warm/cold cache ratio.
+"""
+
+import time
+
+from benchmarks.conftest import run_once
+from repro.runner import CampaignSpec, run_campaign
+
+_CELLS = 16
+_SPIN = 400_000  # ~tens of ms per cell: enough for pool dispatch to amortize
+
+
+def _spec():
+    return CampaignSpec.from_grid(
+        "bench",
+        task="repro.runner.tasks:checksum_cell",
+        axes={"seed": list(range(_CELLS))},
+        fixed={"spin": _SPIN},
+    )
+
+
+def _timed(**kwargs):
+    start = time.perf_counter()
+    result = run_campaign(_spec(), **kwargs)
+    return result, time.perf_counter() - start
+
+
+def test_runner_throughput(benchmark, tmp_path):
+    cache = str(tmp_path / "cache")
+
+    def campaign_matrix():
+        serial, t_serial = _timed(jobs=1)
+        parallel, t_parallel = _timed(jobs=4)
+        cold, t_cold = _timed(jobs=4, cache=cache)
+        warm, t_warm = _timed(jobs=4, cache=cache)
+        return {
+            "serial": (serial, t_serial),
+            "parallel": (parallel, t_parallel),
+            "cold": (cold, t_cold),
+            "warm": (warm, t_warm),
+        }
+
+    runs = run_once(benchmark, campaign_matrix)
+
+    serial, t_serial = runs["serial"]
+    parallel, t_parallel = runs["parallel"]
+    cold, t_cold = runs["cold"]
+    warm, t_warm = runs["warm"]
+
+    benchmark.extra_info.update(
+        {
+            "cells": _CELLS,
+            "jobs1_cells_per_s": round(_CELLS / t_serial, 2),
+            "jobs4_cells_per_s": round(_CELLS / t_parallel, 2),
+            "jobs4_speedup": round(t_serial / t_parallel, 2),
+            "cold_cache_s": round(t_cold, 4),
+            "warm_cache_s": round(t_warm, 4),
+            "warm_over_cold_speedup": round(t_cold / max(t_warm, 1e-9), 1),
+        }
+    )
+
+    # Correctness invariants of the benchmark scenario itself.
+    assert serial.results == parallel.results == cold.results == warm.results
+    assert warm.telemetry.cached == _CELLS and warm.telemetry.computed == 0
+    # A warm cache must beat recomputation outright.
+    assert t_warm < t_cold

@@ -32,8 +32,11 @@ from repro._time import MS, SEC, US, ceil_div, ceil_div0, ms, sec, to_ms, to_sec
 
 __version__ = "1.0.0"
 
+from repro.runner.seeding import derive_seed  # noqa: E402 — needs __version__ defined
+
 __all__ = [
     "__version__",
+    "derive_seed",
     "US",
     "MS",
     "SEC",

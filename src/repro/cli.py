@@ -3,15 +3,30 @@
 Each subcommand regenerates one of the paper's tables or figures as plain
 text. ``--quick`` shrinks sample counts for smoke runs; ``--full`` scales
 them up toward the paper's sample sizes (slower).
+
+Campaign-backed subcommands (``fig4``, ``fig12``, ``load-sweep``,
+``defense-matrix``) additionally honor ``--jobs N`` (parallel workers),
+``--no-cache`` / ``--cache-dir`` (on-disk result caching under
+``.repro_cache/`` by default), and ``--telemetry-out`` (dump structured
+campaign telemetry as JSON). ``python -m repro campaign <target>`` runs the
+same targets with an explicit campaign framing and prints the telemetry.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Callable, Dict, List, Optional
 
+from repro.runner import (
+    ProgressPrinter,
+    add_default_listener,
+    drain_session,
+    remove_default_listener,
+    session_footer,
+)
 from repro.experiments import (
     classifier_comparison,
     coding_study,
@@ -38,11 +53,18 @@ def _scale(args: argparse.Namespace, quick: int, default: int, full: int) -> int
     return default
 
 
+def _campaign_kwargs(args: argparse.Namespace) -> Dict[str, object]:
+    """jobs/cache keywords shared by every campaign-backed subcommand."""
+    cache = None if args.no_cache else (args.cache_dir or ".repro_cache")
+    return {"jobs": args.jobs, "cache": cache}
+
+
 def _run_fig4(args) -> str:
     sizes = (10, 20, 50) if args.quick else (20, 50, 100, 200)
     messages = _scale(args, 100, 400, 2000)
     return fig04_feasibility.run(
-        profile_sizes=sizes, message_windows=messages, seed=args.seed
+        profile_sizes=sizes, message_windows=messages, seed=args.seed,
+        **_campaign_kwargs(args),
     ).format()
 
 
@@ -55,7 +77,8 @@ def _run_fig12(args) -> str:
     sizes = (10, 20, 50) if args.quick else (20, 50, 100, 200)
     messages = _scale(args, 100, 400, 2000)
     return fig12_accuracy.run(
-        profile_sizes=sizes, message_windows=messages, seed=args.seed
+        profile_sizes=sizes, message_windows=messages, seed=args.seed,
+        **_campaign_kwargs(args),
     ).format()
 
 
@@ -133,6 +156,7 @@ def _run_defense_matrix(args) -> str:
         message_windows=_scale(args, 80, 200, 1000),
         order_windows=_scale(args, 80, 200, 1000),
         seed=args.seed,
+        **_campaign_kwargs(args),
     ).format()
 
 
@@ -141,6 +165,7 @@ def _run_load_sweep(args) -> str:
         profile_windows=_scale(args, 40, 100, 300),
         message_windows=_scale(args, 80, 250, 1000),
         seed=args.seed,
+        **_campaign_kwargs(args),
     ).format()
 
 
@@ -254,6 +279,7 @@ COMMANDS: Dict[str, Callable] = {
         profile_sizes=(10, 20, 50) if args.quick else (20, 50, 100, 200),
         message_windows=_scale(args, 100, 400, 2000),
         seed=args.seed,
+        **_campaign_kwargs(args),
     ).format(),
     "fig6": _run_fig6,
     "fig12": _run_fig12,
@@ -274,7 +300,33 @@ COMMANDS: Dict[str, Callable] = {
     "classifiers": _run_classifiers,
     "coding": _run_coding,
     "figures": _run_figures,
+    "campaign": None,  # dispatches through CAMPAIGN_TARGETS (see _run_campaign)
 }
+
+#: Subcommands expressible as ``python -m repro campaign <target>``.
+CAMPAIGN_TARGETS: Dict[str, Callable] = {
+    "fig4": _run_fig4,
+    "fig12": _run_fig12,
+    "defense-matrix": _run_defense_matrix,
+    "load-sweep": _run_load_sweep,
+}
+
+
+def _run_campaign(args) -> str:
+    """``python -m repro campaign <target> [--jobs N] [--no-cache]``."""
+    if not args.target:
+        raise SystemExit(
+            f"campaign requires a target: one of {', '.join(sorted(CAMPAIGN_TARGETS))}"
+        )
+    if args.target not in CAMPAIGN_TARGETS:
+        raise SystemExit(
+            f"unknown campaign target {args.target!r}; "
+            f"choose from {', '.join(sorted(CAMPAIGN_TARGETS))}"
+        )
+    return CAMPAIGN_TARGETS[args.target](args)
+
+
+COMMANDS["campaign"] = _run_campaign
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -287,9 +339,37 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(COMMANDS),
         help="which table/figure to regenerate",
     )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="campaign target (campaign command only): "
+        + ", ".join(sorted(CAMPAIGN_TARGETS)),
+    )
     parser.add_argument("--seed", type=int, default=3, help="simulation seed")
     parser.add_argument(
         "--out", default=None, help="output directory (figures command only)"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="parallel worker processes for campaign-backed subcommands",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk campaign result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="campaign result cache directory (default .repro_cache)",
+    )
+    parser.add_argument(
+        "--telemetry-out",
+        default=None,
+        help="write campaign telemetry snapshots to this JSON file",
     )
     scale = parser.add_mutually_exclusive_group()
     scale.add_argument("--quick", action="store_true", help="small smoke-test sizes")
@@ -302,9 +382,28 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     started = time.time()
-    output = COMMANDS[args.experiment](args)
+    drain_session()  # footer covers only this invocation's campaigns
+    progress = ProgressPrinter(sys.stderr)
+    add_default_listener(progress)
+    try:
+        output = COMMANDS[args.experiment](args)
+    finally:
+        remove_default_listener(progress)
+        progress.close()
     print(output)
-    print(f"\n[{args.experiment} completed in {time.time() - started:.1f}s]")
+    stats = drain_session()
+    name = args.experiment if args.experiment != "campaign" else f"campaign {args.target}"
+    footer = f"[{name} completed in {time.time() - started:.1f}s"
+    if stats:
+        footer += f" | {session_footer(stats)}"
+    footer += "]"
+    print("\n" + footer)
+    if args.telemetry_out:
+        with open(args.telemetry_out, "w", encoding="utf-8") as handle:
+            json.dump([t.snapshot() for t in stats], handle, indent=2, sort_keys=True)
+    if args.experiment == "campaign" and stats:
+        for t in stats:
+            print(f"  {t.progress_line()} [{t.elapsed:.1f}s, jobs={t.jobs}]")
     return 0
 
 

@@ -22,7 +22,7 @@ operate on disjoint schedule layers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -32,6 +32,7 @@ from repro.experiments.configs import LIGHT_ALPHA, feasibility_experiment, fig18
 from repro.experiments.fig18_blinder import WINDOW, _OrderObserver
 from repro.experiments.report import format_table
 from repro.ml.metrics import accuracy
+from repro.runner import CampaignCell, CampaignSpec, ResultCache, derive_seed, run_campaign
 from repro.sim.behaviors import ChannelScript
 from repro.sim.engine import Simulator
 
@@ -90,31 +91,99 @@ def _order_accuracy(policy: str, factory, n_windows: int, seed: int) -> float:
     return accuracy(truth, observer.decoded_bits(n_windows))
 
 
+def _local_factory(local_name: str):
+    """Resolve a local-scheduler factory from its matrix row name."""
+    for name, factory in LOCALS:
+        if name == local_name:
+            return factory
+    raise ValueError(f"unknown local scheduler {local_name!r}")
+
+
+def _matrix_cell(params: Mapping[str, Any]) -> Dict[str, float]:
+    """Campaign cell: one (global, local) configuration against all three
+    channel observables."""
+    policy = params["policy"]
+    factory = _local_factory(params["local"])
+    budget_experiment = feasibility_experiment(
+        alpha=params["alpha"],
+        profile_windows=params["profile_windows"],
+        message_windows=params["message_windows"],
+    )
+    dataset = budget_experiment.run(
+        policy, seed=params["seed"], local_scheduler_factory=factory
+    )
+    attacks = {
+        r.method: r.accuracy
+        for r in evaluate_attacks(dataset, [params["profile_windows"]])
+    }
+    return {
+        "budget-ev": attacks["execution-vector"],
+        "budget-rt": attacks["response-time"],
+        "order": _order_accuracy(
+            policy, factory, params["order_windows"], params["seed"]
+        ),
+    }
+
+
+def campaign(
+    profile_windows: int = 100,
+    message_windows: int = 200,
+    order_windows: int = 200,
+    seed: int = 5,
+    alpha: float = LIGHT_ALPHA,
+) -> CampaignSpec:
+    """The defense matrix as a declarative campaign (one cell per
+    global × local configuration)."""
+    cells = []
+    for global_name, policy in GLOBALS:
+        for local_name, _factory in LOCALS:
+            key = f"global={global_name}/local={local_name}"
+            cells.append(
+                CampaignCell(
+                    key=key,
+                    task="repro.experiments.defense_matrix:_matrix_cell",
+                    params={
+                        "policy": policy,
+                        "local": local_name,
+                        "alpha": float(alpha),
+                        "profile_windows": int(profile_windows),
+                        "message_windows": int(message_windows),
+                        "order_windows": int(order_windows),
+                        "seed": derive_seed(seed, key),
+                    },
+                )
+            )
+    return CampaignSpec(name="defense-matrix", cells=cells)
+
+
 def run(
     profile_windows: int = 100,
     message_windows: int = 200,
     order_windows: int = 200,
     seed: int = 5,
     alpha: float = LIGHT_ALPHA,
+    jobs: int = 1,
+    cache: Union[None, str, ResultCache] = None,
 ) -> DefenseMatrixResult:
     """Default load is the light configuration — the adversary's best case,
-    and therefore the most meaningful place to compare defenses."""
-    result = DefenseMatrixResult()
-    budget_experiment = feasibility_experiment(
-        alpha=alpha, profile_windows=profile_windows, message_windows=message_windows
+    and therefore the most meaningful place to compare defenses.
+
+    Runs as a :mod:`repro.runner` campaign: the four (global, local)
+    configurations execute across ``jobs`` workers with per-cell derived
+    seeds and optional result caching."""
+    spec = campaign(
+        profile_windows=profile_windows,
+        message_windows=message_windows,
+        order_windows=order_windows,
+        seed=seed,
+        alpha=alpha,
     )
-    for global_name, policy in GLOBALS:
-        for local_name, factory in LOCALS:
-            dataset = budget_experiment.run(
-                policy, seed=seed, local_scheduler_factory=factory
-            )
-            attacks = {
-                r.method: r.accuracy
-                for r in evaluate_attacks(dataset, [profile_windows])
-            }
-            result.cells[(global_name, local_name)] = {
-                "budget-ev": attacks["execution-vector"],
-                "budget-rt": attacks["response-time"],
-                "order": _order_accuracy(policy, factory, order_windows, seed),
-            }
+    outcome = run_campaign(spec, jobs=jobs, cache=cache)
+    result = DefenseMatrixResult()
+    cell_iter = iter(spec.cells)
+    for global_name, _policy in GLOBALS:
+        for local_name, _factory in LOCALS:
+            result.cells[(global_name, local_name)] = outcome.results[
+                next(cell_iter).key
+            ]
     return result

@@ -13,7 +13,7 @@ Three panels:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Any, Dict, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -26,6 +26,7 @@ from repro.experiments.fig12_accuracy import (
 )
 from repro.experiments.report import ascii_heatmap, ascii_histogram, paired_histogram
 from repro.model.configs import DEFAULT_ALPHA
+from repro.runner import CampaignCell, CampaignSpec, ResultCache, derive_seed, run_campaign
 
 
 @dataclass
@@ -64,24 +65,72 @@ class Fig4Result:
         )
 
 
+def _panel_cell(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Campaign cell: harvest the panels (a)/(b) dataset and serialize it."""
+    experiment = feasibility_experiment(
+        alpha=params["alpha"],
+        profile_windows=params["profile_windows"],
+        message_windows=params["message_windows"],
+    )
+    dataset = experiment.run(params["policy"], seed=params["seed"])
+    return {
+        "labels": dataset.labels.tolist(),
+        "response_times": dataset.response_times.tolist(),
+        "vectors": dataset.vectors.tolist(),
+        "profile_windows": int(dataset.profile_windows),
+        "window": int(dataset.window),
+    }
+
+
+def _deserialize_dataset(payload: Mapping[str, Any]) -> ChannelDataset:
+    return ChannelDataset(
+        labels=np.asarray(payload["labels"]),
+        response_times=np.asarray(payload["response_times"]),
+        vectors=np.asarray(payload["vectors"]),
+        profile_windows=payload["profile_windows"],
+        window=payload["window"],
+    )
+
+
 def run(
     profile_sizes: Sequence[int] = DEFAULT_PROFILE_SIZES,
     message_windows: int = 400,
     seed: int = 3,
+    jobs: int = 1,
+    cache: Union[None, str, ResultCache] = None,
 ) -> Fig4Result:
     """Collect one NoRandom base-load dataset for panels (a)/(b) and run the
-    NoRandom-only accuracy sweep for panel (c)."""
-    experiment = feasibility_experiment(
-        alpha=DEFAULT_ALPHA,
-        profile_windows=max(profile_sizes),
-        message_windows=message_windows,
+    NoRandom-only accuracy sweep for panel (c).
+
+    Both parts execute as :mod:`repro.runner` campaigns: the panel dataset
+    is one cell (cacheable across invocations), the panel-(c) sweep fans
+    out across ``jobs`` workers exactly like Fig. 12."""
+    panel_key = "panel/policy=norandom"
+    panel_spec = CampaignSpec(
+        name="fig4-panels",
+        cells=[
+            CampaignCell(
+                key=panel_key,
+                task="repro.experiments.fig04_feasibility:_panel_cell",
+                params={
+                    "alpha": DEFAULT_ALPHA,
+                    "policy": "norandom",
+                    "profile_windows": int(max(profile_sizes)),
+                    "message_windows": int(message_windows),
+                    "seed": derive_seed(seed, panel_key),
+                },
+            )
+        ],
     )
-    dataset = experiment.run("norandom", seed=seed)
+    panels = run_campaign(panel_spec, jobs=1, cache=cache)
+    dataset = _deserialize_dataset(panels.results[panel_key])
     sweep = accuracy_sweep(
         policies=("norandom",),
         alphas=(DEFAULT_ALPHA, LIGHT_ALPHA),
         profile_sizes=profile_sizes,
         message_windows=message_windows,
         seed=seed,
+        jobs=jobs,
+        cache=cache,
     )
     return Fig4Result(dataset=dataset, sweep=sweep)

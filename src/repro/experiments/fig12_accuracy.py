@@ -10,12 +10,13 @@ Fig. 4(c) is the NoRandom slice of the same sweep, so
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Sequence, Tuple, Union
 
 from repro.channel.attack import AttackResult, evaluate_attacks
 from repro.experiments.configs import LIGHT_ALPHA, feasibility_experiment
 from repro.experiments.report import format_table
 from repro.model.configs import DEFAULT_ALPHA
+from repro.runner import CampaignCell, CampaignSpec, ResultCache, default_key, derive_seed, run_campaign
 
 DEFAULT_POLICIES = ("norandom", "timedice-uniform", "timedice")
 DEFAULT_PROFILE_SIZES = (20, 50, 100, 200)
@@ -58,34 +59,91 @@ class AccuracySweep:
         return "\n\n".join(blocks)
 
 
+def _sweep_cell(params: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """Campaign cell: one (alpha, policy) simulation, scored at every
+    profiling size. Returns a JSON-serializable list of attack scores."""
+    experiment = feasibility_experiment(
+        alpha=params["alpha"],
+        profile_windows=params["profile_windows"],
+        message_windows=params["message_windows"],
+    )
+    dataset = experiment.run(params["policy"], seed=params["seed"])
+    return [
+        {"method": r.method, "m": r.profile_windows, "accuracy": r.accuracy}
+        for r in evaluate_attacks(dataset, params["profile_sizes"])
+    ]
+
+
+def sweep_campaign(
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    alphas: Sequence[float] = (DEFAULT_ALPHA, LIGHT_ALPHA),
+    profile_sizes: Sequence[int] = DEFAULT_PROFILE_SIZES,
+    message_windows: int = 400,
+    seed: int = 3,
+    name: str = "fig12",
+) -> CampaignSpec:
+    """The accuracy sweep as a declarative campaign: one cell per
+    (alpha, policy), each with a key-derived seed."""
+    cells = []
+    for alpha in alphas:
+        for policy in policies:
+            key = default_key({"alpha": float(alpha), "policy": policy})
+            cells.append(
+                CampaignCell(
+                    key=key,
+                    task="repro.experiments.fig12_accuracy:_sweep_cell",
+                    params={
+                        "alpha": float(alpha),
+                        "policy": policy,
+                        "profile_windows": int(max(profile_sizes)),
+                        "message_windows": int(message_windows),
+                        "profile_sizes": [int(m) for m in profile_sizes],
+                        "seed": derive_seed(seed, key),
+                    },
+                )
+            )
+    return CampaignSpec(name=name, cells=cells)
+
+
 def accuracy_sweep(
     policies: Sequence[str] = DEFAULT_POLICIES,
     alphas: Sequence[float] = (DEFAULT_ALPHA, LIGHT_ALPHA),
     profile_sizes: Sequence[int] = DEFAULT_PROFILE_SIZES,
     message_windows: int = 400,
     seed: int = 3,
+    jobs: int = 1,
+    cache: Union[None, str, ResultCache] = None,
 ) -> AccuracySweep:
     """Run the full sweep: one simulation per (policy, load), scored at every
-    profiling size against the same message windows."""
+    profiling size against the same message windows.
+
+    The sweep executes as a :mod:`repro.runner` campaign — ``jobs`` fans the
+    (alpha, policy) cells across worker processes, ``cache`` reuses results
+    across invocations. Cell seeds derive from ``(seed, cell key)``, so
+    output is identical for every ``jobs`` value.
+    """
     sweep = AccuracySweep(
         profile_sizes=tuple(profile_sizes),
         policies=tuple(policies),
         loads=tuple(alphas),
     )
-    max_profile = max(profile_sizes)
+    spec = sweep_campaign(
+        policies=policies,
+        alphas=alphas,
+        profile_sizes=profile_sizes,
+        message_windows=message_windows,
+        seed=seed,
+    )
+    outcome = run_campaign(spec, jobs=jobs, cache=cache)
+    cell_iter = iter(spec.cells)
     for alpha in alphas:
         load = LOAD_NAMES.get(alpha, f"alpha={alpha:.2f}")
-        experiment = feasibility_experiment(
-            alpha=alpha,
-            profile_windows=max_profile,
-            message_windows=message_windows,
-        )
         for policy in policies:
-            dataset = experiment.run(policy, seed=seed)
-            for result in evaluate_attacks(dataset, profile_sizes):
-                sweep.results[(load, policy, result.method, result.profile_windows)] = (
-                    result.accuracy
-                )
+            cell = next(cell_iter)
+            for score in outcome.results[cell.key]:
+                sweep.results[(load, policy, score["method"], score["m"])] = score[
+                    "accuracy"
+                ]
     return sweep
 
 
@@ -94,6 +152,8 @@ def run(
     profile_sizes: Sequence[int] = DEFAULT_PROFILE_SIZES,
     message_windows: int = 400,
     seed: int = 3,
+    jobs: int = 1,
+    cache: Union[None, str, ResultCache] = None,
 ) -> AccuracySweep:
     """The Fig. 12 experiment with paper-shaped defaults."""
     return accuracy_sweep(
@@ -101,4 +161,6 @@ def run(
         profile_sizes=profile_sizes,
         message_windows=message_windows,
         seed=seed,
+        jobs=jobs,
+        cache=cache,
     )

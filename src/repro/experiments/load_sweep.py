@@ -11,12 +11,13 @@ NoRandom and TimeDiceW.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Sequence, Tuple
+from typing import Any, Dict, Mapping, Sequence, Tuple, Union
 
 from repro.channel.attack import evaluate_attacks
 from repro.channel.capacity import channel_capacity_from_samples
 from repro.experiments.configs import feasibility_experiment
 from repro.experiments.report import format_table
+from repro.runner import CampaignCell, CampaignSpec, ResultCache, default_key, derive_seed, run_campaign
 
 DEFAULT_ALPHAS = (0.06, 0.10, 0.16)
 DEFAULT_POLICIES = ("norandom", "timedice")
@@ -53,28 +54,74 @@ class LoadSweepResult:
         )
 
 
+def _load_cell(params: Mapping[str, Any]) -> Dict[str, float]:
+    """Campaign cell: one (alpha, policy) run → accuracies + capacity."""
+    experiment = feasibility_experiment(
+        alpha=params["alpha"],
+        profile_windows=params["profile_windows"],
+        message_windows=params["message_windows"],
+    )
+    dataset = experiment.run(params["policy"], seed=params["seed"])
+    cell: Dict[str, float] = {}
+    for r in evaluate_attacks(dataset, [params["profile_windows"]]):
+        cell[r.method] = r.accuracy
+    message = dataset.message_part()
+    cell["capacity"] = channel_capacity_from_samples(
+        message.labels, message.response_times
+    )
+    return cell
+
+
+def campaign(
+    alphas: Sequence[float] = DEFAULT_ALPHAS,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    profile_windows: int = 100,
+    message_windows: int = 250,
+    seed: int = 3,
+) -> CampaignSpec:
+    """The load sweep as a declarative campaign (one cell per alpha × policy)."""
+    cells = []
+    for alpha in alphas:
+        for policy in policies:
+            key = default_key({"alpha": float(alpha), "policy": policy})
+            cells.append(
+                CampaignCell(
+                    key=key,
+                    task="repro.experiments.load_sweep:_load_cell",
+                    params={
+                        "alpha": float(alpha),
+                        "policy": policy,
+                        "profile_windows": int(profile_windows),
+                        "message_windows": int(message_windows),
+                        "seed": derive_seed(seed, key),
+                    },
+                )
+            )
+    return CampaignSpec(name="load-sweep", cells=cells)
+
+
 def run(
     alphas: Sequence[float] = DEFAULT_ALPHAS,
     policies: Sequence[str] = DEFAULT_POLICIES,
     profile_windows: int = 100,
     message_windows: int = 250,
     seed: int = 3,
+    jobs: int = 1,
+    cache: Union[None, str, ResultCache] = None,
 ) -> LoadSweepResult:
+    """Run the sweep as a :mod:`repro.runner` campaign: ``jobs`` workers,
+    optional on-disk result caching, order-independent per-cell seeds."""
+    spec = campaign(
+        alphas=alphas,
+        policies=policies,
+        profile_windows=profile_windows,
+        message_windows=message_windows,
+        seed=seed,
+    )
+    outcome = run_campaign(spec, jobs=jobs, cache=cache)
     result = LoadSweepResult()
+    cell_iter = iter(spec.cells)
     for alpha in alphas:
-        experiment = feasibility_experiment(
-            alpha=alpha,
-            profile_windows=profile_windows,
-            message_windows=message_windows,
-        )
         for policy in policies:
-            dataset = experiment.run(policy, seed=seed)
-            cell: Dict[str, float] = {}
-            for r in evaluate_attacks(dataset, [profile_windows]):
-                cell[r.method] = r.accuracy
-            message = dataset.message_part()
-            cell["capacity"] = channel_capacity_from_samples(
-                message.labels, message.response_times
-            )
-            result.cells[(alpha, policy)] = cell
+            result.cells[(alpha, policy)] = outcome.results[next(cell_iter).key]
     return result

@@ -1,0 +1,114 @@
+"""Content-addressed on-disk result cache.
+
+Each completed cell is persisted as one JSON file under the cache root
+(default ``.repro_cache/``), addressed by the cell's content hash combined
+with a **code-version salt**. Re-running a campaign therefore only computes
+the cells whose (task, params, code version) triple has never been seen;
+everything else is replayed from disk.
+
+Layout::
+
+    .repro_cache/
+        ab/abcdef....json      # two-char fan-out to keep directories small
+
+Entries store the value alongside provenance metadata (campaign, cell key,
+wall time, salt) so a cache directory doubles as a results archive. Writes
+are atomic (temp file + ``os.replace``); corrupt or unreadable entries are
+treated as misses and overwritten, never raised.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+#: Default cache root, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Sentinel distinguishing "miss" from a cached ``None``.
+MISS = object()
+
+
+def code_salt() -> str:
+    """The default code-version salt folded into every cache key.
+
+    Combines the package version with the ``REPRO_CACHE_SALT`` environment
+    variable (useful to force invalidation without touching the tree).
+    """
+    from repro import __version__  # lazy: avoid import cycles at package init
+
+    extra = os.environ.get("REPRO_CACHE_SALT", "")
+    return f"repro-{__version__}" + (f"+{extra}" if extra else "")
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+
+class ResultCache:
+    """A content-addressed JSON store for campaign cell results."""
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR, salt: Optional[str] = None):
+        self.root = Path(root)
+        self.salt = code_salt() if salt is None else salt
+        self.stats = CacheStats()
+
+    def path_for(self, content_hash: str) -> Path:
+        return self.root / content_hash[:2] / f"{content_hash}.json"
+
+    def get(self, content_hash: str) -> Any:
+        """Return the cached value for ``content_hash``, or :data:`MISS`."""
+        path = self.path_for(content_hash)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            return MISS
+        if not isinstance(entry, dict) or "value" not in entry:
+            self.stats.misses += 1
+            return MISS
+        self.stats.hits += 1
+        return entry["value"]
+
+    def put(self, content_hash: str, value: Any, meta: Optional[Dict[str, Any]] = None) -> Path:
+        """Atomically persist ``value`` (must be JSON-serializable)."""
+        path = self.path_for(content_hash)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"value": value, "meta": dict(meta or {}), "salt": self.salt}
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=path.stem, suffix=".tmp", dir=str(path.parent)
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        return path
+
+    def __contains__(self, content_hash: str) -> bool:
+        return self.path_for(content_hash).is_file()
+
+
+def as_cache(cache: Union[None, str, Path, ResultCache]) -> Optional[ResultCache]:
+    """Coerce a user-facing cache argument into a :class:`ResultCache`.
+
+    ``None`` disables caching; a string/path becomes a cache rooted there;
+    an existing :class:`ResultCache` passes through.
+    """
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)

@@ -1,0 +1,438 @@
+"""Campaign execution: serial loop or process pool, with cache and retries.
+
+:func:`run_campaign` is the single entry point. It
+
+1. resolves every cell against the result cache (cached cells never touch a
+   worker);
+2. executes the misses — serially when ``jobs=1``, else on a
+   ``ProcessPoolExecutor`` whose submission window is bounded by ``jobs`` so
+   per-attempt timeouts measure *execution* time, not queue time;
+3. retries failed attempts with exponential backoff, kills and rebuilds the
+   pool on per-task timeout or worker death, and **degrades gracefully to
+   serial execution** once the pool has been rebuilt too many times;
+4. merges results **in spec order** — never completion order — so
+   ``jobs=N`` and ``jobs=1`` produce identical result mappings.
+
+Cells are shipped to workers as ``(task_path, params)`` pairs — no closures
+cross the process boundary — and results flow back as JSON-serializable
+values, which is also what the cache persists.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.runner.cache import MISS, ResultCache, as_cache
+from repro.runner.spec import CampaignCell, CampaignSpec, resolve_task
+from repro.runner.telemetry import (
+    CACHED,
+    COMPUTED,
+    FAILED,
+    RETRIED,
+    SCHEDULED,
+    CampaignTelemetry,
+    CellEvent,
+    default_listeners,
+    register,
+)
+
+#: Poll interval of the parallel supervisor loop (seconds). Bounds how late
+#: a per-task timeout can fire.
+_TICK = 0.05
+
+
+def _invoke_cell(task: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker-side entry: resolve the task function and run one cell."""
+    start = time.perf_counter()
+    fn = resolve_task(task)
+    value = fn(params)
+    return {
+        "value": value,
+        "wall": time.perf_counter() - start,
+        "worker": f"pid-{os.getpid()}",
+    }
+
+
+@dataclass
+class CellOutcome:
+    """Terminal state of one cell after caching/execution/retries."""
+
+    key: str
+    value: Any = None
+    cached: bool = False
+    attempts: int = 0
+    wall: float = 0.0
+    worker: str = ""
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class CampaignResult:
+    """Merged results of one campaign run, in spec order."""
+
+    spec: CampaignSpec
+    results: Dict[str, Any]
+    outcomes: Dict[str, CellOutcome]
+    telemetry: CampaignTelemetry
+
+    def value(self, key: str) -> Any:
+        return self.results[key]
+
+    @property
+    def failures(self) -> List[CellOutcome]:
+        return [o for o in self.outcomes.values() if not o.ok]
+
+
+class CampaignError(RuntimeError):
+    """Raised when cells exhaust their retries and ``on_failure='raise'``."""
+
+    def __init__(self, campaign: str, failures: Sequence[CellOutcome]):
+        self.failures = list(failures)
+        detail = "; ".join(f"{o.key}: {o.error}" for o in self.failures[:5])
+        more = "" if len(self.failures) <= 5 else f" (+{len(self.failures) - 5} more)"
+        super().__init__(
+            f"campaign {campaign!r}: {len(self.failures)} cell(s) failed — {detail}{more}"
+        )
+
+
+@dataclass
+class _Attempt:
+    """One scheduled execution of one cell."""
+
+    cell: CampaignCell
+    content_hash: str
+    attempt: int = 1
+    not_before: float = 0.0  # monotonic gate implementing backoff
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    jobs: int = 1,
+    cache: Union[None, str, ResultCache] = None,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    backoff: float = 0.25,
+    telemetry: Optional[CampaignTelemetry] = None,
+    listeners: Iterable[Callable[[CampaignTelemetry, CellEvent], None]] = (),
+    on_failure: str = "raise",
+    max_pool_rebuilds: int = 3,
+) -> CampaignResult:
+    """Execute ``spec`` and return its merged, spec-ordered results.
+
+    Args:
+        spec: The campaign to run.
+        jobs: Worker processes; ``1`` runs serially in-process.
+        cache: ``None`` (no caching), a directory path, or a
+            :class:`ResultCache`. Hits skip execution entirely.
+        timeout: Per-attempt wall-clock limit in seconds (parallel mode
+            only — a timed-out worker is killed and the pool rebuilt;
+            serial attempts cannot be preempted and run to completion).
+        retries: Extra attempts after the first, per cell.
+        backoff: Base of the exponential retry delay
+            (``backoff * 2**(attempt-1)`` seconds).
+        telemetry: Optional pre-built collector (e.g. with listeners
+            attached); one is created when omitted.
+        listeners: Extra telemetry listeners to attach.
+        on_failure: ``"raise"`` (default) raises :class:`CampaignError`
+            after all cells have terminated; ``"keep"`` records failures in
+            the outcomes and returns normally.
+        max_pool_rebuilds: Pool kill/rebuild budget (timeouts + worker
+            deaths) before degrading to serial execution.
+    """
+    if on_failure not in ("raise", "keep"):
+        raise ValueError(f"on_failure must be 'raise' or 'keep', got {on_failure!r}")
+    jobs = max(1, int(jobs))
+    store = as_cache(cache)
+    tele = telemetry if telemetry is not None else CampaignTelemetry(spec.name)
+    tele.campaign = spec.name
+    tele.total = len(spec)
+    tele.jobs = jobs
+    tele.listeners.extend(default_listeners())
+    tele.listeners.extend(listeners)
+
+    salt = store.salt if store is not None else ""
+    outcomes: Dict[str, CellOutcome] = {}
+    pending: List[_Attempt] = []
+    for cell in spec:
+        content_hash = cell.content_hash(salt)
+        tele.emit(CellEvent(SCHEDULED, cell.key))
+        if store is not None:
+            value = store.get(content_hash)
+            if value is not MISS:
+                outcomes[cell.key] = CellOutcome(cell.key, value=value, cached=True)
+                tele.emit(CellEvent(CACHED, cell.key))
+                continue
+        pending.append(_Attempt(cell, content_hash))
+
+    runner = _CampaignRunner(
+        spec=spec,
+        store=store,
+        telemetry=tele,
+        retries=retries,
+        backoff=backoff,
+        timeout=timeout,
+        max_pool_rebuilds=max_pool_rebuilds,
+        outcomes=outcomes,
+    )
+    if pending:
+        if jobs == 1:
+            runner.run_serial(pending)
+        else:
+            runner.run_parallel(pending, jobs)
+
+    if store is not None:
+        tele.cache_hits = store.stats.hits
+        tele.cache_misses = store.stats.misses
+    tele.finish()
+    register(tele)
+
+    results = {
+        cell.key: outcomes[cell.key].value for cell in spec if outcomes[cell.key].ok
+    }
+    result = CampaignResult(spec=spec, results=results, outcomes=outcomes, telemetry=tele)
+    if on_failure == "raise" and result.failures:
+        raise CampaignError(spec.name, result.failures)
+    return result
+
+
+class _CampaignRunner:
+    """Shared state of one :func:`run_campaign` invocation."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: Optional[ResultCache],
+        telemetry: CampaignTelemetry,
+        retries: int,
+        backoff: float,
+        timeout: Optional[float],
+        max_pool_rebuilds: int,
+        outcomes: Dict[str, CellOutcome],
+    ):
+        self.spec = spec
+        self.store = store
+        self.telemetry = telemetry
+        self.retries = retries
+        self.backoff = backoff
+        self.timeout = timeout
+        self.max_pool_rebuilds = max_pool_rebuilds
+        self.outcomes = outcomes
+
+    # -- terminal transitions ---------------------------------------------
+
+    def _complete(self, attempt: _Attempt, payload: Dict[str, Any]) -> None:
+        cell = attempt.cell
+        outcome = CellOutcome(
+            key=cell.key,
+            value=payload["value"],
+            attempts=attempt.attempt,
+            wall=payload["wall"],
+            worker=payload["worker"],
+        )
+        self.outcomes[cell.key] = outcome
+        if self.store is not None:
+            self.store.put(
+                attempt.content_hash,
+                payload["value"],
+                meta={
+                    "campaign": self.spec.name,
+                    "key": cell.key,
+                    "task": cell.task,
+                    "wall_s": round(payload["wall"], 6),
+                },
+            )
+        self.telemetry.emit(
+            CellEvent(
+                COMPUTED,
+                cell.key,
+                attempt=attempt.attempt,
+                wall=payload["wall"],
+                worker=payload["worker"],
+            )
+        )
+
+    def _retry_or_fail(self, attempt: _Attempt, error: str) -> Optional[_Attempt]:
+        """Return the follow-up attempt, or record a terminal failure."""
+        if attempt.attempt <= self.retries:
+            self.telemetry.emit(
+                CellEvent(RETRIED, attempt.cell.key, attempt=attempt.attempt, error=error)
+            )
+            delay = self.backoff * (2 ** (attempt.attempt - 1))
+            return _Attempt(
+                attempt.cell,
+                attempt.content_hash,
+                attempt=attempt.attempt + 1,
+                not_before=time.monotonic() + delay,
+            )
+        self.outcomes[attempt.cell.key] = CellOutcome(
+            key=attempt.cell.key, attempts=attempt.attempt, error=error
+        )
+        self.telemetry.emit(
+            CellEvent(FAILED, attempt.cell.key, attempt=attempt.attempt, error=error)
+        )
+        return None
+
+    # -- serial path -------------------------------------------------------
+
+    def run_serial(self, pending: List[_Attempt]) -> None:
+        queue = list(pending)
+        while queue:
+            attempt = queue.pop(0)
+            gate = attempt.not_before - time.monotonic()
+            if gate > 0:
+                time.sleep(gate)
+            try:
+                payload = _invoke_cell(attempt.cell.task, dict(attempt.cell.params))
+            except Exception as exc:  # noqa: BLE001 — any task error is retryable
+                follow_up = self._retry_or_fail(attempt, f"{type(exc).__name__}: {exc}")
+                if follow_up is not None:
+                    queue.append(follow_up)
+            else:
+                self._complete(attempt, payload)
+
+    # -- parallel path -----------------------------------------------------
+
+    def run_parallel(self, pending: List[_Attempt], jobs: int) -> None:
+        queue: List[_Attempt] = list(pending)
+        inflight: Dict[Future, _Attempt] = {}
+        deadlines: Dict[Future, Optional[float]] = {}
+        rebuilds = 0
+        executor = self._new_executor(jobs)
+        try:
+            while queue or inflight:
+                now = time.monotonic()
+                # Fill the submission window: at most ``jobs`` futures in
+                # flight, so a submitted attempt starts (almost) immediately
+                # and its timeout clock measures execution, not queueing.
+                index = 0
+                while index < len(queue) and len(inflight) < jobs:
+                    attempt = queue[index]
+                    if attempt.not_before > now:
+                        index += 1
+                        continue
+                    queue.pop(index)
+                    future = executor.submit(
+                        _invoke_cell, attempt.cell.task, dict(attempt.cell.params)
+                    )
+                    inflight[future] = attempt
+                    deadlines[future] = None if self.timeout is None else (
+                        time.monotonic() + self.timeout
+                    )
+                if not inflight:
+                    time.sleep(_TICK)  # everything is backing off
+                    continue
+
+                done, _ = wait(set(inflight), timeout=_TICK, return_when=FIRST_COMPLETED)
+                broken = False
+                for future in done:
+                    attempt = inflight.pop(future)
+                    deadlines.pop(future, None)
+                    try:
+                        payload = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        # The pool is dead; every other in-flight future is
+                        # doomed too. Any of them may have killed the worker,
+                        # so all get an attempt bump.
+                        for doomed in [attempt] + list(inflight.values()):
+                            follow_up = self._retry_or_fail(
+                                doomed, "worker died (BrokenProcessPool)"
+                            )
+                            if follow_up is not None:
+                                queue.append(follow_up)
+                        inflight.clear()
+                        deadlines.clear()
+                        break
+                    except Exception as exc:  # noqa: BLE001
+                        follow_up = self._retry_or_fail(
+                            attempt, f"{type(exc).__name__}: {exc}"
+                        )
+                        if follow_up is not None:
+                            queue.append(follow_up)
+                    else:
+                        self._complete(attempt, payload)
+
+                if broken:
+                    _kill_executor(executor)
+                    rebuilds += 1
+                    if rebuilds > self.max_pool_rebuilds:
+                        self.run_serial(queue)
+                        return
+                    executor = self._new_executor(jobs)
+                    continue
+
+                # Per-task timeout sweep: a stuck worker cannot be preempted
+                # through the executor API, so kill the whole pool, requeue
+                # the innocent in-flight attempts unbumped, and rebuild.
+                now = time.monotonic()
+                timed_out = [
+                    future
+                    for future, deadline in deadlines.items()
+                    if deadline is not None and now > deadline and not future.done()
+                ]
+                if timed_out:
+                    for future in timed_out:
+                        attempt = inflight.pop(future)
+                        deadlines.pop(future, None)
+                        follow_up = self._retry_or_fail(
+                            attempt, f"timeout after {self.timeout:.3g}s"
+                        )
+                        if follow_up is not None:
+                            queue.append(follow_up)
+                    queue.extend(inflight.values())  # innocent bystanders
+                    inflight.clear()
+                    deadlines.clear()
+                    _kill_executor(executor)
+                    rebuilds += 1
+                    if rebuilds > self.max_pool_rebuilds:
+                        self.run_serial(queue)
+                        return
+                    executor = self._new_executor(jobs)
+        finally:
+            if inflight or queue:
+                _kill_executor(executor)  # abnormal exit: reclaim workers
+            else:
+                executor.shutdown(wait=True, cancel_futures=True)
+
+    @staticmethod
+    def _new_executor(jobs: int) -> ProcessPoolExecutor:
+        # Prefer fork on POSIX: workers inherit sys.path and imported
+        # modules, so dotted-path task resolution works from any entry
+        # point (pytest, ``python -m repro``, notebooks).
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context("fork") if "fork" in methods else None
+        return ProcessPoolExecutor(max_workers=jobs, mp_context=ctx)
+
+
+def _kill_executor(executor: ProcessPoolExecutor) -> None:
+    """Terminate worker processes and discard the executor.
+
+    ``ProcessPoolExecutor`` has no public kill switch — ``shutdown`` joins
+    workers, which never returns while one is stuck — so this reaches for
+    the private process table as the only way to reclaim a hung pool.
+    """
+    table = dict(getattr(executor, "_processes", None) or {})
+    for proc in list(table.values()):
+        try:
+            proc.terminate()
+        except Exception:  # noqa: BLE001 — already-dead workers are fine
+            pass
+    try:
+        executor.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # noqa: BLE001
+        pass
+    for proc in list(table.values()):
+        try:
+            proc.join(timeout=1.0)
+        except Exception:  # noqa: BLE001
+            pass

@@ -1,0 +1,40 @@
+"""Deterministic per-cell seed derivation.
+
+A campaign fans one root seed out to many cells. Handing every cell the
+same root seed is statistically fine (each cell is an independent
+simulation) but fragile: two cells that happen to build the same system
+would replay identical noise, and any future cell-splitting would silently
+correlate results. Deriving each cell's seed from ``(root_seed, cell_key)``
+makes every cell's randomness a pure function of *what the cell is*, so
+
+- serial and parallel executions of the same campaign are bit-identical
+  regardless of worker scheduling order, and
+- adding, removing, or reordering cells never perturbs the others.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+#: Seeds are folded into 31 bits so they stay valid for every consumer in
+#: the tree (``random.Random``, ``numpy.random.RandomState``, and C-style
+#: signed-int plumbing alike).
+_SEED_BITS = 31
+
+
+def derive_seed(root_seed: int, cell_key: str) -> int:
+    """Derive a stable per-cell seed from a campaign root seed.
+
+    The derivation is a SHA-256 of ``root_seed`` and ``cell_key`` (with an
+    unambiguous separator), truncated to 31 bits. It is stable across
+    processes, platforms, and Python versions — no reliance on ``hash()``.
+
+    >>> derive_seed(7, "alpha=0.08/policy=timedice") == derive_seed(
+    ...     7, "alpha=0.08/policy=timedice")
+    True
+    >>> derive_seed(7, "a") != derive_seed(7, "b")
+    True
+    """
+    material = f"{int(root_seed)}\x1f{cell_key}".encode("utf-8")
+    digest = hashlib.sha256(material).digest()
+    return int.from_bytes(digest[:8], "big") % (1 << _SEED_BITS)

@@ -1,0 +1,45 @@
+"""Built-in campaign tasks.
+
+Small, dependency-free cell functions used by the runner's own tests and
+benchmarks. They live in the library (not in a test module) so they resolve
+by dotted path under every process start method.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Mapping
+
+from repro.runner.seeding import derive_seed
+
+
+def checksum_cell(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """A deterministic spin loop: mixes ``seed`` through ``spin`` rounds.
+
+    Parameters: ``seed`` (int), ``spin`` (iterations, default 10_000), and
+    optional ``sleep`` (extra seconds of wall time, default 0). Returns the
+    resulting checksum — a pure function of the parameters, which makes it
+    ideal for cache/determinism tests and throughput benchmarks.
+    """
+    seed = int(params.get("seed", 0))
+    spin = int(params.get("spin", 10_000))
+    sleep = float(params.get("sleep", 0.0))
+    state = seed & 0xFFFFFFFFFFFFFFFF
+    for i in range(spin):
+        state = (state * 6364136223846793005 + 1442695040888963407 + i) & 0xFFFFFFFFFFFFFFFF
+        state ^= state >> 33
+    if sleep:
+        time.sleep(sleep)
+    return {"seed": seed, "checksum": state}
+
+
+def seeded_checksum_cell(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Like :func:`checksum_cell`, but derives its seed from the cell key.
+
+    Parameters: ``root_seed`` and ``key`` (plus ``spin``/``sleep`` as
+    above). Exercises :func:`repro.runner.seeding.derive_seed` end to end.
+    """
+    seed = derive_seed(int(params["root_seed"]), str(params["key"]))
+    merged = dict(params)
+    merged["seed"] = seed
+    return checksum_cell(merged)

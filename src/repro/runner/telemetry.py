@@ -1,0 +1,220 @@
+"""Structured campaign telemetry.
+
+The pool emits one :class:`CellEvent` per lifecycle step (scheduled, cached,
+computed, retried, failed); :class:`CampaignTelemetry` folds the stream into
+counters and per-worker wall-time aggregates, forwards every event to
+registered listeners (the CLI's live progress line is one), and serializes
+to JSON for archival.
+
+A process-wide session registry accumulates the telemetry of every campaign
+run in this interpreter, so the CLI can print a single footer covering all
+campaigns a subcommand triggered.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, TextIO
+
+#: Event kinds, in lifecycle order.
+SCHEDULED = "scheduled"
+CACHED = "cached"
+COMPUTED = "computed"
+RETRIED = "retried"
+FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class CellEvent:
+    """One telemetry event for one cell."""
+
+    kind: str
+    key: str
+    attempt: int = 1
+    wall: float = 0.0
+    worker: str = ""
+    error: str = ""
+
+
+@dataclass
+class WorkerStats:
+    """Aggregate work performed by one worker (process) of the pool."""
+
+    cells: int = 0
+    wall: float = 0.0
+
+
+class CampaignTelemetry:
+    """Counters + listeners for one campaign run."""
+
+    def __init__(self, campaign: str, total: int = 0):
+        self.campaign = campaign
+        self.total = total
+        self.cached = 0
+        self.computed = 0
+        self.failed = 0
+        self.retries = 0
+        self.workers: Dict[str, WorkerStats] = {}
+        self.events: List[CellEvent] = []
+        self.listeners: List[Callable[["CampaignTelemetry", CellEvent], None]] = []
+        self.started = time.perf_counter()
+        self.elapsed = 0.0
+        self.jobs = 1
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- event stream ------------------------------------------------------
+
+    def emit(self, event: CellEvent) -> None:
+        self.events.append(event)
+        if event.kind == CACHED:
+            self.cached += 1
+        elif event.kind == COMPUTED:
+            self.computed += 1
+            if event.worker:
+                stats = self.workers.setdefault(event.worker, WorkerStats())
+                stats.cells += 1
+                stats.wall += event.wall
+        elif event.kind == RETRIED:
+            self.retries += 1
+        elif event.kind == FAILED:
+            self.failed += 1
+        for listener in self.listeners:
+            listener(self, event)
+
+    def finish(self) -> None:
+        self.elapsed = time.perf_counter() - self.started
+
+    # -- derived views -----------------------------------------------------
+
+    @property
+    def done(self) -> int:
+        return self.cached + self.computed + self.failed
+
+    def progress_line(self) -> str:
+        """A one-line live status: ``fig12: 5/8 (3 cached, 2 computed, ...)``."""
+        parts = [f"{self.cached} cached", f"{self.computed} computed"]
+        if self.failed:
+            parts.append(f"{self.failed} failed")
+        if self.retries:
+            parts.append(f"{self.retries} retried")
+        return f"{self.campaign}: {self.done}/{self.total} ({', '.join(parts)})"
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "campaign": self.campaign,
+            "jobs": self.jobs,
+            "total": self.total,
+            "cached": self.cached,
+            "computed": self.computed,
+            "failed": self.failed,
+            "retries": self.retries,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "elapsed_s": round(self.elapsed, 6),
+            "workers": {
+                name: {"cells": stats.cells, "wall_s": round(stats.wall, 6)}
+                for name, stats in sorted(self.workers.items())
+            },
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.snapshot(), indent=2, sort_keys=True)
+
+
+class ProgressPrinter:
+    """Listener rendering a live ``\\r``-overwritten progress line.
+
+    Only writes when the stream is a TTY (so piped/captured output stays
+    clean) unless ``force=True``.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None, force: bool = False):
+        self.stream = stream if stream is not None else sys.stderr
+        self.force = force
+        self._active = False
+
+    def _enabled(self) -> bool:
+        return self.force or bool(getattr(self.stream, "isatty", lambda: False)())
+
+    def __call__(self, telemetry: CampaignTelemetry, event: CellEvent) -> None:
+        if event.kind == SCHEDULED or not self._enabled():
+            return
+        self.stream.write("\r" + telemetry.progress_line().ljust(79))
+        self._active = True
+        if telemetry.done >= telemetry.total:
+            self.stream.write("\n")
+            self._active = False
+        self.stream.flush()
+
+    def close(self) -> None:
+        if self._active and self._enabled():
+            self.stream.write("\n")
+            self.stream.flush()
+            self._active = False
+
+
+# -- process-wide session registry ----------------------------------------
+
+_SESSION: List[CampaignTelemetry] = []
+_DEFAULT_LISTENERS: List[Callable[[CampaignTelemetry, CellEvent], None]] = []
+
+
+def add_default_listener(listener: Callable[[CampaignTelemetry, CellEvent], None]) -> None:
+    """Attach ``listener`` to every campaign subsequently run in this
+    process (the CLI uses this to hook its live progress line into
+    campaigns started deep inside experiment modules)."""
+    _DEFAULT_LISTENERS.append(listener)
+
+
+def remove_default_listener(listener: Callable[[CampaignTelemetry, CellEvent], None]) -> None:
+    try:
+        _DEFAULT_LISTENERS.remove(listener)
+    except ValueError:
+        pass
+
+
+def default_listeners() -> List[Callable[[CampaignTelemetry, CellEvent], None]]:
+    return list(_DEFAULT_LISTENERS)
+
+
+def register(telemetry: CampaignTelemetry) -> None:
+    """Record a finished campaign in the process-wide session registry."""
+    _SESSION.append(telemetry)
+
+
+def session_stats() -> List[CampaignTelemetry]:
+    """All campaigns recorded so far (oldest first)."""
+    return list(_SESSION)
+
+
+def drain_session() -> List[CampaignTelemetry]:
+    """Return and clear the session registry (the CLI footer calls this)."""
+    drained = list(_SESSION)
+    _SESSION.clear()
+    return drained
+
+
+def session_footer(stats: List[CampaignTelemetry]) -> str:
+    """Fold a list of campaign telemetries into one CLI footer fragment.
+
+    ``"campaigns: 9 cells (4 cached, 5 computed) | cache: 4 hits, 5 misses"``
+    """
+    total = sum(t.total for t in stats)
+    cached = sum(t.cached for t in stats)
+    computed = sum(t.computed for t in stats)
+    failed = sum(t.failed for t in stats)
+    retries = sum(t.retries for t in stats)
+    hits = sum(t.cache_hits for t in stats)
+    misses = sum(t.cache_misses for t in stats)
+    parts = [f"campaigns: {total} cells ({cached} cached, {computed} computed"]
+    if failed:
+        parts[0] += f", {failed} failed"
+    if retries:
+        parts[0] += f", {retries} retried"
+    parts[0] += ")"
+    parts.append(f"cache: {hits} hits, {misses} misses")
+    return " | ".join(parts)

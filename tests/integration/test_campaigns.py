@@ -1,0 +1,131 @@
+"""Integration tests: experiment campaigns are parallel-safe and cacheable.
+
+The acceptance contract of the campaign runner is that ``jobs=N`` output is
+*identical* to ``jobs=1`` output (cell seeds derive from the cell key, and
+results merge in spec order), and that a warm cache replays every cell
+without recomputation.
+"""
+
+import pytest
+
+from repro.experiments import defense_matrix, fig04_feasibility, fig12_accuracy, load_sweep
+from repro.runner import CampaignSpec, run_campaign, session_stats
+
+
+class TestFig12Campaign:
+    @pytest.fixture(scope="class")
+    def kwargs(self):
+        return dict(
+            policies=("norandom", "timedice"),
+            profile_sizes=(10, 20),
+            message_windows=40,
+            seed=7,
+        )
+
+    def test_jobs4_output_equals_jobs1(self, kwargs):
+        serial = fig12_accuracy.accuracy_sweep(jobs=1, **kwargs)
+        parallel = fig12_accuracy.accuracy_sweep(jobs=4, **kwargs)
+        assert serial.results == parallel.results
+        assert serial.format() == parallel.format()
+
+    def test_campaign_spec_is_stable(self, kwargs):
+        a = fig12_accuracy.sweep_campaign(**kwargs)
+        b = fig12_accuracy.sweep_campaign(**kwargs)
+        assert a.spec_hash() == b.spec_hash()
+        assert len(a) == 4  # 2 loads x 2 policies
+
+    def test_cell_seeds_differ_by_cell(self, kwargs):
+        spec = fig12_accuracy.sweep_campaign(**kwargs)
+        seeds = [cell.params["seed"] for cell in spec]
+        assert len(set(seeds)) == len(seeds)
+
+
+class TestLoadSweepCampaign:
+    def test_warm_cache_skips_every_cell(self, tmp_path):
+        kwargs = dict(profile_windows=20, message_windows=30, seed=3)
+        cold = load_sweep.run(cache=str(tmp_path), **kwargs)
+        warm = load_sweep.run(cache=str(tmp_path), **kwargs)
+        assert warm.cells == cold.cells
+        stats = session_stats()
+        assert stats[-1].cached == 6 and stats[-1].computed == 0  # warm run
+        assert stats[-2].computed == 6 and stats[-2].cached == 0  # cold run
+
+    def test_cache_respects_seed(self, tmp_path):
+        kwargs = dict(profile_windows=20, message_windows=30)
+        load_sweep.run(cache=str(tmp_path), seed=3, **kwargs)
+        rerun = load_sweep.run(cache=str(tmp_path), seed=4, **kwargs)
+        stats = session_stats()
+        assert stats[-1].computed > 0  # different seed, no stale replay
+        assert rerun.cells  # and it still produced a full table
+
+
+class TestDefenseMatrixCampaign:
+    def test_parallel_equals_serial(self):
+        kwargs = dict(profile_windows=16, message_windows=20, order_windows=20, seed=5)
+        serial = defense_matrix.run(jobs=1, **kwargs)
+        parallel = defense_matrix.run(jobs=4, **kwargs)
+        assert serial.cells == parallel.cells
+
+    def test_campaign_has_all_four_configurations(self):
+        spec = defense_matrix.campaign()
+        assert {cell.key for cell in spec} == {
+            "global=NoRandom/local=FP",
+            "global=NoRandom/local=BLINDER",
+            "global=TimeDice/local=FP",
+            "global=TimeDice/local=BLINDER",
+        }
+
+
+class TestFig4Campaign:
+    def test_panel_dataset_survives_cache_roundtrip(self, tmp_path):
+        kwargs = dict(profile_sizes=(10, 20), message_windows=30, seed=3)
+        cold = fig04_feasibility.run(cache=str(tmp_path), **kwargs)
+        warm = fig04_feasibility.run(cache=str(tmp_path), **kwargs)
+        assert (cold.dataset.labels == warm.dataset.labels).all()
+        assert (cold.dataset.vectors == warm.dataset.vectors).all()
+        assert cold.format() == warm.format()
+
+    def test_direct_campaign_execution(self):
+        spec = CampaignSpec(
+            name="fig4-direct",
+            cells=list(
+                fig12_accuracy.sweep_campaign(
+                    policies=("norandom",),
+                    profile_sizes=(10,),
+                    message_windows=20,
+                    seed=3,
+                ).cells
+            ),
+        )
+        result = run_campaign(spec, jobs=2)
+        assert set(result.results) == {cell.key for cell in spec}
+
+
+class TestCliFooter:
+    def test_footer_reports_cells_and_cache_hits(self, tmp_path, capsys):
+        from repro.cli import main
+
+        argv = [
+            "load-sweep", "--quick", "--jobs", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--telemetry-out", str(tmp_path / "telemetry.json"),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "completed in" in out
+        assert "campaigns: 6 cells (0 cached, 6 computed)" in out
+        assert "cache: 0 hits, 6 misses" in out
+        telemetry = (tmp_path / "telemetry.json").read_text()
+        assert '"computed": 6' in telemetry
+
+    def test_campaign_subcommand_warm_cache_visible(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache = str(tmp_path / "cache")
+        assert main(["load-sweep", "--quick", "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "load-sweep", "--quick", "--jobs", "4",
+                     "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "campaigns: 6 cells (6 cached, 0 computed)" in out
+        assert "load-sweep: 6/6 (6 cached, 0 computed)" in out

@@ -27,6 +27,31 @@ class TestParser:
         args = build_parser().parse_args(["fig6", "--seed", "42"])
         assert args.seed == 42
 
+    def test_campaign_options(self):
+        args = build_parser().parse_args(
+            ["campaign", "fig12", "--jobs", "4", "--no-cache"]
+        )
+        assert args.experiment == "campaign"
+        assert args.target == "fig12"
+        assert args.jobs == 4
+        assert args.no_cache is True
+
+    def test_jobs_and_cache_flags_on_plain_subcommands(self):
+        args = build_parser().parse_args(
+            ["fig12", "--jobs", "2", "--cache-dir", "/tmp/c"]
+        )
+        assert args.jobs == 2
+        assert args.cache_dir == "/tmp/c"
+        assert args.no_cache is False
+
+    def test_campaign_without_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["campaign"])
+
+    def test_campaign_with_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "fig99"])
+
 
 class TestExecution:
     def test_fig6_quick_runs(self, capsys):
