@@ -14,6 +14,7 @@ import pytest
 from repro.core.busy_interval import busy_interval, schedulability_test
 from repro.core.candidacy import candidate_search
 from repro.core.selection import WeightedUtilizationSelector
+from repro.core.timedice import TimeDice
 from repro.core.state import SystemState
 from repro.model.configs import scaled_partition_count
 from repro.sim.engine import Simulator
@@ -35,6 +36,13 @@ def _states(factor: int, n_states: int = 100, seed: int = 1):
 @pytest.fixture(scope="module")
 def snapshots():
     return _states(1)
+
+
+@pytest.fixture(scope="module")
+def snapshots20():
+    # |Pi| = 20: the top of the Table IV scaling sweep, where the
+    # busy-interval fixed points dominate a decision.
+    return _states(4)
 
 
 def test_busy_interval_fixed_point(benchmark, snapshots):
@@ -78,6 +86,36 @@ def test_weighted_selection(benchmark, snapshots):
         return selector.select(candidates, 0, rng)
 
     benchmark(one)
+
+
+def _decide_bench(benchmark, states, memoize):
+    scheduler = TimeDice(seed=1, memoize=memoize)
+    cycler = itertools.cycle(states)
+    benchmark(lambda: scheduler.decide(next(cycler)))
+    if memoize:
+        benchmark.extra_info["memo"] = scheduler.memo_stats.as_dict()
+
+
+def test_timedice_decide_unmemoized(benchmark, snapshots):
+    _decide_bench(benchmark, snapshots, memoize=False)
+
+
+def test_timedice_decide_memoized(benchmark, snapshots):
+    # The 100 snapshots cycle through a 2000 us lattice of a periodic
+    # system, so after the first lap every phase-relative state repeats:
+    # the memoized decide must come in well under the unmemoized one
+    # (>= 2x median is the acceptance bar for the memo layer).
+    _decide_bench(benchmark, snapshots, memoize=True)
+
+
+def test_timedice_decide_20_partitions_unmemoized(benchmark, snapshots20):
+    _decide_bench(benchmark, snapshots20, memoize=False)
+
+
+def test_timedice_decide_20_partitions_memoized(benchmark, snapshots20):
+    # At |Pi| = 20 nearly the whole decision is schedulability testing, so
+    # this is where the memo pays the most (>= 4x median in practice).
+    _decide_bench(benchmark, snapshots20, memoize=True)
 
 
 def test_snapshot_construction(benchmark):

@@ -13,6 +13,9 @@ Layout:
 - :mod:`repro.core.candidacy` — the incremental candidate search
   (Algorithms 1–2, Fig. 9's :math:`\\mathcal{O}(|\\Pi|)` optimization),
   with the imaginary IDLE partition.
+- :mod:`repro.core.memo` — exact, bounded-LRU memoization of the
+  schedulability test across quanta (phase-relative keys; absolute time
+  cancels out of Eq. 1).
 - :mod:`repro.core.selection` — uniform, weighted (remaining-utilization
   lottery), and inverse-weighted (Theorem 1 ablation) random selectors.
 - :mod:`repro.core.timedice` — the :class:`TimeDice` facade combining
@@ -21,6 +24,7 @@ Layout:
 
 from repro.core.busy_interval import busy_interval, schedulability_test
 from repro.core.candidacy import candidate_search
+from repro.core.memo import DEFAULT_MEMO_SIZE, MemoStats, SchedulabilityMemo, memo_key
 from repro.core.selection import (
     HighestPrioritySelector,
     InverseUtilizationSelector,
@@ -37,6 +41,10 @@ __all__ = [
     "busy_interval",
     "schedulability_test",
     "candidate_search",
+    "SchedulabilityMemo",
+    "MemoStats",
+    "memo_key",
+    "DEFAULT_MEMO_SIZE",
     "UniformSelector",
     "WeightedUtilizationSelector",
     "InverseUtilizationSelector",

@@ -9,8 +9,9 @@ walking that sequence:
   active partition is no inversion at all.
 - :math:`\\Pi_{(i)}` is a candidate iff every partition with priority above it
   — **including inactive ones**, which are exposed to the indirect
-  interference of Fig. 8 — passes the schedulability test of Algorithm 3 for
-  an inversion of the quantum size ``w``.
+  interference of Fig. 8, and including inactive partitions ranked above
+  :math:`\\Pi_{(1)}` itself — passes the schedulability test of Algorithm 3
+  for an inversion of the quantum size ``w``.
 - The walk stops at the first failure: if some :math:`\\Pi_h` above
   :math:`\\Pi_{(i)}` cannot absorb the inversion, it cannot absorb the same
   inversion caused by :math:`\\Pi_{(i+1)}` either (the analysis depends only
@@ -18,21 +19,28 @@ walking that sequence:
 - IDLE is appended last and tested the same way: idling for ``w`` is an
   inversion against *every* partition.
 
-Fig. 9's complexity argument is implemented literally: each partition in the
-system is schedulability-tested at most once per decision because partitions
+Fig. 9's complexity argument is implemented as an incremental sweep over the
+full priority order, starting at the very top: each partition in the system
+is schedulability-tested at most once per decision because partitions
 already vetted for :math:`\\Pi_{(i-1)}` are skipped when testing
 :math:`\\Pi_{(i)}` — hence :math:`\\mathcal{O}(|\\Pi|)` tests per decision.
+The only partition that is never tested *on its own account* is
+:math:`\\Pi_{(1)}`: running it is no inversion. It is still swept like
+everybody else when a lower candidate or IDLE is vetted.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.busy_interval import schedulability_test
 from repro.core.state import IDLE, PartitionState, SystemState
 
 Candidate = Union[PartitionState, type(IDLE)]
+
+#: Signature of a schedulability tester: ``(h, higher, t, w) -> bool``.
+Tester = Callable[[PartitionState, Sequence[PartitionState], int, int], bool]
 
 
 @dataclass
@@ -48,6 +56,7 @@ def candidate_search(
     state: SystemState,
     w: int,
     allow_idle: bool = True,
+    tester: Optional[Tester] = None,
 ) -> Tuple[List[Candidate], SearchStats]:
     """Step 1 of Algorithm 1: the list of partitions allowed to take the CPU.
 
@@ -56,6 +65,11 @@ def candidate_search(
         w: The inversion quantum ``MIN_INV_SIZE`` (µs).
         allow_idle: When True, the imaginary IDLE partition is tested and, if
             schedulability-preserving, appended to the candidate list.
+        tester: Schedulability test to use; defaults to
+            :func:`~repro.core.busy_interval.schedulability_test`. Pass a
+            :class:`~repro.core.memo.SchedulabilityMemo` to reuse test
+            outcomes across decisions (``stats.schedulability_tests`` keeps
+            counting *logical* tests either way).
 
     Returns:
         ``(candidates, stats)``. ``candidates`` preserves decreasing priority
@@ -64,6 +78,7 @@ def candidate_search(
         (the caller should then idle until the next event).
     """
     t = state.t
+    test = schedulability_test if tester is None else tester
     stats = SearchStats()
     active = state.active_ready()
     if not active:
@@ -73,30 +88,40 @@ def candidate_search(
         return [], stats
 
     all_parts = state.partitions  # already sorted by decreasing priority
+    # Pi_(1) is admitted without any vetting: running the highest-priority
+    # active partition is no inversion, so nobody needs to absorb anything
+    # on its account.
     candidates: List[Candidate] = [active[0]]
 
     # Index into all_parts of the first partition NOT yet schedulability-
-    # tested. Everything above the current candidate must have been vetted;
-    # the Fig. 9 optimization is that we never re-test a partition.
+    # tested. The sweep starts at the very top of the priority order:
+    # inactive partitions ranked above Pi_(1) are exposed to the indirect
+    # interference of Fig. 8 exactly like everybody else, so they must be
+    # vetted before any *inverted* candidate (or IDLE) is admitted. The
+    # Fig. 9 optimization is only that we never re-test a partition.
     next_untested = 0
     rank_of = {p.name: i for i, p in enumerate(all_parts)}
+
+    # A memoizing tester can open the whole decision at once (amortizing its
+    # key construction over the prefix-structured call sequence); any plain
+    # callable is used test-by-test.
+    prepare = getattr(test, "prepare", None)
+    vet = prepare(all_parts, t, w) if prepare is not None else None
 
     def vet_up_to(limit: int) -> bool:
         """Test every not-yet-tested partition with rank < limit."""
         nonlocal next_untested
         while next_untested < limit:
-            h = all_parts[next_untested]
             stats.schedulability_tests += 1
-            if not schedulability_test(h, all_parts[: rank_of[h.name]], t, w):
+            ok = (
+                vet(next_untested)
+                if vet is not None
+                else test(all_parts[next_untested], all_parts[:next_untested], t, w)
+            )
+            if not ok:
                 return False
             next_untested += 1
         return True
-
-    # Pi_(1) needs no vetting; nothing above it is disturbed by its own run
-    # beyond what fixed-priority scheduling already allows. Start the sweep
-    # at its rank so the inactive partitions *above* Pi_(1) are not tested
-    # on Pi_(1)'s account (its execution is not an inversion).
-    next_untested = rank_of[active[0].name]
 
     feasible = True
     for candidate in active[1:]:

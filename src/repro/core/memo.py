@@ -1,0 +1,343 @@
+"""Memoized schedulability testing: reuse across quanta (the hot path).
+
+TimeDice's entire runtime cost is Algorithm 1 re-running the busy-interval
+fixed point (Eqs. 1-3) at every 1 ms quantum — the overhead the paper
+measures in Fig. 17 / Table IV. Within a hyperperiod, however, the inputs of
+those fixed points recur *exactly*: budgets are replenished on a strict
+periodic lattice, so the same (remaining budgets, replenishment phases)
+tuples come back again and again. This module caches the boolean outcome of
+:func:`~repro.core.busy_interval.schedulability_test` keyed on the
+**phase-relative** part of its inputs, with a bounded LRU and hit/miss/
+eviction counters.
+
+Why the cache is exact (not approximate)
+----------------------------------------
+
+Absolute time ``t`` cancels out of Eq. 1. The test reads ``t`` only through
+
+- each interferer's next replenishment offset
+  :math:`o_{j,t} = r_{j,t} + T_j - t`, and
+- the deadline slack :math:`d_h - t`, which equals :math:`o_{h,t}` for an
+  active :math:`\\Pi_h` and :math:`o_{h,t} + T_h` for an inactive one
+  (the Fig. 8 extension) — i.e. it is derivable from ``(offset, period,
+  active)``.
+
+So two calls at different absolute times with the same phase-relative tuple
+``(w, h's (phase, period, budget, remaining), sorted interferer tuple of
+(phase, period, budget, remaining))`` — where ``phase = r_{i,t} - t``
+carries the same information as the offset once the period is known, and
+``h.active`` is itself derived from ``h.remaining_budget`` — compute
+*identical* fixed points and return identical booleans. Sorting the
+interferer tuple is also exact: Eq. 1 only ever sums over the interferer
+multiset (integer arithmetic, order-independent), never inspects their
+order or identity.
+
+The differential harness in ``tests/integration/test_memo_differential.py``
+asserts the stronger end-to-end property: memoized and unmemoized simulations
+produce bit-identical decision sequences under a shared RNG.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from itertools import islice
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.core.busy_interval import schedulability_test
+from repro.core.state import PartitionState
+
+#: Default LRU capacity. Keys are small tuples; at ~200 bytes each this
+#: bounds the cache at ~1 MB while comfortably holding every distinct
+#: phase-relative state of the paper's |Pi| <= 20 systems per hyperperiod.
+DEFAULT_MEMO_SIZE = 4096
+
+#: A fully phase-relative cache key (see module docstring): ``w``, then
+#: Pi_h's (phase, period, budget, remaining) 4-tuple, then the sorted
+#: interferer tuple of (phase, period, budget, remaining) 4-tuples.
+MemoKey = Tuple[int, Tuple[int, int, int, int], Tuple]
+
+#: Adaptive probing defaults (see :meth:`SchedulabilityMemo.prepare`): probe
+#: PROBE_WINDOW consecutive decisions; if fewer than PROBE_MIN_HITS of them
+#: hit, skip the next BYPASS_SPAN decisions entirely before probing again.
+#: Deterministic workloads land at 20-100 decision-hits per 256 once warm,
+#: jittered ones at 0-2, so the threshold cleanly separates the regimes.
+PROBE_WINDOW = 256
+PROBE_MIN_HITS = 8
+BYPASS_SPAN = 4096
+
+_ABSENT = object()
+
+
+def memo_key(
+    h: PartitionState, higher: Sequence[PartitionState], t: int, w: int
+) -> MemoKey:
+    """The phase-relative key under which a test call is cached.
+
+    Everything :func:`schedulability_test` reads, minus absolute time:
+    partition names, priorities and ``ready`` flags do not enter the
+    analysis, and ``t`` enters only via the replenishment phases captured
+    here (``last_replenishment - t`` carries the same information as the
+    offset :math:`o_{i,t} = r_{i,t} + T_i - t` once the period is in the
+    key, and ``h.active`` is derived from ``h.remaining_budget``).
+
+    This runs on the hit path of every memoized test, so it deliberately
+    inlines the phase arithmetic instead of calling
+    ``PartitionState.next_replenishment_offset`` — at small :math:`|\\Pi|`
+    the key build is the whole cost of a hit. (:meth:`SchedulabilityMemo.
+    prepare` goes further and amortizes the interferer tuple across a whole
+    decision; the key shape produced there is identical to this one.)
+    """
+    return (
+        w,
+        (h.last_replenishment - t, h.period, h.max_budget, h.remaining_budget),
+        tuple(
+            sorted(
+                (p.last_replenishment - t, p.period, p.max_budget, p.remaining_budget)
+                for p in higher
+            )
+        ),
+    )
+
+
+@dataclass
+class MemoStats:
+    """Hit/miss/eviction counters of one :class:`SchedulabilityMemo`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    #: Decisions the adaptive prepare() path skipped without probing the
+    #: cache (the hit rate of the probed windows was below threshold).
+    bypassed: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "bypassed": self.bypassed,
+            "hit_rate": self.hit_rate,
+        }
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.evictions = self.bypassed = 0
+
+
+class SchedulabilityMemo:
+    """A bounded-LRU, drop-in callable replacement for the schedulability test.
+
+    Instances have the same signature as
+    :func:`~repro.core.busy_interval.schedulability_test` and can be passed
+    wherever a tester callable is expected (``candidate_search(...,
+    tester=memo)``).
+
+    Args:
+        maxsize: LRU capacity (entries). Least-recently-used keys are evicted
+            once exceeded; every eviction is counted in :attr:`stats`.
+        enabled: Opt-out flag — when False every call falls through to the
+            underlying test and the cache stays empty (counters untouched),
+            which makes A/B comparisons trivial without re-plumbing callers.
+        test: The underlying test function (swappable for unit tests).
+        probe_window / probe_min_hits / bypass_span: The adaptive-probing
+            knobs of :meth:`prepare` (see there); the defaults suit the
+            paper's systems and only unit tests should need to shrink them.
+    """
+
+    __slots__ = (
+        "maxsize",
+        "enabled",
+        "stats",
+        "probe_window",
+        "probe_min_hits",
+        "bypass_span",
+        "_test",
+        "_cache",
+        "_decisions",
+        "_bypass_left",
+        "_probed",
+        "_probe_hits",
+        "_grace",
+    )
+
+    def __init__(
+        self,
+        maxsize: int = DEFAULT_MEMO_SIZE,
+        enabled: bool = True,
+        test: Callable[..., bool] = schedulability_test,
+        probe_window: int = PROBE_WINDOW,
+        probe_min_hits: int = PROBE_MIN_HITS,
+        bypass_span: int = BYPASS_SPAN,
+    ):
+        if maxsize <= 0:
+            raise ValueError(f"memo maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self.enabled = enabled
+        self.stats = MemoStats()
+        self.probe_window = probe_window
+        self.probe_min_hits = probe_min_hits
+        self.bypass_span = bypass_span
+        self._bypass_left = 0
+        self._probed = 0
+        self._probe_hits = 0
+        # The first probing window runs against a cold cache and would
+        # always look dead; never let it trigger a bypass.
+        self._grace = True
+        self._test = test
+        # Per-test entries (the __call__ path, a strict LRU) and per-decision
+        # entries (the prepare path, insertion-ordered with batch eviction)
+        # live in separate stores, each bounded by maxsize; hits/misses/
+        # evictions are pooled in `stats` either way.
+        self._cache: "OrderedDict[MemoKey, bool]" = OrderedDict()
+        self._decisions: Dict[tuple, list] = {}
+
+    def __call__(
+        self, h: PartitionState, higher: Sequence[PartitionState], t: int, w: int
+    ) -> bool:
+        if not self.enabled:
+            return self._test(h, higher, t, w)
+        key = memo_key(h, higher, t, w)
+        cache = self._cache
+        value = cache.get(key, _ABSENT)
+        if value is not _ABSENT:
+            cache.move_to_end(key)
+            self.stats.hits += 1
+            return value
+        self.stats.misses += 1
+        value = self._test(h, higher, t, w)
+        cache[key] = value
+        if len(cache) > self.maxsize:
+            cache.popitem(last=False)
+            self.stats.evictions += 1
+        return value
+
+    def prepare(
+        self, parts: Sequence[PartitionState], t: int, w: int
+    ) -> Optional[Callable[[int], bool]]:
+        """Open one *decision*: return a rank-indexed vetting function.
+
+        The candidate search always tests prefixes of the same priority-
+        sorted partition list at one ``(t, w)``: rank ``r`` is tested
+        against interferers ``parts[:r]``, for ``r = 0, 1, 2, ...``. Probing
+        the per-test cache with :func:`memo_key` built from scratch at every
+        rank costs :math:`\\mathcal{O}(|\\Pi|^2)` attribute reads *and*
+        tuple hashes per decision — as much as the tests it is trying to
+        skip. ``prepare`` instead pays for **one** phase-relative key over
+        the whole priority order, ``(w, phases(parts))``, mapping to the
+        per-rank outcome list of that decision: a hit costs one list index,
+        a miss costs the underlying test plus a list store. The coarser key
+        is still exact — it determines every per-rank ``(w, h, interferer
+        multiset)`` triple.
+
+        Deliberately there is **no** per-test fallback on this path: when
+        snapshots do not recur (workload jitter scatters the remaining
+        budgets over near-continuous values), per-test probes pay an
+        :math:`\\mathcal{O}(|\\Pi|)` tuple hash per rank and almost never
+        hit, turning the memo into a net slowdown. Decision-level-only
+        keeps the worst case at one key build and one dict probe *per
+        decision*, while recurring lattices — deterministic workloads,
+        repeated snapshots — still skip their tests entirely.
+
+        On top of that the probing is **adaptive**: decisions are probed in
+        windows of ``probe_window``; when a window (past the cold first
+        one) yields fewer than ``probe_min_hits`` decision-level hits, the
+        next ``bypass_span`` decisions skip the cache entirely (counted in
+        ``stats.bypassed``) before probing resumes. Jittered workloads
+        recur so rarely (~1% of decisions) that even the per-decision probe
+        is a net loss there; bypassing caps the worst-case overhead at the
+        probing duty cycle (a few percent) while costing recurring regimes
+        nothing. Bypass only changes *when the cache is consulted*, never
+        what a consulted cache returns, so exactness is unaffected.
+
+        The returned ``vet(rank)`` computes exactly
+        ``schedulability_test(parts[rank], parts[:rank], t, w)`` and shares
+        the memo's counters and eviction accounting. While bypassing it is
+        a plain uncounted pass-through to the underlying test — NOT the
+        memo's ``__call__``, which would quietly reintroduce the per-test
+        key builds that bypassing exists to avoid. Returns None only when
+        the memo is disabled (callers then fall back to direct test calls).
+        """
+        if not self.enabled:
+            return None
+        if self._bypass_left:
+            self._bypass_left -= 1
+            self.stats.bypassed += 1
+            test = self._test
+
+            def raw(rank: int) -> bool:
+                return test(parts[rank], parts[:rank], t, w)
+
+            return raw
+        stats = self.stats
+        test = self._test
+        decisions = self._decisions
+        # tuple([...]) over a listcomp beats a genexpr here: no generator
+        # frame per partition, and this runs on every probed decision.
+        dkey = (
+            w,
+            tuple(
+                [
+                    (p.last_replenishment - t, p.period, p.max_budget, p.remaining_budget)
+                    for p in parts
+                ]
+            ),
+        )
+        fresh = [None] * len(parts)
+        entry = decisions.setdefault(dkey, fresh)
+        if entry is fresh:
+            if len(decisions) > self.maxsize:
+                # Amortized batch eviction: drop the oldest half in one
+                # sweep. Insertion order approximates recency well enough
+                # here, and a plain dict keeps the per-decision probe
+                # cheaper than LRU bookkeeping would — the store only ever
+                # fills up in the non-recurring regime, where every entry
+                # is equally dead.
+                drop = max(1, self.maxsize // 2)
+                for stale in list(islice(iter(decisions), drop)):
+                    del decisions[stale]
+                stats.evictions += drop
+        else:
+            self._probe_hits += 1
+        self._probed += 1
+        if self._probed >= self.probe_window:
+            if self._probe_hits < self.probe_min_hits and not self._grace:
+                self._bypass_left = self.bypass_span
+            self._grace = False
+            self._probed = self._probe_hits = 0
+
+        def vet(rank: int) -> bool:
+            value = entry[rank]
+            if value is None:
+                stats.misses += 1
+                value = entry[rank] = test(parts[rank], parts[:rank], t, w)
+            else:
+                stats.hits += 1
+            return value
+
+        return vet
+
+    def __len__(self) -> int:
+        return len(self._cache) + len(self._decisions)
+
+    def clear(self) -> None:
+        """Drop every cached entry (counters are kept; see ``stats.reset``).
+
+        Also rewinds the adaptive probing state: a cleared cache is cold
+        again, so the next prepare() windows get a fresh grace period.
+        """
+        self._cache.clear()
+        self._decisions.clear()
+        self._bypass_left = 0
+        self._probed = 0
+        self._probe_hits = 0
+        self._grace = True

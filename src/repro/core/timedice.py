@@ -15,6 +15,7 @@ from typing import List, Optional, Union
 
 from repro._time import MS
 from repro.core.candidacy import Candidate, SearchStats, candidate_search
+from repro.core.memo import DEFAULT_MEMO_SIZE, MemoStats, SchedulabilityMemo
 from repro.core.selection import Selector, WeightedUtilizationSelector
 from repro.core.state import IDLE, PartitionState, SystemState
 
@@ -63,6 +64,11 @@ class TimeDice:
             even idling preserves schedulability.
         seed: Seed for the internal RNG; pass ``rng`` instead to share one.
         rng: Optional externally-owned RNG (takes precedence over ``seed``).
+        memoize: Reuse schedulability-test outcomes across decisions via
+            :class:`~repro.core.memo.SchedulabilityMemo` (default on). The
+            cache is exact — decision sequences are bit-identical with or
+            without it — so this only trades memory for decide latency.
+        memo_size: LRU capacity of the memo when ``memoize`` is on.
     """
 
     def __init__(
@@ -72,6 +78,8 @@ class TimeDice:
         allow_idle: bool = True,
         seed: Optional[int] = None,
         rng: Optional[random.Random] = None,
+        memoize: bool = True,
+        memo_size: int = DEFAULT_MEMO_SIZE,
     ):
         if quantum <= 0:
             raise ValueError(f"quantum must be positive, got {quantum}")
@@ -79,6 +87,9 @@ class TimeDice:
         self.quantum = quantum
         self.allow_idle = allow_idle
         self.rng = rng if rng is not None else random.Random(seed)
+        self.memo: Optional[SchedulabilityMemo] = (
+            SchedulabilityMemo(maxsize=memo_size) if memoize else None
+        )
         #: Cumulative counters over the scheduler's lifetime.
         self.total_decisions = 0
         self.total_schedulability_tests = 0
@@ -91,7 +102,9 @@ class TimeDice:
         selector. With no active ready partition the decision is IDLE with an
         empty candidate list.
         """
-        candidates, stats = candidate_search(state, self.quantum, self.allow_idle)
+        candidates, stats = candidate_search(
+            state, self.quantum, self.allow_idle, tester=self.memo
+        )
         self.total_decisions += 1
         self.total_schedulability_tests += stats.schedulability_tests
         if not candidates:
@@ -99,7 +112,18 @@ class TimeDice:
         choice = self.selector.select(candidates, state.t, self.rng)
         return Decision(choice, list(candidates), stats, self.quantum)
 
+    @property
+    def memo_stats(self) -> Optional[MemoStats]:
+        """Hit/miss/eviction counters of the memo, or None when disabled."""
+        return self.memo.stats if self.memo is not None else None
+
     def reset_counters(self) -> None:
-        """Zero the lifetime counters (between benchmark repetitions)."""
+        """Zero the lifetime counters (between benchmark repetitions).
+
+        The memo's *counters* are reset too; its cached entries are kept (a
+        warm cache is part of steady-state behaviour, and entries are exact).
+        """
         self.total_decisions = 0
         self.total_schedulability_tests = 0
+        if self.memo is not None:
+            self.memo.stats.reset()

@@ -63,20 +63,26 @@ class ResultCache:
     def path_for(self, content_hash: str) -> Path:
         return self.root / content_hash[:2] / f"{content_hash}.json"
 
-    def get(self, content_hash: str) -> Any:
-        """Return the cached value for ``content_hash``, or :data:`MISS`."""
-        path = self.path_for(content_hash)
+    def _load(self, content_hash: str) -> Any:
+        """Read and validate an entry; :data:`MISS` for absent, corrupt, or
+        schema-less files. Does not touch the hit/miss counters."""
         try:
-            with open(path, "r", encoding="utf-8") as handle:
+            with open(self.path_for(content_hash), "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
         except (OSError, ValueError):
-            self.stats.misses += 1
             return MISS
         if not isinstance(entry, dict) or "value" not in entry:
-            self.stats.misses += 1
             return MISS
-        self.stats.hits += 1
         return entry["value"]
+
+    def get(self, content_hash: str) -> Any:
+        """Return the cached value for ``content_hash``, or :data:`MISS`."""
+        value = self._load(content_hash)
+        if value is MISS:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return value
 
     def put(self, content_hash: str, value: Any, meta: Optional[Dict[str, Any]] = None) -> Path:
         """Atomically persist ``value`` (must be JSON-serializable)."""
@@ -100,7 +106,10 @@ class ResultCache:
         return path
 
     def __contains__(self, content_hash: str) -> bool:
-        return self.path_for(content_hash).is_file()
+        """Membership agrees with :meth:`get`: True only for entries that
+        ``get`` would actually return (a corrupt or schema-less file on disk
+        is a miss for both). Does not count toward hit/miss stats."""
+        return self._load(content_hash) is not MISS
 
 
 def as_cache(cache: Union[None, str, Path, ResultCache]) -> Optional[ResultCache]:

@@ -30,7 +30,7 @@ from repro.model.system import System
 from repro.sim.behaviors import Behavior, ChannelScript, default_behaviors
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.local import FixedPriorityLocalScheduler, Job, LocalScheduler
-from repro.sim.policies import GlobalPolicyBase, make_policy
+from repro.sim.policies import GlobalPolicyBase, PolicyChoice, make_policy
 from repro.sim.trace import JobRecord, Observer
 
 
@@ -62,6 +62,10 @@ class SimulationResult:
         decide_latencies_ns: Individual decide-call latencies (Table IV),
             collected only with ``measure_overhead=True``.
         deadline_misses: Count of jobs finishing after ``arrival + deadline``.
+        memo_hits / memo_misses / memo_evictions / memo_bypassed: Lifetime
+            counters of the policy's schedulability memo (zero for policies
+            without one or with ``memoize=False``); ``memo_bypassed`` counts
+            decisions the memo's adaptive probing skipped entirely.
     """
 
     end_time: int
@@ -71,6 +75,15 @@ class SimulationResult:
     overhead_ns_by_second: Dict[int, int] = field(default_factory=dict)
     decide_latencies_ns: List[int] = field(default_factory=list)
     deadline_misses: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    memo_evictions: int = 0
+    memo_bypassed: int = 0
+
+    @property
+    def memo_hit_rate(self) -> float:
+        lookups = self.memo_hits + self.memo_misses
+        return self.memo_hits / lookups if lookups else 0.0
 
     def rates(self) -> Dict[str, float]:
         seconds = self.end_time / SEC
@@ -98,6 +111,11 @@ class Simulator:
             defaults to fixed-priority preemptive. BLINDER substitutes its
             transformation here.
         quantum: TimeDice MIN_INV_SIZE when ``policy`` is given by name.
+        memoize: When ``policy`` is given by name, whether its TimeDice
+            variants reuse schedulability-test outcomes across quanta
+            (:class:`repro.core.memo.SchedulabilityMemo`; default on).
+            Decision traces are bit-identical either way; the memo's
+            counters are surfaced on :class:`SimulationResult`.
         measure_overhead: Record wall-clock latency of every policy decision
             (Table IV / Fig. 17). Off by default — it roughly doubles the
             Python overhead of a run.
@@ -127,13 +145,18 @@ class Simulator:
         quantum: int = DEFAULT_QUANTUM,
         measure_overhead: bool = False,
         budget_donation: bool = False,
+        memoize: bool = True,
     ):
         self.system = system
         # Distinct, process-stable streams derived from the master seed.
         self.workload_rng = random.Random(seed * 2 + 1)
         if isinstance(policy, str):
             policy = make_policy(
-                policy, system=system, seed=seed * 2 + 0x9E3779B9, quantum=quantum
+                policy,
+                system=system,
+                seed=seed * 2 + 0x9E3779B9,
+                quantum=quantum,
+                memoize=memoize,
             )
         self.policy = policy
         self.channel = channel
@@ -166,6 +189,10 @@ class Simulator:
         self._last_running: Optional[str] = "__none__"
         self._result = SimulationResult(end_time=0, decisions=0, switches=0)
         self._primed = False
+        # A scheduling decision whose slice was clipped by a run_until pause
+        # boundary and is still live: the next run_until continues it instead
+        # of consulting the policy again (see run_until's docstring).
+        self._carry: Optional[PolicyChoice] = None
 
     # ----------------------------------------------------------------- setup
 
@@ -249,13 +276,9 @@ class Simulator:
                         return rt, donor
         return None
 
-    def _run_donated(self, recipient, donor, horizon: int, max_slice) -> None:
-        """Run the recipient's job on the donor's budget for one slice."""
+    def _run_donated(self, recipient, donor, duration: int) -> None:
+        """Run the recipient's job on the donor's budget for ``duration`` µs."""
         job = recipient.local.pick(self.now)
-        duration = horizon - self.now
-        if max_slice is not None:
-            duration = min(duration, max_slice)
-        duration = min(duration, donor.remaining_budget, job.remaining)
         if duration <= 0:  # pragma: no cover - all caps are positive here
             raise RuntimeError("donation slice collapsed to zero")
         if job.started_at is None:
@@ -308,63 +331,125 @@ class Simulator:
         ]
         return SystemState(self.now, states)
 
+    def _any_active_ready(self) -> bool:
+        """Whether ``snapshot().active_ready()`` would be non-empty, without
+        the cost of building a snapshot (used on the carry path too, where no
+        snapshot exists)."""
+        for rt in self._runtimes:
+            if rt.remaining_budget > 0 and (
+                rt.local.has_ready(self.now) or rt.spec.server == "periodic"
+            ):
+                return True
+        return False
+
+    def _natural_end(self, next_event, max_slice, *duration_caps):
+        """Absolute end of the current slice ignoring the ``run_until`` pause
+        boundary: the next event, the policy's slice bound, and any duration
+        caps (remaining budget, job demand). None when genuinely unbounded
+        (empty queue, no other cap)."""
+        end = next_event
+        if max_slice is not None:
+            cap = self.now + max(1, max_slice)
+            end = cap if end is None else min(end, cap)
+        for cap in duration_caps:
+            capped = self.now + cap
+            end = capped if end is None else min(end, capped)
+        return end
+
+    def _clip(self, natural: Optional[int], t_end: int, choice: PolicyChoice) -> int:
+        """Clip a slice's natural end to the pause boundary.
+
+        When the boundary — not one of the slice's own caps — is what binds,
+        the live decision is remembered in ``self._carry`` (with its slice
+        allowance reduced by what this segment consumes) so the next
+        ``run_until`` continues it instead of consulting the policy again.
+        """
+        if natural is not None and natural <= t_end:
+            return natural
+        remaining = None
+        if choice.max_slice is not None:
+            remaining = max(1, choice.max_slice) - (t_end - self.now)
+        self._carry = PolicyChoice(choice.partition, remaining)
+        return t_end
+
     def run_until(self, t_end: int) -> SimulationResult:
         """Advance the simulation to absolute time ``t_end`` (µs).
 
         Runs may be resumed by calling ``run_until`` again with a later
-        time. Note that the pause boundary itself acts as a scheduling
-        point: deterministic policies produce bit-identical traces either
-        way, while randomized policies consume one extra RNG draw there, so
-        a paused-and-resumed TimeDice run is a *valid* trace but not
-        bit-identical to the uninterrupted one.
+        time, and a paused-and-resumed run is **bit-identical** to the
+        uninterrupted one for every policy, randomized ones included: the
+        horizon is peeked before the policy is consulted, and when the pause
+        boundary cuts an execution slice short the live decision is carried
+        across the pause — the policy is not consulted again mid-slice, so
+        ``decisions`` is not inflated and no extra RNG draw is burnt.
         """
         if not self._primed:
             self._prime()
         queue = self._queue
         result = self._result
         while self.now < t_end:
-            for event in queue.pop_due(self.now):
-                if event.kind == EventKind.REPLENISH:
-                    self._handle_replenish(event)
-                else:
-                    self._handle_arrival(event)
-
-            self._enforce_server_semantics()
-            state = self.snapshot()
-            if self.measure_overhead:
-                t0 = _wall.perf_counter_ns()
-                choice = self.policy.decide(state)
-                elapsed = _wall.perf_counter_ns() - t0
-                result.overhead_ns_total += elapsed
-                second = self.now // SEC
-                result.overhead_ns_by_second[second] = (
-                    result.overhead_ns_by_second.get(second, 0) + elapsed
-                )
-                result.decide_latencies_ns.append(elapsed)
+            carried = self._carry
+            self._carry = None
+            if carried is not None:
+                # Continue the slice a previous run_until clipped. No events
+                # can be due (a carry exists only when the next event lies
+                # strictly beyond the old boundary) and server semantics were
+                # already enforced at the decision's real scheduling point —
+                # consulting the policy again here is exactly the wart this
+                # path removes.
+                choice = carried
+                next_event = queue.peek_time()
             else:
-                choice = self.policy.decide(state)
-            result.decisions += 1
-            for observer in self.observers:
-                observer.on_decision(self.now, choice.partition)
+                for event in queue.pop_due(self.now):
+                    if event.kind == EventKind.REPLENISH:
+                        self._handle_replenish(event)
+                    else:
+                        self._handle_arrival(event)
 
-            next_event = queue.peek_time()
-            horizon = t_end if next_event is None else min(next_event, t_end)
-            if horizon <= self.now:
-                # All events due now were already delivered; the queue head
-                # must lie strictly in the future unless we've hit t_end.
-                break
+                self._enforce_server_semantics()
+                # Peek the horizon *before* consulting the policy: a decision
+                # for a zero-length slice would inflate `decisions` and burn
+                # an RNG draw without ever being acted on.
+                next_event = queue.peek_time()
+                horizon = t_end if next_event is None else min(next_event, t_end)
+                if horizon <= self.now:  # pragma: no cover - queue head is
+                    break  # always in the future once due events are popped
+                state = self.snapshot()
+                if self.measure_overhead:
+                    t0 = _wall.perf_counter_ns()
+                    choice = self.policy.decide(state)
+                    elapsed = _wall.perf_counter_ns() - t0
+                    result.overhead_ns_total += elapsed
+                    second = self.now // SEC
+                    result.overhead_ns_by_second[second] = (
+                        result.overhead_ns_by_second.get(second, 0) + elapsed
+                    )
+                    result.decide_latencies_ns.append(elapsed)
+                else:
+                    choice = self.policy.decide(state)
+                result.decisions += 1
+                for observer in self.observers:
+                    observer.on_decision(self.now, choice.partition)
 
             if choice.partition is None:
                 donation = None
-                if self.budget_donation and not state.active_ready():
+                if self.budget_donation and not self._any_active_ready():
                     donation = self._find_donation()
                 if donation is not None:
                     recipient, donor = donation
-                    self._run_donated(recipient, donor, horizon, choice.max_slice)
+                    job = recipient.local.pick(self.now)
+                    natural = self._natural_end(
+                        next_event,
+                        choice.max_slice,
+                        donor.remaining_budget,
+                        job.remaining,
+                    )
+                    end = self._clip(natural, t_end, choice)
+                    self._run_donated(recipient, donor, end - self.now)
                     continue
-                end = horizon
-                if choice.max_slice is not None:
-                    end = min(end, self.now + max(1, choice.max_slice))
+                end = self._clip(
+                    self._natural_end(next_event, choice.max_slice), t_end, choice
+                )
                 self._emit_segment(self.now, end, None, None)
                 self.now = end
                 continue
@@ -374,29 +459,31 @@ class Simulator:
             if job is None and rt.spec.server == "periodic" and rt.remaining_budget > 0:
                 # A periodic server occupies the CPU and drains its budget
                 # even without work — that determinism is its whole point.
-                end = horizon
-                if choice.max_slice is not None:
-                    end = min(end, self.now + max(1, choice.max_slice))
-                duration = min(end - self.now, rt.remaining_budget)
+                natural = self._natural_end(
+                    next_event, choice.max_slice, rt.remaining_budget
+                )
+                end = self._clip(natural, t_end, choice)
+                duration = end - self.now
                 rt.remaining_budget -= duration
                 start = self.now
-                self.now += duration
+                self.now = end
                 self._emit_segment(start, self.now, rt.spec.name, None)
                 continue
             if job is None or rt.remaining_budget <= 0:
                 # Defensive: a policy should never select a partition that
                 # cannot run; treat it as (bounded) idling rather than crash.
-                end = horizon
-                if choice.max_slice is not None:
-                    end = min(end, self.now + max(1, choice.max_slice))
+                end = self._clip(
+                    self._natural_end(next_event, choice.max_slice), t_end, choice
+                )
                 self._emit_segment(self.now, end, None, None)
                 self.now = end
                 continue
 
-            duration = horizon - self.now
-            if choice.max_slice is not None:
-                duration = min(duration, choice.max_slice)
-            duration = min(duration, rt.remaining_budget, job.remaining)
+            natural = self._natural_end(
+                next_event, choice.max_slice, rt.remaining_budget, job.remaining
+            )
+            end = self._clip(natural, t_end, choice)
+            duration = end - self.now
             if duration <= 0:  # pragma: no cover - guarded by checks above
                 raise RuntimeError("scheduling slice collapsed to zero")
 
@@ -405,7 +492,7 @@ class Simulator:
             job.remaining -= duration
             rt.remaining_budget -= duration
             start = self.now
-            self.now += duration
+            self.now = end
             rt.local.on_executed(job, duration, self.now)
             self._emit_segment(start, self.now, rt.spec.name, job.task.name)
             if job.remaining == 0:
@@ -414,6 +501,12 @@ class Simulator:
                 self._emit_completion(job)
 
         result.end_time = self.now
+        memo_stats = getattr(self.policy, "memo_stats", None)
+        if memo_stats is not None:
+            result.memo_hits = memo_stats.hits
+            result.memo_misses = memo_stats.misses
+            result.memo_evictions = memo_stats.evictions
+            result.memo_bypassed = memo_stats.bypassed
         return result
 
     def run_for_ms(self, duration_ms: float) -> SimulationResult:

@@ -26,6 +26,7 @@ from repro.core.selection import (
     UniformSelector,
     WeightedUtilizationSelector,
 )
+from repro.core.memo import DEFAULT_MEMO_SIZE
 from repro.core.state import IDLE, SystemState
 from repro.core.timedice import DEFAULT_QUANTUM, TimeDice
 from repro.model.system import System
@@ -73,7 +74,9 @@ class TimeDicePolicy(GlobalPolicyBase):
     """TimeDice-enabled global scheduling (Sec. IV / Sec. V-A).
 
     The selected partition holds the CPU for at most one quantum; then the
-    dice are rolled again.
+    dice are rolled again. ``memoize`` (default on) reuses schedulability
+    outcomes across quanta via :class:`repro.core.memo.SchedulabilityMemo`;
+    decisions are bit-identical either way.
     """
 
     def __init__(
@@ -83,9 +86,17 @@ class TimeDicePolicy(GlobalPolicyBase):
         seed: Optional[int] = None,
         rng: Optional[random.Random] = None,
         allow_idle: bool = True,
+        memoize: bool = True,
+        memo_size: int = DEFAULT_MEMO_SIZE,
     ):
         self.scheduler = TimeDice(
-            selector=selector, quantum=quantum, allow_idle=allow_idle, seed=seed, rng=rng
+            selector=selector,
+            quantum=quantum,
+            allow_idle=allow_idle,
+            seed=seed,
+            rng=rng,
+            memoize=memoize,
+            memo_size=memo_size,
         )
         self.name = f"timedice-{self.scheduler.selector.name}"
 
@@ -96,6 +107,11 @@ class TimeDicePolicy(GlobalPolicyBase):
     @property
     def total_schedulability_tests(self) -> int:
         return self.scheduler.total_schedulability_tests
+
+    @property
+    def memo_stats(self):
+        """The memo's :class:`~repro.core.memo.MemoStats` (None if disabled)."""
+        return self.scheduler.memo_stats
 
 
 @dataclass(frozen=True)
@@ -225,20 +241,27 @@ def make_policy(
     system: Optional[System] = None,
     seed: Optional[int] = None,
     quantum: int = DEFAULT_QUANTUM,
+    memoize: bool = True,
 ) -> GlobalPolicyBase:
     """Build a policy by canonical name.
 
     ``system`` is required for TDMA (the static table is system-specific);
-    ``seed``/``quantum`` apply to the TimeDice variants.
+    ``seed``/``quantum``/``memoize`` apply to the TimeDice variants.
     """
     if name == GlobalPolicy.NORANDOM:
         return FixedPriorityPolicy()
     if name == GlobalPolicy.TIMEDICE_WEIGHTED:
-        return TimeDicePolicy(WeightedUtilizationSelector(), quantum=quantum, seed=seed)
+        return TimeDicePolicy(
+            WeightedUtilizationSelector(), quantum=quantum, seed=seed, memoize=memoize
+        )
     if name == GlobalPolicy.TIMEDICE_UNIFORM:
-        return TimeDicePolicy(UniformSelector(), quantum=quantum, seed=seed)
+        return TimeDicePolicy(
+            UniformSelector(), quantum=quantum, seed=seed, memoize=memoize
+        )
     if name == GlobalPolicy.TIMEDICE_INVERSE:
-        return TimeDicePolicy(InverseUtilizationSelector(), quantum=quantum, seed=seed)
+        return TimeDicePolicy(
+            InverseUtilizationSelector(), quantum=quantum, seed=seed, memoize=memoize
+        )
     if name == GlobalPolicy.TDMA:
         if system is None:
             raise ValueError("TDMA needs the system to build its static table")

@@ -16,9 +16,8 @@ from repro.sim.validation import InvariantChecker
 
 class TestIncrementalRuns:
     def test_run_until_is_resumable_norandom(self):
-        """Pausing and resuming is trace-identical for deterministic
-        policies. (Under TimeDice the pause boundary is an extra scheduling
-        decision, consuming one more RNG draw — documented in run_until.)"""
+        """Pausing and resuming is trace-identical: a slice clipped by the
+        pause boundary is carried across run_until calls, not re-decided."""
         system = table1_system()
 
         def in_one_go():
@@ -36,6 +35,31 @@ class TestIncrementalRuns:
             return rec.segments
 
         assert in_one_go() == in_two_steps()
+
+    @pytest.mark.parametrize("pauses", [(137,), (33, 137, 138, 251)])
+    def test_run_until_is_resumable_timedice(self, pauses):
+        """The carry mechanism makes resumption exact for *randomized*
+        policies too: the pause boundary consumes no scheduling decision and
+        no RNG draw, so a paused-and-resumed run is bit-identical to an
+        uninterrupted one — same segments, same decision count, same final
+        RNG state."""
+        system = table1_system()
+
+        def in_one_go():
+            rec = SegmentRecorder()
+            sim = Simulator(system, policy="timedice", seed=7, observers=[rec])
+            result = sim.run_until(ms(400))
+            return rec.segments, result.decisions, sim.policy.scheduler.rng.getstate()
+
+        def with_pauses():
+            rec = SegmentRecorder()
+            sim = Simulator(system, policy="timedice", seed=7, observers=[rec])
+            for pause_ms in pauses:
+                sim.run_until(ms(pause_ms))
+            result = sim.run_until(ms(400))
+            return rec.segments, result.decisions, sim.policy.scheduler.rng.getstate()
+
+        assert in_one_go() == with_pauses()
 
     def test_run_until_past_time_is_noop(self):
         system = table1_system()

@@ -1,0 +1,93 @@
+"""Differential harness: the schedulability memo must be invisible.
+
+For every TimeDice flavor (and the memo-less policies as a no-op control),
+a memoized and an unmemoized simulation of the same system and seed must
+produce bit-identical decision sequences, schedules, and counters — the
+end-to-end form of the exactness argument in :mod:`repro.core.memo`.
+"""
+
+import pytest
+
+from repro.model.configs import table1_system, three_partition_example
+from repro.sim.engine import Simulator
+from repro.sim.trace import Observer, SegmentRecorder
+
+POLICIES = ["timedice", "timedice-uniform", "timedice-inverse", "norandom", "tdma"]
+
+
+class DecisionLog(Observer):
+    """Records every (t, chosen) the policy emits, in order."""
+
+    def __init__(self):
+        self.decisions = []
+
+    def on_decision(self, t, chosen):
+        self.decisions.append((t, chosen))
+
+
+def run(system, policy, seed, memoize, seconds=1.5):
+    log = DecisionLog()
+    segments = SegmentRecorder()
+    sim = Simulator(
+        system,
+        policy=policy,
+        seed=seed,
+        memoize=memoize,
+        observers=[log, segments],
+    )
+    result = sim.run_for_seconds(seconds)
+    return sim, log, segments, result
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize("seed", [1, 7])
+def test_memo_changes_nothing(policy, seed):
+    system = table1_system()
+    _, log_off, seg_off, res_off = run(system, policy, seed, memoize=False)
+    sim_on, log_on, seg_on, res_on = run(system, policy, seed, memoize=True)
+
+    assert log_on.decisions == log_off.decisions
+    assert seg_on.segments == seg_off.segments
+    assert res_on.decisions == res_off.decisions
+    assert res_on.switches == res_off.switches
+
+    if policy.startswith("timedice"):
+        # These runs use jittered workloads, where snapshots rarely recur:
+        # the memo probes, (rightly) concludes the cache is dead, and
+        # bypasses most decisions — so assert the counters are consistent
+        # rather than that hits occurred. The deterministic test below
+        # pins down the hit path.
+        stats = sim_on.policy.memo_stats
+        assert stats is not None and stats.lookups > 0
+        assert res_on.memo_hits == stats.hits
+        assert res_on.memo_misses == stats.misses
+        assert 0.0 <= res_on.memo_hit_rate <= 1.0
+    else:
+        # Memo-less policies report zeroed counters either way.
+        assert res_on.memo_hits == res_on.memo_misses == 0
+        assert res_on.memo_hit_rate == 0.0
+
+
+def test_memo_transparent_on_three_partition_example():
+    # The Fig. 6 example has deterministic workloads and a short
+    # hyperperiod (300 ms), so whole snapshots recur often enough for a
+    # solid decision-level hit rate — exactly the regime where a stale
+    # entry would diverge. (Randomized selection still perturbs budgets, so
+    # recurrence is partial, not total.)
+    system = three_partition_example()
+    _, log_off, _, _ = run(system, "timedice", 3, memoize=False, seconds=3.0)
+    sim_on, log_on, _, _ = run(system, "timedice", 3, memoize=True, seconds=3.0)
+    assert log_on.decisions == log_off.decisions
+    stats = sim_on.policy.memo_stats
+    assert stats.hits > 0
+    assert stats.hit_rate > 0.15
+    # Recurrence keeps every probing window above threshold, so the
+    # adaptive path never bypasses here.
+    assert stats.bypassed == 0
+
+
+def test_unmemoized_policy_reports_no_stats():
+    system = three_partition_example()
+    sim, _, _, result = run(system, "timedice", 1, memoize=False, seconds=0.5)
+    assert sim.policy.memo_stats is None
+    assert result.memo_hits == result.memo_misses == result.memo_evictions == 0

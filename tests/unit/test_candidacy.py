@@ -120,10 +120,10 @@ class TestFig9Complexity:
         _, stats = candidate_search(state, w=ms(1))
         assert stats.schedulability_tests <= len(state.partitions)
 
-    def test_partitions_above_top_active_not_tested(self):
-        # Only p3 is active: everything above it is never disturbed by the
-        # no-inversion choice, so with just one active candidate and idle,
-        # tests only cover ranks >= rank(p3).
+    def test_partitions_above_top_active_vetted_for_idle(self):
+        # Only p3 is active. Selecting p3 needs no vetting, but admitting
+        # IDLE is an inversion against *every* partition — including the
+        # inactive p1 and p2 ranked above p3 (Fig. 8 indirect interference).
         state = SystemState(
             0,
             [
@@ -134,5 +134,67 @@ class TestFig9Complexity:
         )
         candidates, stats = candidate_search(state, w=ms(1))
         assert "p3" in names(candidates)
-        # p3 itself + nothing below it: at most 1 test (for IDLE vetting p3).
-        assert stats.schedulability_tests <= 1
+        # The IDLE vetting sweeps all three partitions, each exactly once.
+        assert stats.schedulability_tests == 3
+
+    def test_top_active_needs_no_vetting_for_itself(self):
+        # With IDLE disallowed and a single active partition there is no
+        # inverted candidate at all, so nothing is ever tested — not even
+        # the inactive partitions above.
+        state = SystemState(
+            0,
+            [
+                pstate("p1", 1, 20, 4, 0),
+                pstate("p2", 2, 30, 4, 4),
+            ],
+        )
+        candidates, stats = candidate_search(state, w=ms(1), allow_idle=False)
+        assert names(candidates) == ["p2"]
+        assert stats.schedulability_tests == 0
+
+
+class TestInactiveAboveTopActive:
+    """Regression: the sweep must start at rank 0, not at Pi_(1)'s rank.
+
+    A tight inactive partition ranked *above* the highest-priority active
+    one was previously never schedulability-tested, so lower candidates and
+    IDLE were wrongly admitted even when the inversion would make that
+    partition miss its next-period deadline (the Fig. 8 rule).
+    """
+
+    def tight_top_state(self):
+        # p1 is inactive at t=19ms, replenishes at 20ms, and needs 18 of its
+        # next 20ms period: a 3ms inversion starting now pushes its next
+        # period past the r+2T deadline. p2/p3 are slack and active.
+        return SystemState(
+            ms(19),
+            [
+                pstate("p1", 1, 20, 18, 0),
+                pstate("p2", 2, 40, 4, 4, repl=0),
+                pstate("p3", 3, 80, 4, 4, repl=0),
+            ],
+        )
+
+    def test_tight_inactive_top_blocks_lower_candidates(self):
+        candidates, _ = candidate_search(self.tight_top_state(), w=ms(3))
+        # p2 (the top active) is always allowed; p3 must be rejected because
+        # p1 cannot absorb the inversion, and IDLE must be rejected too.
+        assert names(candidates) == ["p2"]
+
+    def test_tight_inactive_top_blocks_idle(self):
+        candidates, stats = candidate_search(self.tight_top_state(), w=ms(3))
+        assert IDLE not in candidates
+        assert not stats.idle_allowed
+
+    def test_slack_inactive_top_admits_lower_candidates(self):
+        # Same shape but p1 has plenty of slack: everything is admitted.
+        state = SystemState(
+            ms(19),
+            [
+                pstate("p1", 1, 20, 4, 0),
+                pstate("p2", 2, 40, 4, 4, repl=0),
+                pstate("p3", 3, 80, 4, 4, repl=0),
+            ],
+        )
+        candidates, _ = candidate_search(state, w=ms(3))
+        assert names(candidates) == ["p2", "p3", IDLE]

@@ -1,0 +1,256 @@
+"""Unit tests for the schedulability memo (repro.core.memo)."""
+
+import pytest
+
+from repro._time import ms
+from repro.core.busy_interval import schedulability_test
+from repro.core.memo import (
+    DEFAULT_MEMO_SIZE,
+    MemoStats,
+    SchedulabilityMemo,
+    memo_key,
+)
+from repro.core.state import PartitionState
+
+
+def pstate(name, priority, period, budget, remaining, repl=0, ready=True):
+    return PartitionState(
+        name=name,
+        period=ms(period),
+        max_budget=ms(budget),
+        priority=priority,
+        remaining_budget=ms(remaining),
+        last_replenishment=ms(repl),
+        ready=ready,
+    )
+
+
+def shifted(p, delta):
+    """The same partition observed ``delta`` later, untouched in between."""
+    return PartitionState(
+        name=p.name,
+        period=p.period,
+        max_budget=p.max_budget,
+        priority=p.priority,
+        remaining_budget=p.remaining_budget,
+        last_replenishment=p.last_replenishment + delta,
+        ready=p.ready,
+    )
+
+
+class TestMemoKey:
+    def test_phase_shift_preserves_key(self):
+        # Shifting every replenishment AND the query time by the same delta
+        # leaves all offsets unchanged, so the key must be identical.
+        h = pstate("h", 2, 40, 6, 3, repl=0)
+        higher = [pstate("a", 1, 20, 4, 2, repl=0)]
+        delta = ms(60)
+        k1 = memo_key(h, higher, ms(5), ms(2))
+        k2 = memo_key(
+            shifted(h, delta), [shifted(p, delta) for p in higher], ms(65), ms(2)
+        )
+        assert k1 == k2
+
+    def test_budget_change_changes_key(self):
+        h = pstate("h", 2, 40, 6, 3)
+        higher = [pstate("a", 1, 20, 4, 2)]
+        k1 = memo_key(h, higher, ms(5), ms(2))
+        h2 = pstate("h", 2, 40, 6, 2)
+        k2 = memo_key(h2, higher, ms(5), ms(2))
+        assert k1 != k2
+
+    def test_interferer_order_does_not_matter(self):
+        h = pstate("h", 3, 80, 6, 3)
+        a = pstate("a", 1, 20, 4, 2)
+        b = pstate("b", 2, 30, 5, 1)
+        assert memo_key(h, [a, b], ms(5), ms(2)) == memo_key(h, [b, a], ms(5), ms(2))
+
+    def test_names_and_priorities_do_not_enter_key(self):
+        h = pstate("h", 2, 40, 6, 3)
+        a = pstate("a", 1, 20, 4, 2)
+        a_renamed = pstate("zzz", 9, 20, 4, 2)
+        assert memo_key(h, [a], ms(5), ms(2)) == memo_key(h, [a_renamed], ms(5), ms(2))
+
+
+class TestMemoBehavior:
+    def test_hit_on_phase_shifted_repeat(self):
+        memo = SchedulabilityMemo()
+        h = pstate("h", 2, 40, 6, 3, repl=0)
+        higher = [pstate("a", 1, 20, 4, 2, repl=0)]
+        first = memo(h, higher, ms(5), ms(2))
+        delta = ms(120)
+        second = memo(
+            shifted(h, delta), [shifted(p, delta) for p in higher], ms(125), ms(2)
+        )
+        assert first == second == schedulability_test(h, higher, ms(5), ms(2))
+        assert memo.stats.misses == 1
+        assert memo.stats.hits == 1
+        assert len(memo) == 1
+
+    def test_miss_on_budget_change(self):
+        memo = SchedulabilityMemo()
+        h = pstate("h", 2, 40, 6, 3)
+        higher = [pstate("a", 1, 20, 4, 2)]
+        memo(h, higher, ms(5), ms(2))
+        memo(h, [pstate("a", 1, 20, 4, 1)], ms(5), ms(2))
+        assert memo.stats.misses == 2
+        assert memo.stats.hits == 0
+        assert len(memo) == 2
+
+    def test_eviction_at_capacity(self):
+        memo = SchedulabilityMemo(maxsize=2)
+        h = pstate("h", 2, 40, 6, 3)
+        for remaining in (1, 2, 3):
+            memo(h, [pstate("a", 1, 20, 4, remaining)], ms(5), ms(2))
+        assert len(memo) == 2
+        assert memo.stats.evictions == 1
+        # The oldest entry (remaining=1) was evicted: repeating it misses.
+        memo(h, [pstate("a", 1, 20, 4, 1)], ms(5), ms(2))
+        assert memo.stats.hits == 0
+        assert memo.stats.misses == 4
+        assert memo.stats.evictions == 2
+
+    def test_lru_refresh_protects_entry(self):
+        memo = SchedulabilityMemo(maxsize=2)
+        h = pstate("h", 2, 40, 6, 3)
+        a1 = [pstate("a", 1, 20, 4, 1)]
+        a2 = [pstate("a", 1, 20, 4, 2)]
+        memo(h, a1, ms(5), ms(2))
+        memo(h, a2, ms(5), ms(2))
+        memo(h, a1, ms(5), ms(2))  # refresh a1: a2 is now least recent
+        memo(h, [pstate("a", 1, 20, 4, 3)], ms(5), ms(2))  # evicts a2
+        memo(h, a1, ms(5), ms(2))
+        assert memo.stats.hits == 2
+
+    def test_disabled_memo_bypasses_cache(self):
+        memo = SchedulabilityMemo(enabled=False)
+        h = pstate("h", 2, 40, 6, 3)
+        higher = [pstate("a", 1, 20, 4, 2)]
+        assert memo(h, higher, ms(5), ms(2)) == schedulability_test(
+            h, higher, ms(5), ms(2)
+        )
+        assert memo.stats.lookups == 0
+        assert len(memo) == 0
+
+    def test_clear_empties_cache_but_keeps_stats(self):
+        memo = SchedulabilityMemo()
+        h = pstate("h", 2, 40, 6, 3)
+        memo(h, [], ms(5), ms(2))
+        memo.clear()
+        assert len(memo) == 0
+        assert memo.stats.misses == 1
+        memo.stats.reset()
+        assert memo.stats.lookups == 0
+
+    def test_invalid_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            SchedulabilityMemo(maxsize=0)
+
+    def test_agrees_with_direct_test_across_states(self):
+        # Sweep a grid of states; the memoized result must always equal a
+        # fresh direct computation, hits and misses alike.
+        memo = SchedulabilityMemo()
+        # 40 is the hyperperiod of the two partitions below, so t=40/43/80
+        # revisit the phase-relative states of t=0/3/0 and must hit. Each
+        # partition's last_replenishment tracks t as the simulator keeps it.
+        for t_ms in (0, 3, 40, 43, 80):
+            for w_ms in (1, 2, 5):
+                for remaining in (0, 2, 18):
+                    h = pstate("h", 2, 40, 18, remaining, repl=(t_ms // 40) * 40)
+                    higher = [pstate("a", 1, 20, 8, 4, repl=(t_ms // 20) * 20)]
+                    assert memo(h, higher, ms(t_ms), ms(w_ms)) == schedulability_test(
+                        h, higher, ms(t_ms), ms(w_ms)
+                    )
+        assert memo.stats.hits > 0  # the sweep revisits phase-equal states
+
+
+class TestAdaptiveProbing:
+    """prepare()'s probe-window/bypass machinery, with tiny knobs."""
+
+    def _memo(self):
+        return SchedulabilityMemo(probe_window=4, probe_min_hits=1, bypass_span=6)
+
+    @staticmethod
+    def _parts():
+        return [pstate("a", 1, 20, 8, 4, repl=0), pstate("h", 2, 40, 18, 9, repl=0)]
+
+    def test_dead_regime_triggers_bypass_after_grace(self):
+        memo = self._memo()
+        parts = self._parts()
+        # Two full windows of never-recurring decisions (distinct t =>
+        # distinct phases). The first window is grace; the second, still
+        # hitless, arms the bypass.
+        for i in range(8):
+            memo.prepare(parts, ms(i), ms(2))
+        assert memo.stats.bypassed == 0
+        for i in range(6):
+            assert memo.prepare(parts, ms(100 + i), ms(2)) is not None
+        assert memo.stats.bypassed == 6
+        # Span exhausted: probing resumes (the store grows again).
+        before = len(memo)
+        memo.prepare(parts, ms(200), ms(2))
+        assert memo.stats.bypassed == 6
+        assert len(memo) == before + 1
+
+    def test_bypassed_vet_is_an_uncounted_pass_through(self):
+        memo = self._memo()
+        parts = self._parts()
+        for i in range(8):
+            memo.prepare(parts, ms(i), ms(2))
+        lookups = memo.stats.lookups
+        size = len(memo)
+        vet = memo.prepare(parts, ms(100), ms(2))  # bypassing
+        assert vet(0) == schedulability_test(parts[0], [], ms(100), ms(2))
+        assert vet(1) == schedulability_test(parts[1], parts[:1], ms(100), ms(2))
+        # Raw tests: no lookups counted, nothing cached.
+        assert memo.stats.lookups == lookups
+        assert len(memo) == size
+
+    def test_recurring_regime_never_bypasses(self):
+        memo = self._memo()
+        parts = self._parts()
+        for _ in range(40):
+            assert memo.prepare(parts, ms(5), ms(2)) is not None
+        assert memo.stats.bypassed == 0
+
+    def test_clear_rewinds_bypass_and_grace(self):
+        memo = self._memo()
+        parts = self._parts()
+        for i in range(8):
+            memo.prepare(parts, ms(i), ms(2))
+        memo.prepare(parts, ms(100), ms(2))
+        assert memo.stats.bypassed == 1
+        memo.clear()
+        # Cold again: probing (and the grace window) restart immediately.
+        for i in range(8):
+            memo.prepare(parts, ms(200 + i), ms(2))
+        assert memo.stats.bypassed == 1  # unchanged: no bypass during grace
+
+    def test_vet_results_consistent_across_windows(self):
+        # Entries written during one probing window are served in later
+        # ones; bypass only suspends probing, it never invalidates.
+        memo = SchedulabilityMemo(probe_window=2, probe_min_hits=1, bypass_span=2)
+        parts = self._parts()
+        vet = memo.prepare(parts, ms(5), ms(2))
+        expected = [vet(0), vet(1)]
+        for _ in range(20):
+            vet = memo.prepare(parts, ms(5), ms(2))
+            assert [vet(0), vet(1)] == expected
+        assert memo.stats.hits > 0
+
+
+class TestMemoStats:
+    def test_hit_rate_and_dict(self):
+        stats = MemoStats(hits=3, misses=1, evictions=2)
+        assert stats.lookups == 4
+        assert stats.hit_rate == pytest.approx(0.75)
+        assert stats.as_dict() == {
+            "hits": 3,
+            "misses": 1,
+            "evictions": 2,
+            "bypassed": 0,
+            "hit_rate": 0.75,
+        }
+
+    def test_default_size_is_positive(self):
+        assert DEFAULT_MEMO_SIZE > 0

@@ -168,6 +168,37 @@ class TestCache:
         assert entry["meta"]["campaign"] == "c"
         assert entry["salt"] == "s"
 
+    def test_contains_agrees_with_get(self, tmp_path):
+        # Regression: `in` used to check bare file existence, so corrupt or
+        # schema-less entries were "present" yet get() returned MISS.
+        cache = ResultCache(tmp_path, salt="s")
+        assert ("ab" + "0" * 38) not in cache
+        cache.put("ab" + "0" * 38, {"v": 1})
+        assert ("ab" + "0" * 38) in cache
+
+    def test_contains_rejects_corrupt_entry(self, tmp_path):
+        cache = ResultCache(tmp_path, salt="s")
+        path = cache.path_for("ef" + "0" * 38)
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json")
+        assert ("ef" + "0" * 38) not in cache
+        assert cache.get("ef" + "0" * 38) is MISS
+
+    def test_contains_rejects_schemaless_entry(self, tmp_path):
+        cache = ResultCache(tmp_path, salt="s")
+        path = cache.path_for("1f" + "0" * 38)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"result": 42}))  # valid JSON, wrong schema
+        assert ("1f" + "0" * 38) not in cache
+        assert cache.get("1f" + "0" * 38) is MISS
+
+    def test_contains_does_not_count_stats(self, tmp_path):
+        cache = ResultCache(tmp_path, salt="s")
+        cache.put("ab" + "0" * 38, 1)
+        ("ab" + "0" * 38) in cache
+        ("cd" + "0" * 38) in cache
+        assert cache.stats.hits == 0 and cache.stats.misses == 0
+
 
 def _spec(n=3, name="t"):
     return CampaignSpec.from_grid(
