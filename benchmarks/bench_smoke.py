@@ -1,0 +1,88 @@
+"""Bench smoke: one instrumented run per configuration -> BENCH_smoke.json.
+
+CI runs this as a plain script (no pytest-benchmark session needed) and
+uploads the JSON artifact, so every pipeline records the decide-latency
+distribution of the Fig. 6 example with the memo on and off:
+
+    PYTHONPATH=src python benchmarks/bench_smoke.py [--out BENCH_smoke.json]
+
+The p50/p95 come straight from the ``decide.wall_ns`` histogram of the
+:mod:`repro.obs` registry — the same numbers ``python -m repro stats``
+prints — so the artifact doubles as a smoke test of the observability
+layer itself: if instrumentation breaks, this script fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+
+import repro.obs as obs
+from repro.model.configs import three_partition_example
+from repro.sim.engine import Simulator
+
+HORIZON_MS = 500
+
+
+def one_run(policy: str, memoize: bool, seed: int = 3) -> dict:
+    obs.enable()
+    try:
+        sim = Simulator(
+            three_partition_example(), policy=policy, seed=seed, memoize=memoize
+        )
+        result = sim.run_for_ms(HORIZON_MS)
+    finally:
+        obs.disable()
+    decide = result.metrics["decide.wall_ns"]
+    if not decide["count"]:
+        raise SystemExit(f"no decide observations for {policy} memoize={memoize}")
+    return {
+        "policy": policy,
+        "memoize": memoize,
+        "seed": seed,
+        "horizon_ms": HORIZON_MS,
+        "decisions": result.decisions,
+        "decide_p50_ns": decide["p50"],
+        "decide_p95_ns": decide["p95"],
+        "decide_max_ns": decide["max"],
+        "decide_mean_ns": decide["mean"],
+        "memo_hits": result.memo_hits,
+        "memo_misses": result.memo_misses,
+        "memo_hit_rate": result.memo_hit_rate,
+        "deadline_misses": result.deadline_misses,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_smoke.json")
+    args = parser.parse_args(argv)
+
+    runs = [
+        one_run("timedice", memoize=True),
+        one_run("timedice", memoize=False),
+        one_run("norandom", memoize=False),
+    ]
+    document = {
+        "schema": "bench-smoke/1",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "runs": runs,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+    for run in runs:
+        print(
+            f"{run['policy']:<10} memo={str(run['memoize']):<5} "
+            f"p50={run['decide_p50_ns'] / 1e3:8.1f} us  "
+            f"p95={run['decide_p95_ns'] / 1e3:8.1f} us  "
+            f"({run['decisions']} decisions)"
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,12 @@ Campaign-backed subcommands (``fig4``, ``fig12``, ``load-sweep``,
 ``.repro_cache/`` by default), and ``--telemetry-out`` (dump structured
 campaign telemetry as JSON). ``python -m repro campaign <target>`` runs the
 same targets with an explicit campaign framing and prints the telemetry.
+
+Observability (:mod:`repro.obs`): ``--trace-out FILE`` works on any
+sim-backed subcommand and writes a Chrome/Perfetto ``trace_event`` JSON of
+every simulation the command runs (open it at https://ui.perfetto.dev);
+``python -m repro stats [policy]`` runs one short simulation with
+instrumentation on and pretty-prints its metrics snapshot.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ import sys
 import time
 from typing import Callable, Dict, List, Optional
 
+import repro.obs as obs
 from repro.runner import (
     ProgressPrinter,
     add_default_listener,
@@ -266,6 +273,41 @@ def _run_figures(args) -> str:
     return "\n".join(f"wrote {target}" for target in written)
 
 
+def _run_stats(args) -> str:
+    """``stats [policy]`` — run one short simulation with observability on
+    and pretty-print its metrics snapshot (engine counters, decide-latency
+    histogram, memo counters, span aggregates)."""
+    from repro._time import MS
+    from repro.model.configs import three_partition_example
+    from repro.sim.engine import Simulator
+    from repro.sim.policies import POLICY_NAMES
+
+    policy = args.target or "timedice"
+    if policy not in POLICY_NAMES:
+        raise SystemExit(
+            f"unknown policy {policy!r} for stats; choose from {', '.join(POLICY_NAMES)}"
+        )
+    was_enabled = obs.is_enabled()
+    if not was_enabled:
+        obs.enable()
+    try:
+        system = three_partition_example()
+        sim = Simulator(system, policy=policy, seed=args.seed)
+        result = sim.run_until(_scale(args, 150, 300, 1200) * MS)
+    finally:
+        if not was_enabled:
+            obs.disable()
+    title = f"stats — {policy}, seed={args.seed}, {result.end_time // MS} ms simulated"
+    body = obs.format_metrics(result.metrics, sim.obs.spans.summary(), title=title)
+    rates = result.rates()
+    return body + (
+        f"\n  run:\n    decisions = {result.decisions}"
+        f"\n    switches = {result.switches}"
+        f"\n    decisions_per_sec = {rates['decisions_per_sec']:.1f}"
+        f"\n    deadline_misses = {result.deadline_misses}"
+    )
+
+
 COMMANDS: Dict[str, Callable] = {
     "fig4": _run_fig4,
     "fig4a": lambda args: fig04_feasibility.run(
@@ -300,6 +342,7 @@ COMMANDS: Dict[str, Callable] = {
     "classifiers": _run_classifiers,
     "coding": _run_coding,
     "figures": _run_figures,
+    "stats": _run_stats,
     "campaign": None,  # dispatches through CAMPAIGN_TARGETS (see _run_campaign)
 }
 
@@ -329,10 +372,17 @@ def _run_campaign(args) -> str:
 COMMANDS["campaign"] = _run_campaign
 
 
+def _campaign_targets_epilog() -> str:
+    """The help epilog, rendered from :data:`CAMPAIGN_TARGETS` so new
+    targets can never drift out of ``--help`` (test-enforced)."""
+    return "campaign targets: " + ", ".join(sorted(CAMPAIGN_TARGETS))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="timedice",
         description="Regenerate the TimeDice paper's tables and figures.",
+        epilog=_campaign_targets_epilog(),
     )
     parser.add_argument(
         "experiment",
@@ -343,8 +393,8 @@ def build_parser() -> argparse.ArgumentParser:
         "target",
         nargs="?",
         default=None,
-        help="campaign target (campaign command only): "
-        + ", ".join(sorted(CAMPAIGN_TARGETS)),
+        help="campaign target (campaign command; see epilog) or policy name "
+        "(stats command)",
     )
     parser.add_argument("--seed", type=int, default=3, help="simulation seed")
     parser.add_argument(
@@ -371,6 +421,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write campaign telemetry snapshots to this JSON file",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="enable repro.obs and write a Chrome/Perfetto trace_event JSON "
+        "of every simulation the subcommand runs (schedule lanes + "
+        "scheduler-internal spans)",
+    )
     scale = parser.add_mutually_exclusive_group()
     scale.add_argument("--quick", action="store_true", help="small smoke-test sizes")
     scale.add_argument(
@@ -385,12 +442,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     drain_session()  # footer covers only this invocation's campaigns
     progress = ProgressPrinter(sys.stderr)
     add_default_listener(progress)
+    obs_was_enabled = obs.is_enabled()
+    captured = None
+    if args.trace_out:
+        obs.enable()
+        obs.start_trace_capture()
     try:
         output = COMMANDS[args.experiment](args)
     finally:
+        if args.trace_out:
+            captured = obs.stop_trace_capture()
+            if not obs_was_enabled:
+                obs.disable()
         remove_default_listener(progress)
         progress.close()
     print(output)
+    if args.trace_out:
+        events = obs.write_trace(args.trace_out, captured)
+        print(
+            f"[trace: {len(captured)} run(s), {events} events -> {args.trace_out}]"
+        )
     stats = drain_session()
     name = args.experiment if args.experiment != "campaign" else f"campaign {args.target}"
     footer = f"[{name} completed in {time.time() - started:.1f}s"

@@ -39,6 +39,7 @@ produce bit-identical decision sequences under a shared RNG.
 
 from __future__ import annotations
 
+import time as _wall
 from collections import OrderedDict
 from dataclasses import dataclass
 from itertools import islice
@@ -46,6 +47,7 @@ from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.core.busy_interval import schedulability_test
 from repro.core.state import PartitionState
+from repro.obs.gate import GATE
 
 #: Default LRU capacity. Keys are small tuples; at ~200 bytes each this
 #: bounds the cache at ~1 MB while comfortably holding every distinct
@@ -168,6 +170,7 @@ class SchedulabilityMemo:
         "_probed",
         "_probe_hits",
         "_grace",
+        "_obs",
     )
 
     def __init__(
@@ -200,6 +203,15 @@ class SchedulabilityMemo:
         # evictions are pooled in `stats` either way.
         self._cache: "OrderedDict[MemoKey, bool]" = OrderedDict()
         self._decisions: Dict[tuple, list] = {}
+        # Observability scope (attach_obs); None until a run attaches one.
+        self._obs = None
+
+    def attach_obs(self, run_obs) -> None:
+        """Bind a :class:`repro.obs.RunObs` scope: samples a ``memo.probe``
+        span per prepared decision while the obs gate is on. The exact
+        hit/miss/eviction/bypass counters stay on :attr:`stats` (ungated)
+        and are folded into ``SimulationResult.metrics`` by the engine."""
+        self._obs = run_obs
 
     def __call__(
         self, h: PartitionState, higher: Sequence[PartitionState], t: int, w: int
@@ -278,6 +290,9 @@ class SchedulabilityMemo:
                 return test(parts[rank], parts[:rank], t, w)
 
             return raw
+        probe_t0 = (
+            _wall.perf_counter_ns() if self._obs is not None and GATE.enabled else None
+        )
         stats = self.stats
         test = self._test
         decisions = self._decisions
@@ -314,6 +329,15 @@ class SchedulabilityMemo:
                 self._bypass_left = self.bypass_span
             self._grace = False
             self._probed = self._probe_hits = 0
+
+        if probe_t0 is not None:
+            self._obs.spans.record(
+                "memo.probe",
+                probe_t0,
+                _wall.perf_counter_ns() - probe_t0,
+                sim_ts=t,
+                cat="memo",
+            )
 
         def vet(rank: int) -> bool:
             value = entry[rank]

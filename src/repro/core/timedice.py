@@ -10,6 +10,7 @@ exactly this call) and property-testable.
 from __future__ import annotations
 
 import random
+import time as _wall
 from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
@@ -18,6 +19,7 @@ from repro.core.candidacy import Candidate, SearchStats, candidate_search
 from repro.core.memo import DEFAULT_MEMO_SIZE, MemoStats, SchedulabilityMemo
 from repro.core.selection import Selector, WeightedUtilizationSelector
 from repro.core.state import IDLE, PartitionState, SystemState
+from repro.obs.gate import GATE
 
 #: The paper's MIN_INV_SIZE: the randomization quantum, 1 ms.
 DEFAULT_QUANTUM = 1 * MS
@@ -93,6 +95,24 @@ class TimeDice:
         #: Cumulative counters over the scheduler's lifetime.
         self.total_decisions = 0
         self.total_schedulability_tests = 0
+        # Observability scope (attach_obs); None until a run attaches one.
+        self._obs = None
+        self._m_tests = None
+        self._m_candidates = None
+
+    def attach_obs(self, run_obs) -> None:
+        """Bind a :class:`repro.obs.RunObs` scope (engine hand-off).
+
+        Wires the candidacy sweep's span + counters and forwards the scope
+        to the memo. Metrics collect only while the obs gate is on.
+        """
+        self._obs = run_obs
+        self._m_tests = run_obs.registry.counter("decide.schedulability_tests")
+        self._m_candidates = run_obs.registry.histogram(
+            "decide.candidates", bounds=tuple(range(1, 33))
+        )
+        if self.memo is not None:
+            self.memo.attach_obs(run_obs)
 
     def decide(self, state: SystemState) -> Decision:
         """Make one scheduling decision at ``state.t``.
@@ -102,9 +122,20 @@ class TimeDice:
         selector. With no active ready partition the decision is IDLE with an
         empty candidate list.
         """
-        candidates, stats = candidate_search(
-            state, self.quantum, self.allow_idle, tester=self.memo
-        )
+        if self._obs is not None and GATE.enabled:
+            t0 = _wall.perf_counter_ns()
+            candidates, stats = candidate_search(
+                state, self.quantum, self.allow_idle, tester=self.memo
+            )
+            self._obs.spans.record(
+                "candidacy", t0, _wall.perf_counter_ns() - t0, sim_ts=state.t
+            )
+            self._m_tests.inc(stats.schedulability_tests)
+            self._m_candidates.observe(len(candidates))
+        else:
+            candidates, stats = candidate_search(
+                state, self.quantum, self.allow_idle, tester=self.memo
+            )
         self.total_decisions += 1
         self.total_schedulability_tests += stats.schedulability_tests
         if not candidates:

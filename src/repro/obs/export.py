@@ -1,0 +1,218 @@
+"""Exporters: Chrome/Perfetto ``trace_event`` JSON and flat metrics JSON.
+
+The trace document follows the Trace Event Format (the JSON flavour both
+``chrome://tracing`` and https://ui.perfetto.dev open directly):
+
+- **Track 0 — the simulated schedule.** One process (``pid``) per captured
+  run; one thread lane (``tid``) per partition plus a final IDLE lane.
+  Each execution segment becomes a complete ("X") event whose ``ts``/``dur``
+  are the *simulated* microseconds, so the schedule renders 1:1.
+- **Scheduler-internal tracks.** Each run gets a second process holding one
+  lane per span name (``decide``, ``candidacy``, ``memo.probe``,
+  ``engine.dispatch``). Spans anchored to simulated time (``sim_ts``) are
+  placed at that instant; their ``dur`` is the measured *wall* cost
+  converted to µs — deliberately mixed units, documented in
+  ``docs/OBSERVABILITY.md``, so "where does the millisecond go" reads
+  directly under the schedule. The true nanosecond cost rides in ``args``.
+
+Everything is duck-typed against segment objects exposing
+``start/end/partition/task`` (:class:`repro.sim.trace.Segment` fits) so this
+module imports nothing from :mod:`repro.sim` and stays cycle-free.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+#: Lane label of the imaginary idle partition in the schedule track.
+IDLE_LANE = "IDLE"
+
+
+def schedule_trace_events(
+    segments: Iterable[Any], partitions: Sequence[str], pid: int, label: str
+) -> List[Dict[str, Any]]:
+    """The schedule track: one complete event per execution segment."""
+    lanes = {name: tid for tid, name in enumerate(partitions)}
+    idle_tid = len(partitions)
+    events: List[Dict[str, Any]] = [
+        {"ph": "M", "pid": pid, "name": "process_name", "args": {"name": label}},
+        {"ph": "M", "pid": pid, "name": "process_sort_index", "args": {"sort_index": pid}},
+    ]
+    for name, tid in list(lanes.items()) + [(IDLE_LANE, idle_tid)]:
+        events.append(
+            {"ph": "M", "pid": pid, "tid": tid, "name": "thread_name", "args": {"name": name}}
+        )
+        events.append(
+            {"ph": "M", "pid": pid, "tid": tid, "name": "thread_sort_index",
+             "args": {"sort_index": tid}}
+        )
+    for segment in segments:
+        if segment.end <= segment.start:
+            continue
+        if segment.partition is None:
+            tid, name = idle_tid, "idle"
+        else:
+            tid = lanes.get(segment.partition, idle_tid)
+            name = segment.task or segment.partition
+        events.append(
+            {
+                "ph": "X",
+                "pid": pid,
+                "tid": tid,
+                "ts": segment.start,
+                "dur": segment.end - segment.start,
+                "name": name,
+                "cat": "schedule",
+            }
+        )
+    return events
+
+
+def span_trace_events(
+    spans: Iterable[Any], pid: int, label: str
+) -> List[Dict[str, Any]]:
+    """Scheduler-internal tracks: one lane per span name.
+
+    Spans with a ``sim_ts`` anchor are placed on the simulated timeline;
+    wall-only spans are placed relative to the first span's wall clock so
+    they still render coherently. ``dur`` is wall nanoseconds expressed in
+    µs (floored at 1 so zero-width spans stay visible); the exact cost is
+    in ``args.wall_ns``.
+    """
+    spans = list(spans)
+    events: List[Dict[str, Any]] = [
+        {"ph": "M", "pid": pid, "name": "process_name", "args": {"name": label}},
+        {"ph": "M", "pid": pid, "name": "process_sort_index", "args": {"sort_index": pid}},
+    ]
+    lanes: Dict[str, int] = {}
+    wall_origin = spans[0].wall_start_ns if spans else 0
+    for span in spans:
+        tid = lanes.get(span.name)
+        if tid is None:
+            tid = lanes[span.name] = len(lanes)
+            events.append(
+                {"ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+                 "args": {"name": span.name}}
+            )
+        ts = (
+            span.sim_ts
+            if span.sim_ts is not None
+            else (span.wall_start_ns - wall_origin) // 1000
+        )
+        events.append(
+            {
+                "ph": "X",
+                "pid": pid,
+                "tid": tid,
+                "ts": ts,
+                "dur": max(1, span.wall_dur_ns // 1000),
+                "name": span.name,
+                "cat": span.cat,
+                "args": {"wall_ns": span.wall_dur_ns},
+            }
+        )
+    return events
+
+
+def trace_event_document(runs: Sequence[Any]) -> Dict[str, Any]:
+    """Assemble captured runs into one trace_event JSON document.
+
+    ``runs`` are objects exposing ``label``, ``partitions``, ``segments``
+    (an iterable) and ``spans`` (an iterable of :class:`~repro.obs.spans.
+    Span`) — :class:`repro.obs.CapturedRun` is the canonical shape. Run
+    ``k`` claims pids ``2k`` (schedule) and ``2k + 1`` (scheduler spans).
+    """
+    events: List[Dict[str, Any]] = []
+    for index, run in enumerate(runs):
+        events.extend(
+            schedule_trace_events(
+                run.segments, run.partitions, pid=2 * index,
+                label=f"schedule: {run.label}",
+            )
+        )
+        span_list = list(run.spans)
+        if span_list:
+            events.extend(
+                span_trace_events(
+                    span_list, pid=2 * index + 1, label=f"scheduler: {run.label}"
+                )
+            )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "repro.obs", "runs": len(runs)},
+    }
+
+
+def write_trace(path, runs: Sequence[Any]) -> int:
+    """Write the Perfetto-openable trace for ``runs``; returns event count."""
+    document = trace_event_document(runs)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+    return len(document["traceEvents"])
+
+
+def metrics_json(snapshot: Dict[str, Any], path=None) -> str:
+    """Serialize a registry snapshot as stable flat JSON (optionally to a
+    file)."""
+    text = json.dumps(snapshot, indent=2, sort_keys=True, default=float)
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    return text
+
+
+def _fmt_ns(ns: Optional[float]) -> str:
+    if ns is None:
+        return "-"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.3f} ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.3f} us"
+    return f"{ns:.0f} ns"
+
+
+def format_metrics(
+    metrics: Dict[str, Any], span_summary: Optional[Dict[str, Dict[str, float]]] = None,
+    title: str = "metrics",
+) -> str:
+    """Pretty-print one run's metrics snapshot (the ``stats`` subcommand).
+
+    Histogram-valued metrics render as a count/p50/p95/max line; scalar
+    metrics as plain ``name = value`` rows, grouped by dotted prefix.
+    """
+    lines = [f"[{title}]"]
+    scalars = {k: v for k, v in sorted(metrics.items()) if not isinstance(v, dict)}
+    histograms = {k: v for k, v in sorted(metrics.items()) if isinstance(v, dict)}
+    group = None
+    for name, value in scalars.items():
+        prefix = name.split(".", 1)[0]
+        if prefix != group:
+            group = prefix
+            lines.append(f"  {group}:")
+        shown = f"{value:.4f}".rstrip("0").rstrip(".") if isinstance(value, float) else value
+        lines.append(f"    {name} = {shown}")
+    for name, snap in histograms.items():
+        fmt = _fmt_ns if name.endswith("_ns") else (
+            lambda v: "-" if v is None else f"{v:.2f}".rstrip("0").rstrip(".")
+        )
+        lines.append(f"  {name}:")
+        lines.append(
+            "    count={count}  p50={p50}  p95={p95}  max={vmax}  mean={mean}".format(
+                count=snap.get("count", 0),
+                p50=fmt(snap.get("p50")),
+                p95=fmt(snap.get("p95")),
+                vmax=fmt(snap.get("max")),
+                mean=fmt(snap.get("mean")),
+            )
+        )
+    if span_summary:
+        lines.append("  spans:")
+        for name, stats in span_summary.items():
+            lines.append(
+                f"    {name}: count={int(stats['count'])}  "
+                f"total={_fmt_ns(stats['total_ns'])}  mean={_fmt_ns(stats['mean_ns'])}  "
+                f"recorded={int(stats['recorded'])}"
+            )
+    return "\n".join(lines)

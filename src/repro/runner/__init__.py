@@ -54,6 +54,7 @@ from repro.runner.telemetry import (
     add_default_listener,
     drain_session,
     remove_default_listener,
+    reset_session,
     session_footer,
     session_stats,
 )
@@ -79,6 +80,7 @@ __all__ = [
     "derive_seed",
     "drain_session",
     "grid",
+    "reset_session",
     "resolve_task",
     "run_campaign",
     "session_footer",

@@ -48,14 +48,26 @@ _TICK = 0.05
 
 
 def _invoke_cell(task: str, params: Dict[str, Any]) -> Dict[str, Any]:
-    """Worker-side entry: resolve the task function and run one cell."""
+    """Worker-side entry: resolve the task function and run one cell.
+
+    When :mod:`repro.obs` is enabled (workers fork after the CLI enables
+    it, so the gate is inherited), the decide-latency histograms of every
+    simulation the cell ran are merged into ``payload["metrics"]`` — the
+    per-cell rollup :class:`~repro.runner.telemetry.CampaignTelemetry`
+    aggregates across cells.
+    """
+    import repro.obs as _obs
+
     start = time.perf_counter()
     fn = resolve_task(task)
+    _obs.drain_run_log()  # scope the rollup to this cell's simulations
     value = fn(params)
+    metrics = _obs.decide_rollup(_obs.drain_run_log())
     return {
         "value": value,
         "wall": time.perf_counter() - start,
         "worker": f"pid-{os.getpid()}",
+        "metrics": metrics,
     }
 
 
@@ -258,6 +270,7 @@ class _CampaignRunner:
                 attempt=attempt.attempt,
                 wall=payload["wall"],
                 worker=payload["worker"],
+                metrics=payload.get("metrics"),
             )
         )
 

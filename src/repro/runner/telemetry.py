@@ -29,7 +29,13 @@ FAILED = "failed"
 
 @dataclass(frozen=True)
 class CellEvent:
-    """One telemetry event for one cell."""
+    """One telemetry event for one cell.
+
+    ``metrics`` (COMPUTED events only) carries the cell's observability
+    rollup — currently the merged ``decide.wall_ns`` histogram snapshot of
+    every simulation the cell ran — when :mod:`repro.obs` was enabled in
+    the worker; None otherwise.
+    """
 
     kind: str
     key: str
@@ -37,6 +43,7 @@ class CellEvent:
     wall: float = 0.0
     worker: str = ""
     error: str = ""
+    metrics: Optional[Dict[str, Any]] = None
 
 
 @dataclass
@@ -65,6 +72,9 @@ class CampaignTelemetry:
         self.jobs = 1
         self.cache_hits = 0
         self.cache_misses = 0
+        #: Per-cell decide-latency histogram snapshots (COMPUTED events that
+        #: carried an obs rollup), keyed by cell key.
+        self.cell_metrics: Dict[str, Dict[str, Any]] = {}
 
     # -- event stream ------------------------------------------------------
 
@@ -78,6 +88,8 @@ class CampaignTelemetry:
                 stats = self.workers.setdefault(event.worker, WorkerStats())
                 stats.cells += 1
                 stats.wall += event.wall
+            if event.metrics:
+                self.cell_metrics[event.key] = event.metrics
         elif event.kind == RETRIED:
             self.retries += 1
         elif event.kind == FAILED:
@@ -103,6 +115,25 @@ class CampaignTelemetry:
             parts.append(f"{self.retries} retried")
         return f"{self.campaign}: {self.done}/{self.total} ({', '.join(parts)})"
 
+    def decide_rollup(self) -> Optional[Dict[str, Any]]:
+        """The cross-cell decide-latency rollup: p50/p95/max over the merged
+        histograms of every cell that reported one (obs enabled), or None.
+        """
+        if not self.cell_metrics:
+            return None
+        from repro.obs import merge_histogram_snapshots
+
+        merged = merge_histogram_snapshots(list(self.cell_metrics.values()))
+        if not merged["count"]:
+            return None
+        return {
+            "cells": len(self.cell_metrics),
+            "count": merged["count"],
+            "p50_ns": merged["p50"],
+            "p95_ns": merged["p95"],
+            "max_ns": merged["max"],
+        }
+
     def snapshot(self) -> Dict[str, Any]:
         return {
             "campaign": self.campaign,
@@ -115,6 +146,7 @@ class CampaignTelemetry:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "elapsed_s": round(self.elapsed, 6),
+            "decide_latency": self.decide_rollup(),
             "workers": {
                 name: {"cells": stats.cells, "wall_s": round(stats.wall, 6)}
                 for name, stats in sorted(self.workers.items())
@@ -196,6 +228,21 @@ def drain_session() -> List[CampaignTelemetry]:
     drained = list(_SESSION)
     _SESSION.clear()
     return drained
+
+
+def reset_session() -> None:
+    """Discard all process-wide telemetry state: the session registry *and*
+    any dangling default listeners.
+
+    The registry accumulates every campaign run in the interpreter's
+    lifetime, which makes telemetry assertions order-dependent under pytest
+    (an earlier test's campaigns leak into a later test's
+    ``session_stats()``). The autouse fixture in ``tests/conftest.py``
+    calls this between tests; the CLI keeps using :func:`drain_session`,
+    whose return value it needs for the footer.
+    """
+    _SESSION.clear()
+    _DEFAULT_LISTENERS.clear()
 
 
 def session_footer(stats: List[CampaignTelemetry]) -> str:

@@ -23,15 +23,17 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
+import repro.obs as _obs
 from repro._time import MS, SEC
 from repro.core.state import PartitionState, SystemState
 from repro.core.timedice import DEFAULT_QUANTUM
 from repro.model.system import System
+from repro.obs.gate import GATE
 from repro.sim.behaviors import Behavior, ChannelScript, default_behaviors
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.local import FixedPriorityLocalScheduler, Job, LocalScheduler
 from repro.sim.policies import GlobalPolicyBase, PolicyChoice, make_policy
-from repro.sim.trace import JobRecord, Observer
+from repro.sim.trace import JobRecord, Observer, SegmentRecorder
 
 
 class _PartitionRuntime:
@@ -62,10 +64,13 @@ class SimulationResult:
         decide_latencies_ns: Individual decide-call latencies (Table IV),
             collected only with ``measure_overhead=True``.
         deadline_misses: Count of jobs finishing after ``arrival + deadline``.
-        memo_hits / memo_misses / memo_evictions / memo_bypassed: Lifetime
-            counters of the policy's schedulability memo (zero for policies
-            without one or with ``memoize=False``); ``memo_bypassed`` counts
-            decisions the memo's adaptive probing skipped entirely.
+        metrics: The run's :class:`repro.obs.MetricsRegistry` snapshot, with
+            the policy's exact memo counters folded in under ``memo.*``.
+            Engine counters (``engine.*``) and the decide-latency histogram
+            (``decide.wall_ns``) populate only while :func:`repro.obs.enable`
+            is in effect; the ``memo.*`` counters are always exact.
+            ``memo_hits`` and friends read through to it, preserving the
+            pre-``repro.obs`` attribute API.
     """
 
     end_time: int
@@ -75,10 +80,23 @@ class SimulationResult:
     overhead_ns_by_second: Dict[int, int] = field(default_factory=dict)
     decide_latencies_ns: List[int] = field(default_factory=list)
     deadline_misses: int = 0
-    memo_hits: int = 0
-    memo_misses: int = 0
-    memo_evictions: int = 0
-    memo_bypassed: int = 0
+    metrics: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def memo_hits(self) -> int:
+        return int(self.metrics.get("memo.hits", 0))
+
+    @property
+    def memo_misses(self) -> int:
+        return int(self.metrics.get("memo.misses", 0))
+
+    @property
+    def memo_evictions(self) -> int:
+        return int(self.metrics.get("memo.evictions", 0))
+
+    @property
+    def memo_bypassed(self) -> int:
+        return int(self.metrics.get("memo.bypassed", 0))
 
     @property
     def memo_hit_rate(self) -> float:
@@ -131,6 +149,12 @@ class Simulator:
             donation-channel ablation. Deliberate TimeDice IDLE selections
             are honoured (the dice outrank the donation fallback); donation
             fires only when there is genuinely nothing schedulable.
+        obs: Optional pre-built :class:`repro.obs.RunObs` scope; one is
+            created per simulator when omitted. The scope's registry and
+            span buffer collect only while :func:`repro.obs.enable` is in
+            effect, and are handed down to the policy/memo via their
+            ``attach_obs`` hooks. Its snapshot lands on
+            ``SimulationResult.metrics``.
     """
 
     def __init__(
@@ -146,6 +170,7 @@ class Simulator:
         measure_overhead: bool = False,
         budget_donation: bool = False,
         memoize: bool = True,
+        obs: Optional["_obs.RunObs"] = None,
     ):
         self.system = system
         # Distinct, process-stable streams derived from the master seed.
@@ -167,6 +192,33 @@ class Simulator:
         self.observers = list(observers)
         self.measure_overhead = measure_overhead
         self.budget_donation = budget_donation
+
+        # -- observability: per-run scope, policy hand-off, trace capture --
+        self.obs = obs if obs is not None else _obs.RunObs(
+            label=getattr(self.policy, "name", "run")
+        )
+        registry = self.obs.registry
+        self._m_replenish = registry.counter("engine.events.replenish")
+        self._m_arrival = registry.counter("engine.events.arrival")
+        self._m_segments = registry.counter("engine.segments")
+        self._m_busy_us = registry.counter("engine.busy_us")
+        self._m_idle_us = registry.counter("engine.idle_us")
+        self._h_decide = registry.histogram("decide.wall_ns")
+        attach = getattr(self.policy, "attach_obs", None)
+        if attach is not None:
+            attach(self.obs)
+        capture = _obs.trace_capture()
+        if capture is not None and capture.has_room():
+            recorder = SegmentRecorder(limit=capture.segment_limit)
+            self.observers.append(recorder)
+            capture.register(
+                _obs.CapturedRun(
+                    label=f"{self.obs.label} seed={seed}",
+                    partitions=[p.name for p in system],
+                    segments=recorder.segments,
+                    obs=self.obs,
+                )
+            )
 
         factory = local_scheduler_factory or (lambda spec: FixedPriorityLocalScheduler())
         self._runtimes: List[_PartitionRuntime] = [
@@ -235,6 +287,11 @@ class Simulator:
     def _emit_segment(self, start: int, end: int, partition: Optional[str], task: Optional[str]) -> None:
         if end <= start:
             return
+        self._m_segments.inc()
+        if partition is None:
+            self._m_idle_us.inc(end - start)
+        else:
+            self._m_busy_us.inc(end - start)
         key = partition or "__idle__"
         if key != self._last_running:
             if self._last_running != "__none__":
@@ -400,11 +457,25 @@ class Simulator:
                 choice = carried
                 next_event = queue.peek_time()
             else:
+                obs_on = GATE.enabled
+                dispatch_t0 = _wall.perf_counter_ns() if obs_on else 0
+                dispatched = 0
                 for event in queue.pop_due(self.now):
+                    dispatched += 1
                     if event.kind == EventKind.REPLENISH:
+                        self._m_replenish.inc()
                         self._handle_replenish(event)
                     else:
+                        self._m_arrival.inc()
                         self._handle_arrival(event)
+                if obs_on and dispatched:
+                    self.obs.spans.record(
+                        "engine.dispatch",
+                        dispatch_t0,
+                        _wall.perf_counter_ns() - dispatch_t0,
+                        sim_ts=self.now,
+                        cat="engine",
+                    )
 
                 self._enforce_server_semantics()
                 # Peek the horizon *before* consulting the policy: a decision
@@ -415,16 +486,22 @@ class Simulator:
                 if horizon <= self.now:  # pragma: no cover - queue head is
                     break  # always in the future once due events are popped
                 state = self.snapshot()
-                if self.measure_overhead:
+                if self.measure_overhead or obs_on:
                     t0 = _wall.perf_counter_ns()
                     choice = self.policy.decide(state)
                     elapsed = _wall.perf_counter_ns() - t0
-                    result.overhead_ns_total += elapsed
-                    second = self.now // SEC
-                    result.overhead_ns_by_second[second] = (
-                        result.overhead_ns_by_second.get(second, 0) + elapsed
-                    )
-                    result.decide_latencies_ns.append(elapsed)
+                    if self.measure_overhead:
+                        result.overhead_ns_total += elapsed
+                        second = self.now // SEC
+                        result.overhead_ns_by_second[second] = (
+                            result.overhead_ns_by_second.get(second, 0) + elapsed
+                        )
+                        result.decide_latencies_ns.append(elapsed)
+                    if obs_on:
+                        self._h_decide.observe(elapsed)
+                        self.obs.spans.record(
+                            "decide", t0, elapsed, sim_ts=self.now, cat="scheduler"
+                        )
                 else:
                     choice = self.policy.decide(state)
                 result.decisions += 1
@@ -501,12 +578,17 @@ class Simulator:
                 self._emit_completion(job)
 
         result.end_time = self.now
+        # Fold the run's observability snapshot into the result. The memo
+        # counters come from the policy's exact MemoStats accumulator (not
+        # gated counters), so they are correct whether or not obs is on.
+        metrics = self.obs.registry.snapshot()
         memo_stats = getattr(self.policy, "memo_stats", None)
         if memo_stats is not None:
-            result.memo_hits = memo_stats.hits
-            result.memo_misses = memo_stats.misses
-            result.memo_evictions = memo_stats.evictions
-            result.memo_bypassed = memo_stats.bypassed
+            metrics["memo.hits"] = memo_stats.hits
+            metrics["memo.misses"] = memo_stats.misses
+            metrics["memo.evictions"] = memo_stats.evictions
+            metrics["memo.bypassed"] = memo_stats.bypassed
+        result.metrics = metrics
         return result
 
     def run_for_ms(self, duration_ms: float) -> SimulationResult:

@@ -100,6 +100,10 @@ class TimeDicePolicy(GlobalPolicyBase):
         )
         self.name = f"timedice-{self.scheduler.selector.name}"
 
+    def attach_obs(self, run_obs) -> None:
+        """Engine hand-off of the run's :class:`repro.obs.RunObs` scope."""
+        self.scheduler.attach_obs(run_obs)
+
     def decide(self, state: SystemState) -> PolicyChoice:
         decision = self.scheduler.decide(state)
         return PolicyChoice(decision.partition_name, max_slice=decision.quantum)

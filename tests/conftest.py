@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import pytest
 
+import repro.obs as obs
 from repro._time import ms
 from repro.channel.dataset import ChannelDataset
 from repro.experiments.configs import feasibility_experiment
@@ -17,6 +18,27 @@ from repro.model.configs import (
     table1_system,
     three_partition_example,
 )
+from repro.runner.telemetry import reset_session
+
+
+@pytest.fixture(autouse=True)
+def _isolate_process_wide_observability():
+    """Make telemetry and obs assertions order-independent.
+
+    The campaign telemetry session registry and the repro.obs gate /
+    trace-capture / run-log are process-wide; without this reset, which
+    campaigns ``session_stats()`` sees (and whether obs is enabled) would
+    depend on which tests ran earlier in the pytest session.
+    """
+    reset_session()
+    obs.disable()
+    obs.stop_trace_capture()
+    obs.drain_run_log()
+    yield
+    reset_session()
+    obs.disable()
+    obs.stop_trace_capture()
+    obs.drain_run_log()
 
 
 @pytest.fixture(scope="session")

@@ -60,6 +60,15 @@ def unserializable_cell(params):
     return object()
 
 
+def simulating_cell(params):
+    """Runs a short real simulation so the worker's obs rollup has data."""
+    from repro.model.configs import three_partition_example
+    from repro.sim.engine import Simulator
+
+    sim = Simulator(three_partition_example(), policy="norandom", seed=params["seed"])
+    return sim.run_for_ms(30).decisions
+
+
 _TASK = "tests.unit.test_runner"
 
 
@@ -367,3 +376,48 @@ class TestTelemetry:
         run_campaign(_spec(2), listeners=[lambda t, e: seen.append(e.kind)])
         assert seen.count("computed") == 2
         assert seen.count("scheduled") == 2
+
+
+def _sim_spec(n):
+    return CampaignSpec.from_grid(
+        "obs", task=f"{_TASK}:simulating_cell", axes={"seed": list(range(n))}
+    )
+
+
+class TestObsRollup:
+    def test_cell_metrics_rollup_when_obs_enabled(self):
+        import repro.obs as obs
+
+        obs.enable()
+        result = run_campaign(_sim_spec(2))
+        telemetry = result.telemetry
+        assert set(telemetry.cell_metrics) == {"seed=0", "seed=1"}
+        rollup = telemetry.decide_rollup()
+        assert rollup is not None
+        assert rollup["cells"] == 2
+        assert rollup["count"] > 0
+        assert 0 < rollup["p50_ns"] <= rollup["p95_ns"] <= rollup["max_ns"]
+        assert telemetry.snapshot()["decide_latency"] == rollup
+
+    def test_no_metrics_when_obs_disabled(self):
+        result = run_campaign(_sim_spec(1))
+        assert result.telemetry.cell_metrics == {}
+        assert result.telemetry.decide_rollup() is None
+        assert result.telemetry.snapshot()["decide_latency"] is None
+
+
+class TestResetSession:
+    def test_reset_clears_registry_and_default_listeners(self):
+        from repro.runner.telemetry import (
+            add_default_listener,
+            default_listeners,
+            reset_session,
+            session_stats,
+        )
+
+        run_campaign(_spec(1))
+        add_default_listener(lambda t, e: None)
+        assert session_stats() and default_listeners()
+        reset_session()
+        assert session_stats() == []
+        assert default_listeners() == []

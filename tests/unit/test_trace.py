@@ -68,6 +68,95 @@ class TestSegmentRecorder:
         assert loaded.segments == rec.segments
 
 
+class TestSegmentRecorderEngineEdges:
+    """Edge cases at the observer/engine boundary: idle-only runs,
+    horizon clipping, and pause/resume equivalence."""
+
+    @staticmethod
+    def _system(offset_ms=0):
+        from repro.model.partition import Partition
+        from repro.model.system import System
+        from repro.model.task import Task
+
+        return System(
+            [
+                Partition(
+                    name="P",
+                    period=ms(20),
+                    budget=ms(4),
+                    priority=1,
+                    tasks=[
+                        Task(
+                            name="t",
+                            period=ms(20),
+                            wcet=ms(4),
+                            local_priority=0,
+                            offset=ms(offset_ms),
+                        )
+                    ],
+                )
+            ]
+        )
+
+    def test_idle_only_run_is_one_idle_segment(self):
+        from repro.sim.engine import Simulator
+
+        # first release lands beyond the horizon -> the whole run is idle
+        rec = SegmentRecorder()
+        sim = Simulator(self._system(offset_ms=100), policy="norandom", seed=0,
+                        observers=[rec])
+        sim.run_for_ms(50)
+        assert len(rec.segments) == 1
+        only = rec.segments[0]
+        assert only.partition is None and only.task is None
+        assert (only.start, only.end) == (0, ms(50))
+        assert rec.partition_timeline() == [(0.0, 50.0, "idle")]
+
+    def test_no_zero_length_segments_at_horizon(self):
+        from repro.sim.engine import Simulator
+
+        # horizons on and off segment boundaries: ms(4) ends exactly where
+        # the busy segment ends; ms(3) clips it mid-flight
+        for horizon_ms in (3, 4, 20, 21):
+            rec = SegmentRecorder(merge=False)
+            sim = Simulator(self._system(), policy="norandom", seed=0,
+                            observers=[rec])
+            sim.run_for_ms(horizon_ms)
+            assert all(s.duration > 0 for s in rec.segments), (horizon_ms, rec.segments)
+            assert rec.segments[0].start == 0
+            assert rec.segments[-1].end == ms(horizon_ms)
+            # segments tile the horizon with no gaps or overlaps
+            for left, right in zip(rec.segments, rec.segments[1:]):
+                assert left.end == right.start
+
+    def test_pause_resume_equals_uninterrupted(self):
+        from repro.sim.engine import Simulator
+
+        uninterrupted = SegmentRecorder()
+        sim = Simulator(self._system(), policy="norandom", seed=0,
+                        observers=[uninterrupted])
+        sim.run_for_ms(60)
+
+        paused = SegmentRecorder()
+        sim = Simulator(self._system(), policy="norandom", seed=0,
+                        observers=[paused])
+        # pause points both inside a busy segment (2 ms) and inside idle
+        for stop_ms in (2, 10, 40, 60):
+            sim.run_until(ms(stop_ms))
+        assert paused.segments == uninterrupted.segments
+
+    def test_pause_resume_does_not_split_merged_segments(self):
+        from repro.sim.engine import Simulator
+
+        rec = SegmentRecorder()  # merge=True is the default
+        sim = Simulator(self._system(), policy="norandom", seed=0, observers=[rec])
+        sim.run_until(ms(2))  # pause mid-busy-segment
+        sim.run_until(ms(20))
+        busy = [s for s in rec.segments if s.partition == "P"]
+        assert len(busy) == 1
+        assert (busy[0].start, busy[0].end) == (0, ms(4))
+
+
 class TestResponseTimeRecorder:
     def test_records_and_summarizes(self):
         rec = ResponseTimeRecorder()
