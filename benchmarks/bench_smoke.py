@@ -55,6 +55,48 @@ def one_run(policy: str, memoize: bool, seed: int = 3) -> dict:
     }
 
 
+def faults_overhead(seed: int = 3, horizon_ms: int = 300, repeats: int = 3) -> dict:
+    """Wall-time of the engine with no fault plan vs. an actively injecting
+    one (obs off, so only the injection path is being measured).
+
+    ``no_plan_over_active`` is the number the overhead guard
+    (``benchmarks/test_bench_faults_overhead.py``) bounds: with no plan
+    attached every hook site is a single ``is None`` check, so the bare
+    engine must never trail an injecting one.
+    """
+    import time
+
+    from repro.faults import FaultPlan, FaultSpec
+
+    obs.disable()
+    system = three_partition_example()
+    plan = FaultPlan.of(
+        FaultSpec("overrun", "Pi_2", rate=1.0, magnitude=2.0),
+        FaultSpec("jitter", "Pi_1", rate=1.0, magnitude=500.0),
+    )
+
+    def simulate(faults=None):
+        Simulator(system, policy="timedice", seed=seed, faults=faults).run_for_ms(
+            horizon_ms
+        )
+
+    simulate()  # warm caches before timing
+    timings = {}
+    for label, faults in (("no_plan", None), ("active_plan", plan)):
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            simulate(faults)
+            best = min(best, time.perf_counter() - t0)
+        timings[label] = best
+    return {
+        "horizon_ms": horizon_ms,
+        "no_plan_s": timings["no_plan"],
+        "active_plan_s": timings["active_plan"],
+        "no_plan_over_active": timings["no_plan"] / timings["active_plan"],
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="BENCH_smoke.json")
@@ -70,6 +112,7 @@ def main(argv=None) -> int:
         "python": platform.python_version(),
         "machine": platform.machine(),
         "runs": runs,
+        "faults_overhead": faults_overhead(),
     }
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)

@@ -1,0 +1,87 @@
+"""Guard: the fault-injection hooks must stay free when no plan is attached.
+
+The injection hook sites live on the engine's hottest paths (job arrival,
+budget replenishment), so the subsystem's contract is that a simulation
+without a :class:`~repro.faults.FaultPlan` pays only an ``is None`` check
+per event.  This bench times the bare engine against one carrying a null
+plan (which must resolve to no injector at all) and against one actively
+injecting, and asserts the bare run never trails the injecting one — i.e.
+the disabled path really is disabled.
+
+A construction-level check pins the mechanism itself: a null plan must not
+build an injector, so both "no plan" and "null plan" execute the exact same
+engine code.
+"""
+
+import time
+
+import pytest
+
+import repro.obs as obs
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.model.configs import three_partition_example
+from repro.sim.engine import Simulator
+
+NULL_PLAN = FaultPlan.of(FaultSpec("overrun", "Pi_2", rate=0.0, magnitude=3.0))
+ACTIVE_PLAN = FaultPlan.of(
+    FaultSpec("overrun", "Pi_2", rate=1.0, magnitude=2.0),
+    FaultSpec("jitter", "Pi_1", rate=1.0, magnitude=500.0),
+)
+
+
+def _simulate(faults=None, horizon_ms=300, seed=3):
+    sim = Simulator(
+        three_partition_example(), policy="timedice", seed=seed, faults=faults
+    )
+    return sim.run_for_ms(horizon_ms)
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_null_plan_builds_no_injector():
+    """The zero-cost path is structural, not just fast: a null plan leaves
+    the simulator with no injector, so every hook site short-circuits on
+    ``self._faults is None`` exactly as with no plan at all."""
+    assert not FaultInjector(NULL_PLAN, seed=3, partitions=["Pi_2"]).active
+    sim = Simulator(three_partition_example(), policy="timedice", seed=3,
+                    faults=NULL_PLAN)
+    assert sim._faults is None
+    bare = Simulator(three_partition_example(), policy="timedice", seed=3)
+    assert bare._faults is None
+
+
+def test_disabled_injection_overhead_is_bounded(benchmark):
+    obs.disable()
+    _simulate(horizon_ms=50)  # warm caches before timing
+
+    no_plan = _best_of(lambda: _simulate())
+    null_plan = _best_of(lambda: _simulate(faults=NULL_PLAN))
+    active = _best_of(lambda: _simulate(faults=ACTIVE_PLAN))
+
+    benchmark.extra_info["no_plan_s"] = no_plan
+    benchmark.extra_info["null_plan_s"] = null_plan
+    benchmark.extra_info["active_plan_s"] = active
+    benchmark.extra_info["no_plan_over_active"] = no_plan / active
+    benchmark.pedantic(_simulate, rounds=1, iterations=1)
+
+    # Null plan and no plan run the identical engine path; allow generous
+    # noise for shared CI boxes, but beyond 1.25x something is being built
+    # or consulted that should not exist.
+    assert null_plan <= no_plan * 1.25, (null_plan, no_plan)
+    # The bare engine pays one `is None` branch per event; an active plan
+    # pays RNG draws and dict lookups on top. If the disabled run costs
+    # anything close to 1.25x the injecting one, the gate is not gating.
+    assert no_plan <= active * 1.25, (no_plan, active)
+
+
+def test_active_injection_actually_injects():
+    """Sanity for the bound above: the active timing really covers work."""
+    result = _simulate(faults=ACTIVE_PLAN, horizon_ms=100)
+    assert result.fault_injections > 0

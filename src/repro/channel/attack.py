@@ -141,6 +141,8 @@ class ChannelExperiment:
         m_micro: int = 150,
         quantum: Optional[int] = None,
         local_scheduler_factory=None,
+        faults=None,
+        extra_observers=(),
     ) -> ChannelDataset:
         """Simulate under ``policy`` and harvest the labeled dataset."""
         return collect_dataset(
@@ -155,4 +157,6 @@ class ChannelExperiment:
             quantum=quantum,
             budget_donation=self.budget_donation,
             local_scheduler_factory=local_scheduler_factory,
+            faults=faults,
+            extra_observers=extra_observers,
         )

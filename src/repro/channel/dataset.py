@@ -95,6 +95,7 @@ def collect_dataset(
     budget_donation: bool = False,
     extra_observers: Tuple = (),
     local_scheduler_factory=None,
+    faults=None,
 ) -> ChannelDataset:
     """Run the simulation long enough to observe ``n_windows`` full windows.
 
@@ -116,6 +117,9 @@ def collect_dataset(
             application nodes).
         local_scheduler_factory: Forwarded to the simulator (BLINDER plugs
             its local transformation in here).
+        faults: Optional :class:`repro.faults.FaultPlan` forwarded to the
+            simulator (the robustness sweep measures channel accuracy under
+            injected faults).
 
     Returns:
         A :class:`ChannelDataset`; windows whose measurement job never
@@ -136,6 +140,7 @@ def collect_dataset(
         observers=[response_recorder, vector_recorder, *extra_observers],
         budget_donation=budget_donation,
         local_scheduler_factory=local_scheduler_factory,
+        faults=faults,
         **kwargs,
     )
     horizon = script.start + (n_windows + settle_windows) * script.window

@@ -16,6 +16,16 @@ sim-backed subcommand and writes a Chrome/Perfetto ``trace_event`` JSON of
 every simulation the command runs (open it at https://ui.perfetto.dev);
 ``python -m repro stats [policy]`` runs one short simulation with
 instrumentation on and pretty-prints its metrics snapshot.
+
+Fault injection (:mod:`repro.faults`): ``--faults SPEC`` installs a fault
+plan ambiently, so every simulation the subcommand runs executes under it
+(``SPEC`` is the ``kind:partition[:rate=..,mag=..,len=..];...``
+mini-language, or ``@file.json``; see docs/FAULTS.md). The plan's content
+hash is folded into the campaign cache salt so faulted results can never be
+conflated with nominal ones. ``campaign robustness-sweep`` (alias
+``robustness_sweep``) sweeps fault kind × intensity × policy and reports
+channel accuracy plus deadline-guarantee attribution; with ``--out FILE``
+it also writes its summary JSON there.
 """
 
 from __future__ import annotations
@@ -46,6 +56,7 @@ from repro.experiments import (
     fig15_capacity,
     fig18_blinder,
     load_sweep,
+    robustness_sweep,
     table2_wcrt,
     table3_car,
     table4_latency,
@@ -63,6 +74,18 @@ def _scale(args: argparse.Namespace, quick: int, default: int, full: int) -> int
 def _campaign_kwargs(args: argparse.Namespace) -> Dict[str, object]:
     """jobs/cache keywords shared by every campaign-backed subcommand."""
     cache = None if args.no_cache else (args.cache_dir or ".repro_cache")
+    if cache is not None and getattr(args, "faults", None):
+        # An ambient fault plan changes what every cell computes without
+        # appearing in any cell's params — fold its content hash into the
+        # cache salt so faulted and nominal results can never be conflated.
+        from repro.faults import FaultPlan
+        from repro.runner import ResultCache, code_salt
+
+        plan = FaultPlan.parse(args.faults)
+        if not plan.is_null:
+            cache = ResultCache(
+                cache, salt=code_salt() + "|faults:" + plan.content_hash()
+            )
     return {"jobs": args.jobs, "cache": cache}
 
 
@@ -165,6 +188,36 @@ def _run_defense_matrix(args) -> str:
         seed=args.seed,
         **_campaign_kwargs(args),
     ).format()
+
+
+def _run_robustness(args) -> str:
+    from repro.faults.spec import FAULT_KINDS
+
+    if args.quick:
+        kinds = ("overrun", "crash")
+        intensities = (0.8,)
+        policies = ("norandom", "timedice")
+    elif args.full:
+        kinds = FAULT_KINDS
+        intensities = (0.2, 0.4, 0.6, 0.8, 1.0)
+        policies = robustness_sweep.DEFAULT_POLICIES
+    else:
+        kinds = FAULT_KINDS
+        intensities = robustness_sweep.DEFAULT_INTENSITIES
+        policies = robustness_sweep.DEFAULT_POLICIES
+    result = robustness_sweep.run(
+        kinds=kinds,
+        intensities=intensities,
+        policies=policies,
+        profile_windows=_scale(args, 20, 40, 100),
+        message_windows=_scale(args, 40, 80, 300),
+        seed=args.seed,
+        **_campaign_kwargs(args),
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(result.summary(), handle, indent=2, sort_keys=True)
+    return result.format()
 
 
 def _run_load_sweep(args) -> str:
@@ -339,6 +392,7 @@ COMMANDS: Dict[str, Callable] = {
     "overhead": _run_overhead,
     "defense-matrix": _run_defense_matrix,
     "load-sweep": _run_load_sweep,
+    "robustness-sweep": _run_robustness,
     "classifiers": _run_classifiers,
     "coding": _run_coding,
     "figures": _run_figures,
@@ -352,6 +406,8 @@ CAMPAIGN_TARGETS: Dict[str, Callable] = {
     "fig12": _run_fig12,
     "defense-matrix": _run_defense_matrix,
     "load-sweep": _run_load_sweep,
+    "robustness-sweep": _run_robustness,
+    "robustness_sweep": _run_robustness,  # alias: both spellings circulate
 }
 
 
@@ -398,7 +454,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=3, help="simulation seed")
     parser.add_argument(
-        "--out", default=None, help="output directory (figures command only)"
+        "--out",
+        default=None,
+        help="output directory (figures) or summary JSON file (robustness-sweep)",
+    )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="run every simulation under this ambient fault plan: "
+        "'kind:partition[:rate=..,mag=..,len=..];...' or '@plan.json' "
+        "(kinds: overrun, jitter, stall, burst, crash; see docs/FAULTS.md)",
     )
     parser.add_argument(
         "--jobs",
@@ -433,23 +499,45 @@ def build_parser() -> argparse.ArgumentParser:
     scale.add_argument(
         "--full", action="store_true", help="paper-scale sample counts (slow)"
     )
+    scale.add_argument(
+        "--scale",
+        choices=("quick", "default", "full"),
+        default=None,
+        help="explicit spelling of --quick/--full (--scale quick == --quick)",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.scale:
+        args.quick = args.scale == "quick"
+        args.full = args.scale == "full"
     started = time.time()
     drain_session()  # footer covers only this invocation's campaigns
     progress = ProgressPrinter(sys.stderr)
     add_default_listener(progress)
     obs_was_enabled = obs.is_enabled()
     captured = None
+    plan = None
+    if args.faults:
+        import repro.faults as faults_mod
+
+        try:
+            plan = faults_mod.FaultPlan.parse(args.faults)
+        except (ValueError, OSError) as exc:
+            raise SystemExit(f"--faults: {exc}")
+        faults_mod.activate_plan(plan)
     if args.trace_out:
         obs.enable()
         obs.start_trace_capture()
     try:
         output = COMMANDS[args.experiment](args)
     finally:
+        if plan is not None:
+            import repro.faults as faults_mod
+
+            faults_mod.deactivate_plan()
         if args.trace_out:
             captured = obs.stop_trace_capture()
             if not obs_was_enabled:

@@ -1,0 +1,77 @@
+"""repro.faults — deterministic fault injection & robustness checking.
+
+Public surface:
+
+- :class:`FaultSpec` / :class:`FaultPlan` — serializable, content-hashable
+  descriptions of seeded fault streams (WCET overrun, release jitter,
+  partition stall, overload burst, crash/restart);
+- :class:`FaultInjector` — the per-run engine hook that applies a plan
+  through derived RNG streams, independent of workload and policy RNGs;
+- :class:`GuaranteeChecker` — observer attributing every deadline miss to a
+  faulty or non-faulty partition;
+- :func:`activate_plan` / :func:`deactivate_plan` / :func:`ambient_plan` —
+  the process-ambient plan the CLI's ``--faults`` flag installs so every
+  simulator built inside any sim-backed subcommand picks it up (same ambient
+  pattern as :func:`repro.obs.trace_capture`).
+
+See ``docs/FAULTS.md`` for the fault model and the determinism contract.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.guarantees import GuaranteeChecker
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import (
+    BURST,
+    CRASH,
+    FAULT_KINDS,
+    FAULT_SCHEMA,
+    JITTER,
+    OVERRUN,
+    STALL,
+    FaultPlan,
+    FaultSpec,
+)
+
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
+    "GuaranteeChecker",
+    "FAULT_KINDS",
+    "FAULT_SCHEMA",
+    "OVERRUN",
+    "JITTER",
+    "STALL",
+    "BURST",
+    "CRASH",
+    "activate_plan",
+    "deactivate_plan",
+    "ambient_plan",
+]
+
+# Process-ambient fault plan (the CLI's --faults flag). Simulators built
+# without an explicit ``faults=`` argument adopt it at construction, so a
+# plan reaches runs buried inside experiment helpers without threading a
+# parameter through every call chain. Mirrors repro.obs.trace_capture().
+_AMBIENT: Optional[FaultPlan] = None
+
+
+def activate_plan(plan: FaultPlan) -> FaultPlan:
+    """Install ``plan`` as the process-ambient fault plan and return it."""
+    global _AMBIENT
+    _AMBIENT = plan
+    return plan
+
+
+def deactivate_plan() -> None:
+    """Clear the ambient plan (always called from a ``finally``)."""
+    global _AMBIENT
+    _AMBIENT = None
+
+
+def ambient_plan() -> Optional[FaultPlan]:
+    """The ambient plan, or None. Engine-internal; tests may stub it."""
+    return _AMBIENT

@@ -1,0 +1,290 @@
+"""Declarative fault specifications.
+
+A :class:`FaultSpec` names one seeded fault stream against one partition; a
+:class:`FaultPlan` bundles the streams of one robustness scenario. Both are
+
+- **serializable**: plain ``to_dict``/``from_dict``/``to_json``/``from_json``
+  round-trips, so plans travel inside campaign-cell parameters;
+- **content-hashable**: :meth:`FaultPlan.content_hash` is a pure function of
+  the plan's semantics, so the campaign result cache stays sound when a plan
+  is part of a cell (identical plans hit, different plans miss); and
+- **intensity-aware**: a spec whose parameters cannot perturb anything
+  (:attr:`FaultSpec.is_null`) is skipped by the injector entirely, which is
+  what makes a zero-intensity plan **bit-identical** to no plan at all (the
+  differential contract of ``tests/integration/test_faults_differential.py``).
+
+Five fault kinds cover the deviations the robustness literature evaluates
+schedule-randomization defenses under:
+
+========  ====================================================================
+kind      semantics (see ``docs/FAULTS.md`` for the full model)
+========  ====================================================================
+overrun   with probability ``rate`` per job, actual execution time is
+          inflated to ``min(round(demand * magnitude), length)`` (``length``
+          is an absolute µs cap; 0 means uncapped) — the WCET-overrun fault.
+jitter    with probability ``rate`` per job, the next release is delayed by
+          ``Uniform[1, magnitude]`` µs (release jitter; the sporadic
+          minimum-separation constraint keeps holding).
+stall     with probability ``rate`` per replenishment, the partition burns
+          ``magnitude`` µs of the fresh budget without making progress
+          (a partition-level busy stall, modeled as supply reduction).
+burst     with probability ``rate`` per job, an overload burst begins: the
+          next ``length`` inter-arrival gaps are divided by ``magnitude``
+          (arrivals come faster than the sporadic minimum separation).
+crash     with probability ``rate`` per replenishment, the partition crashes:
+          its next ``length`` replenishments deliver zero budget, then it
+          restarts warm (queued jobs preserved, served late).
+========  ====================================================================
+
+All randomness is drawn from per-spec RNG streams derived with
+:func:`repro.runner.seeding.derive_seed` from ``(master seed, stream key)``
+— never from the workload or policy RNGs — so attaching, detaching, or
+re-parameterizing a plan cannot perturb the nominal schedule's random draws.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+#: Canonical fault kinds, in documentation order.
+OVERRUN = "overrun"
+JITTER = "jitter"
+STALL = "stall"
+BURST = "burst"
+CRASH = "crash"
+
+FAULT_KINDS: Tuple[str, ...] = (OVERRUN, JITTER, STALL, BURST, CRASH)
+
+#: Plan/spec encoding version, folded into every content hash so a future
+#: incompatible change can never replay stale cached results.
+FAULT_SCHEMA = 1
+
+
+def _canonical_json(value: Any) -> str:
+    """Key-sorted, whitespace-free JSON — hash inputs must not depend on
+    dict insertion order (same contract as ``repro.runner.spec``)."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One seeded fault stream against one partition.
+
+    Attributes:
+        kind: One of :data:`FAULT_KINDS`.
+        partition: Name of the target partition.
+        rate: Per-opportunity probability in [0, 1] (per job for
+            ``overrun``/``jitter``/``burst``, per replenishment for
+            ``stall``/``crash``).
+        magnitude: Kind-specific size knob — inflation factor (overrun),
+            max delay µs (jitter), budget burned µs (stall), arrival-rate
+            multiplier (burst); unused by ``crash``.
+        length: Kind-specific extent — absolute demand cap in µs for
+            ``overrun`` (0 = uncapped), accelerated arrivals per burst,
+            zero-budget replenishments per crash; unused by
+            ``jitter``/``stall``.
+    """
+
+    kind: str
+    partition: str
+    rate: float
+    magnitude: float = 0.0
+    length: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if not self.partition:
+            raise ValueError("fault spec needs a target partition name")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.magnitude < 0:
+            raise ValueError(f"magnitude must be non-negative, got {self.magnitude}")
+        if self.length < 0:
+            raise ValueError(f"length must be non-negative, got {self.length}")
+        if self.kind == OVERRUN and 0 < self.magnitude < 1.0:
+            raise ValueError("overrun magnitude is an inflation factor >= 1")
+        if self.kind == BURST and 0 < self.magnitude < 1.0:
+            raise ValueError("burst magnitude is an arrival-rate multiplier >= 1")
+
+    @property
+    def is_null(self) -> bool:
+        """Whether this spec can never perturb a run (zero intensity).
+
+        The injector skips null specs entirely — no state, no RNG stream —
+        so a plan of null specs is bit-identical to no plan at all.
+        """
+        if self.rate == 0.0:
+            return True
+        if self.kind == OVERRUN:
+            return self.magnitude <= 1.0
+        if self.kind == JITTER:
+            return self.magnitude < 1.0
+        if self.kind == STALL:
+            return self.magnitude < 1.0
+        if self.kind == BURST:
+            return self.magnitude <= 1.0 or self.length == 0
+        return self.length == 0  # CRASH
+
+    def stream_key(self, index: int) -> str:
+        """The :func:`~repro.runner.seeding.derive_seed` cell key of this
+        spec's RNG stream. Includes the plan position so two otherwise
+        identical specs (same kind, same partition) draw independently."""
+        return f"faults/{index}/{self.kind}/{self.partition}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "partition": self.partition,
+            "rate": self.rate,
+            "magnitude": self.magnitude,
+            "length": self.length,
+        }
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "FaultSpec":
+        return FaultSpec(
+            kind=str(payload["kind"]),
+            partition=str(payload["partition"]),
+            rate=float(payload["rate"]),
+            magnitude=float(payload.get("magnitude", 0.0)),
+            length=int(payload.get("length", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered bundle of fault specs — one robustness scenario.
+
+    The order matters only for RNG-stream derivation (each spec's stream key
+    includes its index); it does not affect the content hash beyond that.
+    An empty plan is valid and null: attaching it is bit-identical to
+    attaching nothing.
+    """
+
+    specs: Tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    @property
+    def is_null(self) -> bool:
+        """True when no spec can perturb anything (zero-intensity plan)."""
+        return all(spec.is_null for spec in self.specs)
+
+    def faulty_partitions(self) -> frozenset:
+        """Partitions targeted by at least one *non-null* spec.
+
+        This is the attribution set :class:`~repro.faults.guarantees.
+        GuaranteeChecker` uses: a deadline miss inside one of these
+        partitions is expected degradation, a miss anywhere else is a
+        guarantee violation (or a graceful-degradation data point).
+        """
+        return frozenset(spec.partition for spec in self.specs if not spec.is_null)
+
+    def active_specs(self) -> List[Tuple[int, FaultSpec]]:
+        """The non-null specs with their plan indices (RNG stream identity)."""
+        return [(i, spec) for i, spec in enumerate(self.specs) if not spec.is_null]
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": FAULT_SCHEMA,
+            "specs": [spec.to_dict() for spec in self.specs],
+        }
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "FaultPlan":
+        schema = int(payload.get("schema", FAULT_SCHEMA))
+        if schema != FAULT_SCHEMA:
+            raise ValueError(f"unsupported fault-plan schema {schema}")
+        return FaultPlan(
+            specs=tuple(FaultSpec.from_dict(entry) for entry in payload["specs"])
+        )
+
+    def to_json(self) -> str:
+        return _canonical_json(self.to_dict())
+
+    @staticmethod
+    def from_json(text: str) -> "FaultPlan":
+        return FaultPlan.from_dict(json.loads(text))
+
+    def content_hash(self) -> str:
+        """Stable content hash (hex, 160 bits) of the plan's semantics.
+
+        A pure function of the serialized form, so campaign cells carrying a
+        plan in their params hash identically across processes and runs.
+        """
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()[:40]
+
+    # -- CLI mini-language -------------------------------------------------
+
+    @staticmethod
+    def parse(text: str) -> "FaultPlan":
+        """Parse the ``--faults`` mini-language (or an ``@file.json`` ref).
+
+        Grammar: ``;``-separated specs, each
+        ``kind:partition[:param=value[,param=value...]]`` with params
+        ``rate``, ``magnitude`` (alias ``mag``), ``length`` (alias ``len``).
+        ``rate`` defaults to 1.0 so quick CLI experiments stay terse.
+
+        >>> plan = FaultPlan.parse("overrun:Pi_2:rate=0.1,mag=1.5;crash:Pi_3:len=2")
+        >>> [s.kind for s in plan]
+        ['overrun', 'crash']
+
+        A leading ``@`` loads a JSON plan from the named file instead::
+
+            --faults @robustness_plan.json
+        """
+        text = text.strip()
+        if not text:
+            return FaultPlan()
+        if text.startswith("@"):
+            with open(text[1:], "r", encoding="utf-8") as handle:
+                return FaultPlan.from_json(handle.read())
+        specs: List[FaultSpec] = []
+        for chunk in text.split(";"):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            parts = chunk.split(":")
+            if len(parts) < 2:
+                raise ValueError(
+                    f"fault spec {chunk!r} must look like 'kind:partition[:k=v,...]'"
+                )
+            kind, partition = parts[0].strip(), parts[1].strip()
+            params: Dict[str, Any] = {"rate": 1.0, "magnitude": 0.0, "length": 0}
+            if len(parts) > 2:
+                for assignment in ":".join(parts[2:]).split(","):
+                    assignment = assignment.strip()
+                    if not assignment:
+                        continue
+                    name, _, value = assignment.partition("=")
+                    name = {"mag": "magnitude", "len": "length"}.get(
+                        name.strip(), name.strip()
+                    )
+                    if name not in params:
+                        raise ValueError(
+                            f"unknown fault parameter {name!r} in {chunk!r} "
+                            f"(expected rate/magnitude/length)"
+                        )
+                    params[name] = int(value) if name == "length" else float(value)
+            specs.append(FaultSpec(kind=kind, partition=partition, **params))
+        return FaultPlan(specs=tuple(specs))
+
+    @staticmethod
+    def of(*specs: FaultSpec) -> "FaultPlan":
+        """Convenience constructor: ``FaultPlan.of(spec1, spec2)``."""
+        return FaultPlan(specs=tuple(specs))

@@ -76,6 +76,7 @@ __all__ = [
     "trace_capture",
     "drain_run_log",
     "decide_rollup",
+    "faults_rollup",
     "export",
     "GATE",
 ]
@@ -167,6 +168,25 @@ def decide_rollup(runs: Sequence[RunObs]) -> Optional[Dict[str, Any]]:
     if not snapshots:
         return None
     return merge_histogram_snapshots(snapshots)
+
+
+def faults_rollup(runs: Sequence[RunObs]) -> Optional[Dict[str, int]]:
+    """Sum the gated ``faults.*`` counters of ``runs`` into one dict.
+
+    The campaign-worker companion of :func:`decide_rollup`: workers drain
+    the run log once and compute both. Returns None when no run ticked any
+    fault counter (obs disabled, no plan attached, or a null plan) so
+    callers can skip the key entirely.
+    """
+    totals: Dict[str, int] = {}
+    for run in runs:
+        for name, counter in run.registry._counters.items():
+            if name.startswith("faults.") and counter.value:
+                totals[name] = totals.get(name, 0) + counter.value
+    if not totals:
+        return None
+    totals["faults.total"] = sum(totals.values())
+    return totals
 
 
 # -- trace capture ----------------------------------------------------------

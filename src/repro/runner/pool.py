@@ -52,22 +52,24 @@ def _invoke_cell(task: str, params: Dict[str, Any]) -> Dict[str, Any]:
 
     When :mod:`repro.obs` is enabled (workers fork after the CLI enables
     it, so the gate is inherited), the decide-latency histograms of every
-    simulation the cell ran are merged into ``payload["metrics"]`` — the
-    per-cell rollup :class:`~repro.runner.telemetry.CampaignTelemetry`
-    aggregates across cells.
+    simulation the cell ran are merged into ``payload["metrics"]`` and the
+    cell's ``faults.*`` counters into ``payload["faults"]`` — the per-cell
+    rollups :class:`~repro.runner.telemetry.CampaignTelemetry` aggregates
+    across cells.
     """
     import repro.obs as _obs
 
     start = time.perf_counter()
     fn = resolve_task(task)
-    _obs.drain_run_log()  # scope the rollup to this cell's simulations
+    _obs.drain_run_log()  # scope the rollups to this cell's simulations
     value = fn(params)
-    metrics = _obs.decide_rollup(_obs.drain_run_log())
+    runs = _obs.drain_run_log()
     return {
         "value": value,
         "wall": time.perf_counter() - start,
         "worker": f"pid-{os.getpid()}",
-        "metrics": metrics,
+        "metrics": _obs.decide_rollup(runs),
+        "faults": _obs.faults_rollup(runs),
     }
 
 
@@ -271,6 +273,7 @@ class _CampaignRunner:
                 wall=payload["wall"],
                 worker=payload["worker"],
                 metrics=payload.get("metrics"),
+                faults=payload.get("faults"),
             )
         )
 

@@ -34,7 +34,9 @@ class CellEvent:
     ``metrics`` (COMPUTED events only) carries the cell's observability
     rollup — currently the merged ``decide.wall_ns`` histogram snapshot of
     every simulation the cell ran — when :mod:`repro.obs` was enabled in
-    the worker; None otherwise.
+    the worker; None otherwise. ``faults`` likewise carries the cell's
+    summed ``faults.*`` injection counters when obs was enabled and a
+    fault plan actually fired; None otherwise.
     """
 
     kind: str
@@ -44,6 +46,7 @@ class CellEvent:
     worker: str = ""
     error: str = ""
     metrics: Optional[Dict[str, Any]] = None
+    faults: Optional[Dict[str, int]] = None
 
 
 @dataclass
@@ -75,6 +78,9 @@ class CampaignTelemetry:
         #: Per-cell decide-latency histogram snapshots (COMPUTED events that
         #: carried an obs rollup), keyed by cell key.
         self.cell_metrics: Dict[str, Dict[str, Any]] = {}
+        #: Per-cell ``faults.*`` counter rollups (COMPUTED events whose cell
+        #: injected faults with obs enabled), keyed by cell key.
+        self.cell_faults: Dict[str, Dict[str, int]] = {}
 
     # -- event stream ------------------------------------------------------
 
@@ -90,6 +96,8 @@ class CampaignTelemetry:
                 stats.wall += event.wall
             if event.metrics:
                 self.cell_metrics[event.key] = event.metrics
+            if event.faults:
+                self.cell_faults[event.key] = event.faults
         elif event.kind == RETRIED:
             self.retries += 1
         elif event.kind == FAILED:
@@ -134,6 +142,19 @@ class CampaignTelemetry:
             "max_ns": merged["max"],
         }
 
+    def faults_rollup(self) -> Optional[Dict[str, Any]]:
+        """The cross-cell fault-injection rollup: summed ``faults.*``
+        counters over every cell that reported any (obs enabled and a
+        non-null plan fired), or None — the :meth:`decide_rollup` companion.
+        """
+        if not self.cell_faults:
+            return None
+        totals: Dict[str, int] = {}
+        for counters in self.cell_faults.values():
+            for name, value in counters.items():
+                totals[name] = totals.get(name, 0) + value
+        return {"cells": len(self.cell_faults), **totals}
+
     def snapshot(self) -> Dict[str, Any]:
         return {
             "campaign": self.campaign,
@@ -147,6 +168,7 @@ class CampaignTelemetry:
             "cache_misses": self.cache_misses,
             "elapsed_s": round(self.elapsed, 6),
             "decide_latency": self.decide_rollup(),
+            "faults": self.faults_rollup(),
             "workers": {
                 name: {"cells": stats.cells, "wall_s": round(stats.wall, 6)}
                 for name, stats in sorted(self.workers.items())

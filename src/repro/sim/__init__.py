@@ -33,7 +33,12 @@ from repro.sim.trace import (
     ResponseTimeRecorder,
     SegmentRecorder,
 )
-from repro.sim.validation import InvariantChecker, InvariantViolation
+from repro.sim.validation import (
+    InvariantChecker,
+    InvariantViolation,
+    check_behavior_well_formed,
+    check_system_behaviors,
+)
 
 __all__ = [
     "Simulator",
@@ -52,4 +57,6 @@ __all__ = [
     "DecisionCounter",
     "InvariantChecker",
     "InvariantViolation",
+    "check_behavior_well_formed",
+    "check_system_behaviors",
 ]

@@ -23,6 +23,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
+import repro.faults as _faults
 import repro.obs as _obs
 from repro._time import MS, SEC
 from repro.core.state import PartitionState, SystemState
@@ -103,6 +104,11 @@ class SimulationResult:
         lookups = self.memo_hits + self.memo_misses
         return self.memo_hits / lookups if lookups else 0.0
 
+    @property
+    def fault_injections(self) -> int:
+        """Total injected faults (``faults.total``; 0 when no plan ran)."""
+        return int(self.metrics.get("faults.total", 0))
+
     def rates(self) -> Dict[str, float]:
         seconds = self.end_time / SEC
         return {
@@ -155,6 +161,15 @@ class Simulator:
             effect, and are handed down to the policy/memo via their
             ``attach_obs`` hooks. Its snapshot lands on
             ``SimulationResult.metrics``.
+        faults: Optional :class:`repro.faults.FaultPlan`. When omitted, the
+            process-ambient plan (the CLI's ``--faults`` flag, see
+            :func:`repro.faults.activate_plan`) applies, if any. Null plans
+            (zero intensity) are discarded at construction, so attaching one
+            is bit-identical to attaching nothing: the fault streams draw
+            from RNGs derived independently of the workload and policy
+            streams, and the hook sites are skipped entirely without an
+            active injector. Exact injection counts land on
+            ``SimulationResult.metrics`` under ``faults.*``.
     """
 
     def __init__(
@@ -171,6 +186,7 @@ class Simulator:
         budget_donation: bool = False,
         memoize: bool = True,
         obs: Optional["_obs.RunObs"] = None,
+        faults: Optional["_faults.FaultPlan"] = None,
     ):
         self.system = system
         # Distinct, process-stable streams derived from the master seed.
@@ -207,6 +223,21 @@ class Simulator:
         attach = getattr(self.policy, "attach_obs", None)
         if attach is not None:
             attach(self.obs)
+
+        # -- fault injection: explicit plan wins over the ambient (--faults)
+        # one; a plan with no active (non-null) specs leaves the injector
+        # slot empty, so every hook site stays on its fast `is None` path
+        # and the run is bit-identical to an unfaulted one.
+        plan = faults if faults is not None else _faults.ambient_plan()
+        self._faults: Optional[_faults.FaultInjector] = None
+        if plan is not None:
+            injector = _faults.FaultInjector(
+                plan, seed, partitions=[p.name for p in system]
+            )
+            if injector.active:
+                injector.attach_obs(self.obs)
+                self._faults = injector
+
         capture = _obs.trace_capture()
         if capture is not None and capture.has_room():
             recorder = SegmentRecorder(limit=capture.segment_limit)
@@ -262,7 +293,10 @@ class Simulator:
 
     def _handle_replenish(self, event: Event) -> None:
         rt = self._runtimes[event.payload]
-        rt.remaining_budget = rt.spec.budget
+        budget = rt.spec.budget
+        if self._faults is not None:
+            budget = self._faults.perturb_budget(rt.spec.name, event.time, budget)
+        rt.remaining_budget = budget
         rt.last_replenishment = event.time
         rt.local.on_replenish(event.time)
         self._queue.push(
@@ -276,10 +310,18 @@ class Simulator:
         behavior = self.behaviors[task.behavior]
         demand = behavior.execution_time(task, event.time, self.workload_rng)
         demand = max(1, min(demand, task.wcet))
+        if self._faults is not None:
+            # After the WCET clamp: an overrun fault is precisely a job
+            # exceeding its declared WCET, which nominal behaviours cannot do.
+            demand = self._faults.perturb_demand(
+                rt.spec.name, task, event.time, demand
+            )
         job = Job(task=task, partition=rt.spec.name, arrival=event.time, demand=demand)
         rt.local.on_arrival(job, event.time)
         gap = behavior.inter_arrival(task, event.time, self.workload_rng)
         gap = max(gap, 1)
+        if self._faults is not None:
+            gap = self._faults.perturb_gap(rt.spec.name, task, event.time, gap)
         self._queue.push(Event(event.time + gap, EventKind.ARRIVAL, event.payload))
 
     # -------------------------------------------------------------- notifier
@@ -588,6 +630,10 @@ class Simulator:
             metrics["memo.misses"] = memo_stats.misses
             metrics["memo.evictions"] = memo_stats.evictions
             metrics["memo.bypassed"] = memo_stats.bypassed
+        # Same overwrite discipline for the injector's exact counts: correct
+        # across repeated run_until calls, gate on or off.
+        if self._faults is not None:
+            metrics.update(self._faults.metrics())
         result.metrics = metrics
         return result
 

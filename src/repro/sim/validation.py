@@ -18,10 +18,13 @@ via ``observers=[InvariantChecker(system)]``.
 
 from __future__ import annotations
 
+import random
 from collections import defaultdict
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional
 
 from repro.model.system import System
+from repro.model.task import Task
+from repro.sim.behaviors import Behavior
 from repro.sim.trace import JobRecord, Observer
 
 
@@ -98,3 +101,85 @@ class InvariantChecker(Observer):
             )
         if record.finished_at <= record.started_at:
             raise InvariantViolation(f"{record.task}: zero-length execution")
+
+
+# -------------------------------------------------- behaviour well-formedness
+
+
+def check_behavior_well_formed(
+    behavior: Behavior,
+    task: Task,
+    seeds: Iterable[int] = range(8),
+    arrivals_per_seed: int = 64,
+) -> int:
+    """Sample a behaviour's draws and verify the nominal task-model bounds.
+
+    Every analysis in the reproduction (candidacy, busy-interval WCRT, the
+    schedulability-preservation property) assumes jobs never demand more
+    than the declared WCET and arrivals never bunch tighter than one µs.
+    Nominal behaviours must uphold that by construction — exceeding the WCET
+    is *exactly* what distinguishes an injected ``overrun`` fault
+    (:mod:`repro.faults`) from honest workload noise, and the engine applies
+    the injector only *after* its own WCET clamp.
+
+    Drives ``behavior`` through ``arrivals_per_seed`` simulated arrivals per
+    seed (advancing time by the drawn gaps, so window-dependent behaviours
+    like the sender see realistic phases) and checks every draw:
+
+    - ``1 <= execution_time(t) <= task.wcet``;
+    - ``inter_arrival(t) >= 1``.
+
+    Returns the number of jobs checked; raises :class:`InvariantViolation`
+    on the first offending draw.
+    """
+    checked = 0
+    for seed in seeds:
+        rng = random.Random(seed)
+        t = task.offset
+        for _ in range(arrivals_per_seed):
+            demand = behavior.execution_time(task, t, rng)
+            if demand < 1:
+                raise InvariantViolation(
+                    f"{task.name}: behaviour {type(behavior).__name__} drew a "
+                    f"non-positive demand {demand}us at t={t} (seed {seed})"
+                )
+            if demand > task.wcet:
+                raise InvariantViolation(
+                    f"{task.name}: behaviour {type(behavior).__name__} drew "
+                    f"demand {demand}us above the declared WCET {task.wcet}us "
+                    f"at t={t} (seed {seed}) — absent injected faults, jobs "
+                    f"must never exceed their WCET"
+                )
+            gap = behavior.inter_arrival(task, t, rng)
+            if gap < 1:
+                raise InvariantViolation(
+                    f"{task.name}: behaviour {type(behavior).__name__} drew a "
+                    f"non-positive inter-arrival gap {gap}us at t={t} "
+                    f"(seed {seed})"
+                )
+            t += gap
+            checked += 1
+    return checked
+
+
+def check_system_behaviors(
+    system: System,
+    behaviors: Dict[str, Behavior],
+    seeds: Iterable[int] = range(8),
+    arrivals_per_seed: int = 64,
+) -> int:
+    """Run :func:`check_behavior_well_formed` for every task of ``system``
+    against its registered behaviour. Returns total jobs checked."""
+    checked = 0
+    for partition in system:
+        for task in partition.tasks:
+            behavior = behaviors.get(task.behavior)
+            if behavior is None:
+                raise InvariantViolation(
+                    f"task {task.name} uses behaviour {task.behavior!r} but "
+                    f"no such behaviour is registered"
+                )
+            checked += check_behavior_well_formed(
+                behavior, task, seeds=seeds, arrivals_per_seed=arrivals_per_seed
+            )
+    return checked

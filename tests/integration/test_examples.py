@@ -1,0 +1,84 @@
+"""Smoke tests for the ``examples/`` walkthroughs.
+
+The examples are the first code a reader runs, and the only code in the
+repo no test previously touched — an API rename could silently rot them.
+``quickstart.py`` (and the new ``fault_injection.py``) are cheap enough to
+*execute* end-to-end in a subprocess; the heavier studies are imported,
+which still catches broken imports, signature drift at module level, and
+syntax errors — every example guards its body with ``__main__``.
+"""
+
+import importlib.util
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+EXAMPLES = REPO / "examples"
+SRC = REPO / "src"
+
+#: Examples cheap enough to run end-to-end (a few seconds each).
+RUNNABLE = ["quickstart.py", "fault_injection.py"]
+
+#: Everything else is imported only (module-level code must stay trivial).
+IMPORT_ONLY = sorted(
+    path.name
+    for path in EXAMPLES.glob("*.py")
+    if path.name not in RUNNABLE
+)
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+@pytest.mark.parametrize("name", RUNNABLE)
+def test_example_runs(name):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        env=_env(),
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=str(REPO),
+    )
+    assert result.returncode == 0, (
+        f"{name} exited {result.returncode}\n"
+        f"stdout:\n{result.stdout[-2000:]}\nstderr:\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{name} produced no output"
+
+
+def test_quickstart_reports_schedulable():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        env=_env(),
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=str(REPO),
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "schedulable" in result.stdout.lower()
+
+
+@pytest.mark.parametrize("name", IMPORT_ONLY)
+def test_example_imports(name):
+    """Importing must succeed and define a __main__-guarded entry point."""
+    spec = importlib.util.spec_from_file_location(
+        f"examples_{name[:-3]}", EXAMPLES / name
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert hasattr(module, "main") or "__main__" in (EXAMPLES / name).read_text()
+
+
+def test_all_examples_covered():
+    """Every example file is either executed or imported by this suite."""
+    names = {path.name for path in EXAMPLES.glob("*.py")}
+    assert names == set(RUNNABLE) | set(IMPORT_ONLY)

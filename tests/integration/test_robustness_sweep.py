@@ -1,0 +1,185 @@
+"""Integration tests for the robustness sweep (fault kind × intensity ×
+policy) and the campaign-level fault telemetry.
+
+The sweep's acceptance contract mirrors every other campaign — ``jobs=N``
+output identical to ``jobs=1``, warm cache replays every cell — plus the
+fault-specific guarantees: every deadline miss attributed, fault plans
+participating in cell content hashes (no cache conflation), and the
+``faults`` rollup surfacing in telemetry snapshots / ``--telemetry-out``.
+"""
+
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.experiments import robustness_sweep
+from repro.runner import session_stats
+
+#: Small-but-meaningful sweep shared by the parity/cache tests. Two fault
+#: kinds, one intensity, two policies -> 2 baseline + 4 faulted cells.
+KWARGS = dict(
+    kinds=("overrun", "crash"),
+    intensities=(0.8,),
+    policies=("norandom", "timedice"),
+    profile_windows=16,
+    message_windows=24,
+    seed=3,
+)
+
+
+class TestRobustnessCampaign:
+    def test_jobs4_output_equals_jobs1(self):
+        serial = robustness_sweep.run(jobs=1, **KWARGS)
+        parallel = robustness_sweep.run(jobs=4, **KWARGS)
+        assert serial.cells == parallel.cells
+        assert serial.format() == parallel.format()
+        assert serial.summary() == parallel.summary()
+
+    def test_every_miss_is_attributed(self):
+        result = robustness_sweep.run(jobs=1, **KWARGS)
+        assert result.all_attributed()
+        summary = result.summary()
+        assert summary["schema"] == "robustness-sweep/1"
+        assert summary["all_attributed"]
+        assert len(summary["cells"]) == 6
+        for cell in summary["cells"]:
+            assert cell["faulty_misses"] + cell["clean_misses"] == cell["total_misses"]
+
+    def test_baseline_cells_are_deduplicated(self):
+        spec = robustness_sweep.campaign(**{
+            k: v for k, v in KWARGS.items() if k not in ("profile_windows",)
+        })
+        kinds = [cell.params["kind"] for cell in spec]
+        # one baseline per policy, not one zero-intensity cell per fault kind
+        assert kinds.count(robustness_sweep.BASELINE) == 2
+        for cell in spec:
+            if cell.params["kind"] == robustness_sweep.BASELINE:
+                assert cell.params["plan"]["specs"] == []
+
+    def test_plan_participates_in_content_hash(self):
+        """Cells differing only in fault intensity must never share a cache
+        entry: the serialized plan is part of the cell params."""
+        a = robustness_sweep.campaign(
+            kinds=("overrun",), intensities=(0.4,), policies=("norandom",)
+        )
+        b = robustness_sweep.campaign(
+            kinds=("overrun",), intensities=(0.8,), policies=("norandom",)
+        )
+        hash_a = {c.key: c.content_hash("") for c in a}
+        hash_b = {c.key: c.content_hash("") for c in b}
+        # baseline cells coincide (same null plan), faulted cells must not
+        baseline = "kind=baseline/intensity=0/policy=norandom"
+        assert hash_a[baseline] == hash_b[baseline]
+        faulted_a = next(h for k, h in hash_a.items() if "overrun" in k)
+        faulted_b = next(h for k, h in hash_b.items() if "overrun" in k)
+        assert faulted_a != faulted_b
+
+    def test_warm_cache_skips_every_cell(self, tmp_path):
+        small = dict(KWARGS, kinds=("overrun",), policies=("norandom",))
+        cold = robustness_sweep.run(cache=str(tmp_path), **small)
+        warm = robustness_sweep.run(cache=str(tmp_path), **small)
+        assert warm.cells == cold.cells
+        stats = session_stats()
+        assert stats[-1].cached == 2 and stats[-1].computed == 0
+        assert stats[-2].computed == 2 and stats[-2].cached == 0
+
+    def test_faulted_timedice_never_violates_clean_partitions(self):
+        """The headline robustness claim at this scale: demand/supply faults
+        confined to one noise partition do not cost any *other* partition a
+        deadline, under any policy in the sweep."""
+        result = robustness_sweep.run(jobs=1, **KWARGS)
+        for (kind, intensity, policy), cell in result.cells.items():
+            assert cell["clean_misses"] == 0, (kind, intensity, policy)
+
+
+class TestFaultTelemetry:
+    def test_snapshot_carries_fault_rollup_when_obs_enabled(self):
+        obs.enable()
+        try:
+            robustness_sweep.run(
+                jobs=1,
+                kinds=("overrun",),
+                intensities=(1.0,),
+                policies=("norandom",),
+                profile_windows=12,
+                message_windows=16,
+                seed=3,
+            )
+        finally:
+            obs.disable()
+        snapshot = session_stats()[-1].snapshot()
+        rollup = snapshot["faults"]
+        assert rollup is not None
+        assert rollup["cells"] == 1  # only the faulted cell injected
+        assert rollup["faults.overrun"] > 0
+        assert rollup["faults.total"] == rollup["faults.overrun"]
+
+    def test_snapshot_faults_is_none_without_obs(self):
+        obs.disable()
+        robustness_sweep.run(
+            jobs=1,
+            kinds=("overrun",),
+            intensities=(1.0,),
+            policies=("norandom",),
+            profile_windows=12,
+            message_windows=16,
+            seed=3,
+        )
+        snapshot = session_stats()[-1].snapshot()
+        assert snapshot["faults"] is None
+
+
+class TestRobustnessCli:
+    def test_campaign_subcommand_writes_summary_and_telemetry(self, tmp_path, capsys):
+        """Schema pin for the ``--telemetry-out`` JSON (the ``faults`` key
+        must stay in every snapshot) and for the ``--out`` summary artifact
+        CI uploads."""
+        from repro.cli import main
+
+        summary_path = tmp_path / "robustness_summary.json"
+        telemetry_path = tmp_path / "telemetry.json"
+        assert main([
+            "campaign", "robustness-sweep", "--scale", "quick", "--jobs", "2",
+            "--out", str(summary_path),
+            "--telemetry-out", str(telemetry_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fault robustness" in out
+        assert "every deadline miss attributed" in out
+
+        summary = json.loads(summary_path.read_text())
+        assert summary["schema"] == "robustness-sweep/1"
+        assert summary["all_attributed"]
+        assert summary["cells"]
+
+        snapshots = json.loads(telemetry_path.read_text())
+        assert snapshots, "telemetry file must carry one snapshot per campaign"
+        for snapshot in snapshots:
+            assert "faults" in snapshot  # schema pin: key present even if null
+            assert "decide_latency" in snapshot
+        assert snapshots[-1]["campaign"] == "robustness-sweep"
+        assert snapshots[-1]["computed"] + snapshots[-1]["cached"] == snapshots[-1]["total"]
+
+    def test_ambient_faults_flag_salts_the_cache(self, tmp_path, capsys):
+        """``--faults`` on a cached campaign subcommand must not replay
+        unfaulted results (the plan hash is folded into the cache salt)."""
+        from repro.cli import main
+
+        cache = str(tmp_path / "cache")
+        assert main(["load-sweep", "--quick", "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        # same campaign, ambient plan active: every cell recomputes
+        assert main([
+            "load-sweep", "--quick", "--cache-dir", cache,
+            "--faults", "overrun:Pi_3:rate=0.9,mag=3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "(0 cached, 6 computed)" in out
+        # and the faulted salt caches on its own terms
+        assert main([
+            "load-sweep", "--quick", "--cache-dir", cache,
+            "--faults", "overrun:Pi_3:rate=0.9,mag=3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "(6 cached, 0 computed)" in out

@@ -1,0 +1,115 @@
+"""Property test: nominal behaviours are well-formed (seeds × behaviours).
+
+The whole analysis stack assumes job demands never exceed the declared WCET
+and arrivals respect the sporadic model; exceeding the WCET is reserved for
+*injected* ``overrun`` faults (:mod:`repro.faults`). This pins the contract
+for every shipped behaviour across random seeds, jitter levels, and task
+geometries, via :func:`repro.sim.validation.check_behavior_well_formed`.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._time import ms
+from repro.model.task import Task
+from repro.sim.behaviors import (
+    ChannelScript,
+    NoisyBehavior,
+    PeriodicBehavior,
+    ReceiverBehavior,
+    SenderBehavior,
+)
+from repro.sim.validation import (
+    InvariantViolation,
+    check_behavior_well_formed,
+    check_system_behaviors,
+)
+
+
+def _task(period_us: int, wcet_us: int, behavior: str = "periodic") -> Task:
+    return Task(
+        name="t", period=period_us, wcet=wcet_us, local_priority=0, behavior=behavior
+    )
+
+
+def _script(window: int) -> ChannelScript:
+    return ChannelScript(window=window, profile_windows=4, message_bits=(1, 0, 1))
+
+
+class TestBehaviorWellFormedness:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        jitter=st.floats(min_value=0.0, max_value=0.9),
+        period_ms=st.integers(min_value=1, max_value=100),
+        wcet_frac=st.floats(min_value=0.05, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_noisy_behavior_never_exceeds_wcet(
+        self, seed, jitter, period_ms, wcet_frac
+    ):
+        period = ms(period_ms)
+        wcet = max(1, round(period * wcet_frac))
+        checked = check_behavior_well_formed(
+            NoisyBehavior(jitter=jitter),
+            _task(period, wcet, "noisy"),
+            seeds=(seed,),
+            arrivals_per_seed=32,
+        )
+        assert checked == 32
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        window_ms=st.integers(min_value=2, max_value=200),
+        low_exec=st.integers(min_value=1, max_value=500),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sender_behavior_never_exceeds_wcet(self, seed, window_ms, low_exec):
+        window = ms(window_ms)
+        task = _task(period_us=window // 2, wcet_us=ms(1), behavior="sender")
+        checked = check_behavior_well_formed(
+            SenderBehavior(_script(window), low_exec=low_exec),
+            task,
+            seeds=(seed,),
+            arrivals_per_seed=32,
+        )
+        assert checked == 32
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_periodic_and_receiver_behaviors(self, seed):
+        for behavior in (PeriodicBehavior(), ReceiverBehavior()):
+            assert check_behavior_well_formed(
+                behavior, _task(ms(10), ms(2)), seeds=(seed,), arrivals_per_seed=16
+            ) == 16
+
+    def test_catches_wcet_violation(self):
+        class Rogue(PeriodicBehavior):
+            def execution_time(self, task, arrival, rng):
+                return task.wcet + 1
+
+        with pytest.raises(InvariantViolation, match="above the declared WCET"):
+            check_behavior_well_formed(Rogue(), _task(ms(10), ms(2)))
+
+    def test_catches_nonpositive_gap(self):
+        class Rogue(PeriodicBehavior):
+            def inter_arrival(self, task, arrival, rng):
+                return 0
+
+        with pytest.raises(InvariantViolation, match="inter-arrival"):
+            check_behavior_well_formed(Rogue(), _task(ms(10), ms(2)))
+
+    def test_feasibility_system_behaviors_well_formed(self):
+        from repro.model.configs import feasibility_system
+        from repro.sim.behaviors import default_behaviors
+
+        system = feasibility_system()
+        receiver = system.by_name("Pi_4")
+        behaviors = default_behaviors(_script(3 * receiver.period))
+        assert check_system_behaviors(system, behaviors, seeds=range(4)) > 0
+
+    def test_unregistered_behavior_is_reported(self):
+        from repro.model.configs import feasibility_system
+
+        with pytest.raises(InvariantViolation, match="no such behaviour"):
+            check_system_behaviors(feasibility_system(), {})

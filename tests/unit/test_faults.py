@@ -1,0 +1,328 @@
+"""Unit tests for the repro.faults subsystem: specs, plans, the injector,
+and guarantee attribution.
+
+The engine-facing contracts (bit-identity of null plans, end-to-end
+attribution) live in ``tests/integration/test_faults_differential.py``;
+this file pins the pieces in isolation.
+"""
+
+import json
+
+import pytest
+
+from repro.faults import (
+    BURST,
+    CRASH,
+    FAULT_KINDS,
+    JITTER,
+    OVERRUN,
+    STALL,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    GuaranteeChecker,
+    activate_plan,
+    ambient_plan,
+    deactivate_plan,
+)
+from repro.model.configs import three_partition_example
+from repro.sim.trace import JobRecord
+
+
+class TestFaultSpec:
+    def test_kinds_are_validated(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("meltdown", "Pi_1", rate=0.5)
+
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError, match="rate"):
+            FaultSpec(OVERRUN, "Pi_1", rate=1.5)
+        with pytest.raises(ValueError, match="rate"):
+            FaultSpec(OVERRUN, "Pi_1", rate=-0.1)
+
+    def test_partition_required(self):
+        with pytest.raises(ValueError, match="partition"):
+            FaultSpec(OVERRUN, "", rate=0.5)
+
+    def test_negative_knobs_rejected(self):
+        with pytest.raises(ValueError, match="magnitude"):
+            FaultSpec(JITTER, "Pi_1", rate=0.5, magnitude=-1.0)
+        with pytest.raises(ValueError, match="length"):
+            FaultSpec(CRASH, "Pi_1", rate=0.5, length=-2)
+
+    def test_fractional_inflation_rejected(self):
+        # an overrun that *shrinks* demand is not an overrun
+        with pytest.raises(ValueError, match="inflation factor"):
+            FaultSpec(OVERRUN, "Pi_1", rate=0.5, magnitude=0.5)
+        with pytest.raises(ValueError, match="multiplier"):
+            FaultSpec(BURST, "Pi_1", rate=0.5, magnitude=0.5, length=3)
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            FaultSpec(OVERRUN, "P", rate=0.0, magnitude=3.0),  # zero rate
+            FaultSpec(OVERRUN, "P", rate=1.0, magnitude=1.0),  # identity inflation
+            FaultSpec(JITTER, "P", rate=1.0, magnitude=0.0),  # no delay to add
+            FaultSpec(STALL, "P", rate=1.0, magnitude=0.0),  # nothing to burn
+            FaultSpec(BURST, "P", rate=1.0, magnitude=4.0, length=0),  # empty burst
+            FaultSpec(BURST, "P", rate=1.0, magnitude=1.0, length=5),  # no compression
+            FaultSpec(CRASH, "P", rate=1.0, length=0),  # zero-length crash
+        ],
+    )
+    def test_null_specs(self, spec):
+        assert spec.is_null
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            FaultSpec(OVERRUN, "P", rate=0.1, magnitude=1.5),
+            FaultSpec(JITTER, "P", rate=0.1, magnitude=100.0),
+            FaultSpec(STALL, "P", rate=0.1, magnitude=50.0),
+            FaultSpec(BURST, "P", rate=0.1, magnitude=2.0, length=4),
+            FaultSpec(CRASH, "P", rate=0.1, length=1),
+        ],
+    )
+    def test_active_specs(self, spec):
+        assert not spec.is_null
+
+    def test_stream_key_includes_position(self):
+        spec = FaultSpec(OVERRUN, "Pi_2", rate=0.5, magnitude=2.0)
+        assert spec.stream_key(0) != spec.stream_key(1)
+        assert "overrun" in spec.stream_key(0)
+        assert "Pi_2" in spec.stream_key(0)
+
+
+class TestFaultPlan:
+    def test_empty_plan_is_null(self):
+        assert FaultPlan().is_null
+        assert FaultPlan().faulty_partitions() == frozenset()
+
+    def test_mixed_plan(self):
+        plan = FaultPlan.of(
+            FaultSpec(OVERRUN, "Pi_2", rate=0.0, magnitude=3.0),  # null
+            FaultSpec(CRASH, "Pi_3", rate=0.2, length=2),
+        )
+        assert not plan.is_null
+        assert plan.faulty_partitions() == frozenset({"Pi_3"})
+        # active_specs preserves plan indices (RNG stream identity)
+        assert [(i, s.kind) for i, s in plan.active_specs()] == [(1, CRASH)]
+
+    def test_json_roundtrip(self):
+        plan = FaultPlan.of(
+            FaultSpec(OVERRUN, "Pi_2", rate=0.5, magnitude=3.0, length=2000),
+            FaultSpec(JITTER, "Pi_1", rate=0.25, magnitude=500.0),
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+        assert FaultPlan.from_dict(json.loads(plan.to_json())) == plan
+
+    def test_schema_version_is_checked(self):
+        payload = FaultPlan().to_dict()
+        payload["schema"] = 99
+        with pytest.raises(ValueError, match="schema"):
+            FaultPlan.from_dict(payload)
+
+    def test_content_hash_is_semantic(self):
+        a = FaultPlan.of(FaultSpec(OVERRUN, "Pi_2", rate=0.5, magnitude=3.0))
+        b = FaultPlan.of(FaultSpec(OVERRUN, "Pi_2", rate=0.5, magnitude=3.0))
+        c = FaultPlan.of(FaultSpec(OVERRUN, "Pi_2", rate=0.6, magnitude=3.0))
+        assert a.content_hash() == b.content_hash()
+        assert a.content_hash() != c.content_hash()
+        assert len(a.content_hash()) == 40
+
+    def test_parse_mini_language(self):
+        plan = FaultPlan.parse("overrun:Pi_2:rate=0.1,mag=1.5;crash:Pi_3:len=2")
+        assert [s.kind for s in plan] == [OVERRUN, CRASH]
+        assert plan.specs[0] == FaultSpec(OVERRUN, "Pi_2", rate=0.1, magnitude=1.5)
+        assert plan.specs[1] == FaultSpec(CRASH, "Pi_3", rate=1.0, length=2)
+
+    def test_parse_defaults_rate_to_one(self):
+        plan = FaultPlan.parse("jitter:Pi_1:mag=300")
+        assert plan.specs[0].rate == 1.0
+        assert plan.specs[0].magnitude == 300.0
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError, match="kind:partition"):
+            FaultPlan.parse("overrun")
+        with pytest.raises(ValueError, match="unknown fault parameter"):
+            FaultPlan.parse("overrun:Pi_2:speed=3")
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan.parse("meltdown:Pi_2")
+
+    def test_parse_empty_is_null_plan(self):
+        assert FaultPlan.parse("").is_null
+        assert FaultPlan.parse("  ;  ").is_null
+
+    def test_parse_at_file(self, tmp_path):
+        plan = FaultPlan.of(FaultSpec(STALL, "Pi_1", rate=0.3, magnitude=400.0))
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json())
+        assert FaultPlan.parse(f"@{path}") == plan
+
+
+class TestFaultInjector:
+    def test_null_plan_yields_inactive_injector(self):
+        plan = FaultPlan.of(FaultSpec(OVERRUN, "Pi_2", rate=0.0, magnitude=3.0))
+        injector = FaultInjector(plan, seed=7, partitions=["Pi_2"])
+        assert not injector.active
+        assert injector.total_injections == 0
+
+    def test_unknown_partition_fails_fast(self):
+        plan = FaultPlan.of(FaultSpec(OVERRUN, "Nope", rate=0.5, magnitude=2.0))
+        with pytest.raises(ValueError, match="unknown partition"):
+            FaultInjector(plan, seed=7, partitions=["Pi_1", "Pi_2"])
+
+    def test_overrun_inflates_demand(self):
+        plan = FaultPlan.of(FaultSpec(OVERRUN, "P", rate=1.0, magnitude=2.0))
+        injector = FaultInjector(plan, seed=7)
+        assert injector.perturb_demand("P", None, 0, 100) == 200
+        assert injector.counts[OVERRUN] == 1
+        # non-target partitions are untouched (no stream lookup hit)
+        assert injector.perturb_demand("Q", None, 0, 100) == 100
+        assert injector.counts[OVERRUN] == 1
+
+    def test_overrun_length_caps_inflation(self):
+        plan = FaultPlan.of(
+            FaultSpec(OVERRUN, "P", rate=1.0, magnitude=10.0, length=150)
+        )
+        injector = FaultInjector(plan, seed=7)
+        assert injector.perturb_demand("P", None, 0, 100) == 150
+
+    def test_jitter_delays_but_keeps_gap_positive(self):
+        plan = FaultPlan.of(FaultSpec(JITTER, "P", rate=1.0, magnitude=50.0))
+        injector = FaultInjector(plan, seed=7)
+        for _ in range(20):
+            gap = injector.perturb_gap("P", None, 0, 1000)
+            assert 1001 <= gap <= 1050
+        assert injector.counts[JITTER] == 20
+
+    def test_burst_compresses_a_run_of_gaps(self):
+        plan = FaultPlan.of(FaultSpec(BURST, "P", rate=1.0, magnitude=4.0, length=3))
+        injector = FaultInjector(plan, seed=7)
+        gaps = [injector.perturb_gap("P", None, 0, 1000) for _ in range(3)]
+        assert gaps == [250, 250, 250]
+        assert injector.counts[BURST] == 3
+
+    def test_crash_zeroes_a_run_of_replenishments(self):
+        plan = FaultPlan.of(FaultSpec(CRASH, "P", rate=1.0, length=2))
+        injector = FaultInjector(plan, seed=7)
+        budgets = [injector.perturb_budget("P", t, 500) for t in range(4)]
+        assert budgets == [0, 0, 0, 0]  # rate=1.0 -> crash retriggers
+        assert injector.counts[CRASH] == 4
+
+    def test_stall_burns_budget_but_never_below_zero(self):
+        plan = FaultPlan.of(FaultSpec(STALL, "P", rate=1.0, magnitude=400.0))
+        injector = FaultInjector(plan, seed=7)
+        assert injector.perturb_budget("P", 0, 500) == 100
+        assert injector.perturb_budget("P", 1, 300) == 0
+
+    def test_streams_are_deterministic_per_seed(self):
+        plan = FaultPlan.of(
+            FaultSpec(OVERRUN, "P", rate=0.5, magnitude=2.0),
+            FaultSpec(JITTER, "P", rate=0.5, magnitude=200.0),
+        )
+
+        def drive(seed):
+            injector = FaultInjector(plan, seed=seed)
+            demands = [injector.perturb_demand("P", None, t, 100) for t in range(50)]
+            gaps = [injector.perturb_gap("P", None, t, 1000) for t in range(50)]
+            return demands, gaps, dict(injector.counts)
+
+        assert drive(11) == drive(11)
+        assert drive(11) != drive(12)
+
+    def test_metrics_shape(self):
+        plan = FaultPlan.of(FaultSpec(OVERRUN, "P", rate=1.0, magnitude=2.0))
+        injector = FaultInjector(plan, seed=7)
+        injector.perturb_demand("P", None, 0, 100)
+        metrics = injector.metrics()
+        assert metrics["faults.overrun"] == 1
+        assert metrics["faults.total"] == 1
+        assert set(metrics) == {f"faults.{k}" for k in FAULT_KINDS} | {"faults.total"}
+
+
+class TestGuaranteeChecker:
+    @staticmethod
+    def _record(task, partition, arrival, finished_at):
+        return JobRecord(
+            task=task,
+            partition=partition,
+            arrival=arrival,
+            started_at=arrival,
+            finished_at=finished_at,
+            demand=finished_at - arrival,
+        )
+
+    def _system(self):
+        return three_partition_example()
+
+    def test_attribution_splits_by_faulty_partition(self):
+        system = self._system()
+        task = system.by_name("Pi_2").tasks[0]
+        clean_task = system.by_name("Pi_1").tasks[0]
+        plan = FaultPlan.of(FaultSpec(OVERRUN, "Pi_2", rate=0.5, magnitude=3.0))
+        checker = GuaranteeChecker(system, plan)
+
+        # one on-time job, one late job in the faulted partition, one late
+        # job in a clean partition
+        checker.on_job_complete(self._record(task.name, "Pi_2", 0, task.deadline))
+        checker.on_job_complete(
+            self._record(task.name, "Pi_2", 0, task.deadline + 100)
+        )
+        checker.on_job_complete(
+            self._record(clean_task.name, "Pi_1", 0, clean_task.deadline + 50)
+        )
+
+        report = checker.report()
+        assert report["attributed"]
+        assert report["total_misses"] == 2
+        assert report["faulty_misses"] == 1
+        assert report["clean_misses"] == 1
+        assert report["faulty_partitions"] == ["Pi_2"]
+        assert report["per_partition"]["Pi_2"]["faulty"]
+        assert not report["per_partition"]["Pi_1"]["faulty"]
+        lateness = {r["partition"]: r["lateness_us"] for r in report["miss_records"]}
+        assert lateness == {"Pi_2": 100, "Pi_1": 50}
+
+    def test_no_plan_means_every_miss_is_clean(self):
+        system = self._system()
+        task = system.by_name("Pi_3").tasks[0]
+        checker = GuaranteeChecker(system, plan=None)
+        checker.on_job_complete(
+            self._record(task.name, "Pi_3", 0, task.deadline + 1)
+        )
+        assert checker.clean_misses == 1
+        assert checker.faulty_misses == 0
+
+    def test_miss_records_are_capped(self):
+        system = self._system()
+        task = system.by_name("Pi_1").tasks[0]
+        checker = GuaranteeChecker(system, miss_limit=3)
+        for k in range(10):
+            checker.on_job_complete(
+                self._record(task.name, "Pi_1", k, k + task.deadline + 1)
+            )
+        assert checker.total_misses == 10
+        assert len(checker.miss_records) == 3
+
+    def test_clean_miss_rate(self):
+        system = self._system()
+        plan = FaultPlan.of(FaultSpec(CRASH, "Pi_2", rate=0.5, length=1))
+        checker = GuaranteeChecker(system, plan)
+        task = system.by_name("Pi_1").tasks[0]
+        checker.on_job_complete(self._record(task.name, "Pi_1", 0, task.deadline))
+        checker.on_job_complete(
+            self._record(task.name, "Pi_1", 0, task.deadline + 9)
+        )
+        assert checker.clean_miss_rate() == 0.5
+
+
+class TestAmbientPlan:
+    def test_activate_deactivate(self):
+        plan = FaultPlan.of(FaultSpec(OVERRUN, "Pi_2", rate=0.5, magnitude=2.0))
+        assert ambient_plan() is None
+        activate_plan(plan)
+        try:
+            assert ambient_plan() is plan
+        finally:
+            deactivate_plan()
+        assert ambient_plan() is None
