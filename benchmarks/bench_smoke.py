@@ -97,6 +97,55 @@ def faults_overhead(seed: int = 3, horizon_ms: int = 300, repeats: int = 3) -> d
     }
 
 
+def hook_dispatch(seed: int = 3, horizon_ms: int = 300, repeats: int = 3) -> dict:
+    """Wall-time of the engine loop with every hook disabled vs. fully hooked.
+
+    The decomposed ``run_until`` snapshots its hook state once per call into
+    a :class:`repro.sim.engine.HookSet`; with obs off and no fault plan the
+    per-event dispatch must collapse to a few attribute checks. The
+    ``disabled_over_enabled`` ratio is the number the overhead guard
+    (``benchmarks/test_bench_hooks_overhead.py``) bounds: a bare loop that
+    trails the instrumented one means the fast path is not fast.
+    """
+    import time
+
+    from repro.faults import FaultPlan, FaultSpec
+
+    obs.disable()
+    system = three_partition_example()
+    plan = FaultPlan.of(
+        FaultSpec("overrun", "Pi_2", rate=1.0, magnitude=2.0),
+        FaultSpec("jitter", "Pi_1", rate=1.0, magnitude=500.0),
+    )
+
+    def simulate(faults=None):
+        Simulator(system, policy="timedice", seed=seed, faults=faults).run_for_ms(
+            horizon_ms
+        )
+
+    simulate()  # warm caches before timing
+    disabled = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        simulate()
+        disabled = min(disabled, time.perf_counter() - t0)
+    enabled = float("inf")
+    obs.enable()
+    try:
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            simulate(plan)
+            enabled = min(enabled, time.perf_counter() - t0)
+    finally:
+        obs.disable()
+    return {
+        "horizon_ms": horizon_ms,
+        "disabled_s": disabled,
+        "enabled_s": enabled,
+        "disabled_over_enabled": disabled / enabled,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="BENCH_smoke.json")
@@ -113,6 +162,7 @@ def main(argv=None) -> int:
         "machine": platform.machine(),
         "runs": runs,
         "faults_overhead": faults_overhead(),
+        "hook_dispatch": hook_dispatch(),
     }
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)

@@ -12,7 +12,6 @@ of the whole pipeline. Table IV is the exception: there the paper's metric
 benchmarked normally.
 """
 
-import pytest
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -9,12 +9,11 @@
    opens an additional covert channel on top of the baseline one.
 """
 
-import numpy as np
 
 from benchmarks.conftest import run_once
 from repro._time import MS, ms
 from repro.channel.attack import evaluate_attacks
-from repro.experiments.configs import LIGHT_ALPHA, feasibility_experiment
+from repro.experiments.configs import feasibility_experiment
 from repro.metrics.locality import slot_entropy
 from repro.model.configs import table1_system
 from repro.sim.engine import Simulator

@@ -15,7 +15,6 @@ from repro.core.busy_interval import busy_interval, schedulability_test
 from repro.core.candidacy import candidate_search
 from repro.core.selection import WeightedUtilizationSelector
 from repro.core.timedice import TimeDice
-from repro.core.state import SystemState
 from repro.model.configs import scaled_partition_count
 from repro.sim.engine import Simulator
 from repro._time import ms

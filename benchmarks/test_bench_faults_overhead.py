@@ -15,7 +15,6 @@ engine code.
 
 import time
 
-import pytest
 
 import repro.obs as obs
 from repro.faults import FaultInjector, FaultPlan, FaultSpec

@@ -7,7 +7,6 @@ digit-for-digit (pinned in the unit tests); here we regenerate the table
 end-to-end and record the headline aggregates.
 """
 
-import numpy as np
 
 from benchmarks.conftest import run_once
 from repro.experiments import table2_wcrt

@@ -1,0 +1,91 @@
+"""Guard: the all-hooks-disabled engine fast path must stay fast.
+
+``Simulator.run_until`` snapshots its hook state (obs gate, overhead
+measurement, fault injector, trace observers) into one frozen ``HookSet``
+per call, and the event/decide/account steps branch on that snapshot instead
+of re-checking globals per iteration. With everything disabled the loop must
+therefore cost no more than the fully hooked loop — this bench times both
+and asserts the ratio, mirroring the obs and faults overhead guards.
+
+A structural test pins the mechanism itself: a hook-free simulator must
+produce a ``HookSet`` whose ``all_disabled`` flag is set.
+"""
+
+import time
+
+import repro.obs as obs
+from repro.faults import FaultPlan, FaultSpec
+from repro.model.configs import three_partition_example
+from repro.sim.engine import HookSet, Simulator
+
+ACTIVE_PLAN = FaultPlan.of(
+    FaultSpec("overrun", "Pi_2", rate=1.0, magnitude=2.0),
+    FaultSpec("jitter", "Pi_1", rate=1.0, magnitude=500.0),
+)
+
+
+def _simulate(horizon_ms=300, seed=3, faults=None):
+    sim = Simulator(
+        three_partition_example(), policy="timedice", seed=seed, faults=faults
+    )
+    return sim.run_for_ms(horizon_ms)
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_disabled_hooks_overhead_is_bounded(benchmark):
+    obs.disable()
+    _simulate(horizon_ms=50)  # warm caches before timing
+
+    disabled = _best_of(lambda: _simulate())
+    obs.enable()
+    try:
+        enabled = _best_of(lambda: _simulate(faults=ACTIVE_PLAN))
+    finally:
+        obs.disable()
+
+    benchmark.extra_info["disabled_s"] = disabled
+    benchmark.extra_info["enabled_s"] = enabled
+    benchmark.extra_info["disabled_over_enabled"] = disabled / enabled
+    benchmark.pedantic(_simulate, rounds=1, iterations=1)
+
+    # Generous bound for noisy CI boxes: the bare loop merely must not trail
+    # a loop that is live-counting, span-timing, and injecting faults.
+    assert disabled <= enabled * 1.25, (disabled, enabled)
+
+
+def test_hookset_snapshot_reports_all_disabled():
+    obs.disable()
+    sim = Simulator(three_partition_example(), policy="timedice", seed=3)
+    hooks = HookSet.for_run(sim)
+    assert hooks.all_disabled
+    assert not hooks.obs_on and not hooks.timed and hooks.faults is None
+
+    faulted = Simulator(
+        three_partition_example(), policy="timedice", seed=3, faults=ACTIVE_PLAN
+    )
+    assert not HookSet.for_run(faulted).all_disabled
+
+
+def test_hookset_is_per_call_not_per_sim():
+    """The gate is read once per ``run_until`` call — toggling it between
+    calls must be honored by the next call."""
+    from repro._time import ms
+
+    obs.disable()
+    sim = Simulator(three_partition_example(), policy="timedice", seed=3)
+    sim.run_until(ms(50))
+    assert sim._hooks is not None and not sim._hooks.obs_on
+    obs.enable()
+    try:
+        sim.run_until(ms(100))
+        assert sim._hooks.obs_on
+    finally:
+        obs.disable()

@@ -13,7 +13,6 @@ must cost no more than a small multiple of a raw attribute increment.
 
 import time
 
-import pytest
 
 import repro.obs as obs
 from repro.model.configs import three_partition_example

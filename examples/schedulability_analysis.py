@@ -24,7 +24,7 @@ from repro.analysis import (
     wcrt_table,
     wcrt_timedice,
 )
-from repro.model import Partition, System, Task
+from repro.model import Partition, Task
 from repro.model.configs import table1_system
 from repro.sim import ResponseTimeRecorder, Simulator
 

@@ -21,7 +21,7 @@ Two levels, mirroring the paper's model:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro._time import ceil_div, to_ms
 from repro.analysis.wcrt import wcrt_norandom, wcrt_timedice

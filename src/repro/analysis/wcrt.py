@@ -50,7 +50,7 @@ tests pin all 50 values at these documented tolerances.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro._time import ceil_div, to_ms
 from repro.model.partition import Partition

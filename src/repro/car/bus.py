@@ -11,7 +11,7 @@ appears on it.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, DefaultDict, Dict, List
 
 

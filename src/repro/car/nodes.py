@@ -10,8 +10,7 @@ decodes it from its own response times, never touching the bus with it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from math import cos, sin
+from math import sin
 from typing import List, Optional, Tuple
 
 from repro.car.bus import Message, PubSubBus

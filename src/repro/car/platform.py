@@ -13,7 +13,7 @@ whole thing under a chosen global policy, and reports
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -28,7 +28,7 @@ from repro.car.nodes import (
     VisionSteering,
 )
 from repro.channel.attack import evaluate_attacks
-from repro.channel.dataset import ChannelDataset, collect_dataset
+from repro.channel.dataset import collect_dataset
 from repro.model.configs import car_system
 from repro.sim.behaviors import ChannelScript
 from repro.sim.engine import Simulator

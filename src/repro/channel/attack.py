@@ -9,17 +9,22 @@ scheduling policy (Figs. 4(c) and 12).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.channel.bayes import BayesianDecoder
-from repro.channel.dataset import ChannelDataset, collect_dataset
+from repro.channel.dataset import (
+    ChannelDataset,
+    collect_dataset,
+    collect_dataset_from_spec,
+)
 from repro.ml.metrics import accuracy
 from repro.ml.svm import LSSVMClassifier
 from repro.model.system import System
 from repro.sim.behaviors import ChannelScript
+from repro.sim.config import RunSpec, SystemSpec
 from repro.sim.policies import GlobalPolicyBase
 
 #: Method identifiers used in experiment outputs.
@@ -112,6 +117,10 @@ class ChannelExperiment:
             the sender replenishment-periodic.
         budget_donation: Run the simulator with the idle-budget donation rule
             (the donation-channel ablation).
+        system_spec: Optional compact :class:`~repro.sim.config.SystemSpec`
+            describing ``system`` (a registered builder name + args). When
+            set, :meth:`runspec` embeds it instead of serializing the built
+            system inline, keeping campaign cell params small.
     """
 
     system: System
@@ -123,6 +132,12 @@ class ChannelExperiment:
     message_seed: int = 7
     sender_phases: Optional[Sequence[int]] = None
     budget_donation: bool = False
+    system_spec: Optional[SystemSpec] = None
+
+    @property
+    def n_windows(self) -> int:
+        """Observations the experiment harvests (profiling + message)."""
+        return self.profile_windows + self.message_windows
 
     def script(self) -> ChannelScript:
         return ChannelScript(
@@ -133,6 +148,50 @@ class ChannelExperiment:
             ),
             sender_phases=self.sender_phases,
         )
+
+    def runspec(
+        self,
+        policy: str,
+        seed: int = 0,
+        quantum: Optional[int] = None,
+        faults=None,
+        settle_windows: int = 2,
+    ) -> RunSpec:
+        """The experiment under ``policy`` as one declarative ``RunSpec``.
+
+        The spec is self-contained — system, channel script, horizon (with
+        ``settle_windows`` of slack, exactly what :meth:`run` simulates) —
+        so ``spec.content_hash()`` is a sound cache key for everything the
+        run's dataset can depend on. Harvest-side parameters (receiver
+        names, ``m_micro``) are *observations* and live in
+        :meth:`harvest_params` instead.
+        """
+        script = self.script()
+        system = (
+            self.system_spec
+            if self.system_spec is not None
+            else SystemSpec.from_system(self.system)
+        )
+        horizon = script.start + (self.n_windows + settle_windows) * script.window
+        return RunSpec(
+            system=system,
+            policy=policy,
+            seed=seed,
+            horizon=horizon,
+            quantum=quantum,
+            channel=script,
+            faults=faults,
+            budget_donation=self.budget_donation,
+        )
+
+    def harvest_params(self, m_micro: int = 150) -> Dict[str, object]:
+        """The observation-side params a campaign cell ships beside the spec."""
+        return {
+            "receiver_partition": self.receiver_partition,
+            "receiver_task": self.receiver_task,
+            "n_windows": self.n_windows,
+            "m_micro": m_micro,
+        }
 
     def run(
         self,
@@ -160,3 +219,28 @@ class ChannelExperiment:
             faults=faults,
             extra_observers=extra_observers,
         )
+
+
+def dataset_from_params(
+    params: Mapping[str, object],
+    extra_observers=(),
+    local_scheduler_factory=None,
+) -> ChannelDataset:
+    """Rebuild and harvest a channel run from campaign-cell params.
+
+    The worker-side counterpart of :meth:`ChannelExperiment.runspec` +
+    :meth:`ChannelExperiment.harvest_params`: ``params`` must carry the
+    serialized spec under ``"runspec"`` plus the harvest keys. Live
+    attachments (observers, local-scheduler factories) cannot cross a
+    process boundary, so cells resolve those themselves and pass them here.
+    """
+    spec = RunSpec.from_dict(params["runspec"])
+    return collect_dataset_from_spec(
+        spec,
+        receiver_partition=params["receiver_partition"],
+        receiver_task=params["receiver_task"],
+        n_windows=params["n_windows"],
+        m_micro=params.get("m_micro", 150),
+        extra_observers=extra_observers,
+        local_scheduler_factory=local_scheduler_factory,
+    )

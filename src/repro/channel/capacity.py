@@ -18,7 +18,7 @@ All entropies are in bits.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

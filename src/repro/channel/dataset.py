@@ -17,12 +17,13 @@ scoring accuracy afterwards).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.model.system import System
 from repro.sim.behaviors import ChannelScript
+from repro.sim.config import RunSpec
 from repro.sim.engine import Simulator
 from repro.sim.policies import GlobalPolicyBase
 from repro.sim.trace import ExecutionVectorRecorder, ResponseTimeRecorder
@@ -145,7 +146,64 @@ def collect_dataset(
     )
     horizon = script.start + (n_windows + settle_windows) * script.window
     simulator.run_until(horizon)
+    return _harvest(
+        script, n_windows, receiver_task, response_recorder, vector_recorder
+    )
 
+
+def collect_dataset_from_spec(
+    spec: RunSpec,
+    *,
+    receiver_partition: str,
+    receiver_task: str,
+    n_windows: int,
+    m_micro: int = 150,
+    settle_windows: int = 2,
+    extra_observers: Tuple = (),
+    local_scheduler_factory=None,
+) -> ChannelDataset:
+    """Spec-native twin of :func:`collect_dataset`.
+
+    ``spec`` carries everything that identifies the run — system, policy,
+    seed, channel script, quantum, faults, donation rule — while the
+    arguments here are the *observation* parameters, which never affect the
+    schedule. ``spec.channel`` is required; when ``spec.horizon`` is unset,
+    the horizon is derived from the script geometry exactly as
+    :func:`collect_dataset` derives it.
+
+    This is what campaign cells call: the cell ships one serialized
+    ``RunSpec`` (its cache identity) plus a handful of harvest parameters,
+    and this function is the only place that turns the pair into arrays.
+    """
+    script = spec.channel_script()
+    if script is None:
+        raise ValueError("collect_dataset_from_spec needs a spec with a channel")
+    response_recorder = ResponseTimeRecorder([receiver_task])
+    vector_recorder = ExecutionVectorRecorder(
+        receiver_partition, script.window, m=m_micro, start=script.start
+    )
+    simulator = Simulator.from_spec(
+        spec,
+        observers=[response_recorder, vector_recorder, *extra_observers],
+        local_scheduler_factory=local_scheduler_factory,
+    )
+    horizon = spec.horizon
+    if horizon is None:
+        horizon = script.start + (n_windows + settle_windows) * script.window
+    simulator.run_until(horizon)
+    return _harvest(
+        script, n_windows, receiver_task, response_recorder, vector_recorder
+    )
+
+
+def _harvest(
+    script: ChannelScript,
+    n_windows: int,
+    receiver_task: str,
+    response_recorder: ResponseTimeRecorder,
+    vector_recorder: ExecutionVectorRecorder,
+) -> ChannelDataset:
+    """Turn raw recorder state into an aligned :class:`ChannelDataset`."""
     # Response time per window, keyed by the job's arrival window.
     per_window: Dict[int, int] = {}
     for record in response_recorder.records.get(receiver_task, []):

@@ -25,7 +25,7 @@ import numpy as np
 from repro.channel.capacity import mutual_information
 from repro.channel.profiling import DEFAULT_BIN_WIDTH
 from repro.model.task import Task
-from repro.sim.behaviors import Behavior, ChannelScript, SENDER_LOW_EXEC
+from repro.sim.behaviors import Behavior, SENDER_LOW_EXEC
 
 
 @dataclass

@@ -13,7 +13,7 @@ zero-probability deadlocks during decoding.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -251,7 +251,7 @@ def _run_figures(args) -> str:
 
     from repro._time import ms as _ms
     from repro.experiments.render import gantt_svg, heatmap_svg, histogram_svg, series_svg
-    from repro.model.configs import three_partition_example
+    from repro.sim.config import RunSpec, SystemSpec
     from repro.sim.engine import Simulator
     from repro.sim.trace import SegmentRecorder
 
@@ -260,11 +260,17 @@ def _run_figures(args) -> str:
     written = []
 
     # Fig. 6: schedule traces.
-    system = three_partition_example()
     horizon = _ms(_scale(args, 150, 300, 600))
     for policy in ("norandom", "timedice"):
+        spec = RunSpec(
+            system=SystemSpec.named("three_partition"),
+            policy=policy,
+            seed=args.seed,
+            horizon=horizon,
+        )
+        system = spec.build_system()
         recorder = SegmentRecorder()
-        Simulator(system, policy=policy, seed=args.seed, observers=[recorder]).run_until(horizon)
+        Simulator.from_spec(spec, observers=[recorder]).run_until(spec.horizon)
         target = out / f"fig6_{policy}.svg"
         gantt_svg(
             recorder.segments, [p.name for p in system], horizon,
@@ -331,7 +337,7 @@ def _run_stats(args) -> str:
     and pretty-print its metrics snapshot (engine counters, decide-latency
     histogram, memo counters, span aggregates)."""
     from repro._time import MS
-    from repro.model.configs import three_partition_example
+    from repro.sim.config import RunSpec, SystemSpec
     from repro.sim.engine import Simulator
     from repro.sim.policies import POLICY_NAMES
 
@@ -344,9 +350,14 @@ def _run_stats(args) -> str:
     if not was_enabled:
         obs.enable()
     try:
-        system = three_partition_example()
-        sim = Simulator(system, policy=policy, seed=args.seed)
-        result = sim.run_until(_scale(args, 150, 300, 1200) * MS)
+        spec = RunSpec(
+            system=SystemSpec.named("three_partition"),
+            policy=policy,
+            seed=args.seed,
+            horizon=_scale(args, 150, 300, 1200) * MS,
+        )
+        sim = Simulator.from_spec(spec)
+        result = sim.run_until(spec.horizon)
     finally:
         if not was_enabled:
             obs.disable()

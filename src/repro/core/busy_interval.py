@@ -34,7 +34,7 @@ testing against the *next* period's deadline :math:`r_{h,t} + 2 T_h`.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro._time import ceil_div0
 from repro.core.state import PartitionState

@@ -31,7 +31,7 @@ everybody else when a lower candidate or IDLE is vetted.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.busy_interval import schedulability_test

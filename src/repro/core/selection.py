@@ -24,9 +24,9 @@ simulations are reproducible from a seed.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
-from repro.core.state import IDLE, PartitionState
+from repro.core.state import IDLE
 from repro.core.candidacy import Candidate
 
 

@@ -17,8 +17,8 @@ point, and the Table IV latency benchmarks synthesize them directly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
 
 
 class _IdleSentinel:

@@ -11,14 +11,14 @@ from __future__ import annotations
 
 import random
 import time as _wall
-from dataclasses import dataclass, field
-from typing import List, Optional, Union
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro._time import MS
 from repro.core.candidacy import Candidate, SearchStats, candidate_search
 from repro.core.memo import DEFAULT_MEMO_SIZE, MemoStats, SchedulabilityMemo
 from repro.core.selection import Selector, WeightedUtilizationSelector
-from repro.core.state import IDLE, PartitionState, SystemState
+from repro.core.state import IDLE, SystemState
 from repro.obs.gate import GATE
 
 #: The paper's MIN_INV_SIZE: the randomization quantum, 1 ms.

@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Sequence, Tuple
 
-import numpy as np
 
 from repro.channel.dataset import ChannelDataset
 from repro.experiments.configs import feasibility_experiment

@@ -26,7 +26,6 @@ from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
-from repro.channel.bayes import BayesianDecoder
 from repro.channel.coding import hamming_decode, hamming_encode, repetition_decode, repetition_encode
 from repro.channel.dataset import collect_dataset
 from repro.experiments.configs import LIGHT_ALPHA, feasibility_experiment

@@ -7,7 +7,6 @@ different policies.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro._time import ms
 from repro.channel.attack import ChannelExperiment
@@ -16,6 +15,7 @@ from repro.model.partition import Partition
 from repro.model.system import System
 from repro.model.task import Task
 from repro.sim.behaviors import default_sender_phases
+from repro.sim.config import SystemSpec, register_system_builder
 
 #: The light-load budget ratio ("partition budgets and task execution times
 #: are cut by half", Sec. III-f).
@@ -64,6 +64,9 @@ def feasibility_experiment(
         message_seed=message_seed,
         sender_phases=phases,
         budget_donation=budget_donation,
+        # Compact spec form: campaign cells embed "feasibility(alpha)"
+        # instead of the whole serialized partition table.
+        system_spec=SystemSpec.named("feasibility", alpha=float(alpha)),
     )
 
 
@@ -132,3 +135,8 @@ def fig18_system() -> System:
         ],
     )
     return System([sender, receiver, noise])
+
+
+# Registered so campaign cells can say SystemSpec.named("fig18") instead of
+# inlining the scenario; worker processes re-register on import (a no-op).
+register_system_builder("fig18", fig18_system)

@@ -22,18 +22,19 @@ operate on disjoint schedule layers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, Mapping, Tuple, Union
 
 import numpy as np
 
 from repro.baselines.blinder import blinder_factory
-from repro.channel.attack import evaluate_attacks
-from repro.experiments.configs import LIGHT_ALPHA, feasibility_experiment, fig18_system
+from repro.channel.attack import dataset_from_params, evaluate_attacks
+from repro.experiments.configs import LIGHT_ALPHA, feasibility_experiment
 from repro.experiments.fig18_blinder import WINDOW, _OrderObserver
 from repro.experiments.report import format_table
 from repro.ml.metrics import accuracy
 from repro.runner import CampaignCell, CampaignSpec, ResultCache, derive_seed, run_campaign
 from repro.sim.behaviors import ChannelScript
+from repro.sim.config import RunSpec, SystemSpec
 from repro.sim.engine import Simulator
 
 GLOBALS = (("NoRandom", "norandom"), ("TimeDice", "timedice"))
@@ -70,23 +71,24 @@ class DefenseMatrixResult:
 
 
 def _order_accuracy(policy: str, factory, n_windows: int, seed: int) -> float:
-    system = fig18_system()
     script = ChannelScript(
         window=WINDOW,
         profile_windows=0,
         message_bits=ChannelScript.random_message(n_windows, seed + 11),
         sender_phases=(0,),
     )
-    observer = _OrderObserver(WINDOW)
-    simulator = Simulator(
-        system,
+    spec = RunSpec(
+        system=SystemSpec.named("fig18"),
         policy=policy,
         seed=seed,
         channel=script,
-        observers=[observer],
-        local_scheduler_factory=factory,
+        horizon=(n_windows + 2) * WINDOW,
     )
-    simulator.run_until((n_windows + 2) * WINDOW)
+    observer = _OrderObserver(WINDOW)
+    simulator = Simulator.from_spec(
+        spec, observers=[observer], local_scheduler_factory=factory
+    )
+    simulator.run_until(spec.horizon)
     truth = np.array([script.bit_of_window(i) for i in range(n_windows)])
     return accuracy(truth, observer.decoded_bits(n_windows))
 
@@ -101,17 +103,12 @@ def _local_factory(local_name: str):
 
 def _matrix_cell(params: Mapping[str, Any]) -> Dict[str, float]:
     """Campaign cell: one (global, local) configuration against all three
-    channel observables."""
+    channel observables. The budget-channel run is fully described by the
+    ``RunSpec`` inside the params; the local-scheduler factory is a live
+    object, so it is resolved worker-side from its matrix row name."""
     policy = params["policy"]
     factory = _local_factory(params["local"])
-    budget_experiment = feasibility_experiment(
-        alpha=params["alpha"],
-        profile_windows=params["profile_windows"],
-        message_windows=params["message_windows"],
-    )
-    dataset = budget_experiment.run(
-        policy, seed=params["seed"], local_scheduler_factory=factory
-    )
+    dataset = dataset_from_params(params, local_scheduler_factory=factory)
     attacks = {
         r.method: r.accuracy
         for r in evaluate_attacks(dataset, [params["profile_windows"]])
@@ -138,6 +135,13 @@ def campaign(
     for global_name, policy in GLOBALS:
         for local_name, _factory in LOCALS:
             key = f"global={global_name}/local={local_name}"
+            cell_seed = derive_seed(seed, key)
+            experiment = feasibility_experiment(
+                alpha=alpha,
+                profile_windows=int(profile_windows),
+                message_windows=int(message_windows),
+            )
+            spec = experiment.runspec(policy, seed=cell_seed)
             cells.append(
                 CampaignCell(
                     key=key,
@@ -147,9 +151,10 @@ def campaign(
                         "local": local_name,
                         "alpha": float(alpha),
                         "profile_windows": int(profile_windows),
-                        "message_windows": int(message_windows),
                         "order_windows": int(order_windows),
-                        "seed": derive_seed(seed, key),
+                        "seed": cell_seed,
+                        "runspec": spec.to_dict(),
+                        **experiment.harvest_params(),
                     },
                 )
             )

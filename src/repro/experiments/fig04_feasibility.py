@@ -13,10 +13,11 @@ Three panels:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Optional, Sequence, Union
+from typing import Any, Dict, Mapping, Sequence, Union
 
 import numpy as np
 
+from repro.channel.attack import dataset_from_params
 from repro.channel.dataset import ChannelDataset
 from repro.experiments.configs import LIGHT_ALPHA, feasibility_experiment
 from repro.experiments.fig12_accuracy import (
@@ -66,13 +67,9 @@ class Fig4Result:
 
 
 def _panel_cell(params: Mapping[str, Any]) -> Dict[str, Any]:
-    """Campaign cell: harvest the panels (a)/(b) dataset and serialize it."""
-    experiment = feasibility_experiment(
-        alpha=params["alpha"],
-        profile_windows=params["profile_windows"],
-        message_windows=params["message_windows"],
-    )
-    dataset = experiment.run(params["policy"], seed=params["seed"])
+    """Campaign cell: harvest the panels (a)/(b) dataset and serialize it.
+    The run is fully described by the ``RunSpec`` inside the params."""
+    dataset = dataset_from_params(params)
     return {
         "labels": dataset.labels.tolist(),
         "response_times": dataset.response_times.tolist(),
@@ -106,6 +103,12 @@ def run(
     is one cell (cacheable across invocations), the panel-(c) sweep fans
     out across ``jobs`` workers exactly like Fig. 12."""
     panel_key = "panel/policy=norandom"
+    experiment = feasibility_experiment(
+        alpha=DEFAULT_ALPHA,
+        profile_windows=int(max(profile_sizes)),
+        message_windows=int(message_windows),
+    )
+    panel_runspec = experiment.runspec("norandom", seed=derive_seed(seed, panel_key))
     panel_spec = CampaignSpec(
         name="fig4-panels",
         cells=[
@@ -115,9 +118,8 @@ def run(
                 params={
                     "alpha": DEFAULT_ALPHA,
                     "policy": "norandom",
-                    "profile_windows": int(max(profile_sizes)),
-                    "message_windows": int(message_windows),
-                    "seed": derive_seed(seed, panel_key),
+                    "runspec": panel_runspec.to_dict(),
+                    **experiment.harvest_params(),
                 },
             )
         ],

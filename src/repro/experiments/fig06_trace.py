@@ -8,11 +8,11 @@ identically every hyperperiod; the TimeDice trace visibly scatters.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Sequence
 
 from repro._time import MS, ms
 from repro.metrics.locality import occupancy_grid, slot_entropy
-from repro.model.configs import three_partition_example
+from repro.sim.config import RunSpec, SystemSpec
 from repro.sim.engine import Simulator
 from repro.sim.trace import SegmentRecorder
 
@@ -45,12 +45,18 @@ class TraceResult:
 
 def run(policy: str = "timedice", horizon_ms: int = 300, seed: int = 1) -> TraceResult:
     """Trace the 3-partition example under one policy."""
-    system = three_partition_example()
-    recorder = SegmentRecorder()
-    simulator = Simulator(system, policy=policy, seed=seed, observers=[recorder])
-    simulator.run_for_ms(horizon_ms)
-    names = [p.name for p in system]
     horizon = ms(horizon_ms)
+    spec = RunSpec(
+        system=SystemSpec.named("three_partition"),
+        policy=policy,
+        seed=seed,
+        horizon=horizon,
+    )
+    system = spec.build_system()
+    recorder = SegmentRecorder()
+    simulator = Simulator.from_spec(spec, observers=[recorder])
+    simulator.run_until(spec.horizon)
+    names = [p.name for p in system]
     grid = occupancy_grid(recorder.segments, 1 * MS, horizon, names).tolist()
     entropy = slot_entropy(
         recorder.segments, 1 * MS, system.hyperperiod, horizon, names

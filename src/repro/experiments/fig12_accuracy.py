@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Sequence, Tuple, Union
 
-from repro.channel.attack import AttackResult, evaluate_attacks
+from repro.channel.attack import dataset_from_params, evaluate_attacks
 from repro.experiments.configs import LIGHT_ALPHA, feasibility_experiment
 from repro.experiments.report import format_table
 from repro.model.configs import DEFAULT_ALPHA
@@ -61,13 +61,10 @@ class AccuracySweep:
 
 def _sweep_cell(params: Mapping[str, Any]) -> List[Dict[str, Any]]:
     """Campaign cell: one (alpha, policy) simulation, scored at every
-    profiling size. Returns a JSON-serializable list of attack scores."""
-    experiment = feasibility_experiment(
-        alpha=params["alpha"],
-        profile_windows=params["profile_windows"],
-        message_windows=params["message_windows"],
-    )
-    dataset = experiment.run(params["policy"], seed=params["seed"])
+    profiling size. The run itself is fully described by the serialized
+    ``RunSpec`` in the params; the profiling sizes are scoring parameters.
+    Returns a JSON-serializable list of attack scores."""
+    dataset = dataset_from_params(params)
     return [
         {"method": r.method, "m": r.profile_windows, "accuracy": r.accuracy}
         for r in evaluate_attacks(dataset, params["profile_sizes"])
@@ -83,11 +80,18 @@ def sweep_campaign(
     name: str = "fig12",
 ) -> CampaignSpec:
     """The accuracy sweep as a declarative campaign: one cell per
-    (alpha, policy), each with a key-derived seed."""
+    (alpha, policy), each carrying one :class:`~repro.sim.config.RunSpec`
+    with a key-derived seed."""
     cells = []
     for alpha in alphas:
         for policy in policies:
             key = default_key({"alpha": float(alpha), "policy": policy})
+            experiment = feasibility_experiment(
+                alpha=alpha,
+                profile_windows=int(max(profile_sizes)),
+                message_windows=int(message_windows),
+            )
+            spec = experiment.runspec(policy, seed=derive_seed(seed, key))
             cells.append(
                 CampaignCell(
                     key=key,
@@ -95,10 +99,9 @@ def sweep_campaign(
                     params={
                         "alpha": float(alpha),
                         "policy": policy,
-                        "profile_windows": int(max(profile_sizes)),
-                        "message_windows": int(message_windows),
                         "profile_sizes": [int(m) for m in profile_sizes],
-                        "seed": derive_seed(seed, key),
+                        "runspec": spec.to_dict(),
+                        **experiment.harvest_params(),
                     },
                 )
             )

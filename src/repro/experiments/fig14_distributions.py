@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
-import numpy as np
 
 from repro.channel.dataset import ChannelDataset
 from repro.channel.profiling import profile_from_groups

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Sequence, Tuple, Union
 
-from repro.channel.attack import evaluate_attacks
+from repro.channel.attack import dataset_from_params, evaluate_attacks
 from repro.channel.capacity import channel_capacity_from_samples
 from repro.experiments.configs import feasibility_experiment
 from repro.experiments.report import format_table
@@ -55,13 +55,9 @@ class LoadSweepResult:
 
 
 def _load_cell(params: Mapping[str, Any]) -> Dict[str, float]:
-    """Campaign cell: one (alpha, policy) run → accuracies + capacity."""
-    experiment = feasibility_experiment(
-        alpha=params["alpha"],
-        profile_windows=params["profile_windows"],
-        message_windows=params["message_windows"],
-    )
-    dataset = experiment.run(params["policy"], seed=params["seed"])
+    """Campaign cell: one (alpha, policy) run → accuracies + capacity.
+    The run is fully described by the ``RunSpec`` inside the params."""
+    dataset = dataset_from_params(params)
     cell: Dict[str, float] = {}
     for r in evaluate_attacks(dataset, [params["profile_windows"]]):
         cell[r.method] = r.accuracy
@@ -84,6 +80,12 @@ def campaign(
     for alpha in alphas:
         for policy in policies:
             key = default_key({"alpha": float(alpha), "policy": policy})
+            experiment = feasibility_experiment(
+                alpha=alpha,
+                profile_windows=int(profile_windows),
+                message_windows=int(message_windows),
+            )
+            spec = experiment.runspec(policy, seed=derive_seed(seed, key))
             cells.append(
                 CampaignCell(
                     key=key,
@@ -92,8 +94,8 @@ def campaign(
                         "alpha": float(alpha),
                         "policy": policy,
                         "profile_windows": int(profile_windows),
-                        "message_windows": int(message_windows),
-                        "seed": derive_seed(seed, key),
+                        "runspec": spec.to_dict(),
+                        **experiment.harvest_params(),
                     },
                 )
             )

@@ -15,7 +15,7 @@ markup; every function returns the SVG text and optionally writes it.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 

@@ -8,7 +8,7 @@ reproduces the *content* of each figure in a terminal.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 

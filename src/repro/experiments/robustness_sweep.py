@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Sequence, Tuple, Union
 
-from repro.channel.attack import evaluate_attacks
+from repro.channel.attack import dataset_from_params, evaluate_attacks
 from repro.experiments.configs import feasibility_experiment
 from repro.experiments.report import format_table
 from repro.faults import (
@@ -99,20 +99,19 @@ def build_plan(
 
 
 def _robustness_cell(params: Mapping[str, Any]) -> Dict[str, Any]:
-    """Campaign cell: one (kind, intensity, policy) faulted channel run."""
-    plan = FaultPlan.from_dict(params["plan"])
-    experiment = feasibility_experiment(
-        alpha=params["alpha"],
-        profile_windows=params["profile_windows"],
-        message_windows=params["message_windows"],
-    )
-    checker = GuaranteeChecker(experiment.system, plan, keep_misses=False)
-    dataset = experiment.run(
-        params["policy"],
-        seed=params["seed"],
-        faults=plan,
-        extra_observers=(checker,),
-    )
+    """Campaign cell: one (kind, intensity, policy) faulted channel run.
+
+    The run — system, policy, seed, channel script, *and fault plan* — is
+    fully described by the ``RunSpec`` inside the params, so the plan
+    participates in the cache identity through the spec's content hash. The
+    :class:`GuaranteeChecker` is a live observer and is rebuilt worker-side
+    from the same spec."""
+    from repro.sim.config import RunSpec
+
+    spec = RunSpec.from_dict(params["runspec"])
+    plan = spec.fault_plan() or FaultPlan()
+    checker = GuaranteeChecker(spec.build_system(), plan, keep_misses=False)
+    dataset = dataset_from_params(params, extra_observers=(checker,))
     cell: Dict[str, Any] = {}
     for r in evaluate_attacks(dataset, [params["profile_windows"]]):
         cell[r.method] = r.accuracy
@@ -228,6 +227,12 @@ def campaign(
         key = default_key(
             {"kind": kind, "intensity": float(intensity), "policy": policy}
         )
+        experiment = feasibility_experiment(
+            alpha=alpha,
+            profile_windows=int(profile_windows),
+            message_windows=int(message_windows),
+        )
+        spec = experiment.runspec(policy, seed=derive_seed(seed, key), faults=plan)
         cells.append(
             CampaignCell(
                 key=key,
@@ -236,11 +241,10 @@ def campaign(
                     "kind": kind,
                     "intensity": float(intensity),
                     "policy": policy,
-                    "plan": plan.to_dict(),
                     "alpha": float(alpha),
                     "profile_windows": int(profile_windows),
-                    "message_windows": int(message_windows),
-                    "seed": derive_seed(seed, key),
+                    "runspec": spec.to_dict(),
+                    **experiment.harvest_params(),
                 },
             )
         )

@@ -10,12 +10,11 @@ summary of the same runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro._time import to_ms
 from repro.analysis.wcrt import WcrtRow, wcrt_table
 from repro.experiments.report import format_table
 from repro.model.configs import table1_system

@@ -14,10 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
-from repro._time import to_ms
 from repro.car.platform import TABLE3_TASKS, CarChannelResult, CarPlatform
 from repro.experiments.report import format_table
-from repro.model.configs import car_system
 
 #: Table III deadlines (ms) per measured task.
 DEADLINES_MS = {

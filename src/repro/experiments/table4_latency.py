@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.experiments.report import format_table, percentile_summary
 from repro.model.configs import scaled_partition_count
-from repro.sim.engine import SimulationResult, Simulator
+from repro.sim.engine import Simulator
 
 DEFAULT_FACTORS = (1, 2, 4)  # |Pi| = 5, 10, 20
 

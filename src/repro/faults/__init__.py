@@ -19,6 +19,7 @@ See ``docs/FAULTS.md`` for the fault model and the determinism contract.
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 from repro.faults.guarantees import GuaranteeChecker
@@ -50,6 +51,8 @@ __all__ = [
     "activate_plan",
     "deactivate_plan",
     "ambient_plan",
+    "resolve_fault_plan",
+    "reset_override_warning",
 ]
 
 # Process-ambient fault plan (the CLI's --faults flag). Simulators built
@@ -75,3 +78,51 @@ def deactivate_plan() -> None:
 def ambient_plan() -> Optional[FaultPlan]:
     """The ambient plan, or None. Engine-internal; tests may stub it."""
     return _AMBIENT
+
+
+# One-time flag for the explicit-overrides-ambient warning below. Per
+# process, not per run: campaign workers rebuild many simulators from the
+# same spec and one notice is enough.
+_OVERRIDE_WARNED = False
+
+
+def reset_override_warning() -> None:
+    """Re-arm the one-time ambient-override warning (test isolation)."""
+    global _OVERRIDE_WARNED
+    _OVERRIDE_WARNED = False
+
+
+def resolve_fault_plan(explicit: Optional[FaultPlan], obs=None) -> Optional[FaultPlan]:
+    """The single place the explicit-wins fault-plan precedence is decided.
+
+    ``RunSpec.normalized()`` and ``Simulator.__init__`` both route through
+    this, so neither layer re-encodes the rule: an explicit plan (the
+    ``faults=`` argument / ``RunSpec.faults`` field) beats the
+    process-ambient plan installed by :func:`activate_plan` (the CLI's
+    ``--faults`` flag).
+
+    When an explicit plan actually *displaces* a different active ambient
+    plan — silently dropping what the operator asked for on the command
+    line — a one-time :class:`RuntimeWarning` is emitted and, when an obs
+    scope is supplied, its gated ``faults.ambient_overridden`` counter is
+    ticked. Passing the adopted ambient plan back in (what a normalized
+    ``RunSpec`` does) is not an override and stays silent.
+    """
+    global _OVERRIDE_WARNED
+    ambient = _AMBIENT
+    if explicit is None:
+        return ambient
+    if ambient is not None and ambient.content_hash() != explicit.content_hash():
+        if obs is not None:
+            obs.registry.counter("faults.ambient_overridden").inc()
+        if not _OVERRIDE_WARNED:
+            _OVERRIDE_WARNED = True
+            warnings.warn(
+                "an explicit fault plan overrides the active ambient plan "
+                f"(ambient {ambient.content_hash()[:12]} vs explicit "
+                f"{explicit.content_hash()[:12]}); the ambient plan (e.g. the "
+                "CLI's --faults flag) is ignored for this run",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+    return explicit

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import random
 import time as _wall
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.obs.gate import GATE
 from repro.runner.seeding import derive_seed

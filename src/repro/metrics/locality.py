@@ -9,7 +9,7 @@ across scheduling policies.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -25,7 +25,7 @@ Labels are {0, 1} at the API boundary and mapped to {-1, +1} internally.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Optional
 
 import numpy as np
 

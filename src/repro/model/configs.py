@@ -19,7 +19,7 @@
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro._time import ms
 from repro.model.partition import Partition

@@ -10,7 +10,7 @@ tasks for up to :math:`B_i` units of CPU time in every period of length
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import List, Sequence, Tuple
 
 from repro._time import to_ms
@@ -95,6 +95,28 @@ class Partition:
             for other in self.tasks
             if other.local_priority < task.local_priority
         ]
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form, with the task set serialized recursively."""
+        return {
+            "name": self.name,
+            "period": self.period,
+            "budget": self.budget,
+            "priority": self.priority,
+            "tasks": [task.to_dict() for task in self.tasks],
+            "server": self.server,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Partition":
+        return cls(
+            name=data["name"],
+            period=int(data["period"]),
+            budget=int(data["budget"]),
+            priority=int(data["priority"]),
+            tasks=tuple(Task.from_dict(item) for item in data.get("tasks", ())),
+            server=data.get("server", "deferrable"),
+        )
 
     def with_tasks(self, tasks: Sequence[Task]) -> "Partition":
         """Return a copy holding ``tasks`` instead of the current task set."""

@@ -77,6 +77,16 @@ class System:
         rank = self.index_of(partition)
         return list(self.partitions[:rank])
 
+    # --------------------------------------------------------- serialization
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form; partitions come out in priority order."""
+        return {"partitions": [p.to_dict() for p in self.partitions]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "System":
+        return cls([Partition.from_dict(item) for item in data["partitions"]])
+
     # ------------------------------------------------------------- properties
 
     @property

@@ -9,7 +9,7 @@ convention :math:`Pri(\\tau_{i,j}) > Pri(\\tau_{i,j+1})`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro._time import to_ms
@@ -62,6 +62,30 @@ class Task:
     def utilization(self) -> float:
         """CPU utilization :math:`e/p` of this task."""
         return self.wcet / self.period
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form (all fields explicit, deadline resolved)."""
+        return {
+            "name": self.name,
+            "period": self.period,
+            "wcet": self.wcet,
+            "local_priority": self.local_priority,
+            "deadline": self.deadline,
+            "behavior": self.behavior,
+            "offset": self.offset,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Task":
+        return cls(
+            name=data["name"],
+            period=int(data["period"]),
+            wcet=int(data["wcet"]),
+            local_priority=int(data["local_priority"]),
+            deadline=None if data.get("deadline") is None else int(data["deadline"]),
+            behavior=data.get("behavior", "periodic"),
+            offset=int(data.get("offset", 0)),
+        )
 
     def scaled(self, wcet_factor: float = 1.0, period_factor: float = 1.0) -> "Task":
         """Return a copy with scaled WCET and/or period (used for load sweeps)."""

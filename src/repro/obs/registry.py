@@ -23,7 +23,7 @@ so p50/p95 come from bucket interpolation with exact-extremum clamping.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.obs.gate import GATE
 

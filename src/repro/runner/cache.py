@@ -26,6 +26,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
+from repro.runner.spec import CACHE_SCHEMA
+
 #: Default cache root, relative to the current working directory.
 DEFAULT_CACHE_DIR = ".repro_cache"
 
@@ -88,7 +90,12 @@ class ResultCache:
         """Atomically persist ``value`` (must be JSON-serializable)."""
         path = self.path_for(content_hash)
         path.parent.mkdir(parents=True, exist_ok=True)
-        entry = {"value": value, "meta": dict(meta or {}), "salt": self.salt}
+        entry = {
+            "value": value,
+            "meta": dict(meta or {}),
+            "salt": self.salt,
+            "schema": CACHE_SCHEMA,
+        }
         fd, tmp_name = tempfile.mkstemp(
             prefix=path.stem, suffix=".tmp", dir=str(path.parent)
         )

@@ -27,7 +27,10 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Seque
 
 #: Bumped whenever the cell/result encoding changes incompatibly; folded
 #: into every cell hash so stale cache entries can never be replayed.
-CACHE_SCHEMA = 1
+#: 2: simulation cells carry a serialized ``RunSpec`` under the ``"runspec"``
+#: param and their hashes derive from ``RunSpec.content_hash()`` instead of
+#: hand-rolled param dicts, so schema-1 entries must never be replayed.
+CACHE_SCHEMA = 2
 
 
 def canonical_json(value: Any) -> str:
@@ -76,12 +79,31 @@ class CampaignCell:
         Covers the task path, the canonicalized parameters, the cache
         schema version, and an optional code-version ``salt`` so results
         computed by older code are invalidated wholesale.
+
+        When the params carry a serialized run description under
+        ``"runspec"``, that sub-document is replaced by
+        ``RunSpec.content_hash()`` before hashing: the run's cache identity
+        is then owned by one place (:mod:`repro.sim.config`, under its own
+        ``CONFIG_SCHEMA``) instead of whatever dict shape the producing
+        experiment happened to use — and it is validated, so a malformed
+        spec fails at hashing time, not inside a worker.
         """
+        params = self.params
+        if isinstance(params, Mapping) and params.get("runspec") is not None:
+            # Imported lazily: repro.sim.config reaches repro.faults, which
+            # imports repro.runner.seeding — a top-level import here would
+            # close that cycle through repro.runner's package init.
+            from repro.sim.config import RunSpec
+
+            params = dict(params)
+            params["runspec"] = {
+                "content_hash": RunSpec.from_dict(params["runspec"]).content_hash()
+            }
         material = canonical_json(
             {
                 "schema": CACHE_SCHEMA,
                 "task": self.task,
-                "params": self.params,
+                "params": params,
                 "salt": salt,
             }
         )

@@ -43,3 +43,34 @@ def seeded_checksum_cell(params: Mapping[str, Any]) -> Dict[str, Any]:
     merged = dict(params)
     merged["seed"] = seed
     return checksum_cell(merged)
+
+
+def simulate_cell(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Run the simulation a serialized :class:`~repro.sim.config.RunSpec`
+    describes, returning a JSON summary of the result.
+
+    The single source of truth for *what* runs is ``params["runspec"]``
+    (``RunSpec.to_dict()`` form, ``horizon`` required); the cell carries no
+    other simulation parameters, so its cache identity is exactly the spec's
+    content hash (see :meth:`repro.runner.spec.CampaignCell.content_hash`).
+    """
+    # Lazy: repro.sim.config imports repro.faults, which imports
+    # repro.runner.seeding — a top-level import would be circular through
+    # this package's __init__.
+    from repro.sim.config import RunSpec
+    from repro.sim.engine import Simulator
+
+    spec = RunSpec.from_dict(params["runspec"])
+    if spec.horizon is None:
+        raise ValueError("simulate_cell needs a RunSpec with a horizon")
+    result = Simulator.from_spec(spec).run_until(spec.horizon)
+    return {
+        "spec_hash": spec.content_hash(),
+        "end_time": result.end_time,
+        "decisions": result.decisions,
+        "switches": result.switches,
+        "deadline_misses": result.deadline_misses,
+        "memo_hits": result.memo_hits,
+        "memo_misses": result.memo_misses,
+        "fault_injections": result.fault_injections,
+    }

@@ -16,7 +16,7 @@ from __future__ import annotations
 import json
 import sys
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, TextIO
 
 #: Event kinds, in lifecycle order.

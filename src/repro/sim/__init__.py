@@ -17,7 +17,13 @@ deterministic, integer-microsecond, two-level scheduler simulation.
 """
 
 from repro.sim.behaviors import ChannelScript
-from repro.sim.engine import SimulationResult, Simulator
+from repro.sim.config import (
+    CONFIG_SCHEMA,
+    RunSpec,
+    SystemSpec,
+    register_system_builder,
+)
+from repro.sim.engine import HookSet, SimulationResult, Simulator
 from repro.sim.policies import (
     POLICY_NAMES,
     FixedPriorityPolicy,
@@ -43,7 +49,12 @@ from repro.sim.validation import (
 __all__ = [
     "Simulator",
     "SimulationResult",
+    "HookSet",
     "ChannelScript",
+    "RunSpec",
+    "SystemSpec",
+    "CONFIG_SCHEMA",
+    "register_system_builder",
     "GlobalPolicy",
     "FixedPriorityPolicy",
     "TimeDicePolicy",

@@ -120,6 +120,29 @@ class ChannelScript:
         rng = random.Random(seed)
         return [rng.randrange(2) for _ in range(n_bits)]
 
+    def to_dict(self) -> dict:
+        """Plain-JSON form (phases already normalized by ``__post_init__``)."""
+        return {
+            "window": self.window,
+            "profile_windows": self.profile_windows,
+            "message_bits": list(self.message_bits),
+            "start": self.start,
+            "sender_phases": (
+                None if self.sender_phases is None else list(self.sender_phases)
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChannelScript":
+        phases = data.get("sender_phases")
+        return cls(
+            window=int(data["window"]),
+            profile_windows=int(data.get("profile_windows", 0)),
+            message_bits=tuple(int(bit) for bit in data["message_bits"]),
+            start=int(data.get("start", 0)),
+            sender_phases=None if phases is None else tuple(int(p) for p in phases),
+        )
+
 
 class Behavior:
     """Workload behaviour interface (stateless; all randomness via ``rng``)."""

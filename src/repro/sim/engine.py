@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import random
 import time as _wall
-from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -47,6 +46,52 @@ class _PartitionRuntime:
         self.remaining_budget = spec.budget
         self.last_replenishment = 0
         self.local = local
+
+
+@dataclass(frozen=True)
+class HookSet:
+    """The hook chain one ``run_until`` call runs with, precomputed.
+
+    The loop used to interrogate process-global state (``GATE.enabled``) and
+    ``is None``-guard every optional collaborator at every scheduling point.
+    A :class:`HookSet` snapshots those answers once per ``run_until`` call —
+    the gate may legitimately toggle *between* calls, never mid-call — so
+    the hot loop branches on plain booleans and the all-disabled
+    configuration runs a measurable fast path (no wall-clock reads, no gated
+    counter calls, no observer iteration).
+
+    Attributes:
+        obs_on: ``repro.obs`` gate state; enables gated counters, the
+            decide-latency histogram, and span recording.
+        measure: The simulator's ``measure_overhead`` flag (exact per-decide
+            wall-clock series on the result).
+        timed: ``obs_on or measure`` — whether decide calls are clocked.
+        faults: The active :class:`~repro.faults.FaultInjector`, or None.
+        observers: Snapshot of the observer list as a tuple.
+    """
+
+    obs_on: bool
+    measure: bool
+    timed: bool
+    faults: Optional["_faults.FaultInjector"]
+    observers: tuple
+
+    @classmethod
+    def for_run(cls, sim: "Simulator") -> "HookSet":
+        obs_on = GATE.enabled
+        measure = sim.measure_overhead
+        return cls(
+            obs_on=obs_on,
+            measure=measure,
+            timed=obs_on or measure,
+            faults=sim._faults,
+            observers=tuple(sim.observers),
+        )
+
+    @property
+    def all_disabled(self) -> bool:
+        """True when the loop can take the bare fast path."""
+        return not (self.obs_on or self.measure or self.faults or self.observers)
 
 
 @dataclass
@@ -224,11 +269,14 @@ class Simulator:
         if attach is not None:
             attach(self.obs)
 
-        # -- fault injection: explicit plan wins over the ambient (--faults)
-        # one; a plan with no active (non-null) specs leaves the injector
-        # slot empty, so every hook site stays on its fast `is None` path
-        # and the run is bit-identical to an unfaulted one.
-        plan = faults if faults is not None else _faults.ambient_plan()
+        # -- fault injection: precedence (explicit plan wins over the ambient
+        # --faults one, with a one-time warning on a genuine override) is
+        # decided by resolve_fault_plan, shared with RunSpec.normalized() —
+        # the engine no longer encodes the rule. A plan with no active
+        # (non-null) specs leaves the injector slot empty, so every hook site
+        # stays on its fast `is None` path and the run is bit-identical to an
+        # unfaulted one.
+        plan = _faults.resolve_fault_plan(faults, obs=self.obs)
         self._faults: Optional[_faults.FaultInjector] = None
         if plan is not None:
             injector = _faults.FaultInjector(
@@ -276,6 +324,46 @@ class Simulator:
         # boundary and is still live: the next run_until continues it instead
         # of consulting the policy again (see run_until's docstring).
         self._carry: Optional[PolicyChoice] = None
+        # The hook chain of the run_until call in flight (see HookSet);
+        # refreshed at the top of every run_until call.
+        self._hooks: Optional[HookSet] = None
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec,
+        *,
+        observers: Sequence[Observer] = (),
+        behaviors: Optional[Dict[str, Behavior]] = None,
+        local_scheduler_factory=None,
+        obs: Optional["_obs.RunObs"] = None,
+    ) -> "Simulator":
+        """Build a simulator from a :class:`repro.sim.config.RunSpec`.
+
+        The spec is :meth:`~repro.sim.config.RunSpec.normalized` first, so
+        the ambient-fault-plan question is settled before construction and
+        the simulator built here is exactly the one the spec's
+        ``content_hash()`` names. Non-serializable attachments — observer
+        objects, behaviour instances, local-scheduler factories — are not
+        part of a spec and are passed alongside it; they never affect cache
+        identity.
+        """
+        spec = spec.normalized()
+        return cls(
+            spec.build_system(),
+            policy=spec.policy,
+            seed=spec.seed,
+            channel=spec.channel_script(),
+            behaviors=behaviors,
+            observers=observers,
+            local_scheduler_factory=local_scheduler_factory,
+            quantum=spec.effective_quantum,
+            measure_overhead=spec.measure_overhead,
+            budget_donation=spec.budget_donation,
+            memoize=spec.memoize,
+            obs=obs,
+            faults=spec.fault_plan(),
+        )
 
     # ----------------------------------------------------------------- setup
 
@@ -329,11 +417,13 @@ class Simulator:
     def _emit_segment(self, start: int, end: int, partition: Optional[str], task: Optional[str]) -> None:
         if end <= start:
             return
-        self._m_segments.inc()
-        if partition is None:
-            self._m_idle_us.inc(end - start)
-        else:
-            self._m_busy_us.inc(end - start)
+        hooks = self._hooks
+        if hooks is None or hooks.obs_on:
+            self._m_segments.inc()
+            if partition is None:
+                self._m_idle_us.inc(end - start)
+            else:
+                self._m_busy_us.inc(end - start)
         key = partition or "__idle__"
         if key != self._last_running:
             if self._last_running != "__none__":
@@ -471,158 +561,151 @@ class Simulator:
         self._carry = PolicyChoice(choice.partition, remaining)
         return t_end
 
-    def run_until(self, t_end: int) -> SimulationResult:
-        """Advance the simulation to absolute time ``t_end`` (µs).
-
-        Runs may be resumed by calling ``run_until`` again with a later
-        time, and a paused-and-resumed run is **bit-identical** to the
-        uninterrupted one for every policy, randomized ones included: the
-        horizon is peeked before the policy is consulted, and when the pause
-        boundary cuts an execution slice short the live decision is carried
-        across the pause — the policy is not consulted again mid-slice, so
-        ``decisions`` is not inflated and no extra RNG draw is burnt.
-        """
-        if not self._primed:
-            self._prime()
-        queue = self._queue
-        result = self._result
-        while self.now < t_end:
-            carried = self._carry
-            self._carry = None
-            if carried is not None:
-                # Continue the slice a previous run_until clipped. No events
-                # can be due (a carry exists only when the next event lies
-                # strictly beyond the old boundary) and server semantics were
-                # already enforced at the decision's real scheduling point —
-                # consulting the policy again here is exactly the wart this
-                # path removes.
-                choice = carried
-                next_event = queue.peek_time()
-            else:
-                obs_on = GATE.enabled
-                dispatch_t0 = _wall.perf_counter_ns() if obs_on else 0
-                dispatched = 0
-                for event in queue.pop_due(self.now):
-                    dispatched += 1
-                    if event.kind == EventKind.REPLENISH:
-                        self._m_replenish.inc()
-                        self._handle_replenish(event)
-                    else:
-                        self._m_arrival.inc()
-                        self._handle_arrival(event)
-                if obs_on and dispatched:
-                    self.obs.spans.record(
-                        "engine.dispatch",
-                        dispatch_t0,
-                        _wall.perf_counter_ns() - dispatch_t0,
-                        sim_ts=self.now,
-                        cat="engine",
-                    )
-
-                self._enforce_server_semantics()
-                # Peek the horizon *before* consulting the policy: a decision
-                # for a zero-length slice would inflate `decisions` and burn
-                # an RNG draw without ever being acted on.
-                next_event = queue.peek_time()
-                horizon = t_end if next_event is None else min(next_event, t_end)
-                if horizon <= self.now:  # pragma: no cover - queue head is
-                    break  # always in the future once due events are popped
-                state = self.snapshot()
-                if self.measure_overhead or obs_on:
-                    t0 = _wall.perf_counter_ns()
-                    choice = self.policy.decide(state)
-                    elapsed = _wall.perf_counter_ns() - t0
-                    if self.measure_overhead:
-                        result.overhead_ns_total += elapsed
-                        second = self.now // SEC
-                        result.overhead_ns_by_second[second] = (
-                            result.overhead_ns_by_second.get(second, 0) + elapsed
-                        )
-                        result.decide_latencies_ns.append(elapsed)
-                    if obs_on:
-                        self._h_decide.observe(elapsed)
-                        self.obs.spans.record(
-                            "decide", t0, elapsed, sim_ts=self.now, cat="scheduler"
-                        )
+    def _deliver_events(self, hooks: HookSet) -> None:
+        """Step 1: pop and dispatch every event due at the current time."""
+        if hooks.obs_on:
+            dispatch_t0 = _wall.perf_counter_ns()
+            dispatched = 0
+            for event in self._queue.pop_due(self.now):
+                dispatched += 1
+                if event.kind == EventKind.REPLENISH:
+                    self._m_replenish.inc()
+                    self._handle_replenish(event)
                 else:
-                    choice = self.policy.decide(state)
-                result.decisions += 1
-                for observer in self.observers:
-                    observer.on_decision(self.now, choice.partition)
-
-            if choice.partition is None:
-                donation = None
-                if self.budget_donation and not self._any_active_ready():
-                    donation = self._find_donation()
-                if donation is not None:
-                    recipient, donor = donation
-                    job = recipient.local.pick(self.now)
-                    natural = self._natural_end(
-                        next_event,
-                        choice.max_slice,
-                        donor.remaining_budget,
-                        job.remaining,
-                    )
-                    end = self._clip(natural, t_end, choice)
-                    self._run_donated(recipient, donor, end - self.now)
-                    continue
-                end = self._clip(
-                    self._natural_end(next_event, choice.max_slice), t_end, choice
+                    self._m_arrival.inc()
+                    self._handle_arrival(event)
+            if dispatched:
+                self.obs.spans.record(
+                    "engine.dispatch",
+                    dispatch_t0,
+                    _wall.perf_counter_ns() - dispatch_t0,
+                    sim_ts=self.now,
+                    cat="engine",
                 )
-                self._emit_segment(self.now, end, None, None)
-                self.now = end
-                continue
+        else:
+            for event in self._queue.pop_due(self.now):
+                if event.kind == EventKind.REPLENISH:
+                    self._handle_replenish(event)
+                else:
+                    self._handle_arrival(event)
 
-            rt = self._by_name[choice.partition]
-            job = rt.local.pick(self.now)
-            if job is None and rt.spec.server == "periodic" and rt.remaining_budget > 0:
-                # A periodic server occupies the CPU and drains its budget
-                # even without work — that determinism is its whole point.
+    def _decide(self, hooks: HookSet) -> PolicyChoice:
+        """Step 2: consult the global policy (clocked only when required)."""
+        result = self._result
+        state = self.snapshot()
+        if hooks.timed:
+            t0 = _wall.perf_counter_ns()
+            choice = self.policy.decide(state)
+            elapsed = _wall.perf_counter_ns() - t0
+            if hooks.measure:
+                result.overhead_ns_total += elapsed
+                second = self.now // SEC
+                result.overhead_ns_by_second[second] = (
+                    result.overhead_ns_by_second.get(second, 0) + elapsed
+                )
+                result.decide_latencies_ns.append(elapsed)
+            if hooks.obs_on:
+                self._h_decide.observe(elapsed)
+                self.obs.spans.record(
+                    "decide", t0, elapsed, sim_ts=self.now, cat="scheduler"
+                )
+        else:
+            choice = self.policy.decide(state)
+        result.decisions += 1
+        for observer in hooks.observers:
+            observer.on_decision(self.now, choice.partition)
+        return choice
+
+    def _execute_slice(
+        self,
+        choice: PolicyChoice,
+        next_event: Optional[int],
+        t_end: int,
+    ) -> None:
+        """Step 3: act on the decision for the longest admissible slice.
+
+        Exactly one of the four sub-paths runs: donation/idle (no partition
+        chosen), periodic-server budget drain, defensive bounded idling for
+        an unrunnable selection, or the normal execution slice. Each path
+        advances ``self.now`` and leaves ``self._carry`` set when the pause
+        boundary — not a real cap — ended the slice.
+        """
+        if choice.partition is None:
+            donation = None
+            if self.budget_donation and not self._any_active_ready():
+                donation = self._find_donation()
+            if donation is not None:
+                recipient, donor = donation
+                job = recipient.local.pick(self.now)
                 natural = self._natural_end(
-                    next_event, choice.max_slice, rt.remaining_budget
+                    next_event,
+                    choice.max_slice,
+                    donor.remaining_budget,
+                    job.remaining,
                 )
                 end = self._clip(natural, t_end, choice)
-                duration = end - self.now
-                rt.remaining_budget -= duration
-                start = self.now
-                self.now = end
-                self._emit_segment(start, self.now, rt.spec.name, None)
-                continue
-            if job is None or rt.remaining_budget <= 0:
-                # Defensive: a policy should never select a partition that
-                # cannot run; treat it as (bounded) idling rather than crash.
-                end = self._clip(
-                    self._natural_end(next_event, choice.max_slice), t_end, choice
-                )
-                self._emit_segment(self.now, end, None, None)
-                self.now = end
-                continue
+                self._run_donated(recipient, donor, end - self.now)
+                return
+            end = self._clip(
+                self._natural_end(next_event, choice.max_slice), t_end, choice
+            )
+            self._emit_segment(self.now, end, None, None)
+            self.now = end
+            return
 
+        rt = self._by_name[choice.partition]
+        job = rt.local.pick(self.now)
+        if job is None and rt.spec.server == "periodic" and rt.remaining_budget > 0:
+            # A periodic server occupies the CPU and drains its budget
+            # even without work — that determinism is its whole point.
             natural = self._natural_end(
-                next_event, choice.max_slice, rt.remaining_budget, job.remaining
+                next_event, choice.max_slice, rt.remaining_budget
             )
             end = self._clip(natural, t_end, choice)
             duration = end - self.now
-            if duration <= 0:  # pragma: no cover - guarded by checks above
-                raise RuntimeError("scheduling slice collapsed to zero")
-
-            if job.started_at is None:
-                job.started_at = self.now
-            job.remaining -= duration
             rt.remaining_budget -= duration
             start = self.now
             self.now = end
-            rt.local.on_executed(job, duration, self.now)
-            self._emit_segment(start, self.now, rt.spec.name, job.task.name)
-            if job.remaining == 0:
-                job.finished_at = self.now
-                rt.local.on_complete(job, self.now)
-                self._emit_completion(job)
+            self._emit_segment(start, self.now, rt.spec.name, None)
+            return
+        if job is None or rt.remaining_budget <= 0:
+            # Defensive: a policy should never select a partition that
+            # cannot run; treat it as (bounded) idling rather than crash.
+            end = self._clip(
+                self._natural_end(next_event, choice.max_slice), t_end, choice
+            )
+            self._emit_segment(self.now, end, None, None)
+            self.now = end
+            return
 
+        natural = self._natural_end(
+            next_event, choice.max_slice, rt.remaining_budget, job.remaining
+        )
+        end = self._clip(natural, t_end, choice)
+        duration = end - self.now
+        if duration <= 0:  # pragma: no cover - guarded by checks above
+            raise RuntimeError("scheduling slice collapsed to zero")
+
+        if job.started_at is None:
+            job.started_at = self.now
+        job.remaining -= duration
+        rt.remaining_budget -= duration
+        start = self.now
+        self.now = end
+        rt.local.on_executed(job, duration, self.now)
+        self._emit_segment(start, self.now, rt.spec.name, job.task.name)
+        if job.remaining == 0:
+            job.finished_at = self.now
+            rt.local.on_complete(job, self.now)
+            self._emit_completion(job)
+
+    def _account(self) -> SimulationResult:
+        """Step 4: fold the run's exact and gated metrics into the result."""
+        result = self._result
         result.end_time = self.now
-        # Fold the run's observability snapshot into the result. The memo
-        # counters come from the policy's exact MemoStats accumulator (not
-        # gated counters), so they are correct whether or not obs is on.
+        # The memo counters come from the policy's exact MemoStats
+        # accumulator (not gated counters), so they are correct whether or
+        # not obs is on.
         metrics = self.obs.registry.snapshot()
         memo_stats = getattr(self.policy, "memo_stats", None)
         if memo_stats is not None:
@@ -637,10 +720,73 @@ class Simulator:
         result.metrics = metrics
         return result
 
+    def run_until(self, t_end: int) -> SimulationResult:
+        """Advance the simulation to absolute time ``t_end`` (µs).
+
+        Each iteration is the four-step machine ``_deliver_events`` →
+        ``_decide`` → ``_execute_slice`` → (on exit) ``_account``, driven by
+        a :class:`HookSet` precomputed for this call.
+
+        Runs may be resumed by calling ``run_until`` again with a later
+        time, and a paused-and-resumed run is **bit-identical** to the
+        uninterrupted one for every policy, randomized ones included: the
+        horizon is peeked before the policy is consulted, and when the pause
+        boundary cuts an execution slice short the live decision is carried
+        across the pause — the policy is not consulted again mid-slice, so
+        ``decisions`` is not inflated and no extra RNG draw is burnt.
+        """
+        if not self._primed:
+            self._prime()
+        hooks = HookSet.for_run(self)
+        self._hooks = hooks
+        queue = self._queue
+        while self.now < t_end:
+            carried = self._carry
+            self._carry = None
+            if carried is not None:
+                # Continue the slice a previous run_until clipped. No events
+                # can be due (a carry exists only when the next event lies
+                # strictly beyond the old boundary) and server semantics were
+                # already enforced at the decision's real scheduling point —
+                # consulting the policy again here is exactly the wart this
+                # path removes.
+                choice = carried
+                next_event = queue.peek_time()
+            else:
+                self._deliver_events(hooks)
+                self._enforce_server_semantics()
+                # Peek the horizon *before* consulting the policy: a decision
+                # for a zero-length slice would inflate `decisions` and burn
+                # an RNG draw without ever being acted on.
+                next_event = queue.peek_time()
+                horizon = t_end if next_event is None else min(next_event, t_end)
+                if horizon <= self.now:  # pragma: no cover - queue head is
+                    break  # always in the future once due events are popped
+                choice = self._decide(hooks)
+            self._execute_slice(choice, next_event, t_end)
+        return self._account()
+
+    def _run_for(self, duration: float, unit: int, what: str) -> SimulationResult:
+        if not duration > 0:
+            raise ValueError(f"duration must be positive, got {duration!r} {what}")
+        delta = round(duration * unit)
+        if delta <= 0:
+            raise ValueError(
+                f"duration {duration!r} {what} rounds to zero whole microseconds"
+            )
+        return self.run_until(self.now + delta)
+
     def run_for_ms(self, duration_ms: float) -> SimulationResult:
-        """Run for ``duration_ms`` simulated milliseconds from the current time."""
-        return self.run_until(self.now + round(duration_ms * MS))
+        """Run for ``duration_ms`` simulated milliseconds from the current time.
+
+        The duration must be positive and amount to at least one whole
+        microsecond after rounding (the engine's clock unit).
+        """
+        return self._run_for(duration_ms, MS, "ms")
 
     def run_for_seconds(self, duration_s: float) -> SimulationResult:
-        """Run for ``duration_s`` simulated seconds from the current time."""
-        return self.run_until(self.now + round(duration_s * SEC))
+        """Run for ``duration_s`` simulated seconds from the current time.
+
+        Same validation and whole-µs rounding as :meth:`run_for_ms`.
+        """
+        return self._run_for(duration_s, SEC, "s")

@@ -27,7 +27,7 @@ from repro.core.selection import (
     WeightedUtilizationSelector,
 )
 from repro.core.memo import DEFAULT_MEMO_SIZE
-from repro.core.state import IDLE, SystemState
+from repro.core.state import SystemState
 from repro.core.timedice import DEFAULT_QUANTUM, TimeDice
 from repro.model.system import System
 

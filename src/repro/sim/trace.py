@@ -14,9 +14,8 @@ need to retain millions of raw events unless a full
 
 from __future__ import annotations
 
-from bisect import bisect_left
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np

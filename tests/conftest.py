@@ -8,8 +8,8 @@ from __future__ import annotations
 
 import pytest
 
+import repro.faults as faults
 import repro.obs as obs
-from repro._time import ms
 from repro.channel.dataset import ChannelDataset
 from repro.experiments.configs import feasibility_experiment
 from repro.model.configs import (
@@ -34,11 +34,13 @@ def _isolate_process_wide_observability():
     obs.disable()
     obs.stop_trace_capture()
     obs.drain_run_log()
+    faults.reset_override_warning()
     yield
     reset_session()
     obs.disable()
     obs.stop_trace_capture()
     obs.drain_run_log()
+    faults.reset_override_warning()
 
 
 @pytest.fixture(scope="session")

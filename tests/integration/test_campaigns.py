@@ -35,8 +35,9 @@ class TestFig12Campaign:
         assert len(a) == 4  # 2 loads x 2 policies
 
     def test_cell_seeds_differ_by_cell(self, kwargs):
+        # The key-derived seed lives inside each cell's serialized RunSpec.
         spec = fig12_accuracy.sweep_campaign(**kwargs)
-        seeds = [cell.params["seed"] for cell in spec]
+        seeds = [cell.params["runspec"]["seed"] for cell in spec]
         assert len(set(seeds)) == len(seeds)
 
 

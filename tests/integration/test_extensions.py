@@ -1,6 +1,5 @@
 """Integration tests for the extension experiments."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

@@ -211,8 +211,10 @@ def test_ambient_plan_applies_and_explicit_wins():
     activate_plan(ACTIVE_PLAN)
     try:
         assert fingerprint(run(system, "timedice", 7)) == faulted
-        # explicit plan (even a null one) beats the ambient plan
-        assert fingerprint(run(system, "timedice", 7, faults=FaultPlan())) == bare
+        # explicit plan (even a null one) beats the ambient plan — and the
+        # override of what the operator activated is announced, once
+        with pytest.warns(RuntimeWarning, match="overrides the active ambient"):
+            assert fingerprint(run(system, "timedice", 7, faults=FaultPlan())) == bare
     finally:
         deactivate_plan()
     assert fingerprint(run(system, "timedice", 7)) == bare

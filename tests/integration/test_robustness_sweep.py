@@ -10,7 +10,6 @@ participating in cell content hashes (no cache conflation), and the
 
 import json
 
-import pytest
 
 import repro.obs as obs
 from repro.experiments import robustness_sweep
@@ -55,7 +54,8 @@ class TestRobustnessCampaign:
         assert kinds.count(robustness_sweep.BASELINE) == 2
         for cell in spec:
             if cell.params["kind"] == robustness_sweep.BASELINE:
-                assert cell.params["plan"]["specs"] == []
+                # the null plan travels inside the cell's serialized RunSpec
+                assert cell.params["runspec"]["faults"]["specs"] == []
 
     def test_plan_participates_in_content_hash(self):
         """Cells differing only in fault intensity must never share a cache

@@ -11,12 +11,7 @@ import pytest
 
 from repro._time import ms
 from repro.analysis.schedulability import partition_set_schedulable
-from repro.model.configs import (
-    feasibility_system,
-    random_system,
-    table1_system,
-    three_partition_example,
-)
+from repro.model.configs import random_system, table1_system, three_partition_example
 from repro.model.partition import Partition
 from repro.model.system import System
 from repro.model.task import Task

@@ -8,10 +8,9 @@ from hypothesis.extra.numpy import arrays
 from repro.channel.capacity import (
     blahut_arimoto,
     channel_capacity_from_samples,
-    joint_from_samples,
     mutual_information,
 )
-from repro.channel.profiling import profile_from_groups, profile_odd_even
+from repro.channel.profiling import profile_odd_even
 from repro.metrics.separation import js_divergence, total_variation
 from repro.ml.kernels import rbf_kernel, squared_distances
 

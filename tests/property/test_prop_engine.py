@@ -5,19 +5,16 @@ and any seed, TimeDice never shorts a saturated partition a microsecond of
 its budget.
 """
 
-import random
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro._time import ms
 from repro.analysis.schedulability import partition_set_schedulable
 from repro.model.configs import random_system
-from repro.model.partition import Partition
 from repro.model.system import System
 from repro.model.task import Task
 from repro.sim.engine import Simulator
-from repro.sim.trace import BudgetAccountant, Segment, SegmentRecorder
+from repro.sim.trace import BudgetAccountant, SegmentRecorder
 
 
 def saturated(system: System) -> System:

@@ -1,0 +1,121 @@
+"""Property-based tests of ``RunSpec.content_hash()``.
+
+The hash keys the on-disk result cache, so it must be a pure function of the
+spec's *semantics*: invariant under dict field order, JSON round-trips, and
+process boundaries — and distinct whenever any field meaningfully differs.
+"""
+
+import json
+import subprocess
+import sys
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.config import RunSpec, SystemSpec, canonical_json
+
+POLICIES = ("norandom", "timedice", "timedice-uniform", "tdma")
+
+
+@st.composite
+def runspecs(draw):
+    policy = draw(st.sampled_from(POLICIES))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    horizon = draw(st.one_of(st.none(), st.integers(min_value=1, max_value=10**9)))
+    quantum = draw(st.one_of(st.none(), st.integers(min_value=1, max_value=10**6)))
+    memoize = draw(st.booleans())
+    budget_donation = draw(st.booleans())
+    measure_overhead = draw(st.booleans())
+    alpha = draw(
+        st.floats(min_value=0.01, max_value=0.19, allow_nan=False, allow_infinity=False)
+    )
+    channel = None
+    if draw(st.booleans()):
+        bits = draw(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=8))
+        channel = {
+            "window": draw(st.integers(min_value=1000, max_value=200_000)),
+            "profile_windows": draw(st.integers(min_value=0, max_value=4)),
+            "message_bits": bits,
+            "start": 0,
+            "sender_phases": None,
+        }
+    return RunSpec(
+        system=SystemSpec.named("feasibility", alpha=alpha),
+        policy=policy,
+        seed=seed,
+        horizon=horizon,
+        quantum=quantum,
+        memoize=memoize,
+        channel=channel,
+        budget_donation=budget_donation,
+        measure_overhead=measure_overhead,
+    )
+
+
+@given(runspecs())
+@settings(max_examples=60, deadline=None)
+def test_hash_invariant_under_field_order(spec):
+    """Reordering the serialized document's keys must not move the hash
+    (canonical JSON sorts keys before hashing)."""
+    document = spec.to_dict()
+    reversed_order = dict(reversed(list(document.items())))
+    assert RunSpec.from_dict(reversed_order).content_hash() == spec.content_hash()
+    shuffled = json.loads(json.dumps(reversed_order))
+    assert RunSpec.from_dict(shuffled).content_hash() == spec.content_hash()
+
+
+@given(runspecs())
+@settings(max_examples=60, deadline=None)
+def test_hash_survives_json_round_trip(spec):
+    assert RunSpec.from_json(spec.to_json()).content_hash() == spec.content_hash()
+    # double round-trip (cache file -> params dict -> worker) stays fixed
+    twice = RunSpec.from_dict(json.loads(canonical_json(spec.to_dict())))
+    assert twice.content_hash() == spec.content_hash()
+
+
+@given(runspecs(), runspecs())
+@settings(max_examples=60, deadline=None)
+def test_hash_collides_only_on_equal_specs(a, b):
+    """Distinct specs hash apart; equal specs hash together."""
+    if a.to_dict() == b.to_dict():
+        assert a.content_hash() == b.content_hash()
+    else:
+        assert a.content_hash() != b.content_hash()
+
+
+@given(
+    st.sampled_from(POLICIES),
+    st.integers(min_value=0, max_value=2**20),
+)
+@settings(max_examples=20, deadline=None)
+def test_hash_differs_across_seeds_and_policies(policy, seed):
+    base = RunSpec(system=SystemSpec.named("three_partition"), policy=policy, seed=seed)
+    assert base.content_hash() != base.replace(seed=seed + 1).content_hash()
+
+
+def test_hash_stable_across_process_boundary():
+    """The hash computed in a fresh interpreter matches this process's.
+
+    This is the cache's core soundness property: campaign workers and later
+    CLI invocations must address the same entry for the same spec.
+    """
+    spec = RunSpec(
+        system=SystemSpec.named("feasibility", alpha=0.08),
+        policy="timedice",
+        seed=11,
+        horizon=500_000,
+    )
+    program = (
+        "import sys, json\n"
+        "from repro.sim.config import RunSpec\n"
+        "spec = RunSpec.from_json(sys.stdin.read())\n"
+        "print(spec.content_hash())\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", program],
+        input=spec.to_json(),
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    assert proc.stdout.strip() == spec.content_hash()

@@ -4,12 +4,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro._time import ms
-from repro.analysis.wcrt import (
-    local_load,
-    wcrt_norandom,
-    wcrt_norandom_modular,
-    wcrt_timedice,
-)
+from repro.analysis.wcrt import local_load, wcrt_norandom_modular, wcrt_timedice
 from repro.model.partition import Partition
 from repro.model.task import Task
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro._time import ms
-from repro.channel.attack import ChannelExperiment
 from repro.experiments.configs import feasibility_experiment, fig18_system
 from repro.model.configs import feasibility_system
 

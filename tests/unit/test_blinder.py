@@ -1,6 +1,5 @@
 """Unit tests for the BLINDER local-schedule transformation."""
 
-import pytest
 
 from repro._time import ms
 from repro.baselines.blinder import BlinderLocalScheduler, blinder_factory

@@ -1,6 +1,5 @@
 """Unit tests for the candidate search (Algorithms 1-2, Fig. 9)."""
 
-import pytest
 
 from repro._time import ms
 from repro.core.candidacy import candidate_search

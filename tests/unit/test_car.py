@@ -1,8 +1,7 @@
 """Unit tests for the car platform's bus and nodes."""
 
-import pytest
 
-from repro.car.bus import Message, PubSubBus
+from repro.car.bus import PubSubBus
 from repro.car.nodes import (
     DRIVE_TOPIC,
     LOG_TOPIC,

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.channel.coding import (
-    CodedChannel,
     effective_goodput,
     hamming_decode,
     hamming_encode,

@@ -9,13 +9,9 @@ from repro.model.configs import (
     DEFAULT_ALPHA,
     DEFAULT_BETA,
     TABLE1_PERIODS_MS,
-    car_system,
-    feasibility_system,
     light_load_system,
     random_system,
     scaled_partition_count,
-    table1_system,
-    three_partition_example,
     uunifast,
 )
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro._time import ms
-from repro.channel.attack import AttackResult, evaluate_attacks
+from repro.channel.attack import evaluate_attacks
 from repro.channel.dataset import ChannelDataset
 
 

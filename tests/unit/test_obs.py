@@ -16,7 +16,6 @@ from repro.obs.export import (
 )
 from repro.obs.gate import GATE
 from repro.obs.registry import (
-    DEFAULT_BOUNDS,
     Counter,
     Gauge,
     Histogram,

@@ -4,7 +4,6 @@ import pytest
 
 from repro._time import ms
 from repro.core.state import PartitionState, SystemState
-from repro.model.configs import table1_system, three_partition_example
 from repro.model.partition import Partition
 from repro.model.system import System
 from repro.sim.policies import (

@@ -3,12 +3,7 @@
 import numpy as np
 import pytest
 
-from repro._time import ms
-from repro.channel.profiling import (
-    ResponseTimeProfile,
-    profile_from_groups,
-    profile_odd_even,
-)
+from repro.channel.profiling import profile_from_groups, profile_odd_even
 
 
 class TestOddEvenSplit:

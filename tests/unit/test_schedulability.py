@@ -1,6 +1,5 @@
 """Unit tests for the offline schedulability predicates."""
 
-import pytest
 
 from repro._time import ms
 from repro.analysis.schedulability import (
@@ -10,7 +9,6 @@ from repro.analysis.schedulability import (
     system_schedulability_report,
     task_schedulable,
 )
-from repro.model.configs import car_system, table1_system, three_partition_example
 from repro.model.partition import Partition
 from repro.model.system import System
 from repro.model.task import Task

@@ -6,7 +6,7 @@ import pytest
 
 from repro._time import ms
 from repro.core.selection import UniformSelector
-from repro.core.state import IDLE, PartitionState, SystemState
+from repro.core.state import PartitionState, SystemState
 from repro.core.timedice import DEFAULT_QUANTUM, TimeDice
 
 

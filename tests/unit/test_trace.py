@@ -1,6 +1,5 @@
 """Unit tests for the trace observers."""
 
-import numpy as np
 import pytest
 
 from repro._time import ms
