@@ -146,6 +146,45 @@ def hook_dispatch(seed: int = 3, horizon_ms: int = 300, repeats: int = 3) -> dic
     }
 
 
+def store_throughput(entries: int = 200) -> dict:
+    """Put+get throughput of both result-store backends, in a scratch dir.
+
+    The ``sqlite_over_json`` ratio is the number the backend guard
+    (``benchmarks/test_bench_store.py``) bounds; the absolute rates land in
+    the artifact so store-backend regressions are visible across pipelines.
+    """
+    import shutil
+    import tempfile
+    import time
+
+    from repro.store import JsonStore, SqliteStore
+
+    value = {"checksum": 123456789, "series": list(range(32))}
+    scratch = tempfile.mkdtemp(prefix="bench-store-")
+    try:
+        timings = {}
+        for label, store in (
+            ("json", JsonStore(f"{scratch}/json")),
+            ("sqlite", SqliteStore(f"{scratch}/store.db")),
+        ):
+            t0 = time.perf_counter()
+            for i in range(entries):
+                store.put(f"{i:040x}", value, meta={"key": f"k{i}"})
+            for i in range(entries):
+                store.get(f"{i:040x}")
+            timings[label] = time.perf_counter() - t0
+            store.close()
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    ops = entries * 2
+    return {
+        "entries": entries,
+        "json_ops_per_s": round(ops / timings["json"], 1),
+        "sqlite_ops_per_s": round(ops / timings["sqlite"], 1),
+        "sqlite_over_json": round(timings["sqlite"] / timings["json"], 3),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="BENCH_smoke.json")
@@ -163,6 +202,7 @@ def main(argv=None) -> int:
         "runs": runs,
         "faults_overhead": faults_overhead(),
         "hook_dispatch": hook_dispatch(),
+        "store": store_throughput(),
     }
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)

@@ -1,0 +1,74 @@
+"""Result-store backend throughput: JSON files vs WAL-mode SQLite.
+
+Guards two properties of the ``repro.store`` backends:
+
+- **throughput floor** — either backend must sustain a minimal put+get
+  rate, or campaign caching would dominate cell runtime;
+- **bounded divergence** — SQLite must stay within a (generous) constant
+  factor of the JSON backend in either direction, so picking a store URL is
+  an operational choice, not a performance cliff.
+
+Bounds are deliberately loose: CI machines are noisy and the real numbers
+land in ``benchmark.extra_info`` (and the ``store`` section of
+``BENCH_smoke.json``) for humans to read.
+"""
+
+import time
+
+from benchmarks.conftest import run_once
+from repro.store import JsonStore, SqliteStore
+
+_ENTRIES = 200
+#: Floor on put+get pairs per second — an order of magnitude below what a
+#: laptop does, so only a pathological backend trips it.
+_MIN_OPS_PER_S = 200.0
+#: Either backend may be at most this many times slower than the other.
+_MAX_RATIO = 25.0
+
+_VALUE = {"checksum": 123456789, "series": list(range(32))}
+
+
+def _hash(i: int) -> str:
+    return f"{i:040x}"
+
+
+def _exercise(store) -> float:
+    """Seconds to put then get ``_ENTRIES`` entries through ``store``."""
+    start = time.perf_counter()
+    for i in range(_ENTRIES):
+        store.put(_hash(i), _VALUE, meta={"key": f"k{i}"})
+    for i in range(_ENTRIES):
+        store.get(_hash(i))
+    return time.perf_counter() - start
+
+
+def test_store_backend_throughput(benchmark, tmp_path):
+    def backend_matrix():
+        json_store = JsonStore(tmp_path / "json")
+        sqlite_store = SqliteStore(tmp_path / "store.db")
+        try:
+            return {"json": _exercise(json_store), "sqlite": _exercise(sqlite_store)}
+        finally:
+            json_store.close()
+            sqlite_store.close()
+
+    timings = run_once(benchmark, backend_matrix)
+    ops = _ENTRIES * 2
+    json_rate = ops / timings["json"]
+    sqlite_rate = ops / timings["sqlite"]
+    ratio = timings["sqlite"] / timings["json"]
+
+    benchmark.extra_info.update(
+        {
+            "entries": _ENTRIES,
+            "json_ops_per_s": round(json_rate, 1),
+            "sqlite_ops_per_s": round(sqlite_rate, 1),
+            "sqlite_over_json": round(ratio, 3),
+        }
+    )
+
+    assert json_rate > _MIN_OPS_PER_S, f"JSON store too slow: {json_rate:.0f} ops/s"
+    assert sqlite_rate > _MIN_OPS_PER_S, f"SQLite store too slow: {sqlite_rate:.0f} ops/s"
+    assert 1 / _MAX_RATIO < ratio < _MAX_RATIO, (
+        f"backends diverged {ratio:.1f}x (bound {_MAX_RATIO}x)"
+    )

@@ -6,10 +6,19 @@ them up toward the paper's sample sizes (slower).
 
 Campaign-backed subcommands (``fig4``, ``fig12``, ``load-sweep``,
 ``defense-matrix``) additionally honor ``--jobs N`` (parallel workers),
-``--no-cache`` / ``--cache-dir`` (on-disk result caching under
-``.repro_cache/`` by default), and ``--telemetry-out`` (dump structured
-campaign telemetry as JSON). ``python -m repro campaign <target>`` runs the
-same targets with an explicit campaign framing and prints the telemetry.
+``--no-cache`` / ``--store URL`` (result storage: ``json:DIR`` or
+``sqlite:FILE``; default ``json:.repro_cache``), ``--resume`` (crash-safe
+campaign journal + resume of interrupted runs), and ``--telemetry-out``
+(dump structured campaign telemetry as JSON). ``python -m repro campaign
+<target>`` runs the same targets with an explicit campaign framing and
+prints the telemetry.
+
+Campaign service (:mod:`repro.service`): ``repro service submit <target>``
+queues a campaign request, ``repro service drain`` executes the queue FIFO
+through this process's worker pool, ``repro service status`` reports
+pending/running/done campaigns with per-campaign progress and ETA. Store
+maintenance: ``repro cache ls`` / ``gc`` / ``migrate <src> <dst>``
+(see docs/SERVICE.md).
 
 Observability (:mod:`repro.obs`): ``--trace-out FILE`` works on any
 sim-backed subcommand and writes a Chrome/Perfetto ``trace_event`` JSON of
@@ -63,6 +72,11 @@ from repro.experiments import (
 )
 
 
+#: Where ``--resume`` keeps campaign journals unless ``--journal-dir`` says
+#: otherwise.
+DEFAULT_JOURNAL_DIR = ".repro_journal"
+
+
 def _scale(args: argparse.Namespace, quick: int, default: int, full: int) -> int:
     if args.quick:
         return quick
@@ -71,22 +85,43 @@ def _scale(args: argparse.Namespace, quick: int, default: int, full: int) -> int
     return default
 
 
+def _store_url(args: argparse.Namespace) -> Optional[str]:
+    """The store URL a subcommand should use, or None with ``--no-cache``.
+
+    ``--store`` (URL: ``json:DIR``, ``sqlite:FILE``, bare path = JSON) wins
+    over the legacy ``--cache-dir``; the default is the historical JSON
+    store under ``.repro_cache/``.
+    """
+    if args.no_cache:
+        return None
+    from repro.store import DEFAULT_STORE_URL
+
+    return getattr(args, "store", None) or args.cache_dir or DEFAULT_STORE_URL
+
+
 def _campaign_kwargs(args: argparse.Namespace) -> Dict[str, object]:
-    """jobs/cache keywords shared by every campaign-backed subcommand."""
-    cache = None if args.no_cache else (args.cache_dir or ".repro_cache")
-    if cache is not None and getattr(args, "faults", None):
+    """jobs/cache/journal keywords shared by every campaign-backed subcommand."""
+    from repro.store import open_store
+
+    url = _store_url(args)
+    salt = None
+    if url is not None and getattr(args, "faults", None):
         # An ambient fault plan changes what every cell computes without
         # appearing in any cell's params — fold its content hash into the
         # cache salt so faulted and nominal results can never be conflated.
         from repro.faults import FaultPlan
-        from repro.runner import ResultCache, code_salt
+        from repro.runner import code_salt
 
         plan = FaultPlan.parse(args.faults)
         if not plan.is_null:
-            cache = ResultCache(
-                cache, salt=code_salt() + "|faults:" + plan.content_hash()
-            )
-    return {"jobs": args.jobs, "cache": cache}
+            salt = code_salt() + "|faults:" + plan.content_hash()
+    kwargs: Dict[str, object] = {
+        "jobs": args.jobs,
+        "cache": open_store(url, salt=salt) if url is not None else None,
+    }
+    if getattr(args, "resume", False) or getattr(args, "journal_dir", None):
+        kwargs["journal"] = getattr(args, "journal_dir", None) or DEFAULT_JOURNAL_DIR
+    return kwargs
 
 
 def _run_fig4(args) -> str:
@@ -372,6 +407,132 @@ def _run_stats(args) -> str:
     )
 
 
+def _run_service(args) -> str:
+    """``repro service submit <target> | status | drain`` — the shared
+    campaign queue (see docs/SERVICE.md)."""
+    from repro.service import DEFAULT_SERVICE_ROOT, Dispatcher
+
+    verb = args.target
+    if verb not in ("submit", "status", "drain"):
+        raise SystemExit("service requires a verb: submit, status, or drain")
+    dispatcher = Dispatcher(
+        args.service_root or DEFAULT_SERVICE_ROOT,
+        jobs=args.jobs,
+        store=getattr(args, "store", None),
+    )
+    if verb == "submit":
+        if not args.rest:
+            raise SystemExit(
+                "service submit requires a campaign target: "
+                f"one of {', '.join(sorted(CAMPAIGN_TARGETS))}"
+            )
+        scale = "quick" if args.quick else ("full" if args.full else "default")
+        try:
+            ticket = dispatcher.submit(
+                args.rest[0],
+                scale=scale,
+                seed=args.seed,
+                store=getattr(args, "store", None),
+                faults=args.faults,
+                no_cache=args.no_cache,
+            )
+        except ValueError as exc:
+            raise SystemExit(f"service submit: {exc}")
+        return (
+            f"submitted ticket {ticket.number:08d}: campaign {args.rest[0]} "
+            f"(scale={scale}, seed={args.seed}) -> {dispatcher.root}"
+        )
+    if verb == "status":
+        report = dispatcher.status()
+        lines = [f"service root: {report['root']}"]
+        for state in ("pending", "active", "done"):
+            items = report[state]
+            lines.append(f"{state}: {len(items)}")
+            for item in items:
+                detail = (
+                    f"  #{item['ticket']:08d} {item['target']} "
+                    f"(scale={item['scale']}, seed={item['seed']})"
+                )
+                progress = item.get("progress")
+                if progress:
+                    detail += (
+                        f" — {progress['done']}/{progress['total']} cells"
+                        f", {progress['pending_cells']} pending"
+                    )
+                    if progress.get("eta_s") is not None:
+                        detail += f", eta {progress['eta_s']:.1f}s"
+                if state == "done":
+                    flag = "ok" if item.get("ok") else "FAILED"
+                    detail += f" — {flag}"
+                    if item.get("elapsed_s") is not None:
+                        detail += f" in {item['elapsed_s']:.1f}s"
+                lines.append(detail)
+        return "\n".join(lines)
+    # drain
+    recovered = dispatcher.recover()
+    report = dispatcher.drain()
+    lines = []
+    if recovered:
+        lines.append(f"recovered {recovered} stranded ticket(s) from active/")
+    if not report.executed:
+        lines.append("queue empty: nothing to drain")
+    for item in report.executed:
+        flag = "ok" if item["ok"] else f"FAILED ({item.get('error')})"
+        lines.append(
+            f"#{item['ticket']:08d} {item['target']}: {flag} in {item['elapsed_s']:.1f}s"
+        )
+    return "\n".join(lines)
+
+
+def _run_cache(args) -> str:
+    """``repro cache ls | gc | migrate <src> <dst>`` — result-store
+    maintenance over any backend URL."""
+    from repro.store import migrate, open_store
+
+    verb = args.target
+    if verb not in ("ls", "gc", "migrate"):
+        raise SystemExit("cache requires a verb: ls, gc, or migrate")
+    if verb == "migrate":
+        if len(args.rest) != 2:
+            raise SystemExit(
+                "cache migrate requires source and destination store URLs, "
+                "e.g.: repro cache migrate json:.repro_cache sqlite:results.db"
+            )
+        src = open_store(args.rest[0])
+        dst = open_store(args.rest[1])
+        copied = migrate(src, dst)
+        return f"migrated {copied} entr{'y' if copied == 1 else 'ies'}: {src.url} -> {dst.url}"
+    store = open_store(_store_url(args) or ".repro_cache")
+    if verb == "gc":
+        description = store.describe()
+        removed = store.gc()
+        return (
+            f"{store.url}: removed {removed} entr{'y' if removed == 1 else 'ies'} "
+            f"with salts other than {description['current_salt']!r} "
+            f"({description['entries'] - removed} kept)"
+        )
+    # ls
+    description = store.describe()
+    lines = [
+        f"{description['url']}: {description['entries']} entr"
+        f"{'y' if description['entries'] == 1 else 'ies'}"
+    ]
+    for salt, count in description["salts"].items():
+        marker = " (current)" if salt == description["current_salt"] else ""
+        lines.append(f"  salt {salt!r}: {count}{marker}")
+    shown = 0
+    for entry in store.entries():
+        if shown >= 10:
+            lines.append(f"  ... and {description['entries'] - shown} more")
+            break
+        meta = entry.meta
+        label = meta.get("campaign", "?")
+        key = meta.get("key", "?")
+        lines.append(f"  {entry.content_hash[:12]}  {label} / {key}")
+        shown += 1
+    return "\n".join(lines)
+
+
 COMMANDS: Dict[str, Callable] = {
     "fig4": _run_fig4,
     "fig4a": lambda args: fig04_feasibility.run(
@@ -409,6 +570,8 @@ COMMANDS: Dict[str, Callable] = {
     "figures": _run_figures,
     "stats": _run_stats,
     "campaign": None,  # dispatches through CAMPAIGN_TARGETS (see _run_campaign)
+    "service": _run_service,
+    "cache": _run_cache,
 }
 
 #: Subcommands expressible as ``python -m repro campaign <target>``.
@@ -441,8 +604,16 @@ COMMANDS["campaign"] = _run_campaign
 
 def _campaign_targets_epilog() -> str:
     """The help epilog, rendered from :data:`CAMPAIGN_TARGETS` so new
-    targets can never drift out of ``--help`` (test-enforced)."""
-    return "campaign targets: " + ", ".join(sorted(CAMPAIGN_TARGETS))
+    targets can never drift out of ``--help`` (test-enforced). The
+    parenthesized tail documents the service/cache verbs and store URL
+    schemes; it must start with a non-word character so the epilog test's
+    target-list regex stops before it."""
+    return (
+        "campaign targets: "
+        + ", ".join(sorted(CAMPAIGN_TARGETS))
+        + " (store URLs: json:DIR, sqlite:FILE; service verbs: submit, "
+        "status, drain; cache verbs: ls, gc, migrate)"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -460,8 +631,16 @@ def build_parser() -> argparse.ArgumentParser:
         "target",
         nargs="?",
         default=None,
-        help="campaign target (campaign command; see epilog) or policy name "
-        "(stats command)",
+        help="campaign target (campaign command; see epilog), policy name "
+        "(stats command), or verb (service: submit/status/drain; "
+        "cache: ls/gc/migrate)",
+    )
+    parser.add_argument(
+        "rest",
+        nargs="*",
+        default=[],
+        help="verb operands: the campaign target for 'service submit', "
+        "source and destination store URLs for 'cache migrate'",
     )
     parser.add_argument("--seed", type=int, default=3, help="simulation seed")
     parser.add_argument(
@@ -491,7 +670,35 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--cache-dir",
         default=None,
-        help="campaign result cache directory (default .repro_cache)",
+        help="campaign result cache directory (default .repro_cache); "
+        "superseded by --store",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="URL",
+        help="campaign result store URL: json:DIR (one file per entry), "
+        "sqlite:FILE (WAL database, safe for concurrent writers), or a "
+        "bare path (JSON). Default json:.repro_cache",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="journal campaign progress (crash-safe, append-only) and "
+        "resume an interrupted run: cells completed by a killed earlier "
+        "run replay from the store and count as 'resumed'",
+    )
+    parser.add_argument(
+        "--journal-dir",
+        default=None,
+        metavar="DIR",
+        help=f"campaign journal directory for --resume (default {DEFAULT_JOURNAL_DIR})",
+    )
+    parser.add_argument(
+        "--service-root",
+        default=None,
+        metavar="DIR",
+        help="service queue root for the service verbs (default .repro_service)",
     )
     parser.add_argument(
         "--telemetry-out",

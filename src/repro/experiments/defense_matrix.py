@@ -33,6 +33,7 @@ from repro.experiments.fig18_blinder import WINDOW, _OrderObserver
 from repro.experiments.report import format_table
 from repro.ml.metrics import accuracy
 from repro.runner import CampaignCell, CampaignSpec, ResultCache, derive_seed, run_campaign
+from repro.service.journal import CampaignJournal
 from repro.sim.behaviors import ChannelScript
 from repro.sim.config import RunSpec, SystemSpec
 from repro.sim.engine import Simulator
@@ -169,6 +170,7 @@ def run(
     alpha: float = LIGHT_ALPHA,
     jobs: int = 1,
     cache: Union[None, str, ResultCache] = None,
+    journal: Union[None, str, CampaignJournal] = None,
 ) -> DefenseMatrixResult:
     """Default load is the light configuration — the adversary's best case,
     and therefore the most meaningful place to compare defenses.
@@ -183,7 +185,7 @@ def run(
         seed=seed,
         alpha=alpha,
     )
-    outcome = run_campaign(spec, jobs=jobs, cache=cache)
+    outcome = run_campaign(spec, jobs=jobs, cache=cache, journal=journal)
     result = DefenseMatrixResult()
     cell_iter = iter(spec.cells)
     for global_name, _policy in GLOBALS:

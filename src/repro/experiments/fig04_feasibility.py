@@ -28,6 +28,7 @@ from repro.experiments.fig12_accuracy import (
 from repro.experiments.report import ascii_heatmap, ascii_histogram, paired_histogram
 from repro.model.configs import DEFAULT_ALPHA
 from repro.runner import CampaignCell, CampaignSpec, ResultCache, derive_seed, run_campaign
+from repro.service.journal import CampaignJournal
 
 
 @dataclass
@@ -95,6 +96,7 @@ def run(
     seed: int = 3,
     jobs: int = 1,
     cache: Union[None, str, ResultCache] = None,
+    journal: Union[None, str, CampaignJournal] = None,
 ) -> Fig4Result:
     """Collect one NoRandom base-load dataset for panels (a)/(b) and run the
     NoRandom-only accuracy sweep for panel (c).
@@ -124,7 +126,7 @@ def run(
             )
         ],
     )
-    panels = run_campaign(panel_spec, jobs=1, cache=cache)
+    panels = run_campaign(panel_spec, jobs=1, cache=cache, journal=journal)
     dataset = _deserialize_dataset(panels.results[panel_key])
     sweep = accuracy_sweep(
         policies=("norandom",),
@@ -134,5 +136,6 @@ def run(
         seed=seed,
         jobs=jobs,
         cache=cache,
+        journal=journal,
     )
     return Fig4Result(dataset=dataset, sweep=sweep)

@@ -17,6 +17,7 @@ from repro.experiments.configs import LIGHT_ALPHA, feasibility_experiment
 from repro.experiments.report import format_table
 from repro.model.configs import DEFAULT_ALPHA
 from repro.runner import CampaignCell, CampaignSpec, ResultCache, default_key, derive_seed, run_campaign
+from repro.service.journal import CampaignJournal
 
 DEFAULT_POLICIES = ("norandom", "timedice-uniform", "timedice")
 DEFAULT_PROFILE_SIZES = (20, 50, 100, 200)
@@ -116,6 +117,7 @@ def accuracy_sweep(
     seed: int = 3,
     jobs: int = 1,
     cache: Union[None, str, ResultCache] = None,
+    journal: Union[None, str, CampaignJournal] = None,
 ) -> AccuracySweep:
     """Run the full sweep: one simulation per (policy, load), scored at every
     profiling size against the same message windows.
@@ -137,7 +139,7 @@ def accuracy_sweep(
         message_windows=message_windows,
         seed=seed,
     )
-    outcome = run_campaign(spec, jobs=jobs, cache=cache)
+    outcome = run_campaign(spec, jobs=jobs, cache=cache, journal=journal)
     cell_iter = iter(spec.cells)
     for alpha in alphas:
         load = LOAD_NAMES.get(alpha, f"alpha={alpha:.2f}")
@@ -157,6 +159,7 @@ def run(
     seed: int = 3,
     jobs: int = 1,
     cache: Union[None, str, ResultCache] = None,
+    journal: Union[None, str, CampaignJournal] = None,
 ) -> AccuracySweep:
     """The Fig. 12 experiment with paper-shaped defaults."""
     return accuracy_sweep(
@@ -166,4 +169,5 @@ def run(
         seed=seed,
         jobs=jobs,
         cache=cache,
+        journal=journal,
     )

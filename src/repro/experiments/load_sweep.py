@@ -18,6 +18,7 @@ from repro.channel.capacity import channel_capacity_from_samples
 from repro.experiments.configs import feasibility_experiment
 from repro.experiments.report import format_table
 from repro.runner import CampaignCell, CampaignSpec, ResultCache, default_key, derive_seed, run_campaign
+from repro.service.journal import CampaignJournal
 
 DEFAULT_ALPHAS = (0.06, 0.10, 0.16)
 DEFAULT_POLICIES = ("norandom", "timedice")
@@ -110,6 +111,7 @@ def run(
     seed: int = 3,
     jobs: int = 1,
     cache: Union[None, str, ResultCache] = None,
+    journal: Union[None, str, CampaignJournal] = None,
 ) -> LoadSweepResult:
     """Run the sweep as a :mod:`repro.runner` campaign: ``jobs`` workers,
     optional on-disk result caching, order-independent per-cell seeds."""
@@ -120,7 +122,7 @@ def run(
         message_windows=message_windows,
         seed=seed,
     )
-    outcome = run_campaign(spec, jobs=jobs, cache=cache)
+    outcome = run_campaign(spec, jobs=jobs, cache=cache, journal=journal)
     result = LoadSweepResult()
     cell_iter = iter(spec.cells)
     for alpha in alphas:

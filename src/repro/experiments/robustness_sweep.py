@@ -47,6 +47,7 @@ from repro.runner import (
     derive_seed,
     run_campaign,
 )
+from repro.service.journal import CampaignJournal
 
 #: The fault target: a noise partition — neither the sender (Pi_2) nor the
 #: receiver (Pi_4), so the channel endpoints themselves stay nominal and any
@@ -270,6 +271,7 @@ def run(
     seed: int = 3,
     jobs: int = 1,
     cache: Union[None, str, ResultCache] = None,
+    journal: Union[None, str, CampaignJournal] = None,
 ) -> RobustnessResult:
     """Run the sweep as a :mod:`repro.runner` campaign (parallel, cached,
     jobs-count independent)."""
@@ -283,7 +285,7 @@ def run(
         message_windows=message_windows,
         seed=seed,
     )
-    outcome = run_campaign(spec, jobs=jobs, cache=cache)
+    outcome = run_campaign(spec, jobs=jobs, cache=cache, journal=journal)
     result = RobustnessResult()
     for cell in spec.cells:
         value = outcome.results[cell.key]

@@ -10,8 +10,9 @@ loops of the experiment modules into declarative, cacheable, parallel
   ``ProcessPoolExecutor``-backed execution with per-task timeouts, bounded
   exponential-backoff retries, and graceful degradation to serial when the
   pool keeps dying;
-- :mod:`repro.runner.cache` — content-addressed JSON result cache under
-  ``.repro_cache/`` keyed on cell hash + code-version salt;
+- :mod:`repro.runner.cache` — the content-addressed result cache, now a
+  shim over :mod:`repro.store` (JSON files or WAL-mode SQLite, selected by
+  store URL) keyed on cell hash + code-version salt;
 - :mod:`repro.runner.telemetry` — structured progress events, per-worker
   wall-time accounting, live progress line, JSON dumps;
 - :mod:`repro.runner.seeding` — :func:`derive_seed`, guaranteeing parallel
@@ -30,7 +31,15 @@ Quickstart::
     print(result.telemetry.progress_line())
 """
 
-from repro.runner.cache import DEFAULT_CACHE_DIR, MISS, ResultCache, code_salt
+from repro.runner.cache import (
+    DEFAULT_CACHE_DIR,
+    MISS,
+    ResultCache,
+    ResultStore,
+    as_cache,
+    code_salt,
+    open_store,
+)
 from repro.runner.pool import (
     CampaignError,
     CampaignResult,
@@ -72,7 +81,10 @@ __all__ = [
     "CellOutcome",
     "ProgressPrinter",
     "ResultCache",
+    "ResultStore",
     "add_default_listener",
+    "as_cache",
+    "open_store",
     "remove_default_listener",
     "canonical_json",
     "code_salt",

@@ -1,130 +1,41 @@
-"""Content-addressed on-disk result cache.
+"""Back-compat shim: the result cache now lives in :mod:`repro.store`.
 
-Each completed cell is persisted as one JSON file under the cache root
-(default ``.repro_cache/``), addressed by the cell's content hash combined
-with a **code-version salt**. Re-running a campaign therefore only computes
-the cells whose (task, params, code version) triple has never been seen;
-everything else is replayed from disk.
+``repro.runner.cache`` predates the pluggable store layer; its public names
+(:class:`ResultCache`, :data:`MISS`, :func:`code_salt`, :func:`as_cache`)
+remain importable from here and from :mod:`repro.runner`, but the
+implementation is :class:`repro.store.JsonStore` and friends.
 
-Layout::
-
-    .repro_cache/
-        ab/abcdef....json      # two-char fan-out to keep directories small
-
-Entries store the value alongside provenance metadata (campaign, cell key,
-wall time, salt) so a cache directory doubles as a results archive. Writes
-are atomic (temp file + ``os.replace``); corrupt or unreadable entries are
-treated as misses and overwritten, never raised.
+:func:`as_cache` is the historical name of :func:`repro.store.open_store`
+and now understands store URLs too: ``"json:.repro_cache"`` and
+``"sqlite:results.db"`` select backends, while a bare path keeps meaning
+the JSON store rooted there.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import tempfile
-from dataclasses import dataclass
-from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from repro.store import (
+    DEFAULT_CACHE_DIR,
+    MISS,
+    CacheStats,
+    JsonStore,
+    ResultStore,
+    code_salt,
+    open_store,
+)
 
-from repro.runner.spec import CACHE_SCHEMA
+#: The pre-``repro.store`` name of the JSON backend.
+ResultCache = JsonStore
 
-#: Default cache root, relative to the current working directory.
-DEFAULT_CACHE_DIR = ".repro_cache"
+#: The pre-``repro.store`` name of :func:`repro.store.open_store`.
+as_cache = open_store
 
-#: Sentinel distinguishing "miss" from a cached ``None``.
-MISS = object()
-
-
-def code_salt() -> str:
-    """The default code-version salt folded into every cache key.
-
-    Combines the package version with the ``REPRO_CACHE_SALT`` environment
-    variable (useful to force invalidation without touching the tree).
-    """
-    from repro import __version__  # lazy: avoid import cycles at package init
-
-    extra = os.environ.get("REPRO_CACHE_SALT", "")
-    return f"repro-{__version__}" + (f"+{extra}" if extra else "")
-
-
-@dataclass
-class CacheStats:
-    hits: int = 0
-    misses: int = 0
-    writes: int = 0
-
-
-class ResultCache:
-    """A content-addressed JSON store for campaign cell results."""
-
-    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR, salt: Optional[str] = None):
-        self.root = Path(root)
-        self.salt = code_salt() if salt is None else salt
-        self.stats = CacheStats()
-
-    def path_for(self, content_hash: str) -> Path:
-        return self.root / content_hash[:2] / f"{content_hash}.json"
-
-    def _load(self, content_hash: str) -> Any:
-        """Read and validate an entry; :data:`MISS` for absent, corrupt, or
-        schema-less files. Does not touch the hit/miss counters."""
-        try:
-            with open(self.path_for(content_hash), "r", encoding="utf-8") as handle:
-                entry = json.load(handle)
-        except (OSError, ValueError):
-            return MISS
-        if not isinstance(entry, dict) or "value" not in entry:
-            return MISS
-        return entry["value"]
-
-    def get(self, content_hash: str) -> Any:
-        """Return the cached value for ``content_hash``, or :data:`MISS`."""
-        value = self._load(content_hash)
-        if value is MISS:
-            self.stats.misses += 1
-        else:
-            self.stats.hits += 1
-        return value
-
-    def put(self, content_hash: str, value: Any, meta: Optional[Dict[str, Any]] = None) -> Path:
-        """Atomically persist ``value`` (must be JSON-serializable)."""
-        path = self.path_for(content_hash)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        entry = {
-            "value": value,
-            "meta": dict(meta or {}),
-            "salt": self.salt,
-            "schema": CACHE_SCHEMA,
-        }
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=path.stem, suffix=".tmp", dir=str(path.parent)
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(entry, handle)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
-        self.stats.writes += 1
-        return path
-
-    def __contains__(self, content_hash: str) -> bool:
-        """Membership agrees with :meth:`get`: True only for entries that
-        ``get`` would actually return (a corrupt or schema-less file on disk
-        is a miss for both). Does not count toward hit/miss stats."""
-        return self._load(content_hash) is not MISS
-
-
-def as_cache(cache: Union[None, str, Path, ResultCache]) -> Optional[ResultCache]:
-    """Coerce a user-facing cache argument into a :class:`ResultCache`.
-
-    ``None`` disables caching; a string/path becomes a cache rooted there;
-    an existing :class:`ResultCache` passes through.
-    """
-    if cache is None or isinstance(cache, ResultCache):
-        return cache
-    return ResultCache(cache)
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "MISS",
+    "CacheStats",
+    "ResultCache",
+    "ResultStore",
+    "as_cache",
+    "code_salt",
+    "open_store",
+]

@@ -26,9 +26,11 @@ import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
 
-from repro.runner.cache import MISS, ResultCache, as_cache
+from repro.runner.cache import MISS, ResultStore, as_cache
+from repro.service.journal import CampaignJournal, as_journal
 from repro.runner.spec import CampaignCell, CampaignSpec, resolve_task
 from repro.runner.telemetry import (
     CACHED,
@@ -132,7 +134,7 @@ class _Attempt:
 def run_campaign(
     spec: CampaignSpec,
     jobs: int = 1,
-    cache: Union[None, str, ResultCache] = None,
+    cache: Union[None, str, ResultStore] = None,
     timeout: Optional[float] = None,
     retries: int = 2,
     backoff: float = 0.25,
@@ -140,14 +142,17 @@ def run_campaign(
     listeners: Iterable[Callable[[CampaignTelemetry, CellEvent], None]] = (),
     on_failure: str = "raise",
     max_pool_rebuilds: int = 3,
+    journal: Union[None, str, Path, CampaignJournal] = None,
 ) -> CampaignResult:
     """Execute ``spec`` and return its merged, spec-ordered results.
 
     Args:
         spec: The campaign to run.
         jobs: Worker processes; ``1`` runs serially in-process.
-        cache: ``None`` (no caching), a directory path, or a
-            :class:`ResultCache`. Hits skip execution entirely.
+        cache: ``None`` (no caching), a store URL or directory path
+            (``"json:.repro_cache"``, ``"sqlite:results.db"``, bare path =
+            JSON), or a :class:`~repro.store.ResultStore`. Hits skip
+            execution entirely.
         timeout: Per-attempt wall-clock limit in seconds (parallel mode
             only — a timed-out worker is killed and the pool rebuilt;
             serial attempts cannot be preempted and run to completion).
@@ -162,6 +167,14 @@ def run_campaign(
             the outcomes and returns normally.
         max_pool_rebuilds: Pool kill/rebuild budget (timeouts + worker
             deaths) before degrading to serial execution.
+        journal: ``None`` (no journaling), a directory path (the journal
+            file is derived from the campaign's spec hash), or a
+            :class:`~repro.service.journal.CampaignJournal`. The journal
+            records submitted/completed cell hashes with atomic appends;
+            on a re-run after a crash, cells completed by a prior
+            generation are counted in ``telemetry.resumed``. Values replay
+            from the ``cache`` store, so journaling without a store records
+            progress but cannot skip recomputation.
     """
     if on_failure not in ("raise", "keep"):
         raise ValueError(f"on_failure must be 'raise' or 'keep', got {on_failure!r}")
@@ -175,6 +188,8 @@ def run_campaign(
     tele.listeners.extend(listeners)
 
     salt = store.salt if store is not None else ""
+    log = as_journal(journal, spec, salt)
+    prior = log.replay() if log is not None else None
     outcomes: Dict[str, CellOutcome] = {}
     pending: List[_Attempt] = []
     for cell in spec:
@@ -184,9 +199,19 @@ def run_campaign(
             value = store.get(content_hash)
             if value is not MISS:
                 outcomes[cell.key] = CellOutcome(cell.key, value=value, cached=True)
+                if prior is not None and content_hash in prior.completed:
+                    # This hit is a cell an interrupted earlier generation
+                    # of *this* campaign completed — a resume, not merely a
+                    # warm cache shared with some other campaign.
+                    tele.resumed += 1
                 tele.emit(CellEvent(CACHED, cell.key))
                 continue
         pending.append(_Attempt(cell, content_hash))
+
+    if log is not None:
+        log.begin(spec.name, spec.spec_hash(salt), len(spec), salt)
+        for attempt in pending:
+            log.submitted(attempt.content_hash, attempt.cell.key)
 
     runner = _CampaignRunner(
         spec=spec,
@@ -197,12 +222,17 @@ def run_campaign(
         timeout=timeout,
         max_pool_rebuilds=max_pool_rebuilds,
         outcomes=outcomes,
+        journal=log,
     )
-    if pending:
-        if jobs == 1:
-            runner.run_serial(pending)
-        else:
-            runner.run_parallel(pending, jobs)
+    try:
+        if pending:
+            if jobs == 1:
+                runner.run_serial(pending)
+            else:
+                runner.run_parallel(pending, jobs)
+    finally:
+        if log is not None and journal is not log:
+            log.close()  # close only journals this call opened
 
     if store is not None:
         tele.cache_hits = store.stats.hits
@@ -225,13 +255,14 @@ class _CampaignRunner:
     def __init__(
         self,
         spec: CampaignSpec,
-        store: Optional[ResultCache],
+        store: Optional[ResultStore],
         telemetry: CampaignTelemetry,
         retries: int,
         backoff: float,
         timeout: Optional[float],
         max_pool_rebuilds: int,
         outcomes: Dict[str, CellOutcome],
+        journal: Optional[CampaignJournal] = None,
     ):
         self.spec = spec
         self.store = store
@@ -241,6 +272,7 @@ class _CampaignRunner:
         self.timeout = timeout
         self.max_pool_rebuilds = max_pool_rebuilds
         self.outcomes = outcomes
+        self.journal = journal
 
     # -- terminal transitions ---------------------------------------------
 
@@ -265,6 +297,11 @@ class _CampaignRunner:
                     "wall_s": round(payload["wall"], 6),
                 },
             )
+        if self.journal is not None:
+            # Strictly after the store write: the journal may under-report
+            # completions (a crash between the two recomputes one cell) but
+            # must never claim a value the store does not hold.
+            self.journal.completed(attempt.content_hash, cell.key)
         self.telemetry.emit(
             CellEvent(
                 COMPUTED,
@@ -293,6 +330,8 @@ class _CampaignRunner:
         self.outcomes[attempt.cell.key] = CellOutcome(
             key=attempt.cell.key, attempts=attempt.attempt, error=error
         )
+        if self.journal is not None:
+            self.journal.failed(attempt.content_hash, attempt.cell.key, error)
         self.telemetry.emit(
             CellEvent(FAILED, attempt.cell.key, attempt=attempt.attempt, error=error)
         )

@@ -75,6 +75,10 @@ class CampaignTelemetry:
         self.jobs = 1
         self.cache_hits = 0
         self.cache_misses = 0
+        #: Cached cells that a prior, interrupted journal generation of this
+        #: campaign completed — i.e. cells a ``--resume`` skipped. Set by the
+        #: pool when a campaign journal is active; 0 otherwise.
+        self.resumed = 0
         #: Per-cell decide-latency histogram snapshots (COMPUTED events that
         #: carried an obs rollup), keyed by cell key.
         self.cell_metrics: Dict[str, Dict[str, Any]] = {}
@@ -117,6 +121,8 @@ class CampaignTelemetry:
     def progress_line(self) -> str:
         """A one-line live status: ``fig12: 5/8 (3 cached, 2 computed, ...)``."""
         parts = [f"{self.cached} cached", f"{self.computed} computed"]
+        if self.resumed:
+            parts.append(f"{self.resumed} resumed")
         if self.failed:
             parts.append(f"{self.failed} failed")
         if self.retries:
@@ -164,6 +170,7 @@ class CampaignTelemetry:
             "computed": self.computed,
             "failed": self.failed,
             "retries": self.retries,
+            "resumed": self.resumed,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "elapsed_s": round(self.elapsed, 6),
@@ -277,9 +284,12 @@ def session_footer(stats: List[CampaignTelemetry]) -> str:
     computed = sum(t.computed for t in stats)
     failed = sum(t.failed for t in stats)
     retries = sum(t.retries for t in stats)
+    resumed = sum(t.resumed for t in stats)
     hits = sum(t.cache_hits for t in stats)
     misses = sum(t.cache_misses for t in stats)
     parts = [f"campaigns: {total} cells ({cached} cached, {computed} computed"]
+    if resumed:
+        parts[0] += f", {resumed} resumed"
     if failed:
         parts[0] += f", {failed} failed"
     if retries:

@@ -1,0 +1,242 @@
+"""A filesystem FIFO queue of campaign submissions.
+
+Many clients, one worker pool: any process can :meth:`~SubmissionQueue.submit`
+a campaign request; a drainer process claims requests strictly in ticket
+order and runs them through its pool. The queue is plain files under one
+root, so it needs no server, survives every participant crashing, and is
+safe for concurrent submitters *and* concurrent drainers::
+
+    .repro_service/
+        queue/
+            00000001.json        # pending, FIFO by ticket number
+        active/
+            00000002.json        # claimed by a drainer
+            00000002.status.json # live progress written by the drainer
+        done/
+            00000000.json        # request + terminal status + result summary
+
+Atomicity comes from the filesystem: a submission is written to a temp file
+and published with ``os.link`` (EEXIST ⇒ another submitter took the ticket
+number; retry with the next); a claim is a single ``os.rename`` into
+``active/`` (exactly one drainer wins; the losers see ENOENT and move on).
+
+Requests are JSON dicts. The service layer defines their meaning
+(:mod:`repro.service.dispatcher`); the queue only cares that they
+serialize. Submission timestamps ride along so queue-wait time — the
+"how long until the shared pool got to my campaign" metric — lands in the
+gated ``service.queue_wait_s`` histogram when a drainer claims.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs.gate import GATE
+from repro.obs.registry import MetricsRegistry
+
+#: Default service root, relative to the current working directory.
+DEFAULT_SERVICE_ROOT = ".repro_service"
+
+#: Process-wide service instrumentation (gated, like every registry):
+#: ``service.queue_wait_s`` observes submit→claim latency in seconds.
+SERVICE_METRICS = MetricsRegistry("service")
+
+#: Queue-wait histogram bounds: 1 ms .. ~17 min, geometric.
+_WAIT_BOUNDS = tuple(0.001 * 2**k for k in range(21))
+
+
+@dataclass(frozen=True)
+class Ticket:
+    """One claimed or submitted queue position."""
+
+    number: int
+    name: str
+    request: Dict[str, Any]
+
+
+class SubmissionQueue:
+    """FIFO campaign queue rooted at a directory (see module docstring)."""
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_SERVICE_ROOT):
+        self.root = Path(root)
+        self.pending_dir = self.root / "queue"
+        self.active_dir = self.root / "active"
+        self.done_dir = self.root / "done"
+
+    def _ensure_layout(self) -> None:
+        for directory in (self.pending_dir, self.active_dir, self.done_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    @staticmethod
+    def _ticket_name(number: int) -> str:
+        return f"{number:08d}.json"
+
+    @staticmethod
+    def _ticket_number(name: str) -> Optional[int]:
+        stem, _, suffix = name.partition(".")
+        if suffix != "json" or not stem.isdigit():
+            return None
+        return int(stem)
+
+    def _numbers(self, directory: Path) -> List[int]:
+        try:
+            names = os.listdir(directory)
+        except FileNotFoundError:
+            return []
+        numbers = [self._ticket_number(name) for name in names]
+        return sorted(n for n in numbers if n is not None)
+
+    # -- submit ------------------------------------------------------------
+
+    def submit(self, request: Dict[str, Any]) -> Ticket:
+        """Append ``request`` to the queue; returns its ticket.
+
+        Concurrent submitters race on ticket numbers via ``os.link`` —
+        whoever links a name first owns it, everyone else retries with the
+        next number. FIFO order is therefore total and crash-safe.
+        """
+        self._ensure_layout()
+        request = dict(request)
+        request.setdefault("submitted_at", time.time())
+        payload = json.dumps(request, indent=2, sort_keys=True)
+        fd, tmp_name = tempfile.mkstemp(suffix=".submit", dir=str(self.root))
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            taken = self._numbers(self.pending_dir) + self._numbers(
+                self.active_dir
+            ) + self._numbers(self.done_dir)
+            number = (max(taken) + 1) if taken else 0
+            while True:
+                target = self.pending_dir / self._ticket_name(number)
+                try:
+                    os.link(tmp_name, target)
+                    break
+                except OSError as exc:
+                    if exc.errno != errno.EEXIST:
+                        raise
+                    number += 1
+        finally:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+        return Ticket(number=number, name=target.name, request=request)
+
+    # -- claim / complete --------------------------------------------------
+
+    def claim_next(self) -> Optional[Ticket]:
+        """Atomically claim the lowest-numbered pending request, or None.
+
+        Exactly one concurrent drainer wins each ticket (``os.rename`` into
+        ``active/``); losers silently try the next.
+        """
+        self._ensure_layout()
+        for number in self._numbers(self.pending_dir):
+            name = self._ticket_name(number)
+            source = self.pending_dir / name
+            target = self.active_dir / name
+            try:
+                os.rename(source, target)
+            except OSError:
+                continue  # another drainer claimed it first
+            try:
+                with open(target, "r", encoding="utf-8") as handle:
+                    request = json.load(handle)
+            except (OSError, ValueError):
+                request = {}
+            submitted_at = request.get("submitted_at")
+            if isinstance(submitted_at, (int, float)):
+                wait = max(0.0, time.time() - float(submitted_at))
+                if GATE.enabled:
+                    SERVICE_METRICS.histogram(
+                        "service.queue_wait_s", bounds=_WAIT_BOUNDS
+                    ).observe(wait)
+            return Ticket(number=number, name=name, request=request)
+        return None
+
+    def write_status(self, ticket: Ticket, status: Dict[str, Any]) -> None:
+        """Publish live progress for a claimed ticket (atomic replace)."""
+        target = self.active_dir / f"{ticket.number:08d}.status.json"
+        fd, tmp_name = tempfile.mkstemp(suffix=".status", dir=str(self.root))
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(status, handle, indent=2, sort_keys=True)
+            os.replace(tmp_name, target)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def read_status(self, number: int) -> Optional[Dict[str, Any]]:
+        try:
+            with open(
+                self.active_dir / f"{number:08d}.status.json", "r", encoding="utf-8"
+            ) as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    def complete(self, ticket: Ticket, outcome: Dict[str, Any]) -> None:
+        """Move a claimed ticket to ``done/`` with its terminal outcome."""
+        record = dict(ticket.request)
+        record["outcome"] = outcome
+        record["completed_at"] = time.time()
+        done_path = self.done_dir / ticket.name
+        fd, tmp_name = tempfile.mkstemp(suffix=".done", dir=str(self.root))
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, indent=2, sort_keys=True)
+            os.replace(tmp_name, done_path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        for stale in (
+            self.active_dir / ticket.name,
+            self.active_dir / f"{ticket.number:08d}.status.json",
+        ):
+            try:
+                os.unlink(stale)
+            except OSError:
+                pass
+
+    # -- inspection --------------------------------------------------------
+
+    def _read_request(self, directory: Path, number: int) -> Dict[str, Any]:
+        try:
+            with open(
+                directory / self._ticket_name(number), "r", encoding="utf-8"
+            ) as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return {}
+
+    def pending(self) -> List[Ticket]:
+        return [
+            Ticket(n, self._ticket_name(n), self._read_request(self.pending_dir, n))
+            for n in self._numbers(self.pending_dir)
+        ]
+
+    def active(self) -> List[Ticket]:
+        return [
+            Ticket(n, self._ticket_name(n), self._read_request(self.active_dir, n))
+            for n in self._numbers(self.active_dir)
+        ]
+
+    def done(self) -> List[Ticket]:
+        return [
+            Ticket(n, self._ticket_name(n), self._read_request(self.done_dir, n))
+            for n in self._numbers(self.done_dir)
+        ]

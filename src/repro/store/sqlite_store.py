@@ -1,0 +1,167 @@
+"""The SQLite result store: one WAL-mode database, many writer processes.
+
+The JSON-file backend scales with filesystem fan-out — fine for thousands
+of entries, painful for millions (directory churn, one inode per cell, no
+cheap iteration or aggregate queries). This backend keeps every entry as a
+row in a single SQLite database::
+
+    CREATE TABLE results (
+        hash    TEXT PRIMARY KEY,
+        value   TEXT NOT NULL,   -- canonical JSON
+        meta    TEXT NOT NULL,   -- provenance JSON
+        salt    TEXT NOT NULL,   -- code-version salt the value was computed under
+        schema  INTEGER NOT NULL,
+        created REAL NOT NULL    -- unix timestamp of the write
+    )
+
+Concurrency model: ``journal_mode=WAL`` lets readers proceed while one
+writer commits, ``busy_timeout`` makes competing writers queue instead of
+raising, and every put is a single ``INSERT OR REPLACE`` autocommit — so
+any number of campaign clients (separate *processes*) can share one
+database file. Entries are deterministic functions of their hash, so
+last-writer-wins replacement is harmless.
+
+Connections are lazy and per-process: the campaign pool forks workers, and
+a SQLite connection must never cross a ``fork()``, so the handle rebinds
+whenever ``os.getpid()`` changes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+from repro.store.base import MISS, ResultStore, StoreEntry, note_corrupt_entry
+
+#: How long a writer waits on a locked database before giving up (ms).
+BUSY_TIMEOUT_MS = 30_000
+
+_SCHEMA_SQL = """
+CREATE TABLE IF NOT EXISTS results (
+    hash    TEXT PRIMARY KEY,
+    value   TEXT NOT NULL,
+    meta    TEXT NOT NULL,
+    salt    TEXT NOT NULL,
+    schema  INTEGER NOT NULL,
+    created REAL NOT NULL
+)
+"""
+
+
+class SqliteStore(ResultStore):
+    """A content-addressed result store in one WAL-mode SQLite database."""
+
+    scheme = "sqlite"
+
+    def __init__(
+        self, path: Union[str, Path] = "results.db", salt: Optional[str] = None
+    ):
+        super().__init__(salt=salt)
+        self.path = Path(path)
+        self._conn: Optional[sqlite3.Connection] = None
+        self._conn_pid: Optional[int] = None
+
+    def location(self) -> str:
+        return str(self.path)
+
+    # -- connection management ---------------------------------------------
+
+    def _connection(self) -> sqlite3.Connection:
+        pid = os.getpid()
+        if self._conn is not None and self._conn_pid != pid:
+            # Inherited across fork: the handle must not be used (or even
+            # cleanly closed) in the child. Drop it and rebind.
+            self._conn = None
+        if self._conn is None:
+            if self.path.parent != Path("."):
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+            conn = sqlite3.connect(str(self.path), check_same_thread=False)
+            conn.execute(f"PRAGMA busy_timeout = {BUSY_TIMEOUT_MS}")
+            conn.execute("PRAGMA journal_mode = WAL")
+            conn.execute("PRAGMA synchronous = NORMAL")
+            conn.execute(_SCHEMA_SQL)
+            conn.commit()
+            self._conn = conn
+            self._conn_pid = pid
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None and self._conn_pid == os.getpid():
+            self._conn.close()
+        self._conn = None
+        self._conn_pid = None
+
+    # -- backend primitives ------------------------------------------------
+
+    @staticmethod
+    def _decode_row(row, location: str) -> Any:
+        """Row -> entry dict, or :data:`MISS` for undecodable payloads."""
+        value_text, meta_text, salt, schema = row
+        try:
+            value = json.loads(value_text)
+            meta = json.loads(meta_text)
+        except (TypeError, ValueError):
+            note_corrupt_entry(location)
+            return MISS
+        if not isinstance(meta, dict):
+            note_corrupt_entry(location)
+            return MISS
+        return {"value": value, "meta": meta, "salt": salt, "schema": schema}
+
+    def _load(self, content_hash: str) -> Any:
+        conn = self._connection()
+        row = conn.execute(
+            "SELECT value, meta, salt, schema FROM results WHERE hash = ?",
+            (content_hash,),
+        ).fetchone()
+        if row is None:
+            return MISS
+        return self._decode_row(row, f"{self.path}:{content_hash}")
+
+    def _write(self, content_hash: str, entry: Dict[str, Any]) -> None:
+        conn = self._connection()
+        conn.execute(
+            "INSERT OR REPLACE INTO results (hash, value, meta, salt, schema, created) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+            (
+                content_hash,
+                json.dumps(entry["value"]),
+                json.dumps(entry["meta"]),
+                entry["salt"],
+                entry["schema"],
+                time.time(),
+            ),
+        )
+        conn.commit()
+
+    def _delete(self, content_hash: str) -> bool:
+        conn = self._connection()
+        cursor = conn.execute("DELETE FROM results WHERE hash = ?", (content_hash,))
+        conn.commit()
+        return cursor.rowcount > 0
+
+    def entries(self) -> Iterator[StoreEntry]:
+        conn = self._connection()
+        for content_hash, value_text, meta_text, salt, schema in conn.execute(
+            "SELECT hash, value, meta, salt, schema FROM results ORDER BY hash"
+        ):
+            entry = self._decode_row(
+                (value_text, meta_text, salt, schema), f"{self.path}:{content_hash}"
+            )
+            if entry is MISS:
+                continue
+            yield StoreEntry(
+                content_hash=content_hash,
+                value=entry["value"],
+                meta=dict(entry["meta"]),
+                salt=str(entry["salt"]),
+                schema=int(entry["schema"]),
+            )
+
+    def __len__(self) -> int:
+        row = self._connection().execute("SELECT COUNT(*) FROM results").fetchone()
+        return int(row[0])

@@ -19,6 +19,8 @@ from repro.model.configs import (
     three_partition_example,
 )
 from repro.runner.telemetry import reset_session
+from repro.service import SERVICE_METRICS
+from repro.store import STORE_METRICS, reset_corrupt_warning
 
 
 @pytest.fixture(autouse=True)
@@ -35,12 +37,18 @@ def _isolate_process_wide_observability():
     obs.stop_trace_capture()
     obs.drain_run_log()
     faults.reset_override_warning()
+    reset_corrupt_warning()
+    STORE_METRICS.reset()
+    SERVICE_METRICS.reset()
     yield
     reset_session()
     obs.disable()
     obs.stop_trace_capture()
     obs.drain_run_log()
     faults.reset_override_warning()
+    reset_corrupt_warning()
+    STORE_METRICS.reset()
+    SERVICE_METRICS.reset()
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,123 @@
+"""Property-based tests: the JSON and SQLite result-store backends are
+observationally equivalent.
+
+Whatever sequence of puts lands in a store — including interleaved writes
+from two handles on the same backing data, overwrites, and a full
+:func:`repro.store.migrate` round-trip — ``get``/``__contains__``/
+``entries`` must agree between backends entry for entry. The campaign
+runner picks a backend purely by store URL, so any observable divergence
+here would make ``--store`` choice change campaign results.
+"""
+
+import shutil
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.store import MISS, JsonStore, SqliteStore, migrate
+
+# Content hashes as the runner mints them: 40 lowercase hex chars.
+hashes = st.text(alphabet="0123456789abcdef", min_size=40, max_size=40)
+
+# JSON-representable values the runner can legally cache. Floats are finite
+# (json.dumps rejects NaN/inf under allow_nan=False elsewhere in the repo)
+# and integral floats are excluded: JSON cannot tell 2.0 from 2 apart after
+# a round-trip, which is a property of the encoding, not of a backend.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False, width=32).filter(
+        lambda x: x != int(x)
+    ),
+    st.text(max_size=20),
+)
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=10,
+)
+
+#: (hash, value, writer index) — writer index interleaves two store handles.
+writes = st.lists(st.tuples(hashes, values, st.integers(0, 1)), max_size=12)
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+
+class _FreshDir:
+    """A per-example scratch directory (pytest's ``tmp_path`` is function
+    scoped and would leak store state between hypothesis examples)."""
+
+    def __enter__(self) -> Path:
+        self.path = Path(tempfile.mkdtemp(prefix="prop-store-"))
+        return self.path
+
+    def __exit__(self, *exc) -> None:
+        shutil.rmtree(self.path, ignore_errors=True)
+
+
+def _expected(sequence):
+    """Last writer wins, per hash."""
+    state = {}
+    for content_hash, value, _ in sequence:
+        state[content_hash] = value
+    return state
+
+
+@given(sequence=writes, probe=hashes)
+@SETTINGS
+def test_backends_agree_after_interleaved_writes(sequence, probe):
+    with _FreshDir() as tmp_path:
+        json_handles = [JsonStore(tmp_path / "j", salt="s") for _ in range(2)]
+        sqlite_handles = [SqliteStore(tmp_path / "s.db", salt="s") for _ in range(2)]
+        try:
+            for content_hash, value, writer in sequence:
+                json_handles[writer].put(content_hash, value)
+                sqlite_handles[writer].put(content_hash, value)
+
+            state = _expected(sequence)
+            json_store, sqlite_store = json_handles[0], sqlite_handles[0]
+            assert len(json_store) == len(sqlite_store) == len(state)
+            for content_hash, value in state.items():
+                assert json_store.get(content_hash) == value
+                assert sqlite_store.get(content_hash) == value
+                assert content_hash in json_store
+                assert content_hash in sqlite_store
+            # A probe hash not in the state misses identically on both.
+            if probe not in state:
+                assert json_store.get(probe) is MISS
+                assert sqlite_store.get(probe) is MISS
+                assert probe not in json_store
+                assert probe not in sqlite_store
+            # entries() iterates identical (hash, value, salt, schema) rows
+            # in identical (ascending-hash) order on both backends.
+            assert list(json_store.entries()) == list(sqlite_store.entries())
+        finally:
+            for handle in json_handles + sqlite_handles:
+                handle.close()
+
+
+@given(sequence=writes)
+@SETTINGS
+def test_migrate_roundtrip_is_identity(sequence):
+    with _FreshDir() as tmp_path:
+        source = JsonStore(tmp_path / "src", salt="s")
+        via = SqliteStore(tmp_path / "via.db", salt="s")
+        back = JsonStore(tmp_path / "back", salt="s")
+        try:
+            for i, (content_hash, value, _) in enumerate(sequence):
+                source.put(content_hash, value, meta={"key": f"k{i}"})
+            expected = list(source.entries())
+            assert migrate(source, via) == len(expected)
+            assert list(via.entries()) == expected
+            migrate(via, back)
+            assert list(back.entries()) == expected  # json -> sqlite -> json
+        finally:
+            source.close()
+            via.close()
+            back.close()

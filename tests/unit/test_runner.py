@@ -56,6 +56,21 @@ def suicidal_cell(params):
     return "survived"
 
 
+def stuck_then_fast_cell(params):
+    """Hangs far past any timeout on its first run, instant afterwards.
+
+    The first invocation drops a marker file before sleeping, so the retry
+    (in whatever execution mode the pool degraded to) sees it and returns
+    immediately — the shape of a transient environment hang.
+    """
+    marker = params["marker"]
+    if not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write("hung once")
+        time.sleep(60.0)
+    return "recovered"
+
+
 def unserializable_cell(params):
     return object()
 
@@ -168,7 +183,8 @@ class TestCache:
         path = cache.path_for("ef" + "0" * 38)
         path.parent.mkdir(parents=True)
         path.write_text("{not json")
-        assert cache.get("ef" + "0" * 38) is MISS
+        with pytest.warns(RuntimeWarning, match="corrupt result-store entry"):
+            assert cache.get("ef" + "0" * 38) is MISS
 
     def test_entry_records_provenance(self, tmp_path):
         cache = ResultCache(tmp_path, salt="s")
@@ -190,7 +206,8 @@ class TestCache:
         path = cache.path_for("ef" + "0" * 38)
         path.parent.mkdir(parents=True)
         path.write_text("{not json")
-        assert ("ef" + "0" * 38) not in cache
+        with pytest.warns(RuntimeWarning, match="corrupt result-store entry"):
+            assert ("ef" + "0" * 38) not in cache
         assert cache.get("ef" + "0" * 38) is MISS
 
     def test_contains_rejects_schemaless_entry(self, tmp_path):
@@ -198,7 +215,8 @@ class TestCache:
         path = cache.path_for("1f" + "0" * 38)
         path.parent.mkdir(parents=True)
         path.write_text(json.dumps({"result": 42}))  # valid JSON, wrong schema
-        assert ("1f" + "0" * 38) not in cache
+        with pytest.warns(RuntimeWarning, match="corrupt result-store entry"):
+            assert ("1f" + "0" * 38) not in cache
         assert cache.get("1f" + "0" * 38) is MISS
 
     def test_contains_does_not_count_stats(self, tmp_path):
@@ -331,6 +349,78 @@ class TestRunCampaign:
         assert result.results["bomb"] == "survived"
         assert result.results["calm"] == 9
         assert result.telemetry.retries >= 1
+
+    def test_timeout_degrades_to_serial_and_finishes(self, tmp_path):
+        """Exhausting the rebuild budget must fall back to ``run_serial``.
+
+        ``max_pool_rebuilds=0`` means the very first timeout kill sends the
+        remaining queue (the retried cell *and* the innocent bystanders) to
+        the serial path, where the marker file lets the retry succeed.
+        """
+        spec = CampaignSpec(
+            "degrade",
+            [
+                CampaignCell(
+                    "hang",
+                    f"{_TASK}:stuck_then_fast_cell",
+                    {"marker": str(tmp_path / "m")},
+                ),
+                CampaignCell("a", f"{_TASK}:add_cell", {"a": 1, "b": 2}),
+                CampaignCell("b", f"{_TASK}:add_cell", {"a": 3, "b": 4}),
+            ],
+        )
+        started = time.monotonic()
+        result = run_campaign(
+            spec, jobs=2, timeout=0.5, retries=2, backoff=0.01, max_pool_rebuilds=0
+        )
+        assert time.monotonic() - started < 30.0, "degradation did not preempt the hang"
+        # Every cell terminated with its correct value despite the dead pool.
+        assert result.results == {"hang": "recovered", "a": 3, "b": 7}
+        assert result.telemetry.retries >= 1
+        assert result.outcomes["hang"].attempts == 2
+        # The serial fallback runs in-process — no worker pid is recorded
+        # for the retried attempt, unlike a pool-executed cell.
+        assert result.outcomes["hang"].worker == f"pid-{os.getpid()}"
+
+    def test_worker_death_degrades_to_serial_with_zero_rebuilds(self, tmp_path):
+        """BrokenProcessPool with no rebuild budget also lands in run_serial."""
+        spec = CampaignSpec(
+            "mortal-serial",
+            [
+                CampaignCell(
+                    "bomb", f"{_TASK}:suicidal_cell", {"marker": str(tmp_path / "m")}
+                ),
+                CampaignCell("calm", f"{_TASK}:add_cell", {"a": 4, "b": 5}),
+            ],
+        )
+        result = run_campaign(
+            spec, jobs=2, retries=2, backoff=0.01, max_pool_rebuilds=0
+        )
+        assert result.results["bomb"] == "survived"
+        assert result.results["calm"] == 9
+        assert result.outcomes["bomb"].worker == f"pid-{os.getpid()}"
+
+    def test_degraded_serial_results_match_pure_serial(self, tmp_path):
+        """The jobs=N ≡ jobs=1 guarantee survives mid-campaign degradation."""
+        cells = [
+            CampaignCell(
+                "hang",
+                f"{_TASK}:stuck_then_fast_cell",
+                {"marker": str(tmp_path / "m")},
+            )
+        ] + [
+            CampaignCell(f"s{i}", f"{_TASK}:add_cell", {"a": i, "b": i})
+            for i in range(4)
+        ]
+        degraded = run_campaign(
+            CampaignSpec("deg", cells),
+            jobs=2, timeout=0.5, retries=2, backoff=0.01, max_pool_rebuilds=0,
+        )
+        # The marker is left in place, so the serial reference run sees the
+        # recovered fast path (serial timeouts cannot preempt a 60s sleep).
+        serial = run_campaign(CampaignSpec("deg", cells), jobs=1)
+        assert degraded.results == serial.results
+        assert list(degraded.results) == list(serial.results)  # spec order
 
     def test_unserializable_value_errors_with_cache(self, tmp_path):
         spec = CampaignSpec(
