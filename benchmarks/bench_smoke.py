@@ -185,6 +185,22 @@ def store_throughput(entries: int = 200) -> dict:
     }
 
 
+def batch_engine(batch_size: int = 64, scalar_sample: int = 8) -> dict:
+    """Scalar vs. batch cells/sec on a smoke-sized three_partition grid.
+
+    A quick cut of the full :mod:`repro.perf` suite (which
+    ``scripts/perf_baseline.py`` / ``scripts/perf_compare.py`` run and gate
+    on): small enough to stay in the smoke artifact's seconds budget, but
+    it still carries the ``bit_identical`` flag and results ``digest``, so
+    a batch/scalar divergence shows up here too.
+    """
+    from repro.perf import measure_workload
+
+    return measure_workload(
+        "three_partition/mixed", batch_size=batch_size, scalar_sample=scalar_sample
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="BENCH_smoke.json")
@@ -203,6 +219,7 @@ def main(argv=None) -> int:
         "faults_overhead": faults_overhead(),
         "hook_dispatch": hook_dispatch(),
         "store": store_throughput(),
+        "batch_engine": batch_engine(),
     }
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
@@ -213,6 +230,12 @@ def main(argv=None) -> int:
             f"p95={run['decide_p95_ns'] / 1e3:8.1f} us  "
             f"({run['decisions']} decisions)"
         )
+    batch = document["batch_engine"]
+    print(
+        f"batch_engine scalar={batch['scalar_cells_per_s']:.1f} c/s  "
+        f"batch={batch['batch_cells_per_s']:.1f} c/s  "
+        f"speedup={batch['speedup']:.2f}x  identical={batch['bit_identical']}"
+    )
     print(f"wrote {args.out}")
     return 0
 

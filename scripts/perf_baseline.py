@@ -1,0 +1,55 @@
+"""Freeze a batch-engine perf baseline into ``benchmarks/BENCH_baseline.json``.
+
+Runs the :mod:`repro.perf` suite (scalar vs. batch cells/sec on every
+workload class) and writes the result as the committed baseline that
+``scripts/perf_compare.py`` gates CI against. Refuses to write a baseline
+whose batch outcomes are not bit-identical to the scalar engine — a
+baseline must never launder a correctness regression into "the new
+normal". Usage::
+
+    PYTHONPATH=src python scripts/perf_baseline.py [--out benchmarks/BENCH_baseline.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.perf import (  # noqa: E402 — path bootstrap above
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_SCALAR_SAMPLE,
+    format_suite,
+    run_suite,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=str(REPO_ROOT / "benchmarks" / "BENCH_baseline.json"))
+    parser.add_argument("--batch-size", type=int, default=DEFAULT_BATCH_SIZE)
+    parser.add_argument("--scalar-sample", type=int, default=DEFAULT_SCALAR_SAMPLE)
+    args = parser.parse_args(argv)
+
+    document = run_suite(batch_size=args.batch_size, scalar_sample=args.scalar_sample)
+    print(format_suite(document))
+    broken = [name for name, row in document["workloads"].items()
+              if not row["bit_identical"]]
+    if broken:
+        print(f"REFUSING to write baseline: batch != scalar on {', '.join(broken)}")
+        return 1
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,123 @@
+"""CI gate: re-run the perf suite and compare against the committed baseline.
+
+Three checks, strictest first:
+
+1. **Bit-identity** — the batch engine's outcomes must match the scalar
+   engine's on every workload, every run. Always fatal.
+2. **Results digest** — the batch outcome fingerprints must equal the
+   baseline's. A mismatch means simulation semantics changed; that may be
+   deliberate, but then the baseline must be regenerated in the same
+   change (``scripts/perf_baseline.py``), never absorbed silently. Fatal.
+3. **Throughput** — the batch/scalar speedup ratio must not regress more
+   than ``--tolerance`` (default 30%) against the baseline. The ratio is
+   machine-independent, so this check always applies; the absolute batch
+   cells/sec check applies only when the machine fingerprint matches the
+   baseline's (a laptop should not fail CI's numbers, or vice versa).
+
+Writes the comparison artifact (``--out``, default ``BENCH_compare.json``)
+whatever the verdict, so regressions ship with the numbers that flagged
+them. Usage::
+
+    PYTHONPATH=src python scripts/perf_compare.py \
+        [--baseline benchmarks/BENCH_baseline.json] [--out BENCH_compare.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.perf import format_suite, machine_fingerprint, run_suite  # noqa: E402
+
+#: Fractional cells/sec regression that fails the gate.
+DEFAULT_TOLERANCE = 0.30
+
+
+def compare(baseline: dict, current: dict, tolerance: float) -> list:
+    """Return the list of failure strings (empty = gate passes)."""
+    failures = []
+    same_machine = current["machine"] == baseline["machine"]
+    for name, base_row in baseline["workloads"].items():
+        row = current["workloads"].get(name)
+        if row is None:
+            failures.append(f"{name}: missing from current suite")
+            continue
+        if not row["bit_identical"]:
+            failures.append(f"{name}: batch outcomes diverged from the scalar engine")
+        if row["digest"] != base_row["digest"]:
+            failures.append(
+                f"{name}: results digest {row['digest']} != baseline "
+                f"{base_row['digest']} — semantics changed; regenerate the "
+                "baseline deliberately if so"
+            )
+        floor = base_row["speedup"] * (1.0 - tolerance)
+        if row["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup {row['speedup']}x regressed below "
+                f"{floor:.2f}x (baseline {base_row['speedup']}x - {tolerance:.0%})"
+            )
+        if same_machine:
+            cps_floor = base_row["batch_cells_per_s"] * (1.0 - tolerance)
+            if row["batch_cells_per_s"] < cps_floor:
+                failures.append(
+                    f"{name}: batch {row['batch_cells_per_s']} cells/s regressed "
+                    f"below {cps_floor:.2f} (same-machine baseline "
+                    f"{base_row['batch_cells_per_s']})"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", default=str(REPO_ROOT / "benchmarks" / "BENCH_baseline.json")
+    )
+    parser.add_argument("--out", default="BENCH_compare.json")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    args = parser.parse_args(argv)
+
+    with open(args.baseline, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    current = run_suite(
+        batch_size=baseline.get("batch_size", 192),
+        scalar_sample=baseline.get("scalar_sample", 12),
+    )
+    failures = compare(baseline, current, args.tolerance)
+
+    document = {
+        "schema": "perf-compare/1",
+        "baseline_machine": baseline["machine"],
+        "machine": machine_fingerprint(),
+        "same_machine": current["machine"] == baseline["machine"],
+        "tolerance": args.tolerance,
+        "baseline": baseline["workloads"],
+        "current": current["workloads"],
+        "failures": failures,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+
+    print(format_suite(current))
+    for name, row in sorted(current["workloads"].items()):
+        base = baseline["workloads"].get(name, {})
+        print(
+            f"{name}: speedup {row['speedup']}x vs baseline "
+            f"{base.get('speedup', '?')}x"
+        )
+    if failures:
+        print("\nPERF GATE FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        print(f"(comparison artifact: {args.out})")
+        return 1
+    print(f"\nperf gate passed (comparison artifact: {args.out})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

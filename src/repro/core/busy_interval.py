@@ -40,7 +40,16 @@ from repro._time import ceil_div0
 from repro.core.state import PartitionState
 
 #: Returned when the recurrence will not converge before the deadline.
-INFEASIBLE = float("inf")
+#:
+#: This is ``None``, not ``float("inf")``: every quantity in the analysis is
+#: an integer number of microseconds, and a float sentinel leaks into the
+#: ``t + W <= d_h`` comparisons of every caller. Past 2**53 µs a float can no
+#: longer represent the window exactly (``float(2**53 + 1) == 2**53``), so
+#: the old sentinel silently rounded genuine windows at the deadline edge.
+#: ``None`` keeps the arithmetic all-integer and exact; compare with
+#: ``is INFEASIBLE`` (or ``is not``) and treat any ``int`` result as a real
+#: fixed point.
+INFEASIBLE = None
 
 #: Safety valve on fixed-point iterations; with total utilization <= 1 the
 #: recurrence converges long before this.
@@ -53,7 +62,7 @@ def busy_interval(
     t: int,
     w: int,
     horizon: Optional[int] = None,
-) -> float:
+) -> Optional[int]:
     """Worst-case level-``h`` busy interval :math:`W_{h,t}(w)` (µs).
 
     Args:
@@ -70,8 +79,10 @@ def busy_interval(
             immediately, exactly as Algorithm 3 does.
 
     Returns:
-        The fixed point of Eq. (1), or :data:`INFEASIBLE` when the window
-        exceeds ``horizon`` (or fails to converge at all).
+        The fixed point of Eq. (1) as an exact ``int``, or :data:`INFEASIBLE`
+        (``None``) when the window exceeds ``horizon`` (or fails to converge
+        at all). A window landing *exactly on* the horizon converges — only
+        strictly exceeding it is infeasible.
     """
     if w < 0:
         raise ValueError(f"inversion size must be non-negative, got {w}")
@@ -92,7 +103,7 @@ def busy_interval(
         for offset, period, budget in interferers:
             nxt += ceil_div0(window - offset, period) * budget
         if nxt == window:
-            return float(window)
+            return window
         window = nxt
     return INFEASIBLE
 
@@ -126,4 +137,5 @@ def schedulability_test(
     slack = deadline_slack(h, t)
     if slack < 0:
         return False
-    return busy_interval(h, higher, t, w, horizon=slack) <= slack
+    window = busy_interval(h, higher, t, w, horizon=slack)
+    return window is not INFEASIBLE and window <= slack

@@ -42,7 +42,6 @@ from __future__ import annotations
 import time as _wall
 from collections import OrderedDict
 from dataclasses import dataclass
-from itertools import islice
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.core.busy_interval import schedulability_test
@@ -197,12 +196,11 @@ class SchedulabilityMemo:
         # always look dead; never let it trigger a bypass.
         self._grace = True
         self._test = test
-        # Per-test entries (the __call__ path, a strict LRU) and per-decision
-        # entries (the prepare path, insertion-ordered with batch eviction)
-        # live in separate stores, each bounded by maxsize; hits/misses/
-        # evictions are pooled in `stats` either way.
+        # Per-test entries (the __call__ path) and per-decision entries (the
+        # prepare path) live in separate stores, each a strict LRU bounded by
+        # maxsize; hits/misses/evictions are pooled in `stats` either way.
         self._cache: "OrderedDict[MemoKey, bool]" = OrderedDict()
-        self._decisions: Dict[tuple, list] = {}
+        self._decisions: "OrderedDict[tuple, list]" = OrderedDict()
         # Observability scope (attach_obs); None until a run attaches one.
         self._obs = None
 
@@ -311,17 +309,12 @@ class SchedulabilityMemo:
         entry = decisions.setdefault(dkey, fresh)
         if entry is fresh:
             if len(decisions) > self.maxsize:
-                # Amortized batch eviction: drop the oldest half in one
-                # sweep. Insertion order approximates recency well enough
-                # here, and a plain dict keeps the per-decision probe
-                # cheaper than LRU bookkeeping would — the store only ever
-                # fills up in the non-recurring regime, where every entry
-                # is equally dead.
-                drop = max(1, self.maxsize // 2)
-                for stale in list(islice(iter(decisions), drop)):
-                    del decisions[stale]
-                stats.evictions += drop
+                decisions.popitem(last=False)
+                stats.evictions += 1
         else:
+            # A probed hit refreshes recency: the least-recently-*probed*
+            # decision is the one evicted, matching the __call__ LRU.
+            decisions.move_to_end(dkey)
             self._probe_hits += 1
         self._probed += 1
         if self._probed >= self.probe_window:

@@ -27,8 +27,9 @@ from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wai
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
+from repro.obs.registry import MetricsRegistry
 from repro.runner.cache import MISS, ResultStore, as_cache
 from repro.service.journal import CampaignJournal, as_journal
 from repro.runner.spec import CampaignCell, CampaignSpec, resolve_task
@@ -47,6 +48,22 @@ from repro.runner.telemetry import (
 #: Poll interval of the parallel supervisor loop (seconds). Bounds how late
 #: a per-task timeout can fire.
 _TICK = 0.05
+
+#: The one task the pool may group through the batch engine, and the task
+#: grouped attempts are shipped as.
+_SIM_TASK = "repro.runner.tasks:simulate_cell"
+_BATCH_TASK = "repro.runner.tasks:simulate_batch"
+
+#: Cells per grouped attempt. Batch-engine throughput saturates around this
+#: size (see benchmarks/BENCH_baseline.json); bigger groups only widen the
+#: blast radius of one failure or timeout.
+BATCH_GROUP_CAP = 256
+
+#: Process-wide pool telemetry. ``pool.shutdown_error`` counts exceptions
+#: suppressed while force-killing a hung executor (gated, like every
+#: counter, on the obs gate) — suppression is deliberate there, but it must
+#: never be silent.
+POOL_METRICS = MetricsRegistry("pool")
 
 
 def _invoke_cell(task: str, params: Dict[str, Any]) -> Dict[str, Any]:
@@ -131,6 +148,82 @@ class _Attempt:
     not_before: float = 0.0  # monotonic gate implementing backoff
 
 
+@dataclass
+class _GroupAttempt:
+    """Many first-attempt ``simulate_cell`` cells, shipped as one
+    ``simulate_batch`` call through the batch engine.
+
+    Every observable per-cell effect — store write, journal completion,
+    telemetry event, outcome — still happens per member, keyed by the
+    member's own content hash, so grouping never changes what a campaign
+    records. Any group-level failure dissolves the group: its members are
+    requeued as plain single attempts, *unbumped* (the singles path owns
+    all retry accounting), and are never regrouped.
+    """
+
+    members: List[_Attempt]
+
+    @property
+    def not_before(self) -> float:
+        return max(m.not_before for m in self.members)
+
+    def params(self) -> Dict[str, Any]:
+        return {"runspecs": [dict(m.cell.params)["runspec"] for m in self.members]}
+
+
+def _group_pending(
+    pending: List[_Attempt], batch: str
+) -> List[Union[_Attempt, _GroupAttempt]]:
+    """Partition ``pending`` into batchable groups and single attempts.
+
+    Only ``simulate_cell`` attempts whose specs share one
+    :func:`repro.sim.batch.batch_group_key` (system shape + horizon) are
+    grouped, in chunks of :data:`BATCH_GROUP_CAP`, and only while the obs
+    gate is disabled — per-run instrumentation (engine counters, decide
+    histograms, run-log rollups) is per-cell by contract and must not be
+    pooled across a group. Everything else passes through untouched.
+    """
+    if batch == "off" or len(pending) < 2:
+        return list(pending)
+    import repro.obs as _obs
+
+    if _obs.GATE.enabled:
+        return list(pending)
+    from repro.sim.batch import batch_compatible, batch_group_key
+    from repro.sim.config import RunSpec
+
+    ordered: List[Union[_Attempt, _GroupAttempt]] = []
+    buckets: Dict[Any, List[_Attempt]] = {}
+    for attempt in pending:
+        cell = attempt.cell
+        doc = cell.params.get("runspec") if isinstance(cell.params, Mapping) else None
+        if cell.task != _SIM_TASK or not isinstance(doc, Mapping):
+            ordered.append(attempt)
+            continue
+        try:
+            spec = RunSpec.from_dict(doc)
+        except Exception:  # noqa: BLE001 — let the single path surface the error
+            ordered.append(attempt)
+            continue
+        if spec.horizon is None or batch_compatible(spec) is not None:
+            ordered.append(attempt)
+            continue
+        bucket = buckets.setdefault(batch_group_key(spec), [])
+        if not bucket:
+            ordered.append(bucket)  # placeholder; expanded below
+        bucket.append(attempt)
+
+    out: List[Union[_Attempt, _GroupAttempt]] = []
+    for entry in ordered:
+        if isinstance(entry, list):  # a bucket placeholder, in first-seen order
+            for start in range(0, len(entry), BATCH_GROUP_CAP):
+                chunk = entry[start : start + BATCH_GROUP_CAP]
+                out.append(chunk[0] if len(chunk) == 1 else _GroupAttempt(chunk))
+        else:
+            out.append(entry)
+    return out
+
+
 def run_campaign(
     spec: CampaignSpec,
     jobs: int = 1,
@@ -143,6 +236,7 @@ def run_campaign(
     on_failure: str = "raise",
     max_pool_rebuilds: int = 3,
     journal: Union[None, str, Path, CampaignJournal] = None,
+    batch: str = "auto",
 ) -> CampaignResult:
     """Execute ``spec`` and return its merged, spec-ordered results.
 
@@ -175,9 +269,19 @@ def run_campaign(
             generation are counted in ``telemetry.resumed``. Values replay
             from the ``cache`` store, so journaling without a store records
             progress but cannot skip recomputation.
+        batch: ``"auto"`` (default) groups compatible ``simulate_cell``
+            attempts — same system shape and horizon, obs gate disabled —
+            through the batch engine (:mod:`repro.sim.batch`), one
+            ``simulate_batch`` call per group. The batch backend is
+            bit-identical to the scalar engine and every store write,
+            journal record, and telemetry event still happens per cell, so
+            results are indistinguishable from ``"off"`` (which disables
+            grouping entirely).
     """
     if on_failure not in ("raise", "keep"):
         raise ValueError(f"on_failure must be 'raise' or 'keep', got {on_failure!r}")
+    if batch not in ("auto", "off"):
+        raise ValueError(f"batch must be 'auto' or 'off', got {batch!r}")
     jobs = max(1, int(jobs))
     store = as_cache(cache)
     tele = telemetry if telemetry is not None else CampaignTelemetry(spec.name)
@@ -226,10 +330,11 @@ def run_campaign(
     )
     try:
         if pending:
+            grouped = _group_pending(pending, batch)
             if jobs == 1:
-                runner.run_serial(pending)
+                runner.run_serial(grouped)
             else:
-                runner.run_parallel(pending, jobs)
+                runner.run_parallel(grouped, jobs)
     finally:
         if log is not None and journal is not log:
             log.close()  # close only journals this call opened
@@ -337,15 +442,60 @@ class _CampaignRunner:
         )
         return None
 
+    def _complete_group(self, group: _GroupAttempt, payload: Dict[str, Any]) -> bool:
+        """Fan a group payload out into per-member completions.
+
+        Returns ``False`` (without completing anything) when the payload
+        does not line up with the members — the caller then dissolves the
+        group, exactly as for a group-level exception.
+        """
+        results = payload.get("value", {}).get("results")
+        if not isinstance(results, list) or len(results) != len(group.members):
+            return False
+        share = payload["wall"] / len(group.members)
+        for member, value in zip(group.members, results):
+            self._complete(
+                member,
+                {
+                    "value": value,
+                    "wall": share,
+                    "worker": payload["worker"],
+                    "metrics": payload.get("metrics"),
+                    "faults": payload.get("faults"),
+                },
+            )
+        return True
+
+    @staticmethod
+    def _dissolve(group: _GroupAttempt) -> List[_Attempt]:
+        """A failed group's members, requeued as plain single attempts.
+
+        Unbumped on purpose: the batch path has no retry accounting of its
+        own, so the first single attempt of each member must still count as
+        that cell's attempt #1. The gated counter keeps dissolutions
+        observable.
+        """
+        POOL_METRICS.counter("pool.batch_fallback").inc()
+        return list(group.members)
+
     # -- serial path -------------------------------------------------------
 
-    def run_serial(self, pending: List[_Attempt]) -> None:
-        queue = list(pending)
+    def run_serial(self, pending: Sequence[Union[_Attempt, _GroupAttempt]]) -> None:
+        queue: List[Union[_Attempt, _GroupAttempt]] = list(pending)
         while queue:
             attempt = queue.pop(0)
             gate = attempt.not_before - time.monotonic()
             if gate > 0:
                 time.sleep(gate)
+            if isinstance(attempt, _GroupAttempt):
+                try:
+                    payload = _invoke_cell(_BATCH_TASK, attempt.params())
+                except Exception:  # noqa: BLE001 — singles will surface it
+                    queue.extend(self._dissolve(attempt))
+                else:
+                    if not self._complete_group(attempt, payload):
+                        queue.extend(self._dissolve(attempt))
+                continue
             try:
                 payload = _invoke_cell(attempt.cell.task, dict(attempt.cell.params))
             except Exception as exc:  # noqa: BLE001 — any task error is retryable
@@ -357,9 +507,11 @@ class _CampaignRunner:
 
     # -- parallel path -----------------------------------------------------
 
-    def run_parallel(self, pending: List[_Attempt], jobs: int) -> None:
-        queue: List[_Attempt] = list(pending)
-        inflight: Dict[Future, _Attempt] = {}
+    def run_parallel(
+        self, pending: Sequence[Union[_Attempt, _GroupAttempt]], jobs: int
+    ) -> None:
+        queue: List[Union[_Attempt, _GroupAttempt]] = list(pending)
+        inflight: Dict[Future, Union[_Attempt, _GroupAttempt]] = {}
         deadlines: Dict[Future, Optional[float]] = {}
         rebuilds = 0
         executor = self._new_executor(jobs)
@@ -376,12 +528,19 @@ class _CampaignRunner:
                         index += 1
                         continue
                     queue.pop(index)
-                    future = executor.submit(
-                        _invoke_cell, attempt.cell.task, dict(attempt.cell.params)
-                    )
+                    if isinstance(attempt, _GroupAttempt):
+                        future = executor.submit(
+                            _invoke_cell, _BATCH_TASK, attempt.params()
+                        )
+                        scale = len(attempt.members)  # one deadline per member
+                    else:
+                        future = executor.submit(
+                            _invoke_cell, attempt.cell.task, dict(attempt.cell.params)
+                        )
+                        scale = 1
                     inflight[future] = attempt
                     deadlines[future] = None if self.timeout is None else (
-                        time.monotonic() + self.timeout
+                        time.monotonic() + self.timeout * scale
                     )
                 if not inflight:
                     time.sleep(_TICK)  # everything is backing off
@@ -398,8 +557,13 @@ class _CampaignRunner:
                         broken = True
                         # The pool is dead; every other in-flight future is
                         # doomed too. Any of them may have killed the worker,
-                        # so all get an attempt bump.
+                        # so singles get an attempt bump; groups dissolve
+                        # into unbumped singles (their members have not had
+                        # an individual attempt yet).
                         for doomed in [attempt] + list(inflight.values()):
+                            if isinstance(doomed, _GroupAttempt):
+                                queue.extend(self._dissolve(doomed))
+                                continue
                             follow_up = self._retry_or_fail(
                                 doomed, "worker died (BrokenProcessPool)"
                             )
@@ -409,13 +573,20 @@ class _CampaignRunner:
                         deadlines.clear()
                         break
                     except Exception as exc:  # noqa: BLE001
-                        follow_up = self._retry_or_fail(
-                            attempt, f"{type(exc).__name__}: {exc}"
-                        )
-                        if follow_up is not None:
-                            queue.append(follow_up)
+                        if isinstance(attempt, _GroupAttempt):
+                            queue.extend(self._dissolve(attempt))
+                        else:
+                            follow_up = self._retry_or_fail(
+                                attempt, f"{type(exc).__name__}: {exc}"
+                            )
+                            if follow_up is not None:
+                                queue.append(follow_up)
                     else:
-                        self._complete(attempt, payload)
+                        if isinstance(attempt, _GroupAttempt):
+                            if not self._complete_group(attempt, payload):
+                                queue.extend(self._dissolve(attempt))
+                        else:
+                            self._complete(attempt, payload)
 
                 if broken:
                     _kill_executor(executor)
@@ -439,6 +610,9 @@ class _CampaignRunner:
                     for future in timed_out:
                         attempt = inflight.pop(future)
                         deadlines.pop(future, None)
+                        if isinstance(attempt, _GroupAttempt):
+                            queue.extend(self._dissolve(attempt))
+                            continue
                         follow_up = self._retry_or_fail(
                             attempt, f"timeout after {self.timeout:.3g}s"
                         )
@@ -475,19 +649,30 @@ def _kill_executor(executor: ProcessPoolExecutor) -> None:
     ``ProcessPoolExecutor`` has no public kill switch — ``shutdown`` joins
     workers, which never returns while one is stuck — so this reaches for
     the private process table as the only way to reclaim a hung pool.
+
+    Errors from already-dead workers or a half-torn-down executor are
+    expected here and suppressed — but never silently: each one ticks the
+    gated ``pool.shutdown_error`` counter. ``KeyboardInterrupt`` and
+    ``SystemExit`` always propagate.
     """
     table = dict(getattr(executor, "_processes", None) or {})
     for proc in list(table.values()):
         try:
             proc.terminate()
+        except (KeyboardInterrupt, SystemExit):
+            raise
         except Exception:  # noqa: BLE001 — already-dead workers are fine
-            pass
+            POOL_METRICS.counter("pool.shutdown_error").inc()
     try:
         executor.shutdown(wait=False, cancel_futures=True)
+    except (KeyboardInterrupt, SystemExit):
+        raise
     except Exception:  # noqa: BLE001
-        pass
+        POOL_METRICS.counter("pool.shutdown_error").inc()
     for proc in list(table.values()):
         try:
             proc.join(timeout=1.0)
+        except (KeyboardInterrupt, SystemExit):
+            raise
         except Exception:  # noqa: BLE001
-            pass
+            POOL_METRICS.counter("pool.shutdown_error").inc()

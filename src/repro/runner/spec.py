@@ -30,7 +30,11 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Seque
 #: 2: simulation cells carry a serialized ``RunSpec`` under the ``"runspec"``
 #: param and their hashes derive from ``RunSpec.content_hash()`` instead of
 #: hand-rolled param dicts, so schema-1 entries must never be replayed.
-CACHE_SCHEMA = 2
+#: 3: ``simulate_cell`` summaries dropped the scalar engine's ``memo_hits``/
+#: ``memo_misses`` instrumentation fields so the batch backend produces
+#: byte-identical cache values; schema-2 entries carry the extra fields and
+#: must never be replayed against schema-3 readers.
+CACHE_SCHEMA = 3
 
 
 def canonical_json(value: Any) -> str:

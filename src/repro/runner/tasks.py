@@ -45,6 +45,23 @@ def seeded_checksum_cell(params: Mapping[str, Any]) -> Dict[str, Any]:
     return checksum_cell(merged)
 
 
+def _summarize(spec, result) -> Dict[str, Any]:
+    """The JSON summary of one run — identical fields whichever engine
+    produced ``result``. Memo counters are deliberately absent: they are
+    instrumentation of the scalar engine's internals, not properties of the
+    run, and the batch backend (which shares one memo across a whole group)
+    could never reproduce them per cell.
+    """
+    return {
+        "spec_hash": spec.content_hash(),
+        "end_time": result.end_time,
+        "decisions": result.decisions,
+        "switches": result.switches,
+        "deadline_misses": result.deadline_misses,
+        "fault_injections": result.fault_injections,
+    }
+
+
 def simulate_cell(params: Mapping[str, Any]) -> Dict[str, Any]:
     """Run the simulation a serialized :class:`~repro.sim.config.RunSpec`
     describes, returning a JSON summary of the result.
@@ -64,13 +81,28 @@ def simulate_cell(params: Mapping[str, Any]) -> Dict[str, Any]:
     if spec.horizon is None:
         raise ValueError("simulate_cell needs a RunSpec with a horizon")
     result = Simulator.from_spec(spec).run_until(spec.horizon)
-    return {
-        "spec_hash": spec.content_hash(),
-        "end_time": result.end_time,
-        "decisions": result.decisions,
-        "switches": result.switches,
-        "deadline_misses": result.deadline_misses,
-        "memo_hits": result.memo_hits,
-        "memo_misses": result.memo_misses,
-        "fault_injections": result.fault_injections,
-    }
+    return _summarize(spec, result)
+
+
+def simulate_batch(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Run many compatible RunSpecs in lockstep through the batch engine.
+
+    Parameters: ``runspecs`` — a list of ``RunSpec.to_dict()`` docs that all
+    share one system shape and horizon (see
+    :func:`repro.sim.batch.batch_group_key`). Returns ``{"results": [...]}``
+    with one :func:`_summarize` dict per spec, in input order — each entry
+    is exactly what :func:`simulate_cell` would have returned for that spec,
+    because the batch backend is bit-identical to the scalar engine.
+
+    This task is the campaign pool's grouped fast path; it is never cached
+    as a unit (the pool stores each member's summary under the member cell's
+    own content hash).
+    """
+    from repro.sim.config import RunSpec
+    from repro.sim.batch import run_specs_batched
+
+    specs = [RunSpec.from_dict(doc) for doc in params["runspecs"]]
+    if not specs:
+        return {"results": []}
+    results = run_specs_batched(specs)
+    return {"results": [_summarize(s, r) for s, r in zip(specs, results)]}

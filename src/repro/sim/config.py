@@ -194,6 +194,12 @@ class RunSpec:
         measure_overhead: Record wall-clock decide latencies (Table IV /
             Fig. 17 runs only; wall-clock data never affects the hash beyond
             this boolean).
+        engine: Which backend executes the run — ``"scalar"`` (the default
+            event-loop engine) or ``"batch"`` (the vectorized lockstep
+            engine, :mod:`repro.sim.batch`). The two are bit-identical on
+            every supported spec, so the engine choice is **hash-neutral**:
+            it never participates in :meth:`content_hash` and both engines
+            share one cache entry per run.
     """
 
     system: SystemSpec
@@ -206,6 +212,7 @@ class RunSpec:
     faults: Optional[Mapping[str, Any]] = None
     budget_donation: bool = False
     measure_overhead: bool = False
+    engine: str = "scalar"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "system", _coerce_system(self.system))
@@ -226,6 +233,10 @@ class RunSpec:
             if quantum <= 0:
                 raise ValueError(f"quantum must be positive, got {quantum}")
             object.__setattr__(self, "quantum", quantum)
+        if self.engine not in ("scalar", "batch"):
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected 'scalar' or 'batch'"
+            )
         # Validate eagerly: a malformed channel/faults document should fail
         # at spec construction, not inside a campaign worker.
         self.channel_script()
@@ -277,8 +288,14 @@ class RunSpec:
     # --------------------------------------------------------- serialization
 
     def to_dict(self) -> dict:
-        """Plain-JSON form with every field explicit (schema-tagged)."""
-        return {
+        """Plain-JSON form with every field explicit (schema-tagged).
+
+        The ``engine`` key is emitted only when it is not the default
+        ``"scalar"`` — it is an execution-backend selector, not run
+        semantics, so default-engine documents round-trip byte-identically
+        with pre-engine-field ones.
+        """
+        doc = {
             "schema": CONFIG_SCHEMA,
             "system": self.system.to_dict(),
             "policy": self.policy,
@@ -291,6 +308,9 @@ class RunSpec:
             "budget_donation": self.budget_donation,
             "measure_overhead": self.measure_overhead,
         }
+        if self.engine != "scalar":
+            doc["engine"] = self.engine
+        return doc
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
@@ -310,6 +330,7 @@ class RunSpec:
             faults=data.get("faults"),
             budget_donation=data.get("budget_donation", False),
             measure_overhead=data.get("measure_overhead", False),
+            engine=data.get("engine", "scalar"),
         )
 
     def to_json(self) -> str:
@@ -325,10 +346,16 @@ class RunSpec:
         A pure function of the spec's semantics: stable across field order,
         JSON round-trips, and process boundaries; distinct on every field
         (the schema version is part of the hashed material, so a format bump
-        invalidates everything at once). Hash **normalized** specs when the
-        address must be ambient-state-independent.
+        invalidates everything at once). The ``engine`` field is excluded:
+        scalar and batch execution are bit-identical, so both address the
+        same cached result. Hash **normalized** specs when the address must
+        be ambient-state-independent.
         """
-        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()[:40]
+        material = self.to_dict()
+        material.pop("engine", None)
+        return hashlib.sha256(canonical_json(material).encode("utf-8")).hexdigest()[
+            :40
+        ]
 
     def replace(self, **changes: Any) -> "RunSpec":
         """A changed copy (:func:`dataclasses.replace` with re-validation)."""

@@ -347,8 +347,29 @@ class Simulator:
         objects, behaviour instances, local-scheduler factories — are not
         part of a spec and are passed alongside it; they never affect cache
         identity.
+
+        When ``spec.engine == "batch"`` the run is routed to the vectorized
+        backend (:mod:`repro.sim.batch`) and the return value is a
+        :class:`~repro.sim.batch.BatchRunAdapter` — same ``run_until``
+        surface, bit-identical results, but single-shot (no pause/resume).
+        Specs or attachments the batch engine cannot represent (budget
+        donation, overhead measurement, custom behaviours/schedulers/obs)
+        fall back to the scalar engine here, ticking the gated
+        ``batch.fallback`` counter.
         """
         spec = spec.normalized()
+        if spec.engine == "batch":
+            from repro.sim.batch import BATCH_METRICS, BatchRunAdapter, batch_compatible
+
+            supported = (
+                batch_compatible(spec) is None
+                and behaviors is None
+                and local_scheduler_factory is None
+                and obs is None
+            )
+            if supported:
+                return BatchRunAdapter(spec, observers=observers)
+            BATCH_METRICS.counter("batch.fallback").inc()
         return cls(
             spec.build_system(),
             policy=spec.policy,

@@ -167,6 +167,13 @@ class ResultStore(ABC):
         """Iterate every decodable entry, in ascending hash order."""
 
     @abstractmethod
+    def _hashes(self) -> Iterator[str]:
+        """Iterate every *stored* hash, in ascending order — including
+        hashes whose entries are torn/corrupt and which :meth:`entries`
+        therefore skips. :meth:`gc` sweeps this, not :meth:`entries`, so
+        corrupt entries are reachable for removal."""
+
+    @abstractmethod
     def location(self) -> str:
         """The backend's path operand (what follows ``scheme:`` in its URL)."""
 
@@ -253,11 +260,26 @@ class ResultStore(ABC):
     def gc(self, keep_salt: Optional[str] = None) -> int:
         """Delete entries whose salt differs from ``keep_salt`` (default:
         this store's salt) — results computed by other code versions that
-        can never be replayed again. Returns the number removed."""
+        can never be replayed again. Returns the number removed.
+
+        Torn/corrupt entries are swept too: they can never be read back
+        under *any* salt, so each one is counted (the gated
+        ``cache.corrupt`` counter, via the backend's ``_load``) and then
+        removed. Bad data never raises mid-sweep — ``_load`` decodes
+        defensively and ``_delete`` tolerates races with concurrent
+        writers.
+        """
         keep = self.salt if keep_salt is None else keep_salt
         removed = 0
-        for entry in list(self.entries()):
-            if entry.salt != keep and self._delete(entry.content_hash):
+        for content_hash in list(self._hashes()):
+            entry = self._load(content_hash)
+            if entry is MISS:
+                # Listed by the backend but undecodable (or deleted by a
+                # concurrent sweep since listing): remove what's left.
+                if self._delete(content_hash):
+                    removed += 1
+                continue
+            if str(entry.get("salt", "")) != keep and self._delete(content_hash):
                 removed += 1
         return removed
 

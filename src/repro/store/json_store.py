@@ -96,11 +96,14 @@ class JsonStore(ResultStore):
             return False
         return True
 
-    def entries(self) -> Iterator[StoreEntry]:
+    def _hashes(self) -> Iterator[str]:
         if not self.root.is_dir():
             return
         for path in sorted(self.root.glob("??/*.json")):
-            content_hash = path.stem
+            yield path.stem
+
+    def entries(self) -> Iterator[StoreEntry]:
+        for content_hash in self._hashes():
             entry = self._load(content_hash)
             if entry is MISS:
                 continue

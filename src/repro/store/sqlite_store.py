@@ -144,6 +144,13 @@ class SqliteStore(ResultStore):
         conn.commit()
         return cursor.rowcount > 0
 
+    def _hashes(self) -> Iterator[str]:
+        conn = self._connection()
+        for (content_hash,) in conn.execute(
+            "SELECT hash FROM results ORDER BY hash"
+        ):
+            yield content_hash
+
     def entries(self) -> Iterator[StoreEntry]:
         conn = self._connection()
         for content_hash, value_text, meta_text, salt, schema in conn.execute(

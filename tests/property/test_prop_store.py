@@ -11,12 +11,15 @@ here would make ``--store`` choice change campaign results.
 
 import shutil
 import tempfile
+import warnings
 from pathlib import Path
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import repro.obs as obs
 from repro.store import MISS, JsonStore, SqliteStore, migrate
+from repro.store.base import STORE_METRICS, cache_schema
 
 # Content hashes as the runner mints them: 40 lowercase hex chars.
 hashes = st.text(alphabet="0123456789abcdef", min_size=40, max_size=40)
@@ -121,3 +124,70 @@ def test_migrate_roundtrip_is_identity(sequence):
             source.close()
             via.close()
             back.close()
+
+
+def _corrupt(store, content_hash):
+    """Plant a torn/undecodable entry under ``content_hash``."""
+    if isinstance(store, JsonStore):
+        path = store.path_for(content_hash)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{torn write", encoding="utf-8")
+    else:
+        conn = store._connection()
+        conn.execute(
+            "INSERT OR REPLACE INTO results (hash, value, meta, salt, schema, created)"
+            " VALUES (?, ?, ?, ?, ?, 0)",
+            (content_hash, "{torn write", "{}", store.salt, cache_schema()),
+        )
+        conn.commit()
+
+
+@given(
+    keep=st.lists(st.tuples(hashes, values), max_size=6, unique_by=lambda t: t[0]),
+    stale=st.lists(st.tuples(hashes, values), max_size=6, unique_by=lambda t: t[0]),
+    torn=st.lists(hashes, max_size=4, unique=True),
+)
+@SETTINGS
+def test_gc_sweeps_corrupt_entries_on_both_backends(keep, stale, torn):
+    """gc(keep_salt=...) never raises on torn entries: it counts each via the
+    gated ``cache.corrupt`` counter, removes it deterministically, and leaves
+    exactly the keep-salt survivors — identically on JSON and SQLite."""
+    # Corrupt hashes must not collide with real ones (last writer would win).
+    written = {h for h, _ in keep} | {h for h, _ in stale}
+    torn = [h for h in torn if h not in written]
+    stale = [(h, v) for h, v in stale if h not in {k for k, _ in keep}]
+    with _FreshDir() as tmp_path:
+        stores = [
+            JsonStore(tmp_path / "j", salt="keep"),
+            SqliteStore(tmp_path / "s.db", salt="keep"),
+        ]
+        try:
+            obs.enable()
+            counter = STORE_METRICS.counter("cache.corrupt")
+            for store in stores:
+                for content_hash, value in keep:
+                    store.put(content_hash, value)
+                store.salt = "stale"
+                for content_hash, value in stale:
+                    store.put(content_hash, value)
+                store.salt = "keep"
+                for content_hash in torn:
+                    _corrupt(store, content_hash)
+
+                before = counter.value
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore")
+                    removed = store.gc(keep_salt="keep")
+                # Every stale and every torn entry went; nothing else did.
+                assert removed == len(stale) + len(torn)
+                assert counter.value == before + len(torn)
+                survivors = {e.content_hash: e.value for e in store.entries()}
+                assert survivors == dict(keep)
+                # The sweep is idempotent and the torn hashes are truly gone.
+                assert store.gc(keep_salt="keep") == 0
+                for content_hash in torn:
+                    assert content_hash not in store
+        finally:
+            obs.disable()
+            for store in stores:
+                store.close()

@@ -100,6 +100,56 @@ class TestInactiveIndirectInterference:
         assert deadline_slack(inactive, ms(5)) == ms(35)
 
 
+class TestIntegerSentinel:
+    """Regression: INFEASIBLE must not leak floats into the µs arithmetic."""
+
+    def test_feasible_results_are_exact_ints(self):
+        h = pstate("h", 2, 40, 4, 4)
+        hp = pstate("hp", 1, 5, 3, 3, repl=0)
+        result = busy_interval(h, [hp], t=0, w=ms(2))
+        assert isinstance(result, int) and not isinstance(result, bool)
+        assert result == ms(15)
+
+    def test_infeasible_is_none_identity(self):
+        h = pstate("h", 2, 40, 4, 4)
+        hp = pstate("hp", 1, 5, 3, 3, repl=0)
+        assert busy_interval(h, [hp], 0, ms(2), horizon=ms(10)) is INFEASIBLE
+        assert INFEASIBLE is None
+
+    def test_fixed_point_exactly_on_horizon_converges(self):
+        # The window grows 9 -> 12 -> 15 and the fixed point lands exactly
+        # on the horizon; only *exceeding* the horizon is infeasible.
+        h = pstate("h", 2, 40, 4, 4)
+        hp = pstate("hp", 1, 5, 3, 3, repl=0)
+        assert busy_interval(h, [hp], 0, ms(2), horizon=ms(15)) == ms(15)
+
+    def test_fixed_point_exactly_on_deadline_passes(self):
+        # t + W == d_h is schedulable (Eq. 3's <= is inclusive); one more
+        # microsecond of inversion is not.
+        h = pstate("h", 1, 20, 4, 4, repl=0)
+        assert schedulability_test(h, [], t=0, w=ms(16))
+        assert not schedulability_test(h, [], t=0, w=ms(16) + 1)
+
+    def test_exact_beyond_float53(self):
+        # float(2**53 + 1) == float(2**53): the old float sentinel made every
+        # window pass through float(), silently rounding at the deadline edge
+        # for horizons past 2**53 us. Integer windows stay exact.
+        big = 2**53
+        h = PartitionState(
+            name="h",
+            period=big + 2,
+            max_budget=big,
+            priority=1,
+            remaining_budget=big,
+            last_replenishment=0,
+        )
+        result = busy_interval(h, [], t=0, w=1)
+        assert result == big + 1  # float() would have collapsed this to 2**53
+        # And the downstream comparison is exact too: slack is big + 2.
+        assert schedulability_test(h, [], t=0, w=2)
+        assert not schedulability_test(h, [], t=0, w=3)
+
+
 class TestSchedulabilityTest:
     def test_passes_with_room(self):
         h = pstate("h", 1, 20, 4, 4, repl=0)

@@ -164,6 +164,65 @@ class TestMemoBehavior:
         assert memo.stats.hits > 0  # the sweep revisits phase-equal states
 
 
+class TestPrepareLRUBoundary:
+    """Regression: the prepare() decision store is a strict LRU.
+
+    It must evict exactly once at maxsize+1 (not a batch sweep), evict the
+    least-recently-*probed* decision (a prepare() hit refreshes recency),
+    and keep stats.evictions in lockstep with actual removals.
+    """
+
+    @staticmethod
+    def _parts():
+        return [pstate("a", 1, 20, 8, 4, repl=0), pstate("h", 2, 40, 18, 9, repl=0)]
+
+    def test_maxsize_then_one_more_evicts_exactly_once(self):
+        memo = SchedulabilityMemo(maxsize=4)
+        parts = self._parts()
+        # Distinct t => distinct phases => 4 distinct decision keys: full,
+        # no eviction yet. vet(0) populates each entry so later probes can
+        # distinguish a surviving entry (hit) from a recomputed one (miss).
+        for i in range(4):
+            memo.prepare(parts, ms(i), ms(2))(0)
+        assert len(memo) == 4
+        assert memo.stats.evictions == 0
+        # One more distinct key evicts precisely one entry.
+        memo.prepare(parts, ms(10), ms(2))(0)
+        assert len(memo) == 4
+        assert memo.stats.evictions == 1
+        # The evicted one is the oldest (t=0): t=1 still hits...
+        hits_before = memo.stats.hits
+        memo.prepare(parts, ms(1), ms(2))(0)
+        assert memo.stats.hits == hits_before + 1
+        # ...while t=0's vet recomputes.
+        misses_before = memo.stats.misses
+        memo.prepare(parts, ms(0), ms(2))(0)
+        assert memo.stats.misses == misses_before + 1
+
+    def test_prepare_hit_refreshes_recency(self):
+        memo = SchedulabilityMemo(maxsize=2)
+        parts = self._parts()
+        memo.prepare(parts, ms(0), ms(2))(0)  # A
+        memo.prepare(parts, ms(1), ms(2))(0)  # B
+        memo.prepare(parts, ms(0), ms(2))  # probe A: B is now least recent
+        memo.prepare(parts, ms(2), ms(2))(0)  # C evicts B, not A
+        assert memo.stats.evictions == 1
+        hits_before = memo.stats.hits
+        memo.prepare(parts, ms(0), ms(2))(0)  # A survived: rank 0 hits
+        assert memo.stats.hits == hits_before + 1
+        misses_before = memo.stats.misses
+        memo.prepare(parts, ms(1), ms(2))(0)  # B was evicted: recomputes
+        assert memo.stats.misses == misses_before + 1
+
+    def test_evictions_counter_tracks_removals(self):
+        memo = SchedulabilityMemo(maxsize=3)
+        parts = self._parts()
+        for i in range(10):
+            memo.prepare(parts, ms(i), ms(2))
+        assert len(memo) == 3
+        assert memo.stats.evictions == 7
+
+
 class TestAdaptiveProbing:
     """prepare()'s probe-window/bypass machinery, with tiny knobs."""
 

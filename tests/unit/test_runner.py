@@ -511,3 +511,70 @@ class TestResetSession:
         reset_session()
         assert session_stats() == []
         assert default_listeners() == []
+
+
+class TestKillExecutor:
+    """_kill_executor must suppress teardown errors loudly, not silently."""
+
+    class _PoisonProc:
+        def terminate(self):
+            raise OSError("process table gone")
+
+        def join(self, timeout=None):
+            raise OSError("process table gone")
+
+    class _PoisonExecutor:
+        def __init__(self, procs):
+            self._processes = procs
+
+        def shutdown(self, wait=True, cancel_futures=False):
+            raise RuntimeError("executor torn down twice")
+
+    def test_poisoned_executor_surfaces_shutdown_error_count(self):
+        import repro.obs as obs
+        from repro.runner.pool import POOL_METRICS, _kill_executor
+
+        obs.enable()
+        counter = POOL_METRICS.counter("pool.shutdown_error")
+        before = counter.value
+        # One poisoned worker: terminate, shutdown, and join all raise.
+        _kill_executor(self._PoisonExecutor({1: self._PoisonProc()}))
+        assert counter.value == before + 3
+
+    def test_counter_is_gated(self):
+        from repro.obs.gate import GATE
+        from repro.runner.pool import POOL_METRICS, _kill_executor
+
+        assert not GATE.enabled  # conftest resets the gate per test
+        counter = POOL_METRICS.counter("pool.shutdown_error")
+        before = counter.value
+        _kill_executor(self._PoisonExecutor({1: self._PoisonProc()}))
+        assert counter.value == before  # suppressed quietly with obs off
+
+    def test_keyboard_interrupt_propagates(self):
+        from repro.runner.pool import _kill_executor
+
+        class _InterruptedProc:
+            def terminate(self):
+                raise KeyboardInterrupt
+
+        class _Executor:
+            _processes = {1: _InterruptedProc()}
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                pass
+
+        with pytest.raises(KeyboardInterrupt):
+            _kill_executor(_Executor())
+
+    def test_system_exit_propagates(self):
+        from repro.runner.pool import _kill_executor
+
+        class _Executor:
+            _processes = {}
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                raise SystemExit(3)
+
+        with pytest.raises(SystemExit):
+            _kill_executor(_Executor())
