@@ -146,6 +146,60 @@ def hook_dispatch(seed: int = 3, horizon_ms: int = 300, repeats: int = 3) -> dic
     }
 
 
+def events_overhead(repeats: int = 3) -> dict:
+    """Wall-time of a small campaign with the fleet event log dormant vs.
+    armed and appending to a scratch file.
+
+    Event emission happens at cell boundaries, never inside the engine
+    loop, so even the armed run should cost close to nothing extra; the
+    ``disabled_over_enabled`` ratio is the number the overhead guard
+    (``benchmarks/test_bench_events_overhead.py``) bounds — a dormant run
+    that trails an armed one means ``emit`` is doing work while disabled.
+    """
+    import shutil
+    import tempfile
+    import time
+
+    from repro.experiments import fig12_accuracy
+    from repro.obs.events import disable_event_log, enable_event_log
+    from repro.runner import run_campaign
+
+    obs.disable()
+    spec = fig12_accuracy.sweep_campaign(
+        policies=("norandom", "timedice"),
+        profile_sizes=(10,),
+        message_windows=20,
+        seed=3,
+    )
+
+    def simulate():
+        run_campaign(spec, jobs=1)
+
+    simulate()  # warm caches before timing
+    disabled = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        simulate()
+        disabled = min(disabled, time.perf_counter() - t0)
+    scratch = tempfile.mkdtemp(prefix="bench-events-")
+    enable_event_log(f"{scratch}/events.jsonl")
+    try:
+        enabled = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            simulate()
+            enabled = min(enabled, time.perf_counter() - t0)
+    finally:
+        disable_event_log()
+        shutil.rmtree(scratch, ignore_errors=True)
+    return {
+        "cells": len(spec),
+        "disabled_s": disabled,
+        "enabled_s": enabled,
+        "disabled_over_enabled": disabled / enabled,
+    }
+
+
 def store_throughput(entries: int = 200) -> dict:
     """Put+get throughput of both result-store backends, in a scratch dir.
 
@@ -218,6 +272,7 @@ def main(argv=None) -> int:
         "runs": runs,
         "faults_overhead": faults_overhead(),
         "hook_dispatch": hook_dispatch(),
+        "events_overhead": events_overhead(),
         "store": store_throughput(),
         "batch_engine": batch_engine(),
     }

@@ -1,0 +1,84 @@
+"""Guard: the dormant fleet event log must stay almost free.
+
+``repro.obs.events.emit`` is called at every cell boundary of every
+campaign, service ticket, and pool worker — always, whether or not a log
+is armed. The whole design hinges on the disabled path being one
+attribute read and a branch. This bench times the same small campaign
+with the log dormant against armed-and-appending, and pins the emit
+primitive itself against a bare function call.
+"""
+
+import time
+
+import repro.obs as obs
+from repro.experiments import fig12_accuracy
+from repro.obs.events import disable_event_log, enable_event_log
+from repro.runner import run_campaign
+
+
+def _campaign():
+    return fig12_accuracy.sweep_campaign(
+        policies=("norandom", "timedice"),
+        profile_sizes=(10,),
+        message_windows=20,
+        seed=3,
+    )
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_disabled_event_log_overhead_is_bounded(tmp_path, benchmark):
+    obs.disable()
+    spec = _campaign()
+
+    def simulate():
+        run_campaign(spec, jobs=1)
+
+    simulate()  # warm caches before timing
+    disabled = _best_of(simulate)
+    enable_event_log(tmp_path / "events.jsonl")
+    try:
+        enabled = _best_of(simulate)
+    finally:
+        disable_event_log()
+
+    benchmark.extra_info["disabled_s"] = disabled
+    benchmark.extra_info["enabled_s"] = enabled
+    benchmark.extra_info["disabled_over_enabled"] = disabled / enabled
+    benchmark.pedantic(simulate, rounds=1, iterations=1)
+
+    # Generous bound for shared CI boxes: a dormant run 1.25x an armed one
+    # (which pays JSON encoding plus an os.write per event) would mean the
+    # disabled path is doing real work.
+    assert disabled <= enabled * 1.25, (disabled, enabled)
+
+
+def test_disabled_emit_is_cheap(tmp_path):
+    from repro.obs.events import emit
+
+    n = 100_000
+
+    def noop():
+        pass
+
+    def raw_loop():
+        for _ in range(n):
+            noop()
+
+    def dormant_loop():
+        for _ in range(n):
+            emit("cell.complete", cell="k")
+
+    raw = _best_of(raw_loop, repeats=5)
+    dormant = _best_of(dormant_loop, repeats=5)
+    assert not list(tmp_path.iterdir())  # nothing was written anywhere
+    # One module-attribute read + branch, plus kwargs packing: bounded by a
+    # small multiple of a bare call (interpreter overhead dominates).
+    assert dormant <= raw * 12, (dormant, raw)

@@ -42,12 +42,27 @@ def _env() -> dict:
     return env
 
 
-def _campaign_argv(target: str, seed: int, store_url: str, journal_dir: str) -> list:
-    return [
+def _campaign_argv(
+    target: str,
+    seed: int,
+    store_url: str,
+    journal_dir: str,
+    obs_dir: "Path | None" = None,
+) -> list:
+    argv = [
         sys.executable, "-m", "repro", "campaign", target,
         "--scale", "quick", "--seed", str(seed), "--jobs", "2",
         "--store", store_url, "--resume", "--journal-dir", journal_dir,
     ]
+    if obs_dir is not None:
+        # Fleet sinks ride along so the kill exercises them too: the event
+        # log must tolerate a torn final line and the resumed run must
+        # append, not clobber. CI uploads these as debugging artifacts.
+        argv += [
+            "--events-out", str(obs_dir / "events.jsonl"),
+            "--metrics-dir", str(obs_dir / "metrics"),
+        ]
+    return argv
 
 
 def _store_entries(store_url: str) -> list:
@@ -65,6 +80,13 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=3)
     parser.add_argument("--kill-after-entries", type=int, default=1)
     parser.add_argument("--timeout", type=float, default=300.0)
+    parser.add_argument(
+        "--obs-dir",
+        type=Path,
+        default=None,
+        help="directory for --events-out/--metrics-dir fleet sinks "
+        "(kept after the run so CI can upload them)",
+    )
     args = parser.parse_args(argv)
 
     workdir = Path(tempfile.mkdtemp(prefix="kill-resume-"))
@@ -75,9 +97,13 @@ def main(argv=None) -> int:
         killed_url = f"sqlite:{workdir / 'killed.db'}"
         clean_url = f"sqlite:{workdir / 'clean.db'}"
     journal_dir = str(workdir / "journals")
+    if args.obs_dir is not None:
+        args.obs_dir.mkdir(parents=True, exist_ok=True)
 
     # 1-2. Start the doomed run; SIGKILL once the store shows progress.
-    doomed_argv = _campaign_argv(args.target, args.seed, killed_url, journal_dir)
+    doomed_argv = _campaign_argv(
+        args.target, args.seed, killed_url, journal_dir, obs_dir=args.obs_dir
+    )
     print(f"[kill-resume] starting: {' '.join(doomed_argv)}")
     process = subprocess.Popen(
         doomed_argv, env=_env(), cwd=workdir,
@@ -103,7 +129,9 @@ def main(argv=None) -> int:
 
     # 3. Resume: the identical command must complete from where it died.
     resumed = subprocess.run(
-        _campaign_argv(args.target, args.seed, killed_url, journal_dir),
+        _campaign_argv(
+            args.target, args.seed, killed_url, journal_dir, obs_dir=args.obs_dir
+        ),
         env=_env(), cwd=workdir, capture_output=True, text=True, timeout=args.timeout,
     )
     if resumed.returncode != 0:
@@ -120,6 +148,24 @@ def main(argv=None) -> int:
         return 1
     print(f"[kill-resume] resumed: journal generation {state.generations}, "
           f"{len(state.completed)} cells completed")
+
+    # 3b. The fleet sinks must have survived the SIGKILL: the event log has
+    # to parse (torn final line tolerated) and the exporter has to have left
+    # snapshot files behind.
+    if args.obs_dir is not None:
+        from repro.obs.events import read_events  # noqa: E402
+        from repro.obs.export import read_metrics_snapshots  # noqa: E402
+
+        events = read_events(args.obs_dir / "events.jsonl")
+        snapshots = read_metrics_snapshots(args.obs_dir / "metrics")
+        if not events:
+            print("[kill-resume] FAIL: fleet event log is empty after resume")
+            return 1
+        if not snapshots:
+            print("[kill-resume] FAIL: no metrics snapshots survived the kill")
+            return 1
+        print(f"[kill-resume] fleet sinks: {len(events)} events, "
+              f"{len(snapshots)} metrics snapshot(s)")
 
     # 4. The uninterrupted reference run.
     clean = subprocess.run(

@@ -26,6 +26,16 @@ every simulation the command runs (open it at https://ui.perfetto.dev);
 ``python -m repro stats [policy]`` runs one short simulation with
 instrumentation on and pretty-prints its metrics snapshot.
 
+Fleet observability (docs/OBSERVABILITY.md): ``--events-out FILE`` appends
+a structured JSON-lines event log (cells, batch groups, store traffic,
+service tickets) for the whole command, including forked pool workers;
+``--metrics-dir DIR`` arms a periodic exporter that leaves per-process
+``metrics-<pid>.prom`` / ``.json`` snapshots (Prometheus text + exact-merge
+JSON) — ``repro service drain --metrics-dir DIR`` leaves one per worker.
+``repro top`` folds a service root, an event log, and a metrics directory
+into a live fleet console (``--once`` renders a single frame);
+``repro service status --watch`` re-renders the queue report in place.
+
 Fault injection (:mod:`repro.faults`): ``--faults SPEC`` installs a fault
 plan ambiently, so every simulation the subcommand runs executes under it
 (``SPEC`` is the ``kind:partition[:rate=..,mag=..,len=..];...``
@@ -407,6 +417,42 @@ def _run_stats(args) -> str:
     )
 
 
+def _watch_loop(render: Callable[[], str], interval: float) -> str:
+    """Re-render a frame in place until interrupted (``top``, ``--watch``)."""
+    try:
+        while True:
+            sys.stdout.write("\x1b[H\x1b[2J" + render() + "\n")
+            sys.stdout.flush()
+            time.sleep(max(0.1, interval))
+    except KeyboardInterrupt:
+        return "(watch stopped)"
+
+
+def _run_top(args) -> str:
+    """``repro top`` — the live fleet console: folds the service root, an
+    event log (``--events-out``), and a metrics directory (``--metrics-dir``)
+    into one text dashboard (:mod:`repro.obs.console`). ``--once`` renders a
+    single frame and exits (scriptable / CI-friendly); otherwise the frame
+    re-renders every ``--interval`` seconds until interrupted."""
+    from repro.obs.console import gather_fleet_state, render_top
+    from repro.service import DEFAULT_SERVICE_ROOT
+
+    root = args.service_root or DEFAULT_SERVICE_ROOT
+
+    def frame() -> str:
+        return render_top(
+            gather_fleet_state(
+                service_root=root,
+                events_path=args.events_out,
+                metrics_dir=args.metrics_dir,
+            )
+        )
+
+    if args.once:
+        return frame()
+    return _watch_loop(frame, args.interval)
+
+
 def _run_service(args) -> str:
     """``repro service submit <target> | status | drain`` — the shared
     campaign queue (see docs/SERVICE.md)."""
@@ -443,31 +489,37 @@ def _run_service(args) -> str:
             f"(scale={scale}, seed={args.seed}) -> {dispatcher.root}"
         )
     if verb == "status":
-        report = dispatcher.status()
-        lines = [f"service root: {report['root']}"]
-        for state in ("pending", "active", "done"):
-            items = report[state]
-            lines.append(f"{state}: {len(items)}")
-            for item in items:
-                detail = (
-                    f"  #{item['ticket']:08d} {item['target']} "
-                    f"(scale={item['scale']}, seed={item['seed']})"
-                )
-                progress = item.get("progress")
-                if progress:
-                    detail += (
-                        f" — {progress['done']}/{progress['total']} cells"
-                        f", {progress['pending_cells']} pending"
+
+        def render() -> str:
+            report = dispatcher.status()
+            lines = [f"service root: {report['root']}"]
+            for state in ("pending", "active", "done"):
+                items = report[state]
+                lines.append(f"{state}: {len(items)}")
+                for item in items:
+                    detail = (
+                        f"  #{item['ticket']:08d} {item['target']} "
+                        f"(scale={item['scale']}, seed={item['seed']})"
                     )
-                    if progress.get("eta_s") is not None:
-                        detail += f", eta {progress['eta_s']:.1f}s"
-                if state == "done":
-                    flag = "ok" if item.get("ok") else "FAILED"
-                    detail += f" — {flag}"
-                    if item.get("elapsed_s") is not None:
-                        detail += f" in {item['elapsed_s']:.1f}s"
-                lines.append(detail)
-        return "\n".join(lines)
+                    progress = item.get("progress")
+                    if progress:
+                        detail += (
+                            f" — {progress['done']}/{progress['total']} cells"
+                            f", {progress['pending_cells']} pending"
+                        )
+                        if progress.get("eta_s") is not None:
+                            detail += f", eta {progress['eta_s']:.1f}s"
+                    if state == "done":
+                        flag = "ok" if item.get("ok") else "FAILED"
+                        detail += f" — {flag}"
+                        if item.get("elapsed_s") is not None:
+                            detail += f" in {item['elapsed_s']:.1f}s"
+                    lines.append(detail)
+            return "\n".join(lines)
+
+        if args.watch:
+            return _watch_loop(render, args.interval)
+        return render()
     # drain
     recovered = dispatcher.recover()
     report = dispatcher.drain()
@@ -569,6 +621,7 @@ COMMANDS: Dict[str, Callable] = {
     "coding": _run_coding,
     "figures": _run_figures,
     "stats": _run_stats,
+    "top": _run_top,
     "campaign": None,  # dispatches through CAMPAIGN_TARGETS (see _run_campaign)
     "service": _run_service,
     "cache": _run_cache,
@@ -712,6 +765,40 @@ def build_parser() -> argparse.ArgumentParser:
         "of every simulation the subcommand runs (schedule lanes + "
         "scheduler-internal spans)",
     )
+    parser.add_argument(
+        "--events-out",
+        default=None,
+        metavar="FILE",
+        help="append a structured JSON-lines event log of everything this "
+        "command does (cells, batch groups, store traffic, service "
+        "tickets); for 'top' this is the log to read, not write",
+    )
+    parser.add_argument(
+        "--metrics-dir",
+        default=None,
+        metavar="DIR",
+        help="periodically export per-process metrics snapshots "
+        "(metrics-<pid>.prom Prometheus text + metrics-<pid>.json) into "
+        "DIR; for 'top' this is the directory to read, not write",
+    )
+    parser.add_argument(
+        "--watch",
+        action="store_true",
+        help="with 'service status': re-render the report in place until "
+        "interrupted ('top' watches by default; see --once)",
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="with 'top': render a single frame and exit",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh period for 'top' and --watch (default 2.0)",
+    )
     scale = parser.add_mutually_exclusive_group()
     scale.add_argument("--quick", action="store_true", help="small smoke-test sizes")
     scale.add_argument(
@@ -749,6 +836,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.trace_out:
         obs.enable()
         obs.start_trace_capture()
+    # ``top`` *reads* the fleet artifacts these flags name; every other
+    # subcommand *writes* them.
+    fleet_sinks = args.experiment != "top"
+    if fleet_sinks and args.events_out:
+        obs.enable_event_log(args.events_out)
+    if fleet_sinks and args.metrics_dir:
+        obs.start_metrics_exporter(args.metrics_dir)
     try:
         output = COMMANDS[args.experiment](args)
     finally:
@@ -760,6 +854,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             captured = obs.stop_trace_capture()
             if not obs_was_enabled:
                 obs.disable()
+        if fleet_sinks and args.metrics_dir:
+            obs.stop_metrics_exporter()  # final unconditional snapshot
+        if fleet_sinks and args.events_out:
+            obs.disable_event_log()
         remove_default_listener(progress)
         progress.close()
     print(output)
@@ -768,6 +866,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             f"[trace: {len(captured)} run(s), {events} events -> {args.trace_out}]"
         )
+    if fleet_sinks and args.events_out:
+        print(f"[events -> {args.events_out}]")
+    if fleet_sinks and args.metrics_dir:
+        print(f"[metrics -> {args.metrics_dir}]")
     stats = drain_session()
     name = args.experiment if args.experiment != "campaign" else f"campaign {args.target}"
     footer = f"[{name} completed in {time.time() - started:.1f}s"

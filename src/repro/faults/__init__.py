@@ -19,6 +19,7 @@ See ``docs/FAULTS.md`` for the fault model and the determinism contract.
 
 from __future__ import annotations
 
+import os
 import warnings
 from typing import Optional
 
@@ -80,16 +81,19 @@ def ambient_plan() -> Optional[FaultPlan]:
     return _AMBIENT
 
 
-# One-time flag for the explicit-overrides-ambient warning below. Per
-# process, not per run: campaign workers rebuild many simulators from the
-# same spec and one notice is enough.
-_OVERRIDE_WARNED = False
+# One-time marker for the explicit-overrides-ambient warning below: the pid
+# that has already warned, or None. Per process, not per run: campaign
+# workers rebuild many simulators from the same spec and one notice is
+# enough — and storing the pid (not a bare bool) means a forked pool
+# worker, which inherits this module state already spent, still warns once
+# in its own process.
+_OVERRIDE_WARNED_PID: Optional[int] = None
 
 
 def reset_override_warning() -> None:
     """Re-arm the one-time ambient-override warning (test isolation)."""
-    global _OVERRIDE_WARNED
-    _OVERRIDE_WARNED = False
+    global _OVERRIDE_WARNED_PID
+    _OVERRIDE_WARNED_PID = None
 
 
 def resolve_fault_plan(explicit: Optional[FaultPlan], obs=None) -> Optional[FaultPlan]:
@@ -108,15 +112,15 @@ def resolve_fault_plan(explicit: Optional[FaultPlan], obs=None) -> Optional[Faul
     ticked. Passing the adopted ambient plan back in (what a normalized
     ``RunSpec`` does) is not an override and stays silent.
     """
-    global _OVERRIDE_WARNED
+    global _OVERRIDE_WARNED_PID
     ambient = _AMBIENT
     if explicit is None:
         return ambient
     if ambient is not None and ambient.content_hash() != explicit.content_hash():
         if obs is not None:
             obs.registry.counter("faults.ambient_overridden").inc()
-        if not _OVERRIDE_WARNED:
-            _OVERRIDE_WARNED = True
+        if _OVERRIDE_WARNED_PID != os.getpid():
+            _OVERRIDE_WARNED_PID = os.getpid()
             warnings.warn(
                 "an explicit fault plan overrides the active ambient plan "
                 f"(ambient {ambient.content_hash()[:12]} vs explicit "

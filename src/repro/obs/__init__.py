@@ -34,17 +34,43 @@ See ``docs/OBSERVABILITY.md`` for the full tour.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.obs import export
+from repro.obs import console, events, export
+from repro.obs.console import gather_fleet_state, render_top
+from repro.obs.events import (
+    EVENT_SCHEMA,
+    EVENTS,
+    EventLog,
+    bound_context,
+    disable_event_log,
+    enable_event_log,
+    event_log,
+    read_events,
+    set_context,
+)
+from repro.obs.events import emit as emit_event
 from repro.obs.gate import (
     DEFAULT_SAMPLE_EVERY,
     DEFAULT_SPAN_CAPACITY,
     DEFAULT_WARMUP,
     GATE,
 )
-from repro.obs.export import format_metrics, metrics_json, write_trace
+from repro.obs.export import (
+    MetricsExporter,
+    export_tick,
+    format_metrics,
+    metrics_exporter,
+    metrics_json,
+    prometheus_text,
+    read_metrics_snapshots,
+    start_metrics_exporter,
+    stop_metrics_exporter,
+    write_metrics_snapshot,
+    write_trace,
+)
 from repro.obs.registry import (
     DEFAULT_BOUNDS,
     Counter,
@@ -52,6 +78,9 @@ from repro.obs.registry import (
     Histogram,
     MetricsRegistry,
     merge_histogram_snapshots,
+    merge_registry_snapshots,
+    process_metrics_snapshot,
+    register_process_registry,
 )
 from repro.obs.spans import Span, SpanBuffer
 
@@ -60,6 +89,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "MetricsExporter",
     "RunObs",
     "Span",
     "SpanBuffer",
@@ -69,7 +99,17 @@ __all__ = [
     "is_enabled",
     "format_metrics",
     "merge_histogram_snapshots",
+    "merge_registry_snapshots",
+    "process_metrics_snapshot",
+    "register_process_registry",
     "metrics_json",
+    "prometheus_text",
+    "write_metrics_snapshot",
+    "read_metrics_snapshots",
+    "start_metrics_exporter",
+    "stop_metrics_exporter",
+    "metrics_exporter",
+    "export_tick",
     "write_trace",
     "start_trace_capture",
     "stop_trace_capture",
@@ -77,7 +117,22 @@ __all__ = [
     "drain_run_log",
     "decide_rollup",
     "faults_rollup",
+    "runs_snapshot",
+    "events",
+    "EventLog",
+    "EVENTS",
+    "EVENT_SCHEMA",
+    "enable_event_log",
+    "disable_event_log",
+    "event_log",
+    "emit_event",
+    "read_events",
+    "set_context",
+    "bound_context",
     "export",
+    "console",
+    "gather_fleet_state",
+    "render_top",
     "GATE",
 ]
 
@@ -170,6 +225,19 @@ def decide_rollup(runs: Sequence[RunObs]) -> Optional[Dict[str, Any]]:
     return merge_histogram_snapshots(snapshots)
 
 
+def runs_snapshot(runs: Sequence[RunObs]) -> Optional[Dict[str, Any]]:
+    """Merge the full registry snapshots of ``runs`` into one flat dict.
+
+    What a pool worker ships back with each cell result so the campaign
+    parent can rebuild *exact* rollups under ``--jobs N``: counters sum,
+    histograms merge bucket-wise (:func:`merge_registry_snapshots`).
+    Returns None when there is nothing to ship (obs disabled, or no runs).
+    """
+    snapshots = [run.registry.snapshot() for run in runs]
+    merged = merge_registry_snapshots(snapshots)
+    return merged or None
+
+
 def faults_rollup(runs: Sequence[RunObs]) -> Optional[Dict[str, int]]:
     """Sum the gated ``faults.*`` counters of ``runs`` into one dict.
 
@@ -215,11 +283,19 @@ class TraceCapture:
     registers itself — which is what makes ``--trace-out`` work uniformly
     for *any* sim-backed CLI subcommand without threading a flag through
     every experiment module.
+
+    ``owner_pid`` records the process that started the capture. A forked
+    pool worker inherits the capture object but its registrations can never
+    reach the parent's trace file, so the pool drops worker-side runs and
+    ticks the gated ``trace.worker_runs_dropped`` counter instead of
+    silently writing spans nobody collects
+    (``tests/integration/test_trace_campaign.py`` pins this).
     """
 
     segment_limit: int = 250_000
     max_runs: int = 16
     runs: List[CapturedRun] = field(default_factory=list)
+    owner_pid: int = field(default_factory=os.getpid)
 
     def has_room(self) -> bool:
         return len(self.runs) < self.max_runs

@@ -1,0 +1,345 @@
+"""The fleet console: fold status files, event logs, and metrics snapshots
+into one live text dashboard (``repro top``).
+
+Three artifact families feed one frame:
+
+- **Service status files** (``<root>/queue|active|done``, plus the
+  drainer's atomic ``*.status.json``) give ticket-level state: what is
+  queued, what a drainer is running right now, per-campaign done/total
+  and ETA.
+- **The event log** (``--events-out``) gives fleet dynamics: per-campaign
+  completion counts, a cells/sec rate over a sliding window, store
+  hit/miss traffic, retries/timeouts/failures, batch groups formed and
+  dissolved.
+- **Metrics snapshot files** (``--metrics-dir``) give per-worker health:
+  one ``metrics-<pid>.json`` per process that ever ticked the exporter,
+  with a freshness age derived from the snapshot's own timestamp.
+
+Everything is read-only and tolerant: every source is optional, a frame
+renders from whatever exists, and half-written files are skipped (the
+writers are all atomic, so that only happens for foreign junk). The
+gathering half (:func:`gather_fleet_state`) returns plain data and the
+rendering half (:func:`render_top`) returns a string, so tests pin frames
+without a terminal.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs.events import read_events
+from repro.obs.export import read_metrics_snapshots
+from repro.obs.registry import merge_registry_snapshots
+
+#: Sliding window (seconds of event time) for the cells/sec rate.
+RATE_WINDOW_S = 30.0
+
+#: A worker snapshot older than this (seconds) renders as stale.
+STALE_AFTER_S = 15.0
+
+#: Tail size read from the event log per frame; old history beyond this is
+#: irrelevant to a live dashboard and skipping it keeps frames O(1).
+_TAIL_BYTES = 1 << 20
+
+
+def _tail_events(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """The last ~:data:`_TAIL_BYTES` of decodable events in ``path``.
+
+    Small files go through :func:`read_events` verbatim; for big ones we
+    seek to the tail and drop the first (possibly torn) line.
+    """
+    try:
+        size = os.path.getsize(path)
+    except OSError:
+        return []
+    if size <= _TAIL_BYTES:
+        return read_events(path)
+    import json
+
+    records: List[Dict[str, Any]] = []
+    with open(path, "rb") as handle:
+        handle.seek(size - _TAIL_BYTES)
+        chunk = handle.read()
+    for line in chunk.split(b"\n")[1:]:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+    return records
+
+
+def _campaign_stats(events: List[Dict[str, Any]]) -> Dict[str, Dict[str, Any]]:
+    """Per-campaign progress derived from the event tail."""
+    campaigns: Dict[str, Dict[str, Any]] = {}
+
+    def entry(name: Any) -> Dict[str, Any]:
+        key = str(name) if name else "?"
+        return campaigns.setdefault(
+            key,
+            {
+                "total": None, "done": 0, "cached": 0, "failed": 0,
+                "retries": 0, "timeouts": 0, "complete_ts": [],
+            },
+        )
+
+    for record in events:
+        kind = record.get("kind")
+        if kind == "campaign.begin":
+            item = entry(record.get("campaign"))
+            item["total"] = record.get("total")
+            # A fresh begin restarts the campaign's counters: the tail may
+            # span several invocations of the same target.
+            item.update(done=0, cached=0, failed=0, retries=0, timeouts=0)
+            item["complete_ts"] = []
+        elif kind == "cell.complete":
+            item = entry(record.get("campaign"))
+            item["done"] += 1
+            ts = record.get("ts")
+            if isinstance(ts, (int, float)):
+                item["complete_ts"].append(float(ts))
+        elif kind == "cell.cached":
+            item = entry(record.get("campaign"))
+            item["done"] += 1
+            item["cached"] += 1
+        elif kind == "cell.failed":
+            entry(record.get("campaign"))["failed"] += 1
+        elif kind == "cell.retry":
+            entry(record.get("campaign"))["retries"] += 1
+        elif kind == "cell.timeout":
+            entry(record.get("campaign"))["timeouts"] += 1
+        elif kind == "campaign.end":
+            item = entry(record.get("campaign"))
+            item["total"] = record.get("done", item["total"])
+            item["finished"] = True
+
+    for item in campaigns.values():
+        stamps = item.pop("complete_ts")
+        rate = None
+        if len(stamps) >= 2:
+            horizon = max(stamps) - RATE_WINDOW_S
+            recent = [ts for ts in stamps if ts >= horizon]
+            span = max(recent) - min(recent)
+            if span > 0:
+                rate = (len(recent) - 1) / span
+        item["cells_per_s"] = rate
+        total = item.get("total")
+        if rate and isinstance(total, int) and total > item["done"]:
+            item["eta_s"] = (total - item["done"]) / rate
+        else:
+            item["eta_s"] = None
+    return campaigns
+
+
+def _event_counters(events: List[Dict[str, Any]]) -> Dict[str, int]:
+    """Fleet-wide event-kind tallies the dashboard surfaces."""
+    counts: Dict[str, int] = {}
+    for record in events:
+        kind = record.get("kind")
+        if isinstance(kind, str):
+            counts[kind] = counts.get(kind, 0) + 1
+    return counts
+
+
+def _service_state(root: Union[str, Path]) -> Optional[Dict[str, Any]]:
+    """The dispatcher's status report for ``root``, or None when the root
+    does not exist (the console must render without a service)."""
+    root = Path(root)
+    if not root.is_dir():
+        return None
+    from repro.service import Dispatcher
+
+    return Dispatcher(root).status()
+
+
+def gather_fleet_state(
+    service_root: Optional[Union[str, Path]] = None,
+    events_path: Optional[Union[str, Path]] = None,
+    metrics_dir: Optional[Union[str, Path]] = None,
+    now: Optional[float] = None,
+) -> Dict[str, Any]:
+    """One frame's worth of fleet state, as plain data.
+
+    Every source is optional; missing ones contribute ``None`` / empties.
+    ``now`` pins the clock for deterministic tests.
+    """
+    now = time.time() if now is None else now
+    state: Dict[str, Any] = {
+        "now": now,
+        "service_root": str(service_root) if service_root else None,
+        "events_path": str(events_path) if events_path else None,
+        "metrics_dir": str(metrics_dir) if metrics_dir else None,
+        "service": None,
+        "campaigns": {},
+        "counters": {},
+        "workers": [],
+        "events_seen": 0,
+    }
+    if service_root:
+        state["service"] = _service_state(service_root)
+    if events_path:
+        events = _tail_events(events_path)
+        state["events_seen"] = len(events)
+        state["campaigns"] = _campaign_stats(events)
+        state["counters"] = _event_counters(events)
+        stamps = [
+            record["ts"] for record in events
+            if isinstance(record.get("ts"), (int, float))
+        ]
+        state["last_event_age_s"] = (now - max(stamps)) if stamps else None
+    if metrics_dir:
+        for payload in read_metrics_snapshots(metrics_dir):
+            ts = payload.get("ts")
+            age = (now - float(ts)) if isinstance(ts, (int, float)) else None
+            state["workers"].append(
+                {
+                    "pid": payload.get("pid"),
+                    "age_s": age,
+                    "stale": age is None or age > STALE_AFTER_S,
+                    "metrics": payload.get("metrics", {}),
+                }
+            )
+        merged = merge_registry_snapshots(
+            [w["metrics"] for w in state["workers"]]
+        )
+        state["fleet_metrics"] = merged
+    return state
+
+
+def _bar(done: int, total: Optional[int], width: int = 20) -> str:
+    if not isinstance(total, int) or total <= 0:
+        return "-" * width
+    filled = min(width, int(width * done / total))
+    return "#" * filled + "-" * (width - filled)
+
+
+def _fmt_rate(value: Optional[float]) -> str:
+    return f"{value:.1f}/s" if value else "-"
+
+
+def _fmt_eta(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value >= 90:
+        return f"{value / 60:.1f}m"
+    return f"{value:.1f}s"
+
+
+def render_top(state: Dict[str, Any]) -> str:
+    """Render one gathered frame as terminal text (no escapes, testable)."""
+    lines: List[str] = ["repro top — fleet console"]
+    service = state.get("service")
+    if state.get("service_root"):
+        if service is None:
+            lines.append(f"service: {state['service_root']} (no service root yet)")
+        else:
+            lines.append(
+                "service: {root} — {p} pending, {a} active, {d} done".format(
+                    root=service.get("root"),
+                    p=len(service.get("pending", ())),
+                    a=len(service.get("active", ())),
+                    d=len(service.get("done", ())),
+                )
+            )
+            for item in service.get("active", ()):
+                detail = f"  running #{item['ticket']:08d} {item.get('target')}"
+                progress = item.get("progress") or {}
+                if progress.get("total"):
+                    detail += (
+                        f"  [{_bar(progress.get('done', 0), progress.get('total'))}] "
+                        f"{progress.get('done', 0)}/{progress.get('total')}"
+                    )
+                    if progress.get("eta_s") is not None:
+                        detail += f"  eta {_fmt_eta(progress['eta_s'])}"
+                lines.append(detail)
+            for item in service.get("pending", ()):
+                lines.append(
+                    f"  queued  #{item['ticket']:08d} {item.get('target')}"
+                )
+
+    campaigns = state.get("campaigns") or {}
+    if campaigns:
+        lines.append("campaigns (from event log):")
+        for name in sorted(campaigns):
+            item = campaigns[name]
+            total = item.get("total")
+            done = item.get("done", 0)
+            row = (
+                f"  {name:<20} [{_bar(done, total)}] "
+                f"{done}/{total if total is not None else '?'}"
+                f"  {_fmt_rate(item.get('cells_per_s'))}"
+                f"  eta {_fmt_eta(item.get('eta_s'))}"
+            )
+            extras = []
+            if item.get("cached"):
+                extras.append(f"{item['cached']} cached")
+            if item.get("retries"):
+                extras.append(f"{item['retries']} retries")
+            if item.get("timeouts"):
+                extras.append(f"{item['timeouts']} timeouts")
+            if item.get("failed"):
+                extras.append(f"{item['failed']} FAILED")
+            if item.get("finished"):
+                extras.append("finished")
+            if extras:
+                row += "  (" + ", ".join(extras) + ")"
+            lines.append(row)
+
+    counters = state.get("counters") or {}
+    hits = counters.get("store.hit", 0)
+    misses = counters.get("store.miss", 0)
+    if hits or misses:
+        rate = 100.0 * hits / (hits + misses)
+        line = f"store: {hits} hits / {misses} misses ({rate:.1f}% hit rate)"
+        if counters.get("store.corrupt"):
+            line += f", {counters['store.corrupt']} CORRUPT"
+        lines.append(line)
+    groups = counters.get("batch.group", 0)
+    dissolved = counters.get("batch.dissolve", 0)
+    if groups or dissolved:
+        lines.append(f"batch: {groups} groups formed, {dissolved} dissolved")
+    degraded = counters.get("pool.degraded", 0)
+    rebuilt = counters.get("pool.rebuild", 0)
+    if degraded or rebuilt:
+        lines.append(f"pool: {rebuilt} rebuilds, {degraded} degradations")
+
+    fleet = state.get("fleet_metrics") or {}
+    faults = {k: v for k, v in fleet.items()
+              if k.startswith("faults.") and isinstance(v, int) and v}
+    if faults:
+        lines.append(
+            "faults: " + ", ".join(f"{k.split('.', 1)[1]}={v}"
+                                   for k, v in sorted(faults.items()))
+        )
+
+    workers = state.get("workers") or []
+    if workers:
+        lines.append(f"workers ({len(workers)} snapshot(s)):")
+        for worker in workers:
+            age = worker.get("age_s")
+            health = "stale" if worker.get("stale") else "ok"
+            shown = f"{age:.1f}s" if isinstance(age, (int, float)) else "?"
+            metrics = worker.get("metrics", {})
+            ints = sum(1 for v in metrics.values() if isinstance(v, int))
+            lines.append(
+                f"  pid {worker.get('pid')}  {health:<5} age {shown}"
+                f"  ({len(metrics)} metrics, {ints} counters)"
+            )
+
+    if state.get("events_path"):
+        age = state.get("last_event_age_s")
+        shown = f"{age:.1f}s ago" if isinstance(age, (int, float)) else "never"
+        lines.append(
+            f"events: {state.get('events_seen', 0)} record(s) in "
+            f"{state['events_path']} (last {shown})"
+        )
+    if len(lines) == 1:
+        lines.append("(no sources: pass --service-root, --events-out, or --metrics-dir)")
+    return "\n".join(lines)

@@ -1,4 +1,12 @@
-"""Exporters: Chrome/Perfetto ``trace_event`` JSON and flat metrics JSON.
+"""Exporters: Perfetto trace JSON, metrics JSON, and Prometheus text.
+
+Three output surfaces share this module: the Chrome/Perfetto
+``trace_event`` document (below), flat metrics JSON, and — for the fleet
+scope — a Prometheus/OpenMetrics text renderer (:func:`prometheus_text`)
+with an atomic per-process snapshot writer
+(:func:`write_metrics_snapshot`) and a throttled periodic exporter
+(:class:`MetricsExporter`, armed by ``--metrics-dir``) that leaves
+``metrics-<pid>.prom`` / ``.json`` artifacts per worker.
 
 The trace document follows the Trace Event Format (the JSON flavour both
 ``chrome://tracing`` and https://ui.perfetto.dev open directly):
@@ -22,7 +30,12 @@ module imports nothing from :mod:`repro.sim` and stays cycle-free.
 
 from __future__ import annotations
 
+import atexit
 import json
+import os
+import re
+import time
+from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 #: Lane label of the imaginary idle partition in the schedule track.
@@ -161,6 +174,252 @@ def metrics_json(snapshot: Dict[str, Any], path=None) -> str:
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(text + "\n")
     return text
+
+
+# -- Prometheus / OpenMetrics ------------------------------------------------
+
+_METRIC_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """Sanitize a dotted registry name into a Prometheus metric name."""
+    sanitized = _METRIC_NAME_OK.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return "repro_" + sanitized
+
+
+def _prom_labels(labels: Optional[Dict[str, Any]]) -> str:
+    if not labels:
+        return ""
+    parts = []
+    for key, value in sorted(labels.items()):
+        text = str(value).replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+        parts.append(f'{_METRIC_NAME_OK.sub("_", key)}="{text}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def _prom_value(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "NaN"
+        if value in (float("inf"), float("-inf")):
+            return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def prometheus_text(snapshot: Dict[str, Any], labels: Optional[Dict[str, Any]] = None) -> str:
+    """Render a flat registry snapshot in Prometheus text exposition format.
+
+    Integer values emit as ``counter``, floats as ``gauge``, histogram
+    snapshot dicts as ``histogram`` with cumulative ``_bucket{le=...}``
+    series plus ``_sum``/``_count`` — the standard scrape shape, so the
+    files :func:`write_metrics_snapshot` drops are directly usable as
+    Prometheus textfile-collector input. Names are prefixed ``repro_`` and
+    dots become underscores (``store.hits`` -> ``repro_store_hits``).
+    """
+    label_text = _prom_labels(labels)
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        value = snapshot[name]
+        prom = _prom_name(name)
+        if isinstance(value, dict):
+            lines.append(f"# TYPE {prom} histogram")
+            cumulative = 0
+            bounds = list(value.get("bounds", []))
+            buckets = list(value.get("buckets", []))
+            for index, bound in enumerate(bounds):
+                cumulative += buckets[index] if index < len(buckets) else 0
+                bucket_labels = dict(labels or {})
+                bucket_labels["le"] = _prom_value(float(bound))
+                lines.append(f"{prom}_bucket{_prom_labels(bucket_labels)} {cumulative}")
+            inf_labels = dict(labels or {})
+            inf_labels["le"] = "+Inf"
+            lines.append(f"{prom}_bucket{_prom_labels(inf_labels)} {value.get('count', 0)}")
+            lines.append(f"{prom}_sum{label_text} {_prom_value(float(value.get('sum') or 0.0))}")
+            lines.append(f"{prom}_count{label_text} {value.get('count', 0)}")
+        elif isinstance(value, bool):
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom}{label_text} {int(value)}")
+        elif isinstance(value, int):
+            lines.append(f"# TYPE {prom} counter")
+            lines.append(f"{prom}{label_text} {value}")
+        else:
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom}{label_text} {_prom_value(float(value))}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_metrics_snapshot(
+    directory,
+    snapshot: Optional[Dict[str, Any]] = None,
+    labels: Optional[Dict[str, Any]] = None,
+) -> "Path":
+    """Atomically drop this process's metrics under ``directory``.
+
+    Writes ``metrics-<pid>.prom`` (Prometheus text) and ``metrics-<pid>.json``
+    (the raw snapshot, for exact merging) via write-temp-then-rename, so a
+    scraper or ``repro top`` never reads a half-written file. ``snapshot``
+    defaults to :func:`~repro.obs.registry.process_metrics_snapshot` — every
+    process-global registry this process knows. Forked pool workers calling
+    this land per-worker files (the pid is in the name), which is what makes
+    ``repro service drain --metrics-dir`` leave one artifact per worker.
+    Returns the ``.prom`` path.
+    """
+    from repro.obs.registry import process_metrics_snapshot
+
+    if snapshot is None:
+        snapshot = process_metrics_snapshot()
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    pid = os.getpid()
+    merged_labels = dict(labels or {})
+    merged_labels.setdefault("pid", pid)
+    payload = {
+        "schema": "repro-metrics/1",
+        "pid": pid,
+        "ts": time.time(),
+        "labels": {k: str(v) for k, v in merged_labels.items()},
+        "metrics": snapshot,
+    }
+    for suffix, text in (
+        (".prom", prometheus_text(snapshot, labels=merged_labels)),
+        (".json", json.dumps(payload, sort_keys=True, default=float) + "\n"),
+    ):
+        final = directory / f"metrics-{pid}{suffix}"
+        scratch = directory / f".metrics-{pid}{suffix}.tmp"
+        with open(scratch, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(scratch, final)
+    return directory / f"metrics-{pid}.prom"
+
+
+def read_metrics_snapshots(directory) -> List[Dict[str, Any]]:
+    """Every per-process ``metrics-*.json`` payload under ``directory``,
+    sorted by pid; unreadable/half-written files are skipped."""
+    directory = Path(directory)
+    payloads: List[Dict[str, Any]] = []
+    try:
+        names = sorted(p for p in directory.iterdir() if p.name.startswith("metrics-")
+                       and p.suffix == ".json")
+    except (FileNotFoundError, NotADirectoryError):
+        return []
+    for path in names:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            continue
+        if isinstance(payload, dict) and isinstance(payload.get("metrics"), dict):
+            payloads.append(payload)
+    return payloads
+
+
+class MetricsExporter:
+    """Throttled periodic snapshot writer (``--metrics-dir``).
+
+    Call :meth:`tick` from any convenient loop — the pool's completion
+    handler, a worker's cell boundary, the dispatcher's drain loop. Writes
+    are rate-limited to one per ``interval`` seconds per process, plus a
+    final unconditional write from :meth:`flush`. The object is fork-
+    friendly: a child inherits the configuration but the first tick in a
+    new pid discards the inherited throttle (else a short-lived worker
+    could die inside the parent's interval and leave no artifact) and
+    registers an exit-time flush, so every worker leaves one final
+    ``metrics-<pid>`` snapshot with its complete counters.
+    """
+
+    __slots__ = ("directory", "interval", "labels", "_last", "_pid")
+
+    def __init__(self, directory, interval: float = 1.0,
+                 labels: Optional[Dict[str, Any]] = None):
+        self.directory = Path(directory)
+        self.interval = float(interval)
+        self.labels = dict(labels or {})
+        self._last = 0.0
+        self._pid = os.getpid()
+
+    def tick(self) -> Optional["Path"]:
+        if os.getpid() != self._pid:
+            self._pid = os.getpid()
+            self._last = 0.0
+            atexit.register(self._exit_flush)
+        now = time.monotonic()
+        if now - self._last < self.interval:
+            return None
+        self._last = now
+        return write_metrics_snapshot(self.directory, labels=self.labels)
+
+    def _exit_flush(self) -> None:
+        try:
+            self.flush()
+        except OSError:
+            pass
+
+    def flush(self) -> "Path":
+        self._last = time.monotonic()
+        return write_metrics_snapshot(self.directory, labels=self.labels)
+
+
+_EXPORTER: Optional[MetricsExporter] = None
+
+
+class _ExportState:
+    """``EXPORT.active`` is the one-attribute-read guard exporter tick
+    sites consult, mirroring the obs gate and the event-log switch."""
+
+    __slots__ = ("active",)
+
+    def __init__(self) -> None:
+        self.active = False
+
+
+EXPORT = _ExportState()
+
+
+def start_metrics_exporter(
+    directory, interval: float = 1.0, labels: Optional[Dict[str, Any]] = None
+) -> MetricsExporter:
+    """Arm the process-wide periodic exporter writing under ``directory``."""
+    global _EXPORTER
+    _EXPORTER = MetricsExporter(directory, interval=interval, labels=labels)
+    EXPORT.active = True
+    return _EXPORTER
+
+
+def stop_metrics_exporter() -> None:
+    """Write one final snapshot (if armed) and disarm."""
+    global _EXPORTER
+    exporter = _EXPORTER
+    _EXPORTER = None
+    EXPORT.active = False
+    if exporter is not None:
+        try:
+            exporter.flush()
+        except OSError:
+            pass
+
+
+def metrics_exporter() -> Optional[MetricsExporter]:
+    """The armed exporter, or None."""
+    return _EXPORTER
+
+
+def reset_metrics_exporter() -> None:
+    """Disarm without the final flush (test isolation: a teardown flush
+    would resurrect already-deleted tmp directories)."""
+    global _EXPORTER
+    _EXPORTER = None
+    EXPORT.active = False
+
+
+def export_tick() -> None:
+    """Throttled snapshot write if an exporter is armed; no-op otherwise."""
+    if EXPORT.active and _EXPORTER is not None:
+        try:
+            _EXPORTER.tick()
+        except OSError:
+            pass
 
 
 def _fmt_ns(ns: Optional[float]) -> str:

@@ -23,7 +23,7 @@ so p50/p95 come from bucket interpolation with exact-extremum clamping.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Any, Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.gate import GATE
 
@@ -191,6 +191,46 @@ def merge_histogram_snapshots(snapshots: Sequence[Dict[str, Any]]) -> Dict[str, 
     }
 
 
+def merge_registry_snapshots(
+    snapshots: Sequence[Dict[str, Any]],
+) -> Dict[str, Any]:
+    """Fold flat :meth:`MetricsRegistry.snapshot` dicts into one.
+
+    The cross-worker merge rule the fleet rollup relies on
+    (``CampaignTelemetry`` merging per-worker snapshots shipped back with
+    each pool result): integer values (counters) **sum**, histogram dicts
+    merge bucket-wise via :func:`merge_histogram_snapshots`, and float
+    values (gauges) keep the last write, matching single-process gauge
+    semantics. A name may not change shape across snapshots.
+    """
+    merged: Dict[str, Any] = {}
+    pending_histograms: Dict[str, List[Dict[str, Any]]] = {}
+    for snapshot in snapshots:
+        if not snapshot:
+            continue
+        for name, value in snapshot.items():
+            if isinstance(value, dict):
+                pending_histograms.setdefault(name, []).append(value)
+            elif isinstance(value, bool):
+                raise ValueError(f"metric {name!r} has non-mergeable bool value")
+            elif isinstance(value, int):
+                previous = merged.get(name, 0)
+                if isinstance(previous, float):
+                    raise ValueError(f"metric {name!r} changes shape across snapshots")
+                merged[name] = previous + value
+            elif isinstance(value, float):
+                merged[name] = value
+            else:
+                raise ValueError(
+                    f"metric {name!r} has non-mergeable value {value!r}"
+                )
+    for name, parts in pending_histograms.items():
+        if name in merged:
+            raise ValueError(f"metric {name!r} changes shape across snapshots")
+        merged[name] = merge_histogram_snapshots(parts)
+    return merged
+
+
 class MetricsRegistry:
     """A named bag of metrics with get-or-create accessors.
 
@@ -247,3 +287,34 @@ class MetricsRegistry:
             gauge.value = 0.0
         for name, histogram in list(self._histograms.items()):
             self._histograms[name] = Histogram(name, histogram.bounds)
+
+
+#: Every long-lived, process-global registry (pool, store, service, batch)
+#: registers itself here at import time, which is what lets the metrics
+#: exporter snapshot "everything this process knows" without hard-coding a
+#: module list. Per-run registries (:class:`~repro.obs.RunObs`) stay out —
+#: they are scoped and drained, not process state.
+_PROCESS_REGISTRIES: List[MetricsRegistry] = []
+
+
+def register_process_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Enroll ``registry`` in the process-wide roster; returns it, so
+    definition sites read ``X = register_process_registry(MetricsRegistry(s))``."""
+    _PROCESS_REGISTRIES.append(registry)
+    return registry
+
+
+def process_registries() -> List[MetricsRegistry]:
+    """The enrolled registries, in registration order."""
+    return list(_PROCESS_REGISTRIES)
+
+
+def process_metrics_snapshot() -> Dict[str, Any]:
+    """One flat snapshot of every enrolled registry.
+
+    Metric names are disjoint across registries by convention (``pool.*``,
+    ``store.*``, ``service.*``, ``batch.*``); a collision merges by the
+    :func:`merge_registry_snapshots` rules rather than erroring, so a
+    stray duplicate name degrades to a summed counter, not a crash.
+    """
+    return merge_registry_snapshots([r.snapshot() for r in _PROCESS_REGISTRIES])

@@ -29,7 +29,10 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
-from repro.obs.registry import MetricsRegistry
+from repro.obs.events import EVENTS
+from repro.obs.events import emit as emit_event
+from repro.obs.export import export_tick
+from repro.obs.registry import MetricsRegistry, register_process_registry
 from repro.runner.cache import MISS, ResultStore, as_cache
 from repro.service.journal import CampaignJournal, as_journal
 from repro.runner.spec import CampaignCell, CampaignSpec, resolve_task
@@ -63,7 +66,26 @@ BATCH_GROUP_CAP = 256
 #: suppressed while force-killing a hung executor (gated, like every
 #: counter, on the obs gate) — suppression is deliberate there, but it must
 #: never be silent.
-POOL_METRICS = MetricsRegistry("pool")
+POOL_METRICS = register_process_registry(MetricsRegistry("pool"))
+
+
+#: The pid whose process-global registry counts this process owns. A forked
+#: worker inherits the parent's pre-fork counts; left alone they would be
+#: re-exported in the worker's ``metrics-<pid>`` snapshot and double-counted
+#: when per-worker files merge, so the first worker-side entry in a new pid
+#: zeroes every enrolled registry (the worker then counts only its own work).
+_OWNED_REGISTRIES_PID = os.getpid()
+
+
+def _reset_inherited_registries() -> None:
+    global _OWNED_REGISTRIES_PID
+    if os.getpid() == _OWNED_REGISTRIES_PID:
+        return
+    _OWNED_REGISTRIES_PID = os.getpid()
+    from repro.obs.registry import process_registries
+
+    for registry in process_registries():
+        registry.reset()
 
 
 def _invoke_cell(task: str, params: Dict[str, Any]) -> Dict[str, Any]:
@@ -71,24 +93,47 @@ def _invoke_cell(task: str, params: Dict[str, Any]) -> Dict[str, Any]:
 
     When :mod:`repro.obs` is enabled (workers fork after the CLI enables
     it, so the gate is inherited), the decide-latency histograms of every
-    simulation the cell ran are merged into ``payload["metrics"]`` and the
-    cell's ``faults.*`` counters into ``payload["faults"]`` — the per-cell
+    simulation the cell ran are merged into ``payload["metrics"]``, the
+    cell's ``faults.*`` counters into ``payload["faults"]``, and the full
+    merged registry snapshot into ``payload["obs"]`` — the per-cell
     rollups :class:`~repro.runner.telemetry.CampaignTelemetry` aggregates
-    across cells.
+    across cells (counters sum, histograms merge bucket-wise), which is
+    what keeps campaign rollups exact under ``--jobs N``.
+
+    A trace capture started by the parent (``--trace-out``) is inherited
+    by forked workers, but worker-side registrations can never reach the
+    parent's trace file: they are dropped here, counted by the gated
+    ``trace.worker_runs_dropped`` counter shipped back in the snapshot.
     """
     import repro.obs as _obs
 
+    _reset_inherited_registries()
+    capture = _obs.trace_capture()
+    foreign_capture = capture is not None and capture.owner_pid != os.getpid()
+    if foreign_capture:
+        capture.runs.clear()  # the parent's pre-fork registrations, inherited
     start = time.perf_counter()
     fn = resolve_task(task)
     _obs.drain_run_log()  # scope the rollups to this cell's simulations
     value = fn(params)
     runs = _obs.drain_run_log()
+    snapshot = _obs.runs_snapshot(runs)
+    if foreign_capture and capture.runs:
+        dropped = len(capture.runs)
+        capture.runs.clear()
+        if _obs.GATE.enabled:
+            snapshot = dict(snapshot or {})
+            snapshot["trace.worker_runs_dropped"] = (
+                snapshot.get("trace.worker_runs_dropped", 0) + dropped
+            )
+    export_tick()  # per-worker metrics snapshot when --metrics-dir is armed
     return {
         "value": value,
         "wall": time.perf_counter() - start,
         "worker": f"pid-{os.getpid()}",
         "metrics": _obs.decide_rollup(runs),
         "faults": _obs.faults_rollup(runs),
+        "obs": snapshot,
     }
 
 
@@ -188,6 +233,9 @@ def _group_pending(
     import repro.obs as _obs
 
     if _obs.GATE.enabled:
+        # Grouping is skipped wholesale while instrumented; the reasoned
+        # counter keeps `repro stats` able to say why no groups formed.
+        POOL_METRICS.counter("pool.batch_fallback.obs_enabled").inc()
         return list(pending)
     from repro.sim.batch import batch_compatible, batch_group_key
     from repro.sim.config import RunSpec
@@ -218,7 +266,12 @@ def _group_pending(
         if isinstance(entry, list):  # a bucket placeholder, in first-seen order
             for start in range(0, len(entry), BATCH_GROUP_CAP):
                 chunk = entry[start : start + BATCH_GROUP_CAP]
-                out.append(chunk[0] if len(chunk) == 1 else _GroupAttempt(chunk))
+                if len(chunk) == 1:
+                    out.append(chunk[0])
+                else:
+                    out.append(_GroupAttempt(chunk))
+                    if EVENTS.active:
+                        emit_event("batch.group", size=len(chunk))
         else:
             out.append(entry)
     return out
@@ -294,6 +347,11 @@ def run_campaign(
     salt = store.salt if store is not None else ""
     log = as_journal(journal, spec, salt)
     prior = log.replay() if log is not None else None
+    if EVENTS.active:
+        from repro.obs.events import set_context
+
+        set_context(campaign=spec.name)
+        emit_event("campaign.begin", total=len(spec), jobs=jobs)
     outcomes: Dict[str, CellOutcome] = {}
     pending: List[_Attempt] = []
     for cell in spec:
@@ -309,6 +367,8 @@ def run_campaign(
                     # warm cache shared with some other campaign.
                     tele.resumed += 1
                 tele.emit(CellEvent(CACHED, cell.key))
+                if EVENTS.active:
+                    emit_event("cell.cached", cell=cell.key)
                 continue
         pending.append(_Attempt(cell, content_hash))
 
@@ -344,6 +404,18 @@ def run_campaign(
         tele.cache_misses = store.stats.misses
     tele.finish()
     register(tele)
+    if EVENTS.active:
+        from repro.obs.events import set_context
+
+        emit_event(
+            "campaign.end",
+            done=tele.done,
+            computed=tele.computed,
+            cached=tele.cached,
+            failed=tele.failed,
+        )
+        set_context(campaign=None)
+    export_tick()
 
     results = {
         cell.key: outcomes[cell.key].value for cell in spec if outcomes[cell.key].ok
@@ -416,8 +488,18 @@ class _CampaignRunner:
                 worker=payload["worker"],
                 metrics=payload.get("metrics"),
                 faults=payload.get("faults"),
+                obs=payload.get("obs"),
             )
         )
+        if EVENTS.active:
+            emit_event(
+                "cell.complete",
+                cell=cell.key,
+                attempt=attempt.attempt,
+                wall_s=round(payload["wall"], 6),
+                worker=payload["worker"],
+            )
+        export_tick()
 
     def _retry_or_fail(self, attempt: _Attempt, error: str) -> Optional[_Attempt]:
         """Return the follow-up attempt, or record a terminal failure."""
@@ -425,6 +507,13 @@ class _CampaignRunner:
             self.telemetry.emit(
                 CellEvent(RETRIED, attempt.cell.key, attempt=attempt.attempt, error=error)
             )
+            if EVENTS.active:
+                emit_event(
+                    "cell.retry",
+                    cell=attempt.cell.key,
+                    attempt=attempt.attempt,
+                    error=error,
+                )
             delay = self.backoff * (2 ** (attempt.attempt - 1))
             return _Attempt(
                 attempt.cell,
@@ -440,6 +529,13 @@ class _CampaignRunner:
         self.telemetry.emit(
             CellEvent(FAILED, attempt.cell.key, attempt=attempt.attempt, error=error)
         )
+        if EVENTS.active:
+            emit_event(
+                "cell.failed",
+                cell=attempt.cell.key,
+                attempt=attempt.attempt,
+                error=error,
+            )
         return None
 
     def _complete_group(self, group: _GroupAttempt, payload: Dict[str, Any]) -> bool:
@@ -467,15 +563,21 @@ class _CampaignRunner:
         return True
 
     @staticmethod
-    def _dissolve(group: _GroupAttempt) -> List[_Attempt]:
+    def _dissolve(group: _GroupAttempt, reason: str = "group_error") -> List[_Attempt]:
         """A failed group's members, requeued as plain single attempts.
 
         Unbumped on purpose: the batch path has no retry accounting of its
         own, so the first single attempt of each member must still count as
-        that cell's attempt #1. The gated counter keeps dissolutions
-        observable.
+        that cell's attempt #1. The gated counters keep dissolutions
+        observable — the plain total plus one reasoned counter
+        (``pool.batch_fallback.group_error`` / ``payload_mismatch`` /
+        ``worker_died`` / ``timeout``) so ``repro stats`` can say *why*
+        the batch engine was bypassed.
         """
         POOL_METRICS.counter("pool.batch_fallback").inc()
+        POOL_METRICS.counter(f"pool.batch_fallback.{reason}").inc()
+        if EVENTS.active:
+            emit_event("batch.dissolve", size=len(group.members), reason=reason)
         return list(group.members)
 
     # -- serial path -------------------------------------------------------
@@ -491,11 +593,13 @@ class _CampaignRunner:
                 try:
                     payload = _invoke_cell(_BATCH_TASK, attempt.params())
                 except Exception:  # noqa: BLE001 — singles will surface it
-                    queue.extend(self._dissolve(attempt))
+                    queue.extend(self._dissolve(attempt, "group_error"))
                 else:
                     if not self._complete_group(attempt, payload):
-                        queue.extend(self._dissolve(attempt))
+                        queue.extend(self._dissolve(attempt, "payload_mismatch"))
                 continue
+            if EVENTS.active:
+                emit_event("cell.start", cell=attempt.cell.key, attempt=attempt.attempt)
             try:
                 payload = _invoke_cell(attempt.cell.task, dict(attempt.cell.params))
             except Exception as exc:  # noqa: BLE001 — any task error is retryable
@@ -534,6 +638,12 @@ class _CampaignRunner:
                         )
                         scale = len(attempt.members)  # one deadline per member
                     else:
+                        if EVENTS.active:
+                            emit_event(
+                                "cell.start",
+                                cell=attempt.cell.key,
+                                attempt=attempt.attempt,
+                            )
                         future = executor.submit(
                             _invoke_cell, attempt.cell.task, dict(attempt.cell.params)
                         )
@@ -562,7 +672,7 @@ class _CampaignRunner:
                         # an individual attempt yet).
                         for doomed in [attempt] + list(inflight.values()):
                             if isinstance(doomed, _GroupAttempt):
-                                queue.extend(self._dissolve(doomed))
+                                queue.extend(self._dissolve(doomed, "worker_died"))
                                 continue
                             follow_up = self._retry_or_fail(
                                 doomed, "worker died (BrokenProcessPool)"
@@ -574,7 +684,7 @@ class _CampaignRunner:
                         break
                     except Exception as exc:  # noqa: BLE001
                         if isinstance(attempt, _GroupAttempt):
-                            queue.extend(self._dissolve(attempt))
+                            queue.extend(self._dissolve(attempt, "group_error"))
                         else:
                             follow_up = self._retry_or_fail(
                                 attempt, f"{type(exc).__name__}: {exc}"
@@ -584,7 +694,7 @@ class _CampaignRunner:
                     else:
                         if isinstance(attempt, _GroupAttempt):
                             if not self._complete_group(attempt, payload):
-                                queue.extend(self._dissolve(attempt))
+                                queue.extend(self._dissolve(attempt, "payload_mismatch"))
                         else:
                             self._complete(attempt, payload)
 
@@ -592,8 +702,12 @@ class _CampaignRunner:
                     _kill_executor(executor)
                     rebuilds += 1
                     if rebuilds > self.max_pool_rebuilds:
+                        if EVENTS.active:
+                            emit_event("pool.degraded", rebuilds=rebuilds)
                         self.run_serial(queue)
                         return
+                    if EVENTS.active:
+                        emit_event("pool.rebuild", rebuilds=rebuilds)
                     executor = self._new_executor(jobs)
                     continue
 
@@ -611,8 +725,14 @@ class _CampaignRunner:
                         attempt = inflight.pop(future)
                         deadlines.pop(future, None)
                         if isinstance(attempt, _GroupAttempt):
-                            queue.extend(self._dissolve(attempt))
+                            queue.extend(self._dissolve(attempt, "timeout"))
                             continue
+                        if EVENTS.active:
+                            emit_event(
+                                "cell.timeout",
+                                cell=attempt.cell.key,
+                                attempt=attempt.attempt,
+                            )
                         follow_up = self._retry_or_fail(
                             attempt, f"timeout after {self.timeout:.3g}s"
                         )
@@ -624,8 +744,12 @@ class _CampaignRunner:
                     _kill_executor(executor)
                     rebuilds += 1
                     if rebuilds > self.max_pool_rebuilds:
+                        if EVENTS.active:
+                            emit_event("pool.degraded", rebuilds=rebuilds)
                         self.run_serial(queue)
                         return
+                    if EVENTS.active:
+                        emit_event("pool.rebuild", rebuilds=rebuilds)
                     executor = self._new_executor(jobs)
         finally:
             if inflight or queue:

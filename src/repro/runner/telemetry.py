@@ -36,7 +36,10 @@ class CellEvent:
     every simulation the cell ran — when :mod:`repro.obs` was enabled in
     the worker; None otherwise. ``faults`` likewise carries the cell's
     summed ``faults.*`` injection counters when obs was enabled and a
-    fault plan actually fired; None otherwise.
+    fault plan actually fired; None otherwise. ``obs`` is the cell's full
+    merged registry snapshot (:func:`repro.obs.runs_snapshot`) — every
+    gated counter/gauge/histogram the cell's simulations recorded — which
+    is what lets campaign-level rollups stay exact under ``--jobs N``.
     """
 
     kind: str
@@ -47,6 +50,7 @@ class CellEvent:
     error: str = ""
     metrics: Optional[Dict[str, Any]] = None
     faults: Optional[Dict[str, int]] = None
+    obs: Optional[Dict[str, Any]] = None
 
 
 @dataclass
@@ -85,6 +89,10 @@ class CampaignTelemetry:
         #: Per-cell ``faults.*`` counter rollups (COMPUTED events whose cell
         #: injected faults with obs enabled), keyed by cell key.
         self.cell_faults: Dict[str, Dict[str, int]] = {}
+        #: Per-cell full registry snapshots (COMPUTED events that carried
+        #: one), keyed by cell key — the exact cross-worker aggregation
+        #: source: counters sum, histograms merge bucket-wise.
+        self.cell_obs: Dict[str, Dict[str, Any]] = {}
 
     # -- event stream ------------------------------------------------------
 
@@ -102,6 +110,8 @@ class CampaignTelemetry:
                 self.cell_metrics[event.key] = event.metrics
             if event.faults:
                 self.cell_faults[event.key] = event.faults
+            if event.obs:
+                self.cell_obs[event.key] = event.obs
         elif event.kind == RETRIED:
             self.retries += 1
         elif event.kind == FAILED:
@@ -132,21 +142,39 @@ class CampaignTelemetry:
     def decide_rollup(self) -> Optional[Dict[str, Any]]:
         """The cross-cell decide-latency rollup: p50/p95/max over the merged
         histograms of every cell that reported one (obs enabled), or None.
+
+        Batch-engine cells legitimately lack ``decide.wall_ns`` (the
+        vectorized backend has no scalar decide path); they are *skipped*,
+        not counted as zero-latency: ``cells`` is the covered-cell count
+        and ``cells_skipped`` (present only when non-zero) says how many
+        reporting cells carried no decide histogram.
         """
-        if not self.cell_metrics:
+        sources: Dict[str, Dict[str, Any]] = {}
+        for key, snap in self.cell_obs.items():
+            histogram = snap.get("decide.wall_ns")
+            if isinstance(histogram, dict):
+                sources[key] = histogram
+        for key, histogram in self.cell_metrics.items():
+            sources.setdefault(key, histogram)
+        covered = {k: s for k, s in sources.items() if s and s.get("count")}
+        if not covered:
             return None
         from repro.obs import merge_histogram_snapshots
 
-        merged = merge_histogram_snapshots(list(self.cell_metrics.values()))
+        merged = merge_histogram_snapshots(list(covered.values()))
         if not merged["count"]:
             return None
-        return {
-            "cells": len(self.cell_metrics),
+        rollup = {
+            "cells": len(covered),
             "count": merged["count"],
             "p50_ns": merged["p50"],
             "p95_ns": merged["p95"],
             "max_ns": merged["max"],
         }
+        skipped = len(set(self.cell_metrics) | set(self.cell_obs)) - len(covered)
+        if skipped:
+            rollup["cells_skipped"] = skipped
+        return rollup
 
     def faults_rollup(self) -> Optional[Dict[str, Any]]:
         """The cross-cell fault-injection rollup: summed ``faults.*``
@@ -160,6 +188,21 @@ class CampaignTelemetry:
             for name, value in counters.items():
                 totals[name] = totals.get(name, 0) + value
         return {"cells": len(self.cell_faults), **totals}
+
+    def obs_rollup(self) -> Optional[Dict[str, Any]]:
+        """The exact campaign-level registry rollup: every per-cell snapshot
+        the workers shipped, merged (counters sum, histograms bucket-wise).
+
+        Under ``--jobs N`` this equals the single-process registry a
+        ``--jobs 1`` run would have accumulated for deterministic metrics
+        (``tests/integration/test_fleet_obs.py`` pins it). None when no
+        cell shipped a snapshot (obs disabled).
+        """
+        if not self.cell_obs:
+            return None
+        from repro.obs import merge_registry_snapshots
+
+        return merge_registry_snapshots(list(self.cell_obs.values())) or None
 
     def snapshot(self) -> Dict[str, Any]:
         return {
@@ -176,6 +219,7 @@ class CampaignTelemetry:
             "elapsed_s": round(self.elapsed, 6),
             "decide_latency": self.decide_rollup(),
             "faults": self.faults_rollup(),
+            "obs": self.obs_rollup(),
             "workers": {
                 name: {"cells": stats.cells, "wall_s": round(stats.wall, 6)}
                 for name, stats in sorted(self.workers.items())

@@ -28,6 +28,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
+from repro.obs.events import EVENTS, bound_context
+from repro.obs.events import emit as emit_event
+from repro.obs.export import export_tick
 from repro.service.journal import CampaignJournal  # noqa: F401 — re-exported
 from repro.service.queue import DEFAULT_SERVICE_ROOT, SubmissionQueue, Ticket
 
@@ -205,6 +208,8 @@ class Dispatcher:
                 os.unlink(self.queue.active_dir / f"{ticket.number:08d}.status.json")
             except OSError:
                 pass
+            if EVENTS.active:
+                emit_event("service.recover", ticket=ticket.number)
             requeued += 1
         return requeued
 
@@ -241,45 +246,59 @@ class Dispatcher:
         add_default_listener(listener)
         drain_session()  # scope session_stats() to this request's campaigns
         outcome: Dict[str, Any]
-        try:
-            args = build_parser().parse_args(argv)
-            if args.scale:
-                args.quick = args.scale == "quick"
-                args.full = args.scale == "full"
-            if unknown:
-                raise ValueError(f"request carries unknown fields: {sorted(unknown)}")
-            targets = _campaign_targets()
-            target = args.target
-            if target not in targets:
-                raise ValueError(f"unknown campaign target {target!r}")
-            output = targets[target](args)
-            outcome = {
-                "ok": True,
-                "output": output[:_OUTPUT_LIMIT],
-                "telemetry": [t.snapshot() for t in session_stats()],
-            }
-        except BaseException as exc:  # noqa: BLE001 — outcome must be terminal
-            if isinstance(exc, KeyboardInterrupt):
-                raise
-            # SystemExit included: a malformed hand-crafted request must fail
-            # its own ticket, not take the whole drainer down.
-            outcome = {
-                "ok": False,
-                "error": f"{type(exc).__name__}: {exc}",
-                "trace": traceback.format_exc()[-_OUTPUT_LIMIT:],
-            }
-        finally:
-            remove_default_listener(listener)
-            drain_session()
-        outcome["elapsed_s"] = round(time.time() - started, 3)
-        outcome["jobs"] = self.jobs
-        self.queue.complete(ticket, outcome)
+        with bound_context(ticket=ticket.number):
+            if EVENTS.active:
+                emit_event("service.execute", target=request.get("target", ""))
+            try:
+                args = build_parser().parse_args(argv)
+                if args.scale:
+                    args.quick = args.scale == "quick"
+                    args.full = args.scale == "full"
+                if unknown:
+                    raise ValueError(
+                        f"request carries unknown fields: {sorted(unknown)}"
+                    )
+                targets = _campaign_targets()
+                target = args.target
+                if target not in targets:
+                    raise ValueError(f"unknown campaign target {target!r}")
+                output = targets[target](args)
+                outcome = {
+                    "ok": True,
+                    "output": output[:_OUTPUT_LIMIT],
+                    "telemetry": [t.snapshot() for t in session_stats()],
+                }
+            except BaseException as exc:  # noqa: BLE001 — outcome must be terminal
+                if isinstance(exc, KeyboardInterrupt):
+                    raise
+                # SystemExit included: a malformed hand-crafted request must
+                # fail its own ticket, not take the whole drainer down.
+                outcome = {
+                    "ok": False,
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "trace": traceback.format_exc()[-_OUTPUT_LIMIT:],
+                }
+            finally:
+                remove_default_listener(listener)
+                drain_session()
+            outcome["elapsed_s"] = round(time.time() - started, 3)
+            outcome["jobs"] = self.jobs
+            self.queue.complete(ticket, outcome)
+            if EVENTS.active:
+                emit_event(
+                    "service.complete",
+                    ok=bool(outcome.get("ok")),
+                    elapsed_s=outcome["elapsed_s"],
+                )
+        export_tick()
         return outcome
 
     def drain(self, max_requests: Optional[int] = None) -> DrainReport:
         """Claim and execute pending requests FIFO until the queue is empty
         (or ``max_requests`` have run)."""
         report = DrainReport()
+        if EVENTS.active:
+            emit_event("service.drain", root=str(self.root), jobs=self.jobs)
         while max_requests is None or len(report.executed) < max_requests:
             ticket = self.queue.claim_next()
             if ticket is None:
@@ -294,4 +313,6 @@ class Dispatcher:
                     "error": outcome.get("error"),
                 }
             )
+        if EVENTS.active:
+            emit_event("service.drained", executed=len(report.executed))
         return report

@@ -38,15 +38,17 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
+from repro.obs.events import EVENTS
+from repro.obs.events import emit as emit_event
 from repro.obs.gate import GATE
-from repro.obs.registry import MetricsRegistry
+from repro.obs.registry import MetricsRegistry, register_process_registry
 
 #: Default service root, relative to the current working directory.
 DEFAULT_SERVICE_ROOT = ".repro_service"
 
 #: Process-wide service instrumentation (gated, like every registry):
 #: ``service.queue_wait_s`` observes submit→claim latency in seconds.
-SERVICE_METRICS = MetricsRegistry("service")
+SERVICE_METRICS = register_process_registry(MetricsRegistry("service"))
 
 #: Queue-wait histogram bounds: 1 ms .. ~17 min, geometric.
 _WAIT_BOUNDS = tuple(0.001 * 2**k for k in range(21))
@@ -128,6 +130,10 @@ class SubmissionQueue:
                 os.unlink(tmp_name)
             except OSError:
                 pass
+        if EVENTS.active:
+            emit_event(
+                "service.submit", ticket=number, target=request.get("target", "")
+            )
         return Ticket(number=number, name=target.name, request=request)
 
     # -- claim / complete --------------------------------------------------
@@ -159,6 +165,10 @@ class SubmissionQueue:
                     SERVICE_METRICS.histogram(
                         "service.queue_wait_s", bounds=_WAIT_BOUNDS
                     ).observe(wait)
+            if EVENTS.active:
+                emit_event(
+                    "service.claim", ticket=number, target=request.get("target", "")
+                )
             return Ticket(number=number, name=name, request=request)
         return None
 

@@ -58,9 +58,10 @@ import numpy as np
 
 import repro.faults as _faults
 import repro.obs as _obs
+import repro.obs.events as _events
 from repro.core.busy_interval import MAX_ITERATIONS
 from repro.obs.gate import GATE
-from repro.obs.registry import MetricsRegistry
+from repro.obs.registry import MetricsRegistry, register_process_registry
 from repro.sim.behaviors import default_behaviors
 from repro.sim.config import RunSpec, canonical_json
 from repro.sim.engine import SimulationResult
@@ -70,7 +71,7 @@ from repro.sim.trace import JobRecord
 #: Process-wide batch-engine telemetry. ``batch.fallback`` counts specs
 #: that requested the batch engine but were routed to the scalar one
 #: (gated, like every counter, on the obs gate).
-BATCH_METRICS = MetricsRegistry("batch")
+BATCH_METRICS = register_process_registry(MetricsRegistry("batch"))
 
 #: Sentinel "time" for an empty arrival heap (never reached: horizons are
 #: int64-safe microsecond counts).
@@ -901,6 +902,15 @@ class BatchSimulator:
         if run.injector is not None:
             metrics.update(run.injector.metrics())
         result.metrics = metrics
+        if _events.EVENTS.active:
+            _events.emit(
+                "engine.run",
+                label=run.obs.label,
+                engine="batch",
+                end_time=result.end_time,
+                decisions=result.decisions,
+                deadline_misses=result.deadline_misses,
+            )
         return result
 
 

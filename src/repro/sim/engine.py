@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import repro.faults as _faults
 import repro.obs as _obs
+import repro.obs.events as _events
 from repro._time import MS, SEC
 from repro.core.state import PartitionState, SystemState
 from repro.core.timedice import DEFAULT_QUANTUM
@@ -353,23 +354,33 @@ class Simulator:
         :class:`~repro.sim.batch.BatchRunAdapter` — same ``run_until``
         surface, bit-identical results, but single-shot (no pause/resume).
         Specs or attachments the batch engine cannot represent (budget
-        donation, overhead measurement, custom behaviours/schedulers/obs)
-        fall back to the scalar engine here, ticking the gated
-        ``batch.fallback`` counter.
+        donation, overhead measurement, custom behaviours/schedulers/obs,
+        an active ``--trace-out`` capture) fall back to the scalar engine
+        here, ticking the gated ``batch.fallback`` counter plus one
+        reasoned companion (``batch.fallback.<reason>``) so ``repro
+        stats`` can say why.
         """
         spec = spec.normalized()
         if spec.engine == "batch":
             from repro.sim.batch import BATCH_METRICS, BatchRunAdapter, batch_compatible
 
-            supported = (
-                batch_compatible(spec) is None
-                and behaviors is None
-                and local_scheduler_factory is None
-                and obs is None
-            )
-            if supported:
+            reason = batch_compatible(spec)
+            if reason is None:
+                if behaviors is not None:
+                    reason = "custom_behaviors"
+                elif local_scheduler_factory is not None:
+                    reason = "custom_scheduler"
+                elif obs is not None:
+                    reason = "obs_scope"
+                elif _obs.trace_capture() is not None:
+                    # The batch backend records no per-run segments, so an
+                    # active --trace-out capture would come back empty;
+                    # the scalar engine self-registers and traces.
+                    reason = "obs_capture"
+            if reason is None:
                 return BatchRunAdapter(spec, observers=observers)
             BATCH_METRICS.counter("batch.fallback").inc()
+            BATCH_METRICS.counter(f"batch.fallback.{reason}").inc()
         return cls(
             spec.build_system(),
             policy=spec.policy,
@@ -785,7 +796,16 @@ class Simulator:
                     break  # always in the future once due events are popped
                 choice = self._decide(hooks)
             self._execute_slice(choice, next_event, t_end)
-        return self._account()
+        result = self._account()
+        if _events.EVENTS.active:
+            _events.emit(
+                "engine.run",
+                label=self.obs.label,
+                end_time=result.end_time,
+                decisions=result.decisions,
+                deadline_misses=result.deadline_misses,
+            )
+        return result
 
     def _run_for(self, duration: float, unit: int, what: str) -> SimulationResult:
         if not duration > 0:

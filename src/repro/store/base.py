@@ -37,8 +37,10 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, Optional
 
+from repro.obs.events import EVENTS
+from repro.obs.events import emit as emit_event
 from repro.obs.gate import GATE
-from repro.obs.registry import MetricsRegistry
+from repro.obs.registry import MetricsRegistry, register_process_registry
 
 #: Sentinel distinguishing "miss" from a stored ``None``.
 MISS = object()
@@ -58,7 +60,7 @@ DEFAULT_CACHE_DIR = ".repro_cache"
 #: Process-wide store instrumentation: ``store.get_ns`` / ``store.put_ns``
 #: latency histograms and the ``cache.corrupt`` counter. Gated like every
 #: other registry — with :mod:`repro.obs` disabled nothing here mutates.
-STORE_METRICS = MetricsRegistry("store")
+STORE_METRICS = register_process_registry(MetricsRegistry("store"))
 
 
 def code_salt() -> str:
@@ -94,16 +96,19 @@ class StoreEntry:
     schema: int = field(default_factory=cache_schema)
 
 
-# One-time flag for the corrupt-entry warning below. Per process, not per
-# store: a corrupted cache directory typically has many bad files and one
-# notice naming the first is enough.
-_CORRUPT_WARNED = False
+# One-time marker for the corrupt-entry warning below: the pid that has
+# already warned, or None. Per process, not per store: a corrupted cache
+# directory typically has many bad files and one notice naming the first is
+# enough — but storing the *pid* (not a bare bool) means a forked pool
+# worker, which inherits this module state already spent, re-arms on first
+# use and still warns once in its own process.
+_CORRUPT_WARNED_PID: Optional[int] = None
 
 
 def reset_corrupt_warning() -> None:
     """Re-arm the one-time corrupt-entry warning (test isolation)."""
-    global _CORRUPT_WARNED
-    _CORRUPT_WARNED = False
+    global _CORRUPT_WARNED_PID
+    _CORRUPT_WARNED_PID = None
 
 
 def note_corrupt_entry(location: str) -> None:
@@ -115,10 +120,12 @@ def note_corrupt_entry(location: str) -> None:
     overwritten) so without this signal a half-truncated cache looks like a
     slow one.
     """
-    global _CORRUPT_WARNED
+    global _CORRUPT_WARNED_PID
     STORE_METRICS.counter("cache.corrupt").inc()
-    if not _CORRUPT_WARNED:
-        _CORRUPT_WARNED = True
+    if EVENTS.active:
+        emit_event("store.corrupt", location=location)
+    if _CORRUPT_WARNED_PID != os.getpid():
+        _CORRUPT_WARNED_PID = os.getpid()
         warnings.warn(
             f"corrupt result-store entry at {location}: treated as a miss and "
             "eligible for overwrite (further corrupt entries are only counted; "
@@ -195,8 +202,12 @@ class ResultStore(ABC):
             entry = self._load(content_hash)
         if entry is MISS:
             self.stats.misses += 1
+            if EVENTS.active:
+                emit_event("store.miss", hash=content_hash[:12])
             return MISS
         self.stats.hits += 1
+        if EVENTS.active:
+            emit_event("store.hit", hash=content_hash[:12])
         return entry["value"]
 
     def put(
@@ -219,6 +230,8 @@ class ResultStore(ABC):
         else:
             self._write(content_hash, entry)
         self.stats.writes += 1
+        if EVENTS.active:
+            emit_event("store.put", hash=content_hash[:12])
 
     def put_entry(self, entry: StoreEntry) -> None:
         """Persist a fully specified entry, preserving its original salt and
@@ -281,6 +294,8 @@ class ResultStore(ABC):
                 continue
             if str(entry.get("salt", "")) != keep and self._delete(content_hash):
                 removed += 1
+        if EVENTS.active:
+            emit_event("store.gc", removed=removed, url=self.url)
         return removed
 
     def close(self) -> None:

@@ -18,9 +18,28 @@ from repro.model.configs import (
     table1_system,
     three_partition_example,
 )
+from repro.obs.events import disable_event_log
+from repro.obs.export import reset_metrics_exporter
+from repro.runner.pool import POOL_METRICS
 from repro.runner.telemetry import reset_session
 from repro.service import SERVICE_METRICS
+from repro.sim.batch import BATCH_METRICS
 from repro.store import STORE_METRICS, reset_corrupt_warning
+
+
+def _reset_process_observability():
+    reset_session()
+    obs.disable()
+    obs.stop_trace_capture()
+    obs.drain_run_log()
+    disable_event_log()
+    reset_metrics_exporter()
+    faults.reset_override_warning()
+    reset_corrupt_warning()
+    STORE_METRICS.reset()
+    SERVICE_METRICS.reset()
+    POOL_METRICS.reset()
+    BATCH_METRICS.reset()
 
 
 @pytest.fixture(autouse=True)
@@ -28,27 +47,14 @@ def _isolate_process_wide_observability():
     """Make telemetry and obs assertions order-independent.
 
     The campaign telemetry session registry and the repro.obs gate /
-    trace-capture / run-log are process-wide; without this reset, which
-    campaigns ``session_stats()`` sees (and whether obs is enabled) would
-    depend on which tests ran earlier in the pytest session.
+    trace-capture / run-log / event log / metrics exporter are
+    process-wide; without this reset, which campaigns ``session_stats()``
+    sees (and whether obs is enabled) would depend on which tests ran
+    earlier in the pytest session.
     """
-    reset_session()
-    obs.disable()
-    obs.stop_trace_capture()
-    obs.drain_run_log()
-    faults.reset_override_warning()
-    reset_corrupt_warning()
-    STORE_METRICS.reset()
-    SERVICE_METRICS.reset()
+    _reset_process_observability()
     yield
-    reset_session()
-    obs.disable()
-    obs.stop_trace_capture()
-    obs.drain_run_log()
-    faults.reset_override_warning()
-    reset_corrupt_warning()
-    STORE_METRICS.reset()
-    SERVICE_METRICS.reset()
+    _reset_process_observability()
 
 
 @pytest.fixture(scope="session")

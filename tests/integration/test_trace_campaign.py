@@ -1,0 +1,100 @@
+"""``--trace-out`` across engines and worker pools.
+
+Pins the interaction of trace capture with the two execution surfaces that
+cannot honour it transparently:
+
+- the **batch engine** records no per-run segments, so a spec asking for
+  ``engine="batch"`` while a capture is active falls back to the scalar
+  engine (which self-registers and traces), with the reasoned
+  ``batch.fallback.obs_capture`` counter saying why;
+- **forked pool workers** inherit the capture object but their
+  registrations can never reach the parent's trace file, so the pool drops
+  them and ships the gated ``trace.worker_runs_dropped`` count back in the
+  cell's obs snapshot instead of silently losing spans.
+"""
+
+from __future__ import annotations
+
+import json
+
+import repro.obs as obs
+from repro.experiments import fig12_accuracy
+from repro.runner import run_campaign, session_stats
+from repro.sim.batch import BATCH_METRICS, BatchRunAdapter
+from repro.sim.config import RunSpec, SystemSpec
+from repro.sim.engine import Simulator
+
+
+def batch_spec(seed=3):
+    return RunSpec(
+        system=SystemSpec.named("three_partition"),
+        policy="timedice",
+        seed=seed,
+        horizon=50_000,
+        engine="batch",
+    )
+
+
+def small_campaign(seed=3):
+    return fig12_accuracy.sweep_campaign(
+        policies=("norandom", "timedice"),
+        profile_sizes=(10,),
+        message_windows=20,
+        seed=seed,
+    )
+
+
+class TestTraceUnderBatchEngine:
+    def test_capture_forces_scalar_fallback_with_reason(self):
+        obs.enable()
+        obs.start_trace_capture()
+        try:
+            sim = Simulator.from_spec(batch_spec())
+            assert isinstance(sim, Simulator)
+            sim.run_until(50_000)
+        finally:
+            captured = obs.stop_trace_capture()
+        snapshot = BATCH_METRICS.snapshot()
+        assert snapshot["batch.fallback"] == 1
+        assert snapshot["batch.fallback.obs_capture"] == 1
+        # the scalar fallback self-registered, so the trace is not empty
+        assert len(captured) == 1
+        assert len(captured[0].segments) > 0
+
+    def test_no_capture_still_dispatches_batch(self):
+        obs.enable()
+        sim = Simulator.from_spec(batch_spec())
+        assert isinstance(sim, BatchRunAdapter)
+        assert BATCH_METRICS.snapshot().get("batch.fallback.obs_capture", 0) == 0
+
+
+class TestTraceUnderJobs:
+    def test_worker_runs_dropped_are_counted(self):
+        obs.enable()
+        obs.start_trace_capture()
+        try:
+            run_campaign(small_campaign(), jobs=2)
+        finally:
+            captured = obs.stop_trace_capture()
+        telemetry = session_stats()[-1]
+        rollup = telemetry.obs_rollup()
+        assert rollup is not None
+        # every cell simulated in a forked worker; all its registrations
+        # were dropped and accounted, none leaked into the parent capture
+        assert rollup.get("trace.worker_runs_dropped", 0) >= len(small_campaign())
+        assert captured == []
+
+    def test_cli_trace_out_with_jobs_writes_valid_trace(self, tmp_path, capsys):
+        from repro.cli import main
+
+        trace = tmp_path / "trace.json"
+        argv = [
+            "campaign", "fig12", "--quick", "--jobs", "2", "--no-cache",
+            "--trace-out", str(trace),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "[trace:" in out
+        document = json.loads(trace.read_text())
+        assert "traceEvents" in document
+        assert not obs.is_enabled()  # the CLI restored the gate

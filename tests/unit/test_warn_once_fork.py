@@ -1,0 +1,88 @@
+"""One-shot RuntimeWarnings must re-arm in forked pool workers.
+
+The corrupt-cache and ambient-override notices fire once per *process*
+(stored pid, not a bare bool): a forked worker inherits the parent's
+already-spent marker and, without the pid comparison, would stay silent for
+its whole life — exactly the process that actually touches the corrupt
+store entries. Each test spends the warning in the parent, forks, and
+asserts the child warns again (and only once).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import warnings
+
+import pytest
+
+import repro.faults as faults
+from repro.faults import FaultPlan, FaultSpec, resolve_fault_plan
+from repro.store import note_corrupt_entry
+
+fork_only = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable",
+)
+
+
+def _count_warnings(fn) -> int:
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        fn()
+    return sum(1 for w in caught if issubclass(w.category, RuntimeWarning))
+
+
+def _corrupt_twice() -> int:
+    return _count_warnings(
+        lambda: (note_corrupt_entry("child-a"), note_corrupt_entry("child-b"))
+    )
+
+
+def _override_twice() -> int:
+    explicit = FaultPlan.of(FaultSpec("jitter", "Pi_1", rate=1.0, magnitude=100.0))
+    return _count_warnings(
+        lambda: (resolve_fault_plan(explicit), resolve_fault_plan(explicit))
+    )
+
+
+def _child(queue, fn) -> None:
+    queue.put(fn())
+
+
+def _run_forked(fn) -> int:
+    ctx = multiprocessing.get_context("fork")
+    queue = ctx.Queue()
+    child = ctx.Process(target=_child, args=(queue, fn))
+    child.start()
+    result = queue.get(timeout=30)
+    child.join(timeout=30)
+    return result
+
+
+@fork_only
+def test_corrupt_warning_rearms_in_forked_child():
+    assert _count_warnings(lambda: note_corrupt_entry("parent")) == 1
+    assert _count_warnings(lambda: note_corrupt_entry("parent-again")) == 0
+    assert _run_forked(_corrupt_twice) == 1
+
+
+@fork_only
+def test_ambient_override_warning_rearms_in_forked_child():
+    ambient = FaultPlan.of(FaultSpec("overrun", "Pi_2", rate=1.0, magnitude=2.0))
+    explicit = FaultPlan.of(FaultSpec("jitter", "Pi_1", rate=1.0, magnitude=100.0))
+    faults.activate_plan(ambient)
+    try:
+        assert _count_warnings(lambda: resolve_fault_plan(explicit)) == 1
+        assert _count_warnings(lambda: resolve_fault_plan(explicit)) == 0
+        # the child inherits both the ambient plan and the spent marker
+        assert _run_forked(_override_twice) == 1
+    finally:
+        faults.deactivate_plan()
+
+
+def test_reset_rearms_in_process():
+    assert _count_warnings(lambda: note_corrupt_entry("x")) == 1
+    from repro.store import reset_corrupt_warning
+
+    reset_corrupt_warning()
+    assert _count_warnings(lambda: note_corrupt_entry("y")) == 1
