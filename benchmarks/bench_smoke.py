@@ -255,6 +255,63 @@ def batch_engine(batch_size: int = 64, scalar_sample: int = 8) -> dict:
     )
 
 
+def cluster_overhead(cells: int = 24) -> dict:
+    """Per-cell protocol cost of a localhost one-worker cluster drain vs.
+    the same campaign straight through the pool.
+
+    The cluster path adds a TCP lease/result round-trip per handful of
+    cells plus a worker-side ``run_campaign`` per lease; its per-cell
+    overhead (``protocol_overhead_ms_per_cell``) is the number the guard
+    (``benchmarks/test_bench_cluster.py``) bounds, so a regression that
+    serializes the fleet — lease expiry loops, heartbeat storms, frame
+    stalls — shows up here before it shows up on a real cluster.
+    """
+    import threading
+    import time
+
+    from repro.cluster import ClusterCoordinator, WorkerAgent
+    from repro.runner import CampaignSpec, run_campaign
+
+    obs.disable()
+    spec = CampaignSpec.from_grid(
+        "bench-cluster",
+        task="repro.runner.tasks:seeded_checksum_cell",
+        axes={"key": [f"cell{i}" for i in range(cells)]},
+        fixed={"root_seed": 17, "spin": 2000},
+    )
+
+    run_campaign(spec, jobs=1)  # warm imports and code paths before timing
+    t0 = time.perf_counter()
+    run_campaign(spec, jobs=1)
+    local = time.perf_counter() - t0
+
+    coordinator = ClusterCoordinator(lease_s=10.0).start()
+    agent = WorkerAgent(coordinator.address, jobs=1, name="bench", lease_cells=4)
+    thread = threading.Thread(target=agent.run, daemon=True)
+    thread.start()
+    try:
+        deadline = time.monotonic() + 10.0
+        while "bench" not in coordinator.worker_stats():
+            if time.monotonic() > deadline:
+                raise SystemExit("bench cluster worker never said hello")
+            time.sleep(0.01)
+        with coordinator.installed():
+            t0 = time.perf_counter()
+            run_campaign(spec, jobs=1)
+            clustered = time.perf_counter() - t0
+    finally:
+        agent.stop()
+        thread.join(timeout=10)
+        coordinator.stop()
+    return {
+        "cells": cells,
+        "local_s": local,
+        "cluster_s": clustered,
+        "protocol_overhead_ms_per_cell": (clustered - local) / cells * 1000.0,
+        "cluster_over_local": clustered / local if local else float("inf"),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="BENCH_smoke.json")
@@ -275,6 +332,7 @@ def main(argv=None) -> int:
         "events_overhead": events_overhead(),
         "store": store_throughput(),
         "batch_engine": batch_engine(),
+        "cluster": cluster_overhead(),
     }
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
@@ -290,6 +348,12 @@ def main(argv=None) -> int:
         f"batch_engine scalar={batch['scalar_cells_per_s']:.1f} c/s  "
         f"batch={batch['batch_cells_per_s']:.1f} c/s  "
         f"speedup={batch['speedup']:.2f}x  identical={batch['bit_identical']}"
+    )
+    cluster = document["cluster"]
+    print(
+        f"cluster local={cluster['local_s']:.3f}s  "
+        f"cluster={cluster['cluster_s']:.3f}s  "
+        f"overhead={cluster['protocol_overhead_ms_per_cell']:.1f} ms/cell"
     )
     print(f"wrote {args.out}")
     return 0

@@ -1,0 +1,43 @@
+"""Cluster protocol overhead: localhost one-worker drain vs. the bare pool.
+
+Guards the cost of putting :mod:`repro.cluster` between a campaign and its
+cells. A lease buys a handful of cells for one TCP round-trip and one
+worker-side ``run_campaign``, so the per-cell protocol overhead must stay
+in the low tens of milliseconds — a regression that serializes the fleet
+(lease-expiry churn, per-cell round-trips, frame stalls) blows straight
+through the bound.
+
+Bounds are deliberately loose: CI machines are noisy, the worker's idle
+poll adds up to ~0.2 s of startup latency, and the real numbers land in
+``benchmark.extra_info`` (and the ``cluster`` section of
+``BENCH_smoke.json``) for humans to read.
+"""
+
+from benchmarks.bench_smoke import cluster_overhead
+from benchmarks.conftest import run_once
+
+#: Ceiling on amortized protocol cost per cell (ms). The measured value on
+#: a laptop is ~1-10 ms; tens of ms would mean per-cell round-trips, and
+#: hundreds would mean lease churn.
+_MAX_OVERHEAD_MS_PER_CELL = 75.0
+
+
+def test_cluster_protocol_overhead_bounded(benchmark):
+    result = run_once(benchmark, cluster_overhead)
+
+    benchmark.extra_info.update(
+        {
+            "cells": result["cells"],
+            "local_s": round(result["local_s"], 4),
+            "cluster_s": round(result["cluster_s"], 4),
+            "protocol_overhead_ms_per_cell": round(
+                result["protocol_overhead_ms_per_cell"], 2
+            ),
+            "cluster_over_local": round(result["cluster_over_local"], 2),
+        }
+    )
+
+    assert result["protocol_overhead_ms_per_cell"] < _MAX_OVERHEAD_MS_PER_CELL, (
+        f"cluster adds {result['protocol_overhead_ms_per_cell']:.1f} ms/cell "
+        f"(bound {_MAX_OVERHEAD_MS_PER_CELL} ms): protocol is serializing"
+    )

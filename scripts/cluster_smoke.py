@@ -1,0 +1,255 @@
+"""CI check: SIGKILL a cluster worker mid-lease, diff against single-host.
+
+Drives the real CLI end to end, the way an operator would run a fleet:
+
+1. submits a campaign ticket to a fresh service root;
+2. starts ``python -m repro cluster serve`` (coordinator + drainer) with a
+   short lease and the fleet event log armed, plus two localhost
+   ``python -m repro cluster worker`` agents;
+3. SIGKILLs worker ``w0``'s process group as soon as the event log shows it
+   holding a lease — its cells must be stolen back at lease expiry and
+   re-executed by ``w1``;
+4. runs the same campaign single-host into a second store;
+5. checks that a ``cluster.steal`` event for ``w0`` was recorded, the
+   ticket drained ok, and the two stores match entry for entry — every
+   content hash and every canonically serialized value byte-identical;
+6. renders ``repro top --once`` against the event log into ``--obs-dir``
+   so CI uploads a human-readable picture of the run.
+
+Exit status 0 means the kill-steal invariant held. Usage::
+
+    python scripts/cluster_smoke.py [--backend sqlite|json] [--target load-sweep]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.events import read_events  # noqa: E402
+from repro.runner import canonical_json  # noqa: E402
+from repro.store import open_store  # noqa: E402
+
+
+def _env() -> dict:
+    env = os.environ.copy()
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _spawn(argv: list, workdir: Path, **kwargs) -> subprocess.Popen:
+    return subprocess.Popen(
+        argv, env=_env(), cwd=workdir, start_new_session=True, **kwargs
+    )
+
+
+def _kill_group(process: subprocess.Popen) -> None:
+    try:
+        os.killpg(process.pid, signal.SIGKILL)
+    except OSError:
+        pass
+    try:
+        process.wait(timeout=30)
+    except Exception:
+        pass
+
+
+def _store_entries(store_url: str) -> list:
+    handle = open_store(store_url)
+    try:
+        return [(e.content_hash, canonical_json(e.value)) for e in handle.entries()]
+    finally:
+        handle.close()
+
+
+def _events(path: Path, kind: str, worker: str) -> list:
+    if not path.exists():
+        return []
+    return [
+        e
+        for e in read_events(path)
+        if e.get("kind") == kind and e.get("worker") == worker
+    ]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--backend", choices=["json", "sqlite"], default="sqlite")
+    parser.add_argument("--target", default="load-sweep")
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--port", type=int, default=0, help="0 picks a free port")
+    parser.add_argument("--lease-s", type=float, default=2.0)
+    parser.add_argument("--timeout", type=float, default=600.0)
+    parser.add_argument(
+        "--obs-dir",
+        type=Path,
+        default=Path("cluster-obs"),
+        help="directory for the event log, metrics snapshots, and the "
+        "rendered `repro top` view (kept after the run so CI can upload)",
+    )
+    args = parser.parse_args(argv)
+
+    workdir = Path(tempfile.mkdtemp(prefix="cluster-smoke-"))
+    service_root = workdir / "service"
+    if args.backend == "json":
+        cluster_url = f"json:{workdir / 'cluster_store'}"
+        ref_url = f"json:{workdir / 'ref_store'}"
+    else:
+        cluster_url = f"sqlite:{workdir / 'cluster.db'}"
+        ref_url = f"sqlite:{workdir / 'ref.db'}"
+    obs_dir = args.obs_dir
+    obs_dir.mkdir(parents=True, exist_ok=True)
+    events_path = (obs_dir / "events.jsonl").resolve()
+
+    port = args.port
+    if not port:
+        import socket
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+
+    # 1. One ticket in a fresh service root.
+    submitted = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "service", "submit", args.target,
+            "--quick", "--seed", str(args.seed),
+            "--service-root", str(service_root),
+        ],
+        env=_env(), cwd=workdir, capture_output=True, text=True, timeout=120,
+    )
+    if submitted.returncode != 0:
+        print(f"[cluster-smoke] FAIL: submit exited {submitted.returncode}\n"
+              f"{submitted.stderr}")
+        return 1
+    print(f"[cluster-smoke] {submitted.stdout.strip()}")
+
+    # 2. Coordinator + two workers. w0 is doomed; w1 must finish the job.
+    serve = _spawn(
+        [
+            sys.executable, "-m", "repro", "cluster", "serve",
+            "--service-root", str(service_root),
+            "--port", str(port), "--lease-s", str(args.lease_s),
+            "--lease-cells", "2", "--jobs", "2",
+            "--store", cluster_url,
+            "--events-out", str(events_path),
+            "--metrics-dir", str((obs_dir / "metrics").resolve()),
+        ],
+        workdir, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True,
+    )
+    workers = {
+        name: _spawn(
+            [
+                sys.executable, "-m", "repro", "cluster", "worker",
+                f"127.0.0.1:{port}", "--jobs", "1",
+                "--worker-name", name, "--reconnect-s", "20",
+            ],
+            workdir, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        for name in ("w0", "w1")
+    }
+
+    # 3. Kill w0 the moment the event log shows it holding a lease.
+    killed = False
+    deadline = time.monotonic() + args.timeout
+    try:
+        while time.monotonic() < deadline:
+            if _events(events_path, "cluster.lease", "w0"):
+                _kill_group(workers["w0"])
+                killed = True
+                print("[cluster-smoke] SIGKILLed w0 mid-lease")
+                break
+            if serve.poll() is not None:
+                print("[cluster-smoke] FAIL: coordinator drained before w0 "
+                      "ever held a lease; nothing was stolen")
+                return 1
+            time.sleep(0.025)
+        if not killed:
+            print("[cluster-smoke] FAIL: w0 never leased a cell")
+            return 1
+        try:
+            serve_out, _ = serve.communicate(timeout=args.timeout)
+        except subprocess.TimeoutExpired:
+            print("[cluster-smoke] FAIL: coordinator never finished draining")
+            return 1
+    finally:
+        for process in workers.values():
+            _kill_group(process)
+        if serve.poll() is None:
+            _kill_group(serve)
+
+    print(serve_out.strip())
+    if serve.returncode != 0:
+        print(f"[cluster-smoke] FAIL: serve exited {serve.returncode}")
+        return 1
+    if ": ok in" not in serve_out:
+        print("[cluster-smoke] FAIL: ticket did not drain ok")
+        return 1
+
+    # 5a. The steal must be on the record.
+    steals = _events(events_path, "cluster.steal", "w0")
+    if not steals:
+        print("[cluster-smoke] FAIL: no cluster.steal event for w0")
+        return 1
+    stolen = sum(int(e.get("cells") or 0) for e in steals)
+    print(f"[cluster-smoke] {stolen} cell(s) stolen from w0 and re-executed")
+
+    # 4-5b. Single-host reference run, then the byte-level store diff.
+    reference = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "campaign", args.target,
+            "--scale", "quick", "--seed", str(args.seed), "--jobs", "2",
+            "--store", ref_url,
+        ],
+        env=_env(), cwd=workdir, capture_output=True, text=True,
+        timeout=args.timeout,
+    )
+    if reference.returncode != 0:
+        print(f"[cluster-smoke] FAIL: reference run exited "
+              f"{reference.returncode}\n{reference.stderr}")
+        return 1
+
+    cluster_entries = _store_entries(cluster_url)
+    ref_entries = _store_entries(ref_url)
+    if not cluster_entries or cluster_entries != ref_entries:
+        cluster_hashes = {h for h, _ in cluster_entries}
+        ref_hashes = {h for h, _ in ref_entries}
+        print("[cluster-smoke] FAIL: stores diverged")
+        print(f"  only in cluster:     {sorted(cluster_hashes - ref_hashes)[:5]}")
+        print(f"  only in single-host: {sorted(ref_hashes - cluster_hashes)[:5]}")
+        for (h_a, v_a), (h_b, v_b) in zip(cluster_entries, ref_entries):
+            if h_a == h_b and v_a != v_b:
+                print(f"  value mismatch at {h_a}")
+        return 1
+
+    # 6. Leave a rendered fleet view next to the raw logs for CI upload.
+    top = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "top", "--once",
+            "--events-out", str(events_path),
+            "--metrics-dir", str((obs_dir / "metrics").resolve()),
+            "--service-root", str(service_root),
+        ],
+        env=_env(), cwd=workdir, capture_output=True, text=True, timeout=120,
+    )
+    (obs_dir / "top.txt").write_text(top.stdout, encoding="utf-8")
+    if top.returncode != 0:
+        print(f"[cluster-smoke] FAIL: repro top exited {top.returncode}\n{top.stderr}")
+        return 1
+
+    print(f"[cluster-smoke] OK: {len(cluster_entries)} entries byte-identical "
+          f"({args.backend} backend, {stolen} stolen cell(s) re-executed)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

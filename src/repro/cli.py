@@ -20,6 +20,15 @@ pending/running/done campaigns with per-campaign progress and ETA. Store
 maintenance: ``repro cache ls`` / ``gc`` / ``migrate <src> <dst>``
 (see docs/SERVICE.md).
 
+Cluster execution (:mod:`repro.cluster`): ``repro cluster serve`` drains
+the service queue like ``service drain``, but leases every campaign cell
+to remote worker agents over TCP instead of this machine's pool;
+``repro cluster worker HOST:PORT --jobs N`` runs one such agent. Workers
+that die mid-lease have their cells stolen back and re-leased; results are
+byte-identical to a single-host ``--jobs 1`` run (see docs/SERVICE.md,
+"Cluster"). A coordinator also serves its result store to
+``remote:HOST:PORT`` store URLs.
+
 Observability (:mod:`repro.obs`): ``--trace-out FILE`` works on any
 sim-backed subcommand and writes a Chrome/Perfetto ``trace_event`` JSON of
 every simulation the command runs (open it at https://ui.perfetto.dev);
@@ -536,6 +545,90 @@ def _run_service(args) -> str:
     return "\n".join(lines)
 
 
+def _run_cluster(args) -> str:
+    """``repro cluster serve | worker HOST:PORT`` — multi-host campaign
+    execution (see docs/SERVICE.md, "Cluster").
+
+    ``serve`` drains the service queue exactly like ``service drain`` —
+    same journal, same store, same status files — but with a
+    :class:`~repro.cluster.ClusterCoordinator` installed as the execution
+    engine, so campaign cells are leased to connected worker agents
+    instead of running on this machine's pool. ``worker`` connects one
+    agent to a coordinator and executes leases until the coordinator goes
+    away (bounded reconnect backoff) or the process is stopped.
+    """
+    from repro.cluster import ClusterCoordinator, WorkerAgent, parse_address
+
+    verb = args.target
+    if verb not in ("serve", "worker"):
+        raise SystemExit("cluster requires a verb: serve or worker")
+    if verb == "worker":
+        if not args.rest:
+            raise SystemExit(
+                "cluster worker requires the coordinator address, "
+                "e.g.: repro cluster worker head-node:7341 --jobs 4"
+            )
+        try:
+            address = parse_address(args.rest[0])
+        except ValueError as exc:
+            raise SystemExit(f"cluster worker: {exc}")
+        agent = WorkerAgent(
+            address,
+            jobs=args.jobs,
+            name=args.worker_name,
+            lease_cells=args.lease_cells,
+            reconnect_s=args.reconnect_s,
+        )
+        print(f"worker {agent.name} -> {address[0]}:{address[1]}", file=sys.stderr)
+        stats = agent.run()
+        return (
+            f"worker {agent.name}: {stats['leases']} lease(s), "
+            f"{stats['completed']} cell(s) completed, {stats['failed']} failed, "
+            f"{stats['reconnects']} reconnect(s)"
+        )
+    # serve
+    from repro.service import DEFAULT_SERVICE_ROOT, Dispatcher
+    from repro.store import open_store
+
+    url = _store_url(args)
+    coordinator = ClusterCoordinator(
+        host=args.host,
+        port=args.port,
+        lease_s=args.lease_s,
+        lease_cells=args.lease_cells,
+        store=open_store(url) if url else None,
+    )
+    coordinator.start()
+    host, port = coordinator.address
+    print(f"cluster coordinator listening on {host}:{port}", file=sys.stderr)
+    dispatcher = Dispatcher(
+        args.service_root or DEFAULT_SERVICE_ROOT,
+        jobs=args.jobs,
+        store=getattr(args, "store", None),
+        cluster=coordinator,
+    )
+    try:
+        recovered = dispatcher.recover()
+        report = dispatcher.drain()
+    finally:
+        coordinator.stop()
+    lines = [f"coordinator {host}:{port}: drained {len(report.executed)} ticket(s)"]
+    if recovered:
+        lines.append(f"recovered {recovered} stranded ticket(s) from active/")
+    for item in report.executed:
+        flag = "ok" if item["ok"] else f"FAILED ({item.get('error')})"
+        lines.append(
+            f"#{item['ticket']:08d} {item['target']}: {flag} in {item['elapsed_s']:.1f}s"
+        )
+    for name, stats in sorted(coordinator.worker_stats().items()):
+        lines.append(
+            f"worker {name}: jobs={stats['jobs']} leased={stats['leased']} "
+            f"completed={stats['completed']} failed={stats['failed']} "
+            f"stolen={stats['stolen']}"
+        )
+    return "\n".join(lines)
+
+
 def _run_cache(args) -> str:
     """``repro cache ls | gc | migrate <src> <dst>`` — result-store
     maintenance over any backend URL."""
@@ -624,6 +717,7 @@ COMMANDS: Dict[str, Callable] = {
     "top": _run_top,
     "campaign": None,  # dispatches through CAMPAIGN_TARGETS (see _run_campaign)
     "service": _run_service,
+    "cluster": _run_cluster,
     "cache": _run_cache,
 }
 
@@ -664,8 +758,9 @@ def _campaign_targets_epilog() -> str:
     return (
         "campaign targets: "
         + ", ".join(sorted(CAMPAIGN_TARGETS))
-        + " (store URLs: json:DIR, sqlite:FILE; service verbs: submit, "
-        "status, drain; cache verbs: ls, gc, migrate)"
+        + " (store URLs: json:DIR, sqlite:FILE, remote:HOST:PORT; service "
+        "verbs: submit, status, drain; cluster verbs: serve, worker; "
+        "cache verbs: ls, gc, migrate)"
     )
 
 
@@ -752,6 +847,50 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="service queue root for the service verbs (default .repro_service)",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address for 'cluster serve' (use 0.0.0.0 to serve a "
+        "real fleet; default loopback)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=7341,
+        help="TCP port for 'cluster serve' (0 picks an ephemeral port; "
+        "default 7341)",
+    )
+    parser.add_argument(
+        "--lease-s",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="cluster lease lifetime without a heartbeat before cells are "
+        "stolen back and re-leased (default 10.0)",
+    )
+    parser.add_argument(
+        "--lease-cells",
+        type=int,
+        default=0,
+        metavar="N",
+        help="cells per cluster lease (serve: cap per request; worker: "
+        "request size). 0 = jobs*4 per worker",
+    )
+    parser.add_argument(
+        "--worker-name",
+        default=None,
+        metavar="NAME",
+        help="stable identity for 'cluster worker' (default host-pid)",
+    )
+    parser.add_argument(
+        "--reconnect-s",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="cumulative offline budget a cluster worker spends retrying a "
+        "dead coordinator (exponential backoff) before exiting "
+        "(default 60.0)",
     )
     parser.add_argument(
         "--telemetry-out",

@@ -1,0 +1,43 @@
+"""Multi-host campaign execution: coordinator, worker agents, work stealing.
+
+The cluster layer is a TCP front-end over the existing campaign machinery
+(:mod:`repro.runner`, :mod:`repro.store`, :mod:`repro.service`) — it moves
+*cells*, never changes what they compute:
+
+- :class:`ClusterCoordinator` owns the journal and the authoritative
+  result store, leases cells to workers with expiry deadlines, and steals
+  expired leases back (see :mod:`repro.cluster.coordinator`);
+- :class:`WorkerAgent` leases, executes through the ordinary pool, and
+  reports wire-serialized store entries (:mod:`repro.cluster.worker`);
+- :class:`RemoteStore` is a :class:`~repro.store.ResultStore` proxy over
+  the same socket — ``remote:HOST:PORT`` store URLs
+  (:mod:`repro.cluster.remote_store`);
+- the framing, version handshake, and robustness rules live in
+  :mod:`repro.cluster.protocol`.
+
+CLI entry points: ``repro cluster serve`` / ``repro cluster worker``.
+"""
+
+from repro.cluster.coordinator import CLUSTER_METRICS, ClusterCoordinator
+from repro.cluster.protocol import (
+    DEFAULT_CLUSTER_PORT,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    parse_address,
+)
+from repro.cluster.remote_store import RemoteStore
+from repro.cluster.worker import WorkerAgent, default_worker_name
+
+__all__ = [
+    "CLUSTER_METRICS",
+    "ClusterCoordinator",
+    "DEFAULT_CLUSTER_PORT",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RemoteStore",
+    "WorkerAgent",
+    "default_worker_name",
+    "parse_address",
+]

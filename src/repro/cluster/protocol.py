@@ -1,0 +1,179 @@
+"""The cluster wire protocol: length-prefixed JSON frames over TCP.
+
+One frame is a 4-byte big-endian length followed by that many bytes of
+UTF-8 JSON encoding a single object::
+
+    +----------+----------------------+
+    | len (4B) | JSON object (len B)  |
+    +----------+----------------------+
+
+Every message is a dict with a ``"kind"`` field; the coordinator and worker
+agree on :data:`PROTOCOL_VERSION` during the ``hello`` handshake and refuse
+to talk across versions (a mixed-version fleet fails loudly at connect
+time, never by silently mis-parsing frames mid-campaign).
+
+Robustness contract (exercised by ``tests/unit/test_cluster_protocol.py``):
+
+- a frame longer than ``max_bytes`` is rejected *before* its payload is
+  read (:class:`ProtocolError`), so one hostile or buggy peer cannot make
+  the coordinator buffer gigabytes;
+- payloads that are not valid UTF-8 JSON objects raise
+  :class:`ProtocolError`, never propagate a bare ``ValueError``;
+- a clean EOF **between** frames returns ``None`` from :func:`recv_frame`
+  (the peer hung up, which is normal); EOF **inside** a frame — a torn
+  header or truncated payload — is a :class:`ProtocolError`.
+
+The coordinator catches :class:`ProtocolError` per connection, ticks the
+gated ``cluster.protocol_error`` counter, and drops only that peer.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict, Optional, Tuple
+
+#: Bumped on any incompatible change to frame contents. Checked during the
+#: ``hello`` handshake; mismatches are refused.
+PROTOCOL_VERSION = 1
+
+#: Hard ceiling on one frame's payload (bytes). Result frames carry a whole
+#: lease of cell values, so this is generous — but bounded, because the
+#: length prefix is attacker/bug-controlled and is trusted *only* up to
+#: this limit.
+MAX_FRAME_BYTES = 64 << 20
+
+#: The default coordinator port (``repro cluster serve`` / ``worker``).
+DEFAULT_CLUSTER_PORT = 7341
+
+_HEADER = struct.Struct(">I")
+
+
+class ProtocolError(Exception):
+    """A malformed, oversized, or torn frame (or a version mismatch)."""
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes, or None on clean EOF at offset 0.
+
+    EOF after the first byte is a torn frame and raises
+    :class:`ProtocolError`; socket timeouts propagate as ``socket.timeout``
+    (an ``OSError``) for the caller's reconnect logic.
+    """
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == count:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({count - remaining}/{count} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock: socket.socket, message: Dict[str, Any]) -> None:
+    """Serialize ``message`` and send it as one frame.
+
+    Raises :class:`ProtocolError` if the encoded message exceeds
+    :data:`MAX_FRAME_BYTES` (sending it would only get the peer to drop
+    us); ``OSError`` propagates for broken sockets.
+    """
+    payload = json.dumps(message, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"outgoing frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame limit"
+        )
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def recv_frame(
+    sock: socket.socket, max_bytes: int = MAX_FRAME_BYTES
+) -> Optional[Dict[str, Any]]:
+    """Receive one frame, or None when the peer hung up between frames.
+
+    Raises :class:`ProtocolError` for oversized lengths (payload is never
+    read), torn frames, undecodable payloads, and non-object payloads.
+    """
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > max_bytes:
+        raise ProtocolError(
+            f"incoming frame claims {length} bytes, over the {max_bytes}-byte limit"
+        )
+    payload = _recv_exact(sock, length) if length else b""
+    if payload is None:
+        raise ProtocolError("connection closed between header and payload")
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def parse_address(text: str) -> Tuple[str, int]:
+    """``"HOST:PORT"`` (or bare ``"HOST"``) → ``(host, port)``.
+
+    A missing port means :data:`DEFAULT_CLUSTER_PORT`; a bare ``":PORT"``
+    means localhost.
+    """
+    host, sep, port_text = str(text).rpartition(":")
+    if not sep:
+        return (text or "127.0.0.1", DEFAULT_CLUSTER_PORT)
+    if not port_text.isdigit():
+        raise ValueError(f"cluster address {text!r} must look like HOST:PORT")
+    return (host or "127.0.0.1", int(port_text))
+
+
+class FrameConnection:
+    """A blocking request/reply client over one framed socket.
+
+    Used by the worker agent (and the remote-store proxy): exactly one
+    outstanding request at a time, so replies can never be mismatched.
+    Not thread-safe by design — the agent gives its heartbeat thread a
+    *separate* connection instead of multiplexing one.
+    """
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        connect_timeout: float = 5.0,
+        io_timeout: float = 120.0,
+    ):
+        self.address = address
+        self.io_timeout = io_timeout
+        self._sock = socket.create_connection(address, timeout=connect_timeout)
+        self._sock.settimeout(io_timeout)
+
+    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send ``message`` and block for the single reply frame."""
+        send_frame(self._sock, message)
+        reply = recv_frame(self._sock)
+        if reply is None:
+            raise ProtocolError("peer closed the connection instead of replying")
+        if reply.get("kind") == "error":
+            raise ProtocolError(f"peer refused: {reply.get('error', 'unknown error')}")
+        return reply
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "FrameConnection":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -1,0 +1,112 @@
+"""A :class:`ResultStore` proxy speaking the cluster protocol.
+
+``remote:HOST:PORT`` store URLs resolve here (lazily, from
+:func:`repro.store.open_store`): every primitive becomes one
+request/reply frame against a live :class:`~repro.cluster.coordinator.
+ClusterCoordinator`, which serves its authoritative backend. This is what
+lets a remote process read or seed campaign results without any access to
+the coordinator's filesystem — ``repro cache describe remote:head:7341``
+works from any host that can reach the socket.
+
+The proxy adopts the coordinator's *salt* at connect time (a ``store_info``
+frame), so content hashes computed against it agree with the coordinator's
+own; passing an explicit ``salt`` overrides that, like any other backend.
+
+One connection, lazily dialed and redialed once per failed call; callers
+needing real resilience should wrap operations with their own retry — the
+proxy keeps the same contract as the file-backed stores (``OSError`` when
+the backend is unreachable).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional
+
+from repro.cluster.protocol import FrameConnection, ProtocolError, parse_address
+from repro.store.base import MISS, ResultStore, StoreEntry
+
+
+class RemoteStore(ResultStore):
+    """Content-addressed store served over a coordinator socket."""
+
+    scheme = "remote"
+
+    def __init__(
+        self,
+        address: str,
+        salt: Optional[str] = None,
+        connect_timeout: float = 5.0,
+        io_timeout: float = 60.0,
+    ):
+        self._address = parse_address(address)
+        self._connect_timeout = connect_timeout
+        self._io_timeout = io_timeout
+        self._conn: Optional[FrameConnection] = None
+        if salt is None:
+            # Adopt the authoritative store's salt so hashes agree.
+            salt = str(self._request({"kind": "store_info"}).get("salt") or "")
+        super().__init__(salt=salt)
+
+    def _request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        if self._conn is None:
+            self._conn = FrameConnection(
+                self._address,
+                connect_timeout=self._connect_timeout,
+                io_timeout=self._io_timeout,
+            )
+        try:
+            return self._conn.request(message)
+        except (OSError, ProtocolError):
+            # One redial per call: transparently survives a coordinator
+            # restart, still surfaces a genuinely dead one to the caller.
+            self.close()
+            self._conn = FrameConnection(
+                self._address,
+                connect_timeout=self._connect_timeout,
+                io_timeout=self._io_timeout,
+            )
+            return self._conn.request(message)
+
+    # -- backend primitives ------------------------------------------------
+
+    def _load(self, content_hash: str) -> Any:
+        reply = self._request({"kind": "store_get", "hash": content_hash})
+        doc = reply.get("entry")
+        if doc is None:
+            return MISS
+        return StoreEntry.from_wire(doc).to_wire()  # normalized entry dict
+
+    def _write(self, content_hash: str, entry: Dict[str, Any]) -> None:
+        self._request(
+            {
+                "kind": "store_put",
+                "entry": {
+                    "content_hash": content_hash,
+                    "value": entry.get("value"),
+                    "meta": dict(entry.get("meta") or {}),
+                    "salt": str(entry.get("salt", "")),
+                    "schema": int(entry.get("schema", 0)),
+                },
+            }
+        )
+
+    def _delete(self, content_hash: str) -> bool:
+        reply = self._request({"kind": "store_delete", "hash": content_hash})
+        return bool(reply.get("removed"))
+
+    def entries(self) -> Iterator[StoreEntry]:
+        reply = self._request({"kind": "store_entries"})
+        for doc in reply.get("entries") or ():
+            yield StoreEntry.from_wire(doc)
+
+    def _hashes(self) -> Iterator[str]:
+        reply = self._request({"kind": "store_hashes"})
+        return iter(sorted(str(h) for h in reply.get("hashes") or ()))
+
+    def location(self) -> str:
+        return f"{self._address[0]}:{self._address[1]}"
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None

@@ -138,6 +138,46 @@ def _campaign_stats(events: List[Dict[str, Any]]) -> Dict[str, Dict[str, Any]]:
     return campaigns
 
 
+def _cluster_stats(events: List[Dict[str, Any]]) -> Dict[str, Dict[str, Any]]:
+    """Per-remote-worker rollups from the coordinator's ``cluster.*`` events.
+
+    Keyed by worker name; `last_ts` is the newest event timestamp that
+    mentioned the worker, which the gatherer turns into a last-seen age.
+    """
+    workers: Dict[str, Dict[str, Any]] = {}
+
+    def entry(name: Any) -> Dict[str, Any]:
+        key = str(name) if name else "?"
+        return workers.setdefault(
+            key,
+            {"jobs": None, "leased": 0, "completed": 0, "stolen": 0,
+             "heartbeats": 0, "last_ts": None},
+        )
+
+    for record in events:
+        kind = record.get("kind")
+        if not isinstance(kind, str) or not kind.startswith("cluster."):
+            continue
+        if "worker" not in record:
+            continue
+        item = entry(record.get("worker"))
+        ts = record.get("ts")
+        if isinstance(ts, (int, float)):
+            last = item["last_ts"]
+            item["last_ts"] = float(ts) if last is None else max(last, float(ts))
+        if kind == "cluster.hello":
+            item["jobs"] = record.get("jobs")
+        elif kind == "cluster.lease":
+            item["leased"] += int(record.get("cells") or 0)
+        elif kind == "cluster.result":
+            item["completed"] += int(record.get("cells") or 0)
+        elif kind == "cluster.steal":
+            item["stolen"] += int(record.get("cells") or 0)
+        elif kind == "cluster.heartbeat":
+            item["heartbeats"] += 1
+    return workers
+
+
 def _event_counters(events: List[Dict[str, Any]]) -> Dict[str, int]:
     """Fleet-wide event-kind tallies the dashboard surfaces."""
     counts: Dict[str, int] = {}
@@ -179,6 +219,7 @@ def gather_fleet_state(
         "service": None,
         "campaigns": {},
         "counters": {},
+        "cluster": {},
         "workers": [],
         "events_seen": 0,
     }
@@ -189,6 +230,11 @@ def gather_fleet_state(
         state["events_seen"] = len(events)
         state["campaigns"] = _campaign_stats(events)
         state["counters"] = _event_counters(events)
+        cluster = _cluster_stats(events)
+        for item in cluster.values():
+            last = item.pop("last_ts")
+            item["age_s"] = (now - last) if last is not None else None
+        state["cluster"] = cluster
         stamps = [
             record["ts"] for record in events
             if isinstance(record.get("ts"), (int, float))
@@ -318,6 +364,35 @@ def render_top(state: Dict[str, Any]) -> str:
             "faults: " + ", ".join(f"{k.split('.', 1)[1]}={v}"
                                    for k, v in sorted(faults.items()))
         )
+
+    cluster = state.get("cluster") or {}
+    if cluster:
+        lines.append(f"cluster workers ({len(cluster)}):")
+        for name in sorted(cluster):
+            item = cluster[name]
+            age = item.get("age_s")
+            shown = f"{age:.1f}s" if isinstance(age, (int, float)) else "?"
+            row = (
+                f"  {name:<16} jobs={item.get('jobs') or '?'}"
+                f"  leased={item.get('leased', 0)}"
+                f"  completed={item.get('completed', 0)}"
+                f"  last seen {shown} ago"
+            )
+            if item.get("stolen"):
+                row += f"  ({item['stolen']} STOLEN)"
+            lines.append(row)
+        stolen = counters.get("cluster.steal", 0)
+        proto = counters.get("cluster.protocol_error", 0)
+        dupes = counters.get("cluster.duplicate_result", 0)
+        extras = []
+        if stolen:
+            extras.append(f"{stolen} steal event(s)")
+        if dupes:
+            extras.append(f"{dupes} duplicate result(s) dropped")
+        if proto:
+            extras.append(f"{proto} protocol error(s)")
+        if extras:
+            lines.append("cluster: " + ", ".join(extras))
 
     workers = state.get("workers") or []
     if workers:

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -67,6 +68,31 @@ BATCH_GROUP_CAP = 256
 #: counter, on the obs gate) — suppression is deliberate there, but it must
 #: never be silent.
 POOL_METRICS = register_process_registry(MetricsRegistry("pool"))
+
+#: The installed cluster execution backend, or None for local execution.
+#: Anything with an ``execute(runner, pending)`` method qualifies; in
+#: practice it is a :class:`repro.cluster.ClusterCoordinator` installed via
+#: its ``installed()`` context manager. Ambient state (not a parameter)
+#: on purpose: the service dispatcher re-enters ``run_campaign`` through
+#: the CLI target functions, which know nothing about clusters. Thread-local
+#: rather than module-global so an in-process :class:`WorkerAgent` (tests,
+#: single-host smoke) executing its lease on another thread falls through
+#: to local execution instead of recursing into the coordinator.
+_CLUSTER_STATE = threading.local()
+
+
+def set_cluster_backend(backend: Optional[Any]) -> Optional[Any]:
+    """Install ``backend`` as this thread's campaign execution engine;
+    returns the previous one so callers can restore it (see
+    ``ClusterCoordinator.installed``)."""
+    previous = getattr(_CLUSTER_STATE, "backend", None)
+    _CLUSTER_STATE.backend = backend
+    return previous
+
+
+def cluster_backend() -> Optional[Any]:
+    """The cluster backend installed on this thread, or None."""
+    return getattr(_CLUSTER_STATE, "backend", None)
 
 
 #: The pid whose process-global registry counts this process owns. A forked
@@ -390,11 +416,18 @@ def run_campaign(
     )
     try:
         if pending:
-            grouped = _group_pending(pending, batch)
-            if jobs == 1:
-                runner.run_serial(grouped)
+            backend = cluster_backend()
+            if backend is not None:
+                # Cluster path: ship ungrouped attempts — each worker agent
+                # re-enters run_campaign for its lease, so batch grouping
+                # happens worker-side where the cells actually execute.
+                backend.execute(runner, pending)
             else:
-                runner.run_parallel(grouped, jobs)
+                grouped = _group_pending(pending, batch)
+                if jobs == 1:
+                    runner.run_serial(grouped)
+                else:
+                    runner.run_parallel(grouped, jobs)
     finally:
         if log is not None and journal is not log:
             log.close()  # close only journals this call opened

@@ -22,6 +22,7 @@ package for its ``service`` verbs.)
 
 from __future__ import annotations
 
+import contextlib
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -108,12 +109,19 @@ class Dispatcher:
         root: Union[str, Path] = DEFAULT_SERVICE_ROOT,
         jobs: int = 1,
         store: Optional[str] = None,
+        cluster: Optional[Any] = None,
     ):
         self.root = Path(root)
         self.queue = SubmissionQueue(self.root)
         self.jobs = max(1, int(jobs))
         #: Store URL campaigns run against when the request names none.
         self.store = store
+        #: Optional :class:`repro.cluster.ClusterCoordinator`: when set,
+        #: every campaign this dispatcher executes is leased to the
+        #: cluster's worker fleet instead of this process's pool (the
+        #: ``repro cluster serve`` path). Journal, store, and telemetry
+        #: stay right here — only the cell execution moves.
+        self.cluster = cluster
         #: Journal directory shared by every campaign this service runs.
         self.journal_root = self.root / "journals"
 
@@ -262,7 +270,13 @@ class Dispatcher:
                 target = args.target
                 if target not in targets:
                     raise ValueError(f"unknown campaign target {target!r}")
-                output = targets[target](args)
+                engine = (
+                    self.cluster.installed()
+                    if self.cluster is not None
+                    else contextlib.nullcontext()
+                )
+                with engine:
+                    output = targets[target](args)
                 outcome = {
                     "ok": True,
                     "output": output[:_OUTPUT_LIMIT],

@@ -75,24 +75,85 @@ BACKENDS = {
     SqliteStore.scheme: SqliteStore,
 }
 
+#: Schemes resolved on first use (import cost or optional deps). The
+#: ``remote:`` proxy lives in :mod:`repro.cluster`, which must not load for
+#: every plain file-backed campaign.
+_LAZY_BACKENDS = {
+    "remote": ("repro.cluster.remote_store", "RemoteStore"),
+}
+
+
+def _int_in_range(low: int, high: Optional[int] = None):
+    def convert(key: str, text: str) -> int:
+        try:
+            value = int(text)
+        except ValueError:
+            raise ValueError(
+                f"store URL parameter {key}={text!r} is not an integer"
+            ) from None
+        if value < low or (high is not None and value > high):
+            bounds = f">= {low}" if high is None else f"in {low}..{high}"
+            raise ValueError(f"store URL parameter {key}={value} must be {bounds}")
+        return value
+
+    return convert
+
+
+#: scheme -> {query key -> value converter}. ``open_store`` rejects any key
+#: not listed here, so a typo (``?fanout=4`` on a sqlite URL, ``?fnaout=``
+#: anywhere) fails loudly instead of being silently dropped.
+_QUERY_PARAMS = {
+    "json": {"fanout": _int_in_range(1, 8)},
+    "sqlite": {"busy_timeout_ms": _int_in_range(1)},
+    "remote": {},
+}
+
+
+def _parse_query(scheme: str, query: str) -> dict:
+    allowed = _QUERY_PARAMS.get(scheme, {})
+    params = {}
+    for part in query.split("&"):
+        if not part:
+            continue
+        key, _, text = part.partition("=")
+        if key not in allowed:
+            known = ", ".join(sorted(allowed)) or "none"
+            raise ValueError(
+                f"unknown store URL parameter {key!r} for scheme "
+                f"{scheme!r} (known: {known})"
+            )
+        params[key] = allowed[key](key, text)
+    return params
+
 
 def store_url(spec: Union[str, ResultStore]) -> str:
-    """Normalize ``spec`` to a ``scheme:path`` store URL.
+    """Normalize ``spec`` to a ``scheme:path[?params]`` store URL.
 
     Bare paths (no known scheme prefix) mean the JSON backend, preserving
-    the pre-URL behavior of every ``cache=`` argument.
+    the pre-URL behavior of every ``cache=`` argument. Query parameters
+    (``sqlite:results.db?busy_timeout_ms=5000``, ``json:cache?fanout=3``)
+    pass through; they are validated by :func:`open_store`.
     """
     if isinstance(spec, ResultStore):
         return spec.url
     text = str(spec)
     scheme, sep, rest = text.partition(":")
-    if sep and scheme in BACKENDS:
+    if sep and (scheme in BACKENDS or scheme in _LAZY_BACKENDS):
         return f"{scheme}:{rest}" if rest else f"{scheme}:{_default_path(scheme)}"
     return f"json:{text or DEFAULT_CACHE_DIR}"
 
 
 def _default_path(scheme: str) -> str:
     return DEFAULT_CACHE_DIR if scheme == "json" else "results.db"
+
+
+def _backend_class(scheme: str):
+    if scheme in BACKENDS:
+        return BACKENDS[scheme]
+    module_name, attr = _LAZY_BACKENDS[scheme]
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
 
 
 def open_store(
@@ -102,7 +163,14 @@ def open_store(
 
     ``None`` disables storage; an existing store passes through untouched
     (``salt`` must then be None — reopening with a different salt would
-    silently change its keying); a string/path is parsed as a store URL.
+    silently change its keying); a string/path is parsed as a store URL,
+    including backend tuning via query parameters::
+
+        json:.repro_cache?fanout=3
+        sqlite:results.db?busy_timeout_ms=5000
+        remote:head-node:7341              # cluster coordinator proxy
+
+    Unknown parameters (and out-of-range values) raise ``ValueError``.
     ``os.PathLike`` values are treated as bare JSON roots.
     """
     if spec is None:
@@ -115,8 +183,13 @@ def open_store(
             )
         return spec
     url = store_url(str(spec))
-    scheme, _, path = url.partition(":")
-    return BACKENDS[scheme](path, salt=salt)
+    scheme, _, rest = url.partition(":")
+    # The operand may itself contain ':' (remote:HOST:PORT) — only a
+    # trailing '?query' is split off, the rest is the operand.
+    path, _, query = rest.partition("?")
+    params = _parse_query(scheme, query)
+    path = path or _default_path(scheme)
+    return _backend_class(scheme)(path, salt=salt, **params)
 
 
 def migrate(src: ResultStore, dst: ResultStore) -> int:

@@ -95,6 +95,36 @@ class StoreEntry:
     salt: str = ""
     schema: int = field(default_factory=cache_schema)
 
+    def to_wire(self) -> Dict[str, Any]:
+        """A JSON-safe document for shipping this entry over a socket.
+
+        The cluster result path (:mod:`repro.cluster`) sends these inside
+        result frames; :meth:`from_wire` round-trips them exactly, so a
+        remote worker's entry lands in the coordinator's store bit-for-bit
+        identical to a locally computed one.
+        """
+        return {
+            "content_hash": self.content_hash,
+            "value": self.value,
+            "meta": dict(self.meta),
+            "salt": self.salt,
+            "schema": self.schema,
+        }
+
+    @classmethod
+    def from_wire(cls, doc: Dict[str, Any]) -> "StoreEntry":
+        """Rebuild an entry from :meth:`to_wire` output (defensively typed:
+        a malformed peer document raises ``ValueError``, never ``KeyError``)."""
+        if not isinstance(doc, dict) or "content_hash" not in doc:
+            raise ValueError(f"not a wire store entry: {doc!r}")
+        return cls(
+            content_hash=str(doc["content_hash"]),
+            value=doc.get("value"),
+            meta=dict(doc.get("meta") or {}),
+            salt=str(doc.get("salt", "")),
+            schema=int(doc.get("schema", 0)),
+        )
+
 
 # One-time marker for the corrupt-entry warning below: the pid that has
 # already warned, or None. Per process, not per store: a corrupted cache

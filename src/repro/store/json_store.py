@@ -40,17 +40,32 @@ class JsonStore(ResultStore):
 
     scheme = "json"
 
+    #: Historical fan-out width; also what omitted ``?fanout=`` means.
+    DEFAULT_FANOUT = 2
+
     def __init__(
-        self, root: Union[str, Path] = DEFAULT_CACHE_DIR, salt: Optional[str] = None
+        self,
+        root: Union[str, Path] = DEFAULT_CACHE_DIR,
+        salt: Optional[str] = None,
+        fanout: int = DEFAULT_FANOUT,
     ):
         super().__init__(salt=salt)
         self.root = Path(root)
+        fanout = int(fanout)
+        if not 1 <= fanout <= 8:
+            # Wider than 8 hex chars of fan-out means more directories than
+            # entries for any realistic campaign; narrower than 1 is no
+            # fan-out at all, which this layout does not support.
+            raise ValueError(f"json store fanout must be in 1..8, got {fanout}")
+        self.fanout = fanout
 
     def location(self) -> str:
+        if self.fanout != self.DEFAULT_FANOUT:
+            return f"{self.root}?fanout={self.fanout}"
         return str(self.root)
 
     def path_for(self, content_hash: str) -> Path:
-        return self.root / content_hash[:2] / f"{content_hash}.json"
+        return self.root / content_hash[: self.fanout] / f"{content_hash}.json"
 
     # -- backend primitives ------------------------------------------------
 
@@ -99,7 +114,7 @@ class JsonStore(ResultStore):
     def _hashes(self) -> Iterator[str]:
         if not self.root.is_dir():
             return
-        for path in sorted(self.root.glob("??/*.json")):
+        for path in sorted(self.root.glob("?" * self.fanout + "/*.json")):
             yield path.stem
 
     def entries(self) -> Iterator[StoreEntry]:

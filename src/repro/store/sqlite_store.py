@@ -58,14 +58,25 @@ class SqliteStore(ResultStore):
     scheme = "sqlite"
 
     def __init__(
-        self, path: Union[str, Path] = "results.db", salt: Optional[str] = None
+        self,
+        path: Union[str, Path] = "results.db",
+        salt: Optional[str] = None,
+        busy_timeout_ms: int = BUSY_TIMEOUT_MS,
     ):
         super().__init__(salt=salt)
         self.path = Path(path)
+        busy_timeout_ms = int(busy_timeout_ms)
+        if busy_timeout_ms <= 0:
+            raise ValueError(
+                f"sqlite store busy_timeout_ms must be positive, got {busy_timeout_ms}"
+            )
+        self.busy_timeout_ms = busy_timeout_ms
         self._conn: Optional[sqlite3.Connection] = None
         self._conn_pid: Optional[int] = None
 
     def location(self) -> str:
+        if self.busy_timeout_ms != BUSY_TIMEOUT_MS:
+            return f"{self.path}?busy_timeout_ms={self.busy_timeout_ms}"
         return str(self.path)
 
     # -- connection management ---------------------------------------------
@@ -80,7 +91,7 @@ class SqliteStore(ResultStore):
             if self.path.parent != Path("."):
                 self.path.parent.mkdir(parents=True, exist_ok=True)
             conn = sqlite3.connect(str(self.path), check_same_thread=False)
-            conn.execute(f"PRAGMA busy_timeout = {BUSY_TIMEOUT_MS}")
+            conn.execute(f"PRAGMA busy_timeout = {self.busy_timeout_ms}")
             conn.execute("PRAGMA journal_mode = WAL")
             conn.execute("PRAGMA synchronous = NORMAL")
             conn.execute(_SCHEMA_SQL)

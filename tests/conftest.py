@@ -18,9 +18,10 @@ from repro.model.configs import (
     table1_system,
     three_partition_example,
 )
+from repro.cluster import CLUSTER_METRICS
 from repro.obs.events import disable_event_log
 from repro.obs.export import reset_metrics_exporter
-from repro.runner.pool import POOL_METRICS
+from repro.runner.pool import POOL_METRICS, set_cluster_backend
 from repro.runner.telemetry import reset_session
 from repro.service import SERVICE_METRICS
 from repro.sim.batch import BATCH_METRICS
@@ -40,6 +41,8 @@ def _reset_process_observability():
     SERVICE_METRICS.reset()
     POOL_METRICS.reset()
     BATCH_METRICS.reset()
+    CLUSTER_METRICS.reset()
+    set_cluster_backend(None)
 
 
 @pytest.fixture(autouse=True)

@@ -1,0 +1,317 @@
+"""Integration: cluster drains are byte-identical to single-host runs.
+
+The three headline invariants of :mod:`repro.cluster`, each proven on both
+store backends:
+
+- **identity** — a campaign drained through a coordinator and two localhost
+  worker agents produces the same merged results (same order, same bytes)
+  and the same store contents as ``--jobs 1`` on one host;
+- **worker death** — SIGKILLing a worker subprocess mid-lease loses
+  nothing: its cells are stolen back after lease expiry, re-executed
+  elsewhere, and the final result is still byte-identical;
+- **coordinator death** — SIGKILLing the coordinator process mid-campaign
+  loses nothing either: the journal + content-addressed store resume the
+  campaign on a fresh coordinator (same port, so the surviving worker's
+  bounded-backoff reconnect finds it), byte-identical to uninterrupted.
+"""
+
+import contextlib
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cluster import ClusterCoordinator, WorkerAgent
+from repro.runner import CampaignSpec, canonical_json, run_campaign
+from repro.service import CampaignJournal
+from repro.store import open_store
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+BACKENDS = pytest.mark.parametrize("backend", ["json", "sqlite"])
+
+#: Scenario sizing: slow enough that kills land mid-lease, fast enough for CI.
+STEAL_CELLS = 8
+STEAL_SLEEP_S = 0.4
+RESUME_CELLS = 12
+RESUME_SLEEP_S = 0.25
+
+
+def _store_url(backend: str, tmp_path: Path, name: str) -> str:
+    if backend == "json":
+        return f"json:{tmp_path / name}"
+    return f"sqlite:{tmp_path / name}.db"
+
+
+def _count(store_url: str) -> int:
+    handle = open_store(store_url)
+    try:
+        return len(handle)
+    finally:
+        handle.close()
+
+
+def _store_entries(store_url: str):
+    handle = open_store(store_url)
+    try:
+        return [(e.content_hash, canonical_json(e.value)) for e in handle.entries()]
+    finally:
+        handle.close()
+
+
+def _free_port() -> int:
+    with contextlib.closing(socket.socket()) as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _spawn_worker(
+    port: int, name: str, jobs: int = 1, lease_cells: int = 2, reconnect_s: float = 30.0
+) -> subprocess.Popen:
+    """One ``repro cluster worker`` subprocess in its own process group,
+    so a SIGKILL takes its pool children down with it."""
+    env = os.environ.copy()
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "cluster", "worker",
+            f"127.0.0.1:{port}",
+            "--jobs", str(jobs),
+            "--lease-cells", str(lease_cells),
+            "--worker-name", name,
+            "--reconnect-s", str(reconnect_s),
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        start_new_session=True,
+    )
+
+
+def _kill_group(process: subprocess.Popen) -> None:
+    with contextlib.suppress(OSError):
+        os.killpg(process.pid, signal.SIGKILL)
+    with contextlib.suppress(Exception):
+        process.wait(timeout=30)
+
+
+def _wait_for_worker(coordinator: ClusterCoordinator, name: str, timeout: float = 30.0):
+    deadline = time.monotonic() + timeout
+    while name not in coordinator.worker_stats():
+        if time.monotonic() > deadline:
+            pytest.fail(f"worker {name!r} never said hello")
+        time.sleep(0.02)
+
+
+# -- (a) two-worker drain ≡ single-host --jobs 1 ----------------------------
+
+
+@BACKENDS
+def test_two_worker_drain_byte_identical_to_single_host(tmp_path, backend):
+    spec = CampaignSpec.from_grid(
+        "cluster-identity",
+        task="repro.runner.tasks:seeded_checksum_cell",
+        axes={"key": [f"cell{i}" for i in range(10)]},
+        fixed={"root_seed": 17, "spin": 2000},
+    )
+    cluster_url = _store_url(backend, tmp_path, "cluster")
+    local_url = _store_url(backend, tmp_path, "local")
+
+    agents, threads = [], []
+    with ClusterCoordinator(lease_s=10.0) as coordinator:
+        for i in range(2):
+            agent = WorkerAgent(
+                coordinator.address, jobs=1, name=f"w{i}", lease_cells=2
+            )
+            thread = threading.Thread(target=agent.run, daemon=True)
+            thread.start()
+            agents.append(agent)
+            threads.append(thread)
+        try:
+            _wait_for_worker(coordinator, "w0")
+            _wait_for_worker(coordinator, "w1")
+            with coordinator.installed():
+                clustered = run_campaign(spec, jobs=1, cache=cluster_url)
+            stats = coordinator.worker_stats()
+        finally:
+            for agent in agents:
+                agent.stop()
+            for thread in threads:
+                thread.join(timeout=10)
+
+    reference = run_campaign(spec, jobs=1, cache=local_url)
+
+    assert canonical_json(clustered.results) == canonical_json(reference.results)
+    assert list(clustered.results) == list(reference.results)  # spec order, both
+    assert clustered.telemetry.computed == len(spec)
+    assert clustered.telemetry.failed == 0
+    # Every cell was computed by the fleet, none by the coordinator's pool.
+    assert sum(s["completed"] for s in stats.values()) == len(spec)
+    assert _store_entries(cluster_url) == _store_entries(local_url)
+
+
+# -- (b) worker SIGKILL: leases stolen, result unchanged --------------------
+
+
+@BACKENDS
+def test_worker_sigkill_steals_leases_byte_identical(tmp_path, backend):
+    spec = CampaignSpec.from_grid(
+        "cluster-steal",
+        task="repro.runner.tasks:checksum_cell",
+        axes={"seed": list(range(STEAL_CELLS))},
+        fixed={"spin": 500, "sleep": STEAL_SLEEP_S},
+    )
+    cluster_url = _store_url(backend, tmp_path, "cluster")
+    local_url = _store_url(backend, tmp_path, "local")
+
+    coordinator = ClusterCoordinator(lease_s=1.0).start()
+    doomed = _spawn_worker(coordinator.address[1], "doomed", lease_cells=2)
+    survivor = WorkerAgent(coordinator.address, jobs=1, name="survivor", lease_cells=2)
+    survivor_thread = threading.Thread(target=survivor.run, daemon=True)
+    killed = threading.Event()
+
+    def assassin() -> None:
+        # Kill the subprocess the moment it holds a lease: its cells sleep
+        # STEAL_SLEEP_S each, so the SIGKILL lands mid-compute and the
+        # coordinator must steal the cells back at lease expiry.
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if coordinator.worker_stats().get("doomed", {}).get("holding", 0):
+                time.sleep(0.05)
+                _kill_group(doomed)
+                killed.set()
+                return
+            time.sleep(0.01)
+
+    try:
+        _wait_for_worker(coordinator, "doomed")
+        assert doomed.poll() is None, "doomed worker exited before the campaign"
+        threading.Thread(target=assassin, daemon=True).start()
+        survivor_thread.start()
+        with coordinator.installed():
+            clustered = run_campaign(spec, jobs=1, cache=cluster_url)
+        stats = coordinator.worker_stats()
+    finally:
+        survivor.stop()
+        survivor_thread.join(timeout=10)
+        _kill_group(doomed)
+        coordinator.stop()
+
+    assert killed.is_set(), "doomed worker never held a lease"
+    assert stats["doomed"]["stolen"] >= 1, f"nothing stolen: {stats}"
+    assert clustered.telemetry.computed == len(spec)
+    assert clustered.telemetry.failed == 0
+
+    reference = run_campaign(spec, jobs=1, cache=local_url)
+    assert canonical_json(clustered.results) == canonical_json(reference.results)
+    assert _store_entries(cluster_url) == _store_entries(local_url)
+
+
+# -- (c) coordinator SIGKILL: journal resume, result unchanged --------------
+
+
+def build_resume_spec() -> CampaignSpec:
+    """Built from identical literals in the doomed driver subprocess and
+    the resuming test process, so spec hash, journal file, and every cell
+    hash line up across the kill."""
+    return CampaignSpec.from_grid(
+        "cluster-resume",
+        task="repro.runner.tasks:checksum_cell",
+        axes={"seed": list(range(RESUME_CELLS))},
+        fixed={"spin": 500, "sleep": RESUME_SLEEP_S},
+    )
+
+
+DRIVER = """
+import sys
+sys.path[:0] = [{src!r}, {root!r}]
+from tests.integration.test_cluster import build_resume_spec
+from repro.cluster import ClusterCoordinator
+from repro.runner import run_campaign
+
+coordinator = ClusterCoordinator(port={port}, lease_s=4.0).start()
+with coordinator.installed():
+    run_campaign(build_resume_spec(), jobs=1, cache={store_url!r}, journal={journal!r})
+coordinator.stop()
+"""
+
+
+@BACKENDS
+def test_coordinator_sigkill_journal_resume_byte_identical(tmp_path, backend):
+    store_url = _store_url(backend, tmp_path, "store")
+    journal_dir = str(tmp_path / "journals")
+    port = _free_port()
+    driver = tmp_path / "driver.py"
+    driver.write_text(
+        DRIVER.format(
+            src=str(REPO_ROOT / "src"),
+            root=str(REPO_ROOT),
+            port=port,
+            store_url=store_url,
+            journal=journal_dir,
+        ),
+        encoding="utf-8",
+    )
+
+    # The worker outlives the coordinator on purpose: its reconnect budget
+    # is generous enough to ride out the kill-to-resume gap.
+    worker = _spawn_worker(port, "steady", jobs=2, lease_cells=2, reconnect_s=120.0)
+    process = subprocess.Popen(
+        [sys.executable, str(driver)],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        deadline = time.monotonic() + 90.0
+        while time.monotonic() < deadline:
+            if process.poll() is not None:
+                pytest.fail("driver finished before it could be killed")
+            if _count(store_url) >= 2:
+                break
+            time.sleep(0.02)
+        else:
+            pytest.fail("cluster campaign never stored an entry")
+        os.kill(process.pid, signal.SIGKILL)
+        process.wait(timeout=30)
+
+        surviving = _count(store_url)
+        assert 2 <= surviving < RESUME_CELLS, "kill landed outside the campaign"
+
+        journal_files = list(Path(journal_dir).glob("*.jsonl"))
+        assert len(journal_files) == 1
+        state = CampaignJournal(journal_files[0]).replay()
+        assert state.generations == 1
+        assert state.interrupted
+        # Journal-after-store ordering survives the cluster indirection: the
+        # journal never claims a cell the store lacks.
+        assert len(state.completed) <= surviving
+
+        # Resume on the same port; the surviving worker reconnects to the
+        # fresh coordinator and computes everything the store is missing.
+        with ClusterCoordinator(port=port, lease_s=4.0) as coordinator:
+            with coordinator.installed():
+                resumed = run_campaign(
+                    build_resume_spec(), jobs=1, cache=store_url, journal=journal_dir
+                )
+    finally:
+        _kill_group(worker)
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=30)
+
+    assert resumed.telemetry.cached == surviving
+    assert resumed.telemetry.computed == RESUME_CELLS - surviving
+    assert resumed.telemetry.failed == 0
+
+    reference = run_campaign(build_resume_spec(), jobs=1)
+    assert canonical_json(resumed.results) == canonical_json(reference.results)
+
+    final = CampaignJournal(journal_files[0]).replay()
+    assert final.generations == 2
+    assert not final.interrupted

@@ -1,0 +1,115 @@
+"""Integration: the filesystem queue under real multi-process contention.
+
+The ``os.rename``-into-``active/`` claim protocol is the service's only
+mutual exclusion: exactly one drainer may win each ticket. This test runs
+four drainer *processes* hammering one queue simultaneously (a file-based
+barrier releases them together, so they genuinely race instead of running
+in series) and checks the two properties the protocol promises:
+
+- **no double execution** — the per-drainer claim sets are pairwise
+  disjoint;
+- **no stranded tickets** — the union of claims is every submitted ticket,
+  ``done/`` holds them all, and ``queue/`` + ``active/`` end empty.
+"""
+
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.service.queue import SubmissionQueue
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+TICKETS = 40
+DRAINERS = 4
+
+DRAINER = """
+import json
+import os
+import sys
+import time
+
+sys.path[:0] = [{src!r}]
+from repro.service.queue import SubmissionQueue
+
+# Barrier: announce readiness, then spin until every drainer is poised, so
+# all four claim loops hit the queue at the same instant.
+open({ready!r}, "w").close()
+deadline = time.monotonic() + 60.0
+while not os.path.exists({go!r}):
+    if time.monotonic() > deadline:
+        sys.exit(2)
+    time.sleep(0.005)
+
+queue = SubmissionQueue({root!r})
+claimed = []
+while True:
+    ticket = queue.claim_next()
+    if ticket is None:
+        break
+    claimed.append(ticket.number)
+    queue.complete(ticket, {{"ok": True, "drainer": {index}}})
+with open({out!r}, "w", encoding="utf-8") as handle:
+    json.dump(claimed, handle)
+"""
+
+
+def test_four_concurrent_drainers_never_double_claim_or_strand(tmp_path):
+    root = tmp_path / "service"
+    queue = SubmissionQueue(root)
+    for i in range(TICKETS):
+        queue.submit({"target": "noop", "index": i})
+    assert [t.number for t in queue.pending()] == list(range(TICKETS))
+
+    go = tmp_path / "go"
+    processes, outputs, readies = [], [], []
+    for index in range(DRAINERS):
+        out = tmp_path / f"claims-{index}.json"
+        ready = tmp_path / f"ready-{index}"
+        script = tmp_path / f"drainer-{index}.py"
+        script.write_text(
+            DRAINER.format(
+                src=str(REPO_ROOT / "src"),
+                root=str(root),
+                index=index,
+                out=str(out),
+                ready=str(ready),
+                go=str(go),
+            ),
+            encoding="utf-8",
+        )
+        processes.append(subprocess.Popen([sys.executable, str(script)]))
+        outputs.append(out)
+        readies.append(ready)
+
+    deadline = time.monotonic() + 60.0
+    while not all(r.exists() for r in readies):
+        assert time.monotonic() < deadline, "drainers never reached the barrier"
+        time.sleep(0.01)
+    go.touch()
+
+    for process in processes:
+        assert process.wait(timeout=120) == 0
+
+    claims = []
+    for out in outputs:
+        with open(out, "r", encoding="utf-8") as handle:
+            claims.append(json.load(handle))
+
+    # Disjoint: no ticket was executed twice.
+    flat = [number for claim in claims for number in claim]
+    assert len(flat) == len(set(flat)), f"double-claimed tickets: {sorted(flat)}"
+    # Complete: no ticket was stranded.
+    assert sorted(flat) == list(range(TICKETS))
+
+    # Terminal queue state agrees: everything landed in done/ exactly once.
+    assert queue.pending() == []
+    assert queue.active() == []
+    done = queue.done()
+    assert [t.number for t in done] == list(range(TICKETS))
+    for ticket in done:
+        assert ticket.request["outcome"]["ok"] is True
+    # No stale status files either.
+    assert list(queue.active_dir.glob("*")) == []

@@ -1,0 +1,203 @@
+"""Unit: the cluster wire protocol's robustness contract.
+
+Frames must round-trip exactly; everything malformed — oversized lengths,
+garbage payloads, torn frames, bad handshakes — must surface as
+:class:`~repro.cluster.protocol.ProtocolError`, and a live coordinator must
+pay for a hostile peer with exactly one dropped connection, never its own
+liveness.
+"""
+
+import json
+import socket
+import struct
+
+import pytest
+
+import repro.cluster.protocol as protocol
+from repro.cluster import (
+    DEFAULT_CLUSTER_PORT,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ClusterCoordinator,
+    ProtocolError,
+    parse_address,
+)
+from repro.cluster.protocol import FrameConnection, recv_frame, send_frame
+from repro.store.base import StoreEntry
+
+
+@pytest.fixture()
+def pair():
+    a, b = socket.socketpair()
+    try:
+        yield a, b
+    finally:
+        a.close()
+        b.close()
+
+
+# -- framing ----------------------------------------------------------------
+
+
+def test_frame_round_trip(pair):
+    a, b = pair
+    message = {
+        "kind": "result",
+        "cells": [{"hash": "ab" * 20, "value": {"x": [1, 2, 3]}}],
+        "note": "naïve ünïcode 🎲",
+    }
+    send_frame(a, message)
+    assert recv_frame(b) == message
+
+
+def test_frames_are_sequenced_not_merged(pair):
+    a, b = pair
+    for i in range(5):
+        send_frame(a, {"kind": "ping", "i": i})
+    for i in range(5):
+        assert recv_frame(b) == {"kind": "ping", "i": i}
+
+
+def test_clean_eof_between_frames_is_none(pair):
+    a, b = pair
+    send_frame(a, {"kind": "bye"})
+    a.close()
+    assert recv_frame(b) == {"kind": "bye"}
+    assert recv_frame(b) is None
+
+
+def test_eof_mid_frame_is_protocol_error(pair):
+    a, b = pair
+    a.sendall(struct.pack(">I", 100) + b"x" * 10)
+    a.close()
+    with pytest.raises(ProtocolError, match="mid-frame|between header"):
+        recv_frame(b)
+
+
+def test_oversized_length_rejected_before_payload(pair):
+    a, b = pair
+    a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+    with pytest.raises(ProtocolError, match="over the"):
+        recv_frame(b)
+
+
+def test_recv_honours_custom_frame_limit(pair):
+    a, b = pair
+    send_frame(a, {"kind": "big", "pad": "y" * 64})
+    with pytest.raises(ProtocolError, match="over the 16-byte limit"):
+        recv_frame(b, max_bytes=16)
+
+
+def test_oversized_outgoing_frame_refused(pair, monkeypatch):
+    a, _ = pair
+    monkeypatch.setattr(protocol, "MAX_FRAME_BYTES", 8)
+    with pytest.raises(ProtocolError, match="exceeds the 8-byte frame limit"):
+        send_frame(a, {"kind": "way-too-long-for-eight-bytes"})
+
+
+def test_garbage_payload_is_protocol_error(pair):
+    a, b = pair
+    payload = b"\xff\xfe not json at all"
+    a.sendall(struct.pack(">I", len(payload)) + payload)
+    with pytest.raises(ProtocolError, match="undecodable"):
+        recv_frame(b)
+
+
+def test_non_object_payload_is_protocol_error(pair):
+    a, b = pair
+    payload = json.dumps([1, 2, 3]).encode("utf-8")
+    a.sendall(struct.pack(">I", len(payload)) + payload)
+    with pytest.raises(ProtocolError, match="must be a JSON object"):
+        recv_frame(b)
+
+
+# -- addresses --------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    ("text", "expected"),
+    [
+        ("head-node:7341", ("head-node", 7341)),
+        ("10.0.0.5:80", ("10.0.0.5", 80)),
+        ("head-node", ("head-node", DEFAULT_CLUSTER_PORT)),
+        (":9000", ("127.0.0.1", 9000)),
+        ("", ("127.0.0.1", DEFAULT_CLUSTER_PORT)),
+    ],
+)
+def test_parse_address(text, expected):
+    assert parse_address(text) == expected
+
+
+@pytest.mark.parametrize("text", ["host:abc", "host:", "host:70k"])
+def test_parse_address_rejects_bad_ports(text):
+    with pytest.raises(ValueError, match="HOST:PORT"):
+        parse_address(text)
+
+
+# -- store entries on the wire ----------------------------------------------
+
+
+def test_store_entry_wire_round_trip():
+    entry = StoreEntry(
+        content_hash="ab" * 20,
+        value={"checksum": 42, "series": [1.5, 2.5]},
+        meta={"key": "cell0", "task": "t"},
+        salt="s1",
+    )
+    clone = StoreEntry.from_wire(json.loads(json.dumps(entry.to_wire())))
+    assert clone.content_hash == entry.content_hash
+    assert clone.value == entry.value
+    assert clone.meta == entry.meta
+    assert clone.salt == entry.salt
+
+
+def test_store_entry_from_wire_rejects_garbage():
+    with pytest.raises(ValueError):
+        StoreEntry.from_wire("not a dict")
+    with pytest.raises(ValueError):
+        StoreEntry.from_wire({"value": 1})  # no content_hash
+
+
+# -- a live coordinator vs hostile peers ------------------------------------
+
+
+def test_version_mismatch_refused_at_hello():
+    with ClusterCoordinator() as coordinator:
+        with FrameConnection(coordinator.address) as conn:
+            with pytest.raises(ProtocolError, match="version mismatch"):
+                conn.request(
+                    {"kind": "hello", "version": 999, "worker": "future", "jobs": 1}
+                )
+
+
+def test_unknown_kind_refused():
+    with ClusterCoordinator() as coordinator:
+        with FrameConnection(coordinator.address) as conn:
+            with pytest.raises(ProtocolError, match="unknown message kind"):
+                conn.request({"kind": "launch_missiles"})
+
+
+def test_hostile_peer_costs_one_connection_not_the_coordinator():
+    with ClusterCoordinator() as coordinator:
+        hostile = socket.create_connection(coordinator.address, timeout=5.0)
+        try:
+            hostile.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1) + b"junk")
+            # The coordinator answers with an error frame, then hangs up on
+            # this peer only.
+            reply = recv_frame(hostile)
+            assert reply is not None and reply.get("kind") == "error"
+            assert recv_frame(hostile) is None
+        finally:
+            hostile.close()
+        # A well-behaved peer connecting afterwards is served normally.
+        with FrameConnection(coordinator.address) as conn:
+            welcome = conn.request(
+                {
+                    "kind": "hello",
+                    "version": PROTOCOL_VERSION,
+                    "worker": "polite",
+                    "jobs": 1,
+                }
+            )
+            assert welcome["kind"] == "welcome"
+            assert welcome["version"] == PROTOCOL_VERSION

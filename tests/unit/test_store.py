@@ -218,6 +218,67 @@ class TestStoreUrls:
             handle.close()
 
 
+class TestQueryParams:
+    def test_sqlite_busy_timeout_from_url(self, tmp_path):
+        handle = open_store(f"sqlite:{tmp_path / 's.db'}?busy_timeout_ms=250")
+        try:
+            assert handle.busy_timeout_ms == 250
+            # Non-default tuning round-trips through the URL.
+            assert handle.url.endswith("?busy_timeout_ms=250")
+        finally:
+            handle.close()
+
+    def test_json_fanout_from_url_shapes_the_layout(self, tmp_path):
+        handle = open_store(f"json:{tmp_path / 'j'}?fanout=3")
+        try:
+            assert handle.fanout == 3
+            assert handle.url.endswith("?fanout=3")
+            handle.put("ab" * 20, {"x": 1})
+            # Three-character fan-out directory, and the entry reads back.
+            assert (tmp_path / "j" / ("ab" * 20)[:3] / f"{'ab' * 20}.json").exists()
+            assert handle.get("ab" * 20) == {"x": 1}
+            assert [e.content_hash for e in handle.entries()] == ["ab" * 20]
+        finally:
+            handle.close()
+
+    def test_default_tuning_leaves_urls_clean(self, tmp_path):
+        js = open_store(f"json:{tmp_path / 'j'}")
+        sq = open_store(f"sqlite:{tmp_path / 's.db'}")
+        try:
+            assert "?" not in js.url
+            assert "?" not in sq.url
+        finally:
+            js.close()
+            sq.close()
+
+    def test_unknown_key_rejected_naming_known_ones(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown store URL parameter 'fnaout'"):
+            open_store(f"json:{tmp_path / 'j'}?fnaout=3")
+        # A valid key on the wrong scheme is just as unknown.
+        with pytest.raises(ValueError, match="known: busy_timeout_ms"):
+            open_store(f"sqlite:{tmp_path / 's.db'}?fanout=3")
+
+    def test_bad_values_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="not an integer"):
+            open_store(f"json:{tmp_path / 'j'}?fanout=three")
+        with pytest.raises(ValueError, match="must be in 1..8"):
+            open_store(f"json:{tmp_path / 'j'}?fanout=0")
+        with pytest.raises(ValueError, match="must be in 1..8"):
+            open_store(f"json:{tmp_path / 'j'}?fanout=9")
+        with pytest.raises(ValueError, match="must be >= 1"):
+            open_store(f"sqlite:{tmp_path / 's.db'}?busy_timeout_ms=0")
+
+    def test_constructors_validate_directly(self, tmp_path):
+        with pytest.raises(ValueError, match="fanout"):
+            JsonStore(tmp_path / "j", fanout=0)
+        with pytest.raises(ValueError, match="busy_timeout_ms"):
+            SqliteStore(tmp_path / "s.db", busy_timeout_ms=-5)
+
+    def test_store_url_passes_query_through(self):
+        assert store_url("sqlite:r.db?busy_timeout_ms=9") == "sqlite:r.db?busy_timeout_ms=9"
+        assert store_url("json:cache?fanout=2") == "json:cache?fanout=2"
+
+
 class TestMigrate:
     @pytest.mark.parametrize("src_backend", BACKENDS, ids=["json", "sqlite"])
     @pytest.mark.parametrize("dst_backend", BACKENDS, ids=["json", "sqlite"])
