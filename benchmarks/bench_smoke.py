@@ -146,6 +146,50 @@ def hook_dispatch(seed: int = 3, horizon_ms: int = 300, repeats: int = 3) -> dic
     }
 
 
+def sched_overhead(seed: int = 3, horizon_ms: int = 300, repeats: int = 3) -> dict:
+    """Wall-time of the engine with the default ``scheduler="fp"`` resolved
+    through the local-scheduler registry vs. a pre-resolved explicit
+    ``local_scheduler_factory`` building the same class.
+
+    The registry lookup runs once per construction, never per decision, so
+    ``registry_over_direct`` must sit at ~1.0; it is the number the overhead
+    guard (``benchmarks/test_bench_sched_overhead.py``) bounds, so a
+    regression that drags registry resolution into the decision loop shows
+    up here.
+    """
+    import time
+
+    from repro.sim.local import FixedPriorityLocalScheduler
+
+    obs.disable()
+    system = three_partition_example()
+
+    def simulate(factory=None):
+        kwargs = {} if factory is None else {"local_scheduler_factory": factory}
+        Simulator(system, policy="timedice", seed=seed, **kwargs).run_for_ms(
+            horizon_ms
+        )
+
+    def direct_factory(_partition):
+        return FixedPriorityLocalScheduler()
+
+    simulate()  # warm caches before timing
+    timings = {}
+    for label, factory in (("registry", None), ("direct", direct_factory)):
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            simulate(factory)
+            best = min(best, time.perf_counter() - t0)
+        timings[label] = best
+    return {
+        "horizon_ms": horizon_ms,
+        "registry_s": timings["registry"],
+        "direct_s": timings["direct"],
+        "registry_over_direct": timings["registry"] / timings["direct"],
+    }
+
+
 def events_overhead(repeats: int = 3) -> dict:
     """Wall-time of a small campaign with the fleet event log dormant vs.
     armed and appending to a scratch file.
@@ -329,6 +373,7 @@ def main(argv=None) -> int:
         "runs": runs,
         "faults_overhead": faults_overhead(),
         "hook_dispatch": hook_dispatch(),
+        "sched_overhead": sched_overhead(),
         "events_overhead": events_overhead(),
         "store": store_throughput(),
         "batch_engine": batch_engine(),

@@ -1,0 +1,105 @@
+"""Guard: registry indirection on the default fp/fp path must cost nothing.
+
+``Simulator`` resolves ``scheduler="fp"`` through
+``repro.sim.registry.make_local_scheduler_factory`` — a dict lookup plus one
+closure per partition, all at construction time. The decision loop then runs
+the exact same ``FixedPriorityLocalScheduler`` instances a pre-resolved
+``local_scheduler_factory`` would have built, so the end-to-end wall time of
+the registry path must track the explicit-factory path within noise. This
+bench times both and asserts the ratio, mirroring the hooks/faults overhead
+guards; a construction-only microbenchmark bounds the lookup cost itself.
+
+A structural test pins the mechanism: the registry path must instantiate the
+same scheduler type the explicit factory does, partition for partition.
+"""
+
+import time
+
+import repro.obs as obs
+from repro.model.configs import three_partition_example
+from repro.sim.engine import Simulator
+from repro.sim.local import FixedPriorityLocalScheduler
+
+
+def _simulate(horizon_ms=300, seed=3, factory=None):
+    kwargs = {} if factory is None else {"local_scheduler_factory": factory}
+    sim = Simulator(
+        three_partition_example(), policy="timedice", seed=seed, **kwargs
+    )
+    return sim.run_for_ms(horizon_ms)
+
+
+def _direct_factory(_partition):
+    return FixedPriorityLocalScheduler()
+
+
+def _best_of_interleaved(fn_a, fn_b, repeats=5):
+    """Alternate the two candidates so drift hits both equally."""
+    best_a = best_b = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn_a()
+        best_a = min(best_a, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        fn_b()
+        best_b = min(best_b, time.perf_counter() - t0)
+    return best_a, best_b
+
+
+def test_registry_indirection_overhead_is_bounded(benchmark):
+    obs.disable()
+    _simulate(horizon_ms=50)  # warm caches before timing
+
+    registry, direct = _best_of_interleaved(
+        lambda: _simulate(), lambda: _simulate(factory=_direct_factory)
+    )
+
+    benchmark.extra_info["registry_s"] = registry
+    benchmark.extra_info["direct_s"] = direct
+    benchmark.extra_info["registry_over_direct"] = registry / direct
+    benchmark.pedantic(_simulate, rounds=1, iterations=1)
+
+    # The lookup happens once per construction, never per decision, so the
+    # two paths are the same loop; 1.25 is pure CI-noise headroom over the
+    # <5% the docs claim on a quiet machine.
+    assert registry <= direct * 1.25, (registry, direct)
+
+
+def test_registry_construction_cost_is_bounded(benchmark):
+    """Construction-only cut: the dict lookup + closure must stay cheap."""
+    system = three_partition_example()
+
+    def build(factory=None):
+        kwargs = {} if factory is None else {"local_scheduler_factory": factory}
+        Simulator(system, policy="norandom", seed=3, **kwargs)
+
+    build()  # warm caches before timing
+    registry, direct = _best_of_interleaved(
+        lambda: [build() for _ in range(20)],
+        lambda: [build(_direct_factory) for _ in range(20)],
+    )
+
+    benchmark.extra_info["registry_construct_s"] = registry
+    benchmark.extra_info["direct_construct_s"] = direct
+    benchmark.extra_info["registry_over_direct"] = registry / direct
+    benchmark.pedantic(build, rounds=1, iterations=1)
+
+    # Whole-constructor timings (policy setup dominates both), so even a
+    # doubled lookup cost would barely move this ratio.
+    assert registry <= direct * 1.5, (registry, direct)
+
+
+def test_registry_path_builds_the_same_scheduler_type():
+    registry_sim = Simulator(three_partition_example(), policy="norandom", seed=3)
+    direct_sim = Simulator(
+        three_partition_example(),
+        policy="norandom",
+        seed=3,
+        local_scheduler_factory=_direct_factory,
+    )
+    assert registry_sim.scheduler == "fp"
+    for via_registry, via_factory in zip(
+        registry_sim._runtimes, direct_sim._runtimes
+    ):
+        assert type(via_registry.local) is type(via_factory.local)
+        assert isinstance(via_registry.local, FixedPriorityLocalScheduler)

@@ -29,8 +29,10 @@ scheduling decision), so a release can materialize slightly after its exact
 instant — between two scheduling events nothing can start executing anyway,
 so local order, the protected property, is unaffected.
 
-BLINDER is a *local* transformation: plug :func:`blinder_factory` into the
-simulator's ``local_scheduler_factory`` while keeping any global policy.
+BLINDER is a *local* transformation: select it with
+``RunSpec(scheduler="blinder")`` (importing this module registers the name),
+or plug :func:`blinder_factory` into the simulator's
+``local_scheduler_factory`` while keeping any global policy.
 """
 
 from __future__ import annotations
@@ -39,6 +41,7 @@ from typing import List, Optional, Tuple
 
 from repro.model.partition import Partition
 from repro.sim.local import Job, LocalScheduler
+from repro.sim.registry import register_local_scheduler
 
 
 class BlinderLocalScheduler(LocalScheduler):
@@ -127,3 +130,12 @@ class BlinderLocalScheduler(LocalScheduler):
 def blinder_factory(spec: Partition) -> BlinderLocalScheduler:
     """``local_scheduler_factory`` adapter for the simulator."""
     return BlinderLocalScheduler(spec)
+
+
+def _blinder_registry_factory(
+    partition: Partition, seed: Optional[int]
+) -> BlinderLocalScheduler:
+    return BlinderLocalScheduler(partition)
+
+
+register_local_scheduler("blinder", _blinder_registry_factory)

@@ -156,15 +156,18 @@ class ChannelExperiment:
         quantum: Optional[int] = None,
         faults=None,
         settle_windows: int = 2,
+        scheduler: str = "fp",
     ) -> RunSpec:
         """The experiment under ``policy`` as one declarative ``RunSpec``.
 
         The spec is self-contained — system, channel script, horizon (with
         ``settle_windows`` of slack, exactly what :meth:`run` simulates) —
         so ``spec.content_hash()`` is a sound cache key for everything the
-        run's dataset can depend on. Harvest-side parameters (receiver
-        names, ``m_micro``) are *observations* and live in
-        :meth:`harvest_params` instead.
+        run's dataset can depend on. ``scheduler`` selects the registered
+        partition-local scheduler (``"fp"`` keeps the spec — and thus its
+        content hash — identical to pre-scheduler-field specs). Harvest-side
+        parameters (receiver names, ``m_micro``) are *observations* and live
+        in :meth:`harvest_params` instead.
         """
         script = self.script()
         system = (
@@ -182,6 +185,7 @@ class ChannelExperiment:
             channel=script,
             faults=faults,
             budget_donation=self.budget_donation,
+            scheduler=scheduler,
         )
 
     def harvest_params(self, m_micro: int = 150) -> Dict[str, object]:
@@ -202,6 +206,7 @@ class ChannelExperiment:
         local_scheduler_factory=None,
         faults=None,
         extra_observers=(),
+        scheduler: str = "fp",
     ) -> ChannelDataset:
         """Simulate under ``policy`` and harvest the labeled dataset."""
         return collect_dataset(
@@ -218,6 +223,7 @@ class ChannelExperiment:
             local_scheduler_factory=local_scheduler_factory,
             faults=faults,
             extra_observers=extra_observers,
+            scheduler=scheduler,
         )
 
 

@@ -97,6 +97,7 @@ def collect_dataset(
     extra_observers: Tuple = (),
     local_scheduler_factory=None,
     faults=None,
+    scheduler: str = "fp",
 ) -> ChannelDataset:
     """Run the simulation long enough to observe ``n_windows`` full windows.
 
@@ -116,11 +117,15 @@ def collect_dataset(
             the simulator (the donation-channel ablation).
         extra_observers: Additional trace observers (e.g. the car platform's
             application nodes).
-        local_scheduler_factory: Forwarded to the simulator (BLINDER plugs
-            its local transformation in here).
+        local_scheduler_factory: Forwarded to the simulator (an escape
+            hatch for unregistered experiments; BLINDER historically
+            plugged in here before it became ``scheduler="blinder"``).
         faults: Optional :class:`repro.faults.FaultPlan` forwarded to the
             simulator (the robustness sweep measures channel accuracy under
             injected faults).
+        scheduler: Registered local-scheduler name (``"fp"``, ``"edf"``,
+            ``"reorder"``, ``"blinder"``, ...) forwarded to the simulator.
+            Mutually exclusive with ``local_scheduler_factory``.
 
     Returns:
         A :class:`ChannelDataset`; windows whose measurement job never
@@ -142,6 +147,7 @@ def collect_dataset(
         budget_donation=budget_donation,
         local_scheduler_factory=local_scheduler_factory,
         faults=faults,
+        scheduler=scheduler,
         **kwargs,
     )
     horizon = script.start + (n_windows + settle_windows) * script.window

@@ -62,7 +62,7 @@ import argparse
 import json
 import sys
 import time
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import repro.obs as obs
 from repro.runner import (
@@ -143,6 +143,33 @@ def _campaign_kwargs(args: argparse.Namespace) -> Dict[str, object]:
     return kwargs
 
 
+def _scheduler_axis(args: argparse.Namespace) -> Tuple[str, ...]:
+    """The local-scheduler rows a sweep-style subcommand should run.
+
+    ``--scheduler NAME`` *adds* NAME beside the default fp axis (the paper's
+    configuration stays in the output as the baseline); without the flag the
+    axis is just ``("fp",)``. Unknown names fail fast with the registered
+    set."""
+    name = getattr(args, "scheduler", None)
+    if name is None or name == "fp":
+        return ("fp",)
+    _validate_scheduler(name)
+    return ("fp", name)
+
+
+def _validate_scheduler(name: str) -> str:
+    """Fail fast (exit 2) when ``name`` is not a registered local scheduler."""
+    import repro.baselines.blinder  # noqa: F401 — registers "blinder"
+    from repro.sim.registry import find_local_scheduler, local_scheduler_names
+
+    if find_local_scheduler(name) is None:
+        raise SystemExit(
+            f"unknown scheduler {name!r}; choose from "
+            f"{', '.join(sorted(local_scheduler_names()))}"
+        )
+    return name
+
+
 def _run_fig4(args) -> str:
     sizes = (10, 20, 50) if args.quick else (20, 50, 100, 200)
     messages = _scale(args, 100, 400, 2000)
@@ -162,6 +189,7 @@ def _run_fig12(args) -> str:
     messages = _scale(args, 100, 400, 2000)
     return fig12_accuracy.run(
         profile_sizes=sizes, message_windows=messages, seed=args.seed,
+        schedulers=_scheduler_axis(args),
         **_campaign_kwargs(args),
     ).format()
 
@@ -240,6 +268,7 @@ def _run_defense_matrix(args) -> str:
         message_windows=_scale(args, 80, 200, 1000),
         order_windows=_scale(args, 80, 200, 1000),
         seed=args.seed,
+        schedulers=_scheduler_axis(args),
         **_campaign_kwargs(args),
     ).format()
 
@@ -393,13 +422,17 @@ def _run_stats(args) -> str:
     from repro._time import MS
     from repro.sim.config import RunSpec, SystemSpec
     from repro.sim.engine import Simulator
-    from repro.sim.policies import POLICY_NAMES
+    from repro.sim.registry import find_global_policy, global_policy_names
 
     policy = args.target or "timedice"
-    if policy not in POLICY_NAMES:
+    # Registry, not the builtin POLICY_NAMES tuple: third-party policies
+    # registered before main() runs are first-class stats targets.
+    if find_global_policy(policy) is None:
         raise SystemExit(
-            f"unknown policy {policy!r} for stats; choose from {', '.join(POLICY_NAMES)}"
+            f"unknown policy {policy!r} for stats; choose from "
+            f"{', '.join(sorted(global_policy_names()))}"
         )
+    scheduler = _validate_scheduler(args.scheduler) if args.scheduler else "fp"
     was_enabled = obs.is_enabled()
     if not was_enabled:
         obs.enable()
@@ -409,13 +442,18 @@ def _run_stats(args) -> str:
             policy=policy,
             seed=args.seed,
             horizon=_scale(args, 150, 300, 1200) * MS,
+            scheduler=scheduler,
         )
         sim = Simulator.from_spec(spec)
         result = sim.run_until(spec.horizon)
     finally:
         if not was_enabled:
             obs.disable()
-    title = f"stats — {policy}, seed={args.seed}, {result.end_time // MS} ms simulated"
+    suffix = "" if scheduler == "fp" else f", scheduler={scheduler}"
+    title = (
+        f"stats — {policy}{suffix}, seed={args.seed}, "
+        f"{result.end_time // MS} ms simulated"
+    )
     body = obs.format_metrics(result.metrics, sim.obs.spans.summary(), title=title)
     rates = result.rates()
     return body + (
@@ -791,6 +829,15 @@ def build_parser() -> argparse.ArgumentParser:
         "source and destination store URLs for 'cache migrate'",
     )
     parser.add_argument("--seed", type=int, default=3, help="simulation seed")
+    parser.add_argument(
+        "--scheduler",
+        default=None,
+        metavar="NAME",
+        help="registered partition-local scheduler (fp, edf, reorder, "
+        "blinder, ...): 'stats' runs under it; 'defense-matrix' and "
+        "'fig12' add it as comparison rows beside the default fp axis "
+        "(see docs/SCHEDULERS.md)",
+    )
     parser.add_argument(
         "--out",
         default=None,

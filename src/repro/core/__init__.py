@@ -10,6 +10,9 @@ Layout:
   analysis (Definition 2, Eqs. 1–3) and the per-partition schedulability test
   (Algorithm 3), including the indirect-interference case for inactive
   partitions (Fig. 8).
+- :mod:`repro.core.edf` — the processor-demand vs supply-bound EDF
+  feasibility test for partitions whose *local* scheduler is EDF-based
+  (the vetting complement to the fixed-priority analysis above).
 - :mod:`repro.core.candidacy` — the incremental candidate search
   (Algorithms 1–2, Fig. 9's :math:`\\mathcal{O}(|\\Pi|)` optimization),
   with the imaginary IDLE partition.
@@ -24,6 +27,12 @@ Layout:
 
 from repro.core.busy_interval import busy_interval, schedulability_test
 from repro.core.candidacy import candidate_search
+from repro.core.edf import (
+    demand_bound,
+    edf_supply_feasible,
+    edf_supply_report,
+    supply_bound,
+)
 from repro.core.memo import DEFAULT_MEMO_SIZE, MemoStats, SchedulabilityMemo, memo_key
 from repro.core.selection import (
     HighestPrioritySelector,
@@ -41,6 +50,10 @@ __all__ = [
     "busy_interval",
     "schedulability_test",
     "candidate_search",
+    "demand_bound",
+    "supply_bound",
+    "edf_supply_feasible",
+    "edf_supply_report",
     "SchedulabilityMemo",
     "MemoStats",
     "memo_key",

@@ -1,0 +1,137 @@
+"""EDF schedulability under a partition's budget server.
+
+The paper's analyses (Sec. IV-B) assume fixed-priority local scheduling:
+TimeDice's candidate vetting guarantees each partition its budget
+:math:`B_i` every period :math:`T_i` (Definition 1), and the local FP
+response-time analysis then bounds task deadlines. When the local scheduler
+is EDF-based (``RunSpec(scheduler="edf")`` or the REORDER baseline), the
+second half of that argument must be replaced: this module supplies the
+standard **processor-demand vs supply-bound** feasibility test for EDF task
+sets served by a periodic resource (Shin & Lee's compositional framework) —
+
+- :func:`demand_bound` — :math:`dbf(t) = \\sum_i \\max(0,
+  \\lfloor (t - D_i)/T_i \\rfloor + 1)\\,C_i`, the worst-case execution
+  demand of jobs with both release and deadline inside any interval of
+  length :math:`t` (synchronous release, the sporadic worst case);
+- :func:`supply_bound` — :math:`sbf(t)`, the least CPU supply a partition
+  with budget :math:`B` every :math:`T` receives in any interval of length
+  :math:`t` (worst case: budget as early as possible in one period, as late
+  as possible afterwards, giving an initial starvation of :math:`2(T-B)`);
+- :func:`edf_supply_feasible` — the per-partition verdict: feasible iff
+  :math:`dbf(t) \\le sbf(t)` at every absolute deadline up to the analysis
+  bound.
+
+Because TimeDice preserves Definition 1 *whatever* priority inversions it
+injects, a partition that passes this test keeps its local EDF deadlines
+under TimeDice too — which is exactly the vetting the engine runs at
+construction when an EDF-based local scheduler is selected
+(:attr:`repro.sim.engine.Simulator.edf_supply_report`).
+
+The test is exact for the modeled supply (a budget server that may deliver
+its budget anywhere in the period) and conservative for the simulated one.
+When the hyperperiod-derived checkpoint bound overflows
+:data:`ANALYSIS_CAP`, checkpoints are truncated there and the test degrades
+to a (still useful) necessary-condition check plus the utilization bound.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import reduce
+from typing import Dict, Iterable, List, Optional
+
+from repro.model.partition import Partition
+from repro.model.system import System
+from repro.model.task import Task
+
+#: Largest analysis horizon (µs) the checkpoint sweep will enumerate.
+ANALYSIS_CAP = 1 << 32
+
+
+def demand_bound(tasks: Iterable[Task], t: int) -> int:
+    """EDF processor demand of ``tasks`` in any interval of length ``t``."""
+    total = 0
+    for task in tasks:
+        jobs = (t - task.deadline) // task.period + 1
+        if jobs > 0:
+            total += jobs * task.wcet
+    return total
+
+
+def supply_bound(t: int, period: int, budget: int) -> int:
+    """Least supply (µs) a ``budget``-every-``period`` server gives in ``t`` µs."""
+    if budget >= period:
+        return t  # dedicated processor
+    blackout = period - budget
+    live = t - blackout
+    if live <= 0:
+        return 0
+    whole = live // period
+    partial = live - whole * period - blackout
+    return whole * budget + max(0, partial)
+
+
+def _checkpoints(tasks: List[Task], limit: int) -> List[int]:
+    """Absolute deadlines ``k*T_i + D_i <= limit`` — the only points where
+    ``dbf`` steps, hence the only ones worth testing."""
+    points = set()
+    for task in tasks:
+        d = task.deadline
+        while d <= limit:
+            points.add(d)
+            d += task.period
+    return sorted(points)
+
+
+def _lcm(values: Iterable[int]) -> int:
+    return reduce(lambda a, b: a * b // math.gcd(a, b), values, 1)
+
+
+def edf_supply_feasible(partition: Partition) -> Optional[str]:
+    """Why ``partition``'s task set is not EDF-feasible under its budget
+    server, or None when it provably is.
+
+    Demand uses declared WCETs (the engine clamps every activation to WCET,
+    so this upper-bounds any simulated workload).
+    """
+    tasks = list(partition.tasks)
+    if not tasks:
+        return None
+    utilization = sum(task.wcet / task.period for task in tasks)
+    supply_ratio = partition.budget / partition.period
+    if utilization > supply_ratio + 1e-12:
+        return (
+            f"task utilization {utilization:.3f} exceeds the budget supply "
+            f"ratio {supply_ratio:.3f} ({partition.budget}us/{partition.period}us)"
+        )
+    limit = min(_lcm([task.period for task in tasks] + [partition.period]), ANALYSIS_CAP)
+    for t in _checkpoints(tasks, limit):
+        demand = demand_bound(tasks, t)
+        supply = supply_bound(t, partition.period, partition.budget)
+        if demand > supply:
+            return (
+                f"demand {demand}us exceeds worst-case supply {supply}us in "
+                f"intervals of {t}us (budget {partition.budget}us every "
+                f"{partition.period}us)"
+            )
+    return None
+
+
+def edf_supply_report(system: System) -> Dict[str, str]:
+    """Per-partition infeasibility reasons (empty when every partition's task
+    set is EDF-feasible under its budget server)."""
+    report: Dict[str, str] = {}
+    for partition in system:
+        reason = edf_supply_feasible(partition)
+        if reason is not None:
+            report[partition.name] = reason
+    return report
+
+
+__all__ = [
+    "ANALYSIS_CAP",
+    "demand_bound",
+    "supply_bound",
+    "edf_supply_feasible",
+    "edf_supply_report",
+]

@@ -22,7 +22,7 @@ operate on disjoint schedule layers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -40,6 +40,24 @@ from repro.sim.engine import Simulator
 
 GLOBALS = (("NoRandom", "norandom"), ("TimeDice", "timedice"))
 LOCALS = (("FP", None), ("BLINDER", blinder_factory))
+
+#: The local-scheduler axis the default matrix runs. Extra *registered*
+#: schedulers (``"edf"``, ``"reorder"``, ...) join as additional rows via the
+#: ``schedulers`` argument of :func:`campaign` / :func:`run` — the sentinel
+#: ``"fp"`` expands to the two legacy rows above so their cells (keys, seeds,
+#: content hashes) stay byte-identical to pre-registry campaigns.
+DEFAULT_SCHEDULERS = ("fp",)
+
+
+def _rows(schedulers: Sequence[str]) -> List[Tuple[str, str]]:
+    """Expand the ``schedulers`` axis into (local row name, scheduler) pairs."""
+    rows: List[Tuple[str, str]] = []
+    for scheduler in schedulers:
+        if scheduler == "fp":
+            rows.extend((local_name, "fp") for local_name, _factory in LOCALS)
+        else:
+            rows.append((scheduler.upper(), scheduler))
+    return rows
 
 
 @dataclass
@@ -71,7 +89,9 @@ class DefenseMatrixResult:
         return all(value < threshold for value in cell.values())
 
 
-def _order_accuracy(policy: str, factory, n_windows: int, seed: int) -> float:
+def _order_accuracy(
+    policy: str, factory, n_windows: int, seed: int, scheduler: str = "fp"
+) -> float:
     script = ChannelScript(
         window=WINDOW,
         profile_windows=0,
@@ -84,6 +104,7 @@ def _order_accuracy(policy: str, factory, n_windows: int, seed: int) -> float:
         seed=seed,
         channel=script,
         horizon=(n_windows + 2) * WINDOW,
+        scheduler=scheduler,
     )
     observer = _OrderObserver(WINDOW)
     simulator = Simulator.from_spec(
@@ -105,10 +126,12 @@ def _local_factory(local_name: str):
 def _matrix_cell(params: Mapping[str, Any]) -> Dict[str, float]:
     """Campaign cell: one (global, local) configuration against all three
     channel observables. The budget-channel run is fully described by the
-    ``RunSpec`` inside the params; the local-scheduler factory is a live
-    object, so it is resolved worker-side from its matrix row name."""
+    ``RunSpec`` inside the params; legacy FP/BLINDER rows resolve a live
+    local-scheduler factory from the matrix row name, while registered
+    schedulers (``params["scheduler"]``) travel inside the spec itself."""
     policy = params["policy"]
-    factory = _local_factory(params["local"])
+    scheduler = params.get("scheduler", "fp")
+    factory = _local_factory(params["local"]) if scheduler == "fp" else None
     dataset = dataset_from_params(params, local_scheduler_factory=factory)
     attacks = {
         r.method: r.accuracy
@@ -118,7 +141,11 @@ def _matrix_cell(params: Mapping[str, Any]) -> Dict[str, float]:
         "budget-ev": attacks["execution-vector"],
         "budget-rt": attacks["response-time"],
         "order": _order_accuracy(
-            policy, factory, params["order_windows"], params["seed"]
+            policy,
+            factory,
+            params["order_windows"],
+            params["seed"],
+            scheduler=scheduler,
         ),
     }
 
@@ -129,12 +156,21 @@ def campaign(
     order_windows: int = 200,
     seed: int = 5,
     alpha: float = LIGHT_ALPHA,
+    schedulers: Sequence[str] = DEFAULT_SCHEDULERS,
 ) -> CampaignSpec:
     """The defense matrix as a declarative campaign (one cell per
-    global × local configuration)."""
+    global × local configuration).
+
+    ``schedulers`` extends the local axis: ``"fp"`` expands to the legacy
+    FP and BLINDER rows (cells byte-identical to pre-registry campaigns —
+    no ``scheduler`` key in params, default-scheduler spec); any other
+    entry must be a registered local-scheduler name and contributes one row
+    per global policy, with the scheduler folded into both the cell params
+    and the embedded ``RunSpec`` (and therefore the cell's content hash).
+    """
     cells = []
     for global_name, policy in GLOBALS:
-        for local_name, _factory in LOCALS:
+        for local_name, scheduler in _rows(schedulers):
             key = f"global={global_name}/local={local_name}"
             cell_seed = derive_seed(seed, key)
             experiment = feasibility_experiment(
@@ -142,21 +178,26 @@ def campaign(
                 profile_windows=int(profile_windows),
                 message_windows=int(message_windows),
             )
-            spec = experiment.runspec(policy, seed=cell_seed)
+            params = {
+                "policy": policy,
+                "local": local_name,
+                "alpha": float(alpha),
+                "profile_windows": int(profile_windows),
+                "order_windows": int(order_windows),
+                "seed": cell_seed,
+            }
+            if scheduler == "fp":
+                spec = experiment.runspec(policy, seed=cell_seed)
+            else:
+                spec = experiment.runspec(policy, seed=cell_seed, scheduler=scheduler)
+                params["scheduler"] = scheduler
+            params["runspec"] = spec.to_dict()
+            params.update(experiment.harvest_params())
             cells.append(
                 CampaignCell(
                     key=key,
                     task="repro.experiments.defense_matrix:_matrix_cell",
-                    params={
-                        "policy": policy,
-                        "local": local_name,
-                        "alpha": float(alpha),
-                        "profile_windows": int(profile_windows),
-                        "order_windows": int(order_windows),
-                        "seed": cell_seed,
-                        "runspec": spec.to_dict(),
-                        **experiment.harvest_params(),
-                    },
+                    params=params,
                 )
             )
     return CampaignSpec(name="defense-matrix", cells=cells)
@@ -171,25 +212,31 @@ def run(
     jobs: int = 1,
     cache: Union[None, str, ResultCache] = None,
     journal: Union[None, str, CampaignJournal] = None,
+    schedulers: Optional[Sequence[str]] = None,
 ) -> DefenseMatrixResult:
     """Default load is the light configuration — the adversary's best case,
     and therefore the most meaningful place to compare defenses.
 
-    Runs as a :mod:`repro.runner` campaign: the four (global, local)
+    Runs as a :mod:`repro.runner` campaign: the (global, local)
     configurations execute across ``jobs`` workers with per-cell derived
-    seeds and optional result caching."""
+    seeds and optional result caching. ``schedulers`` adds registered
+    local-scheduler rows (e.g. ``("fp", "edf", "reorder")``) beside the
+    default FP/BLINDER axis."""
+    if schedulers is None:
+        schedulers = DEFAULT_SCHEDULERS
     spec = campaign(
         profile_windows=profile_windows,
         message_windows=message_windows,
         order_windows=order_windows,
         seed=seed,
         alpha=alpha,
+        schedulers=schedulers,
     )
     outcome = run_campaign(spec, jobs=jobs, cache=cache, journal=journal)
     result = DefenseMatrixResult()
     cell_iter = iter(spec.cells)
     for global_name, _policy in GLOBALS:
-        for local_name, _factory in LOCALS:
+        for local_name, _scheduler in _rows(schedulers):
             result.cells[(global_name, local_name)] = outcome.results[
                 next(cell_iter).key
             ]

@@ -21,6 +21,16 @@ from repro.service.journal import CampaignJournal
 
 DEFAULT_POLICIES = ("norandom", "timedice-uniform", "timedice")
 DEFAULT_PROFILE_SIZES = (20, 50, 100, 200)
+#: Local-scheduler axis of the sweep. ``"fp"`` is the paper's configuration
+#: and keeps cells byte-identical to pre-registry campaigns; extra registered
+#: names (``"edf"``, ``"reorder"``) add comparison columns labeled
+#: ``policy@scheduler``.
+DEFAULT_SCHEDULERS = ("fp",)
+
+
+def _column_label(policy: str, scheduler: str) -> str:
+    """Sweep column label: bare policy under fp, ``policy@scheduler`` else."""
+    return policy if scheduler == "fp" else f"{policy}@{scheduler}"
 
 #: Human-readable load names keyed by alpha.
 LOAD_NAMES = {DEFAULT_ALPHA: "base", LIGHT_ALPHA: "light"}
@@ -79,33 +89,49 @@ def sweep_campaign(
     message_windows: int = 400,
     seed: int = 3,
     name: str = "fig12",
+    schedulers: Sequence[str] = DEFAULT_SCHEDULERS,
 ) -> CampaignSpec:
     """The accuracy sweep as a declarative campaign: one cell per
-    (alpha, policy), each carrying one :class:`~repro.sim.config.RunSpec`
-    with a key-derived seed."""
+    (alpha, policy, scheduler), each carrying one
+    :class:`~repro.sim.config.RunSpec` with a key-derived seed.
+
+    ``schedulers`` defaults to the paper's plain fixed-priority local
+    scheduler; ``"fp"`` cells (key, seed, content hash) are byte-identical
+    to pre-``scheduler``-axis campaigns, while any other registered name
+    gets a ``/scheduler=<name>`` key suffix and the scheduler folded into
+    the embedded spec (and thus the cell's cache identity)."""
     cells = []
     for alpha in alphas:
         for policy in policies:
-            key = default_key({"alpha": float(alpha), "policy": policy})
-            experiment = feasibility_experiment(
-                alpha=alpha,
-                profile_windows=int(max(profile_sizes)),
-                message_windows=int(message_windows),
-            )
-            spec = experiment.runspec(policy, seed=derive_seed(seed, key))
-            cells.append(
-                CampaignCell(
-                    key=key,
-                    task="repro.experiments.fig12_accuracy:_sweep_cell",
-                    params={
-                        "alpha": float(alpha),
-                        "policy": policy,
-                        "profile_sizes": [int(m) for m in profile_sizes],
-                        "runspec": spec.to_dict(),
-                        **experiment.harvest_params(),
-                    },
+            for scheduler in schedulers:
+                key = default_key({"alpha": float(alpha), "policy": policy})
+                experiment = feasibility_experiment(
+                    alpha=alpha,
+                    profile_windows=int(max(profile_sizes)),
+                    message_windows=int(message_windows),
                 )
-            )
+                params = {
+                    "alpha": float(alpha),
+                    "policy": policy,
+                    "profile_sizes": [int(m) for m in profile_sizes],
+                }
+                if scheduler == "fp":
+                    spec = experiment.runspec(policy, seed=derive_seed(seed, key))
+                else:
+                    key = f"{key}/scheduler={scheduler}"
+                    spec = experiment.runspec(
+                        policy, seed=derive_seed(seed, key), scheduler=scheduler
+                    )
+                    params["scheduler"] = scheduler
+                params["runspec"] = spec.to_dict()
+                params.update(experiment.harvest_params())
+                cells.append(
+                    CampaignCell(
+                        key=key,
+                        task="repro.experiments.fig12_accuracy:_sweep_cell",
+                        params=params,
+                    )
+                )
     return CampaignSpec(name=name, cells=cells)
 
 
@@ -118,18 +144,25 @@ def accuracy_sweep(
     jobs: int = 1,
     cache: Union[None, str, ResultCache] = None,
     journal: Union[None, str, CampaignJournal] = None,
+    schedulers: Sequence[str] = DEFAULT_SCHEDULERS,
 ) -> AccuracySweep:
-    """Run the full sweep: one simulation per (policy, load), scored at every
-    profiling size against the same message windows.
+    """Run the full sweep: one simulation per (policy, load, scheduler),
+    scored at every profiling size against the same message windows.
 
     The sweep executes as a :mod:`repro.runner` campaign — ``jobs`` fans the
-    (alpha, policy) cells across worker processes, ``cache`` reuses results
-    across invocations. Cell seeds derive from ``(seed, cell key)``, so
-    output is identical for every ``jobs`` value.
+    (alpha, policy, scheduler) cells across worker processes, ``cache``
+    reuses results across invocations. Cell seeds derive from
+    ``(seed, cell key)``, so output is identical for every ``jobs`` value.
+    Non-``fp`` schedulers appear as extra ``policy@scheduler`` columns.
     """
+    labels = tuple(
+        _column_label(policy, scheduler)
+        for policy in policies
+        for scheduler in schedulers
+    )
     sweep = AccuracySweep(
         profile_sizes=tuple(profile_sizes),
-        policies=tuple(policies),
+        policies=labels,
         loads=tuple(alphas),
     )
     spec = sweep_campaign(
@@ -138,17 +171,20 @@ def accuracy_sweep(
         profile_sizes=profile_sizes,
         message_windows=message_windows,
         seed=seed,
+        schedulers=schedulers,
     )
     outcome = run_campaign(spec, jobs=jobs, cache=cache, journal=journal)
     cell_iter = iter(spec.cells)
     for alpha in alphas:
         load = LOAD_NAMES.get(alpha, f"alpha={alpha:.2f}")
         for policy in policies:
-            cell = next(cell_iter)
-            for score in outcome.results[cell.key]:
-                sweep.results[(load, policy, score["method"], score["m"])] = score[
-                    "accuracy"
-                ]
+            for scheduler in schedulers:
+                cell = next(cell_iter)
+                label = _column_label(policy, scheduler)
+                for score in outcome.results[cell.key]:
+                    sweep.results[(load, label, score["method"], score["m"])] = score[
+                        "accuracy"
+                    ]
     return sweep
 
 
@@ -160,6 +196,7 @@ def run(
     jobs: int = 1,
     cache: Union[None, str, ResultCache] = None,
     journal: Union[None, str, CampaignJournal] = None,
+    schedulers: Sequence[str] = DEFAULT_SCHEDULERS,
 ) -> AccuracySweep:
     """The Fig. 12 experiment with paper-shaped defaults."""
     return accuracy_sweep(
@@ -170,4 +207,5 @@ def run(
         jobs=jobs,
         cache=cache,
         journal=journal,
+        schedulers=schedulers,
     )

@@ -8,7 +8,11 @@ deterministic, integer-microsecond, two-level scheduler simulation.
   periodic, noisy (±20 % jitter, the paper's noise partitions), covert-channel
   sender and receiver driven by a :class:`~repro.sim.behaviors.ChannelScript`.
 - :mod:`repro.sim.local` — partition-local schedulers (fixed-priority
-  preemptive by default; BLINDER's transformation plugs in here).
+  preemptive by default; EDF and the REORDER obfuscation baseline ship
+  here; BLINDER's transformation plugs in from :mod:`repro.baselines`).
+- :mod:`repro.sim.registry` — the spec-addressable scheduler registries:
+  local schedulers by name (``RunSpec.scheduler``) and global policies
+  with their engine metadata (label, selector kind, batch capability).
 - :mod:`repro.sim.policies` — global scheduling policies: fixed priority
   (NoRandom), TimeDiceU/W/inverse, static TDMA.
 - :mod:`repro.sim.trace` — observers: segment traces, response-time records,
@@ -24,6 +28,12 @@ from repro.sim.config import (
     register_system_builder,
 )
 from repro.sim.engine import HookSet, SimulationResult, Simulator
+from repro.sim.local import (
+    EDFLocalScheduler,
+    FixedPriorityLocalScheduler,
+    REORDERLocalScheduler,
+    REORDERPolicy,
+)
 from repro.sim.policies import (
     POLICY_NAMES,
     FixedPriorityPolicy,
@@ -31,6 +41,13 @@ from repro.sim.policies import (
     TDMAPolicy,
     TimeDicePolicy,
     make_policy,
+)
+from repro.sim.registry import (
+    global_policy_names,
+    local_scheduler_names,
+    make_local_scheduler_factory,
+    register_global_policy,
+    register_local_scheduler,
 )
 from repro.sim.trace import (
     BudgetAccountant,
@@ -61,6 +78,15 @@ __all__ = [
     "TDMAPolicy",
     "make_policy",
     "POLICY_NAMES",
+    "EDFLocalScheduler",
+    "FixedPriorityLocalScheduler",
+    "REORDERLocalScheduler",
+    "REORDERPolicy",
+    "register_local_scheduler",
+    "register_global_policy",
+    "local_scheduler_names",
+    "global_policy_names",
+    "make_local_scheduler_factory",
     "SegmentRecorder",
     "ResponseTimeRecorder",
     "ExecutionVectorRecorder",

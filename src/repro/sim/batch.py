@@ -63,6 +63,7 @@ from repro.core.busy_interval import MAX_ITERATIONS
 from repro.obs.gate import GATE
 from repro.obs.registry import MetricsRegistry, register_process_registry
 from repro.sim.behaviors import default_behaviors
+import repro.sim.registry as _registry
 from repro.sim.config import RunSpec, canonical_json
 from repro.sim.engine import SimulationResult
 from repro.sim.local import Job
@@ -76,23 +77,6 @@ BATCH_METRICS = register_process_registry(MetricsRegistry("batch"))
 #: Sentinel "time" for an empty arrival heap (never reached: horizons are
 #: int64-safe microsecond counts).
 _NEVER = np.int64(2**62)
-
-#: Policy-name -> RunObs label, matching the scalar engine's
-#: ``getattr(policy, "name", "run")``.
-_POLICY_LABELS = {
-    "norandom": "norandom",
-    "timedice": "timedice-weighted",
-    "timedice-uniform": "timedice-uniform",
-    "timedice-inverse": "timedice-inverse",
-    "tdma": "tdma",
-}
-
-#: TimeDice variant -> selector kind.
-_SELECTOR_KINDS = {
-    "timedice": "weighted",
-    "timedice-uniform": "uniform",
-    "timedice-inverse": "inverse",
-}
 
 #: The InverseUtilizationSelector's utilization floor.
 _INVERSE_EPSILON = 1e-3
@@ -112,14 +96,22 @@ _PYTHON_FIXPOINT_CUTOFF = 32
 def batch_compatible(spec: RunSpec) -> Optional[str]:
     """Why ``spec`` cannot run on the batch engine, or None when it can.
 
-    The batch engine covers every speccable run except the two features
-    whose semantics live in scalar-only code paths: the Sec. II-a budget
-    donation fallback and per-decision wall-clock measurement.
+    The batch engine covers every speccable run except: the two features
+    whose semantics live in scalar-only code paths (the Sec. II-a budget
+    donation fallback and per-decision wall-clock measurement), non-default
+    local schedulers (``spec.scheduler`` — the vectorized ready-queue model
+    is fixed-priority only), and global policies whose registry entry is not
+    marked batch-capable (third-party registrations).
     """
     if spec.budget_donation:
         return "budget_donation"
     if spec.measure_overhead:
         return "measure_overhead"
+    if spec.scheduler != _registry.DEFAULT_LOCAL_SCHEDULER:
+        return "scheduler"
+    entry = _registry.find_global_policy(spec.policy)
+    if entry is None or not entry.batch:
+        return "policy"
     return None
 
 
@@ -158,9 +150,13 @@ class _Run:
     def __init__(self, spec: RunSpec, system, observers: Sequence) -> None:
         self.spec = spec
         seed = spec.seed
-        # The scalar engine's exact stream derivations.
+        # The scalar engine's exact stream derivations. Labels and selector
+        # kinds come from the policy registry (the scalar engine reads the
+        # same data off the built instance), so a registered third-party
+        # policy name can never be mislabeled by a stale string map.
         self.workload_rng = random.Random(seed * 2 + 1)
-        self.selector_kind = _SELECTOR_KINDS.get(spec.policy)
+        entry = _registry.get_global_policy(spec.policy)
+        self.selector_kind = entry.selector_kind
         self.policy_rng = (
             random.Random(seed * 2 + 0x9E3779B9)
             if self.selector_kind is not None
@@ -169,7 +165,7 @@ class _Run:
         self.quantum = spec.effective_quantum
         self.behaviors = default_behaviors(spec.channel_script())
         self.observers = tuple(observers)
-        self.obs = _obs.RunObs(label=_POLICY_LABELS.get(spec.policy, "run"))
+        self.obs = _obs.RunObs(label=entry.label)
         registry = self.obs.registry
         self.m_replenish = registry.counter("engine.events.replenish")
         self.m_arrival = registry.counter("engine.events.arrival")
@@ -276,19 +272,23 @@ class BatchSimulator:
         ]
         self._any_observers = any(run.observers for run in self._runs)
 
+        # Group runs by registry-declared selector kind, not by comparing
+        # policy-name strings: None = non-randomized (norandom/tdma split by
+        # name below among batch-capable builtins).
+        kinds = [run.selector_kind for run in self._runs]
         policies = [spec.policy for spec in specs]
         self._idx_norandom = np.array(
             [i for i, p in enumerate(policies) if p == "norandom"], dtype=np.intp
         )
         self._idx_timedice = np.array(
-            [i for i, p in enumerate(policies) if p in _SELECTOR_KINDS],
+            [i for i, kind in enumerate(kinds) if kind is not None],
             dtype=np.intp,
         )
         self._idx_tdma = np.array(
             [i for i, p in enumerate(policies) if p == "tdma"], dtype=np.intp
         )
         self._any_util_selector = any(
-            _SELECTOR_KINDS.get(p) in ("weighted", "inverse") for p in policies
+            kind in ("weighted", "inverse") for kind in kinds
         )
         # Hot-loop helpers for _decide_timedice.
         self._period_list = self._period.tolist()

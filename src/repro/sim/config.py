@@ -12,9 +12,20 @@ caching needs).
 
 Build a simulator from one with :meth:`repro.sim.engine.Simulator.from_spec`.
 Anything that cannot be serialized — observer objects, behaviour instances,
-local-scheduler factories — is deliberately *not* part of the spec: those are
+ad-hoc local-scheduler factories — is *not* part of the spec: those are
 per-process attachments passed to ``from_spec`` alongside it, and they never
-participate in cache keys.
+participate in cache keys. Local schedulers themselves, however, **are**
+speccable since the scheduler-stack refactor: the ``scheduler`` field names
+a registered entry (:func:`repro.sim.registry.register_local_scheduler` —
+``"fp"``, ``"edf"``, ``"reorder"``, ...), which a worker in another process
+can rebuild and which participates in the content hash whenever it is not
+the default. Migration note: code that passed
+``local_scheduler_factory=...`` to ``Simulator``/``from_spec`` keeps
+working unchanged (an explicit factory is still the escape hatch for
+unregistered, process-local schedulers), but a factory that merely selects
+a registered scheduler should move to ``RunSpec(scheduler="<name>")`` so
+caching stays sound — an explicit factory combined with a non-default
+``scheduler`` field is rejected as ambiguous.
 
 Systems are described by :class:`SystemSpec` either **by name** (a registered
 builder plus its kwargs — compact, and robust to model-class changes) or
@@ -33,8 +44,17 @@ from typing import Any, Callable, Dict, Mapping, Optional
 from repro.core.timedice import DEFAULT_QUANTUM
 from repro.model import configs as _model_configs
 from repro.model.system import System
+import repro.sim.local as _sim_local  # noqa: F401 — registers fp/edf/reorder
 from repro.sim.behaviors import ChannelScript
-from repro.sim.policies import POLICY_NAMES
+from repro.sim.policies import POLICY_NAMES  # noqa: F401 — re-exported; also
+# registers the builtin global policies as an import side effect
+from repro.sim.registry import (
+    DEFAULT_LOCAL_SCHEDULER,
+    find_global_policy,
+    find_local_scheduler,
+    global_policy_names,
+    local_scheduler_names,
+)
 
 #: Version of the RunSpec wire/hash format. Bump when the meaning of any
 #: field changes so stale cached results can never be misread as current.
@@ -200,6 +220,14 @@ class RunSpec:
             every supported spec, so the engine choice is **hash-neutral**:
             it never participates in :meth:`content_hash` and both engines
             share one cache entry per run.
+        scheduler: Registered *local* scheduler name
+            (:func:`repro.sim.registry.register_local_scheduler`): ``"fp"``
+            (fixed-priority, the default), ``"edf"``, ``"reorder"``, or any
+            third-party registration. Unlike ``engine``, a non-default
+            scheduler **changes run semantics**, so it participates in
+            :meth:`content_hash`; the default is emitted nowhere, keeping
+            default-scheduler documents and hashes byte-identical to
+            pre-``scheduler``-field ones.
     """
 
     system: SystemSpec
@@ -213,14 +241,22 @@ class RunSpec:
     budget_donation: bool = False
     measure_overhead: bool = False
     engine: str = "scalar"
+    scheduler: str = DEFAULT_LOCAL_SCHEDULER
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "system", _coerce_system(self.system))
         object.__setattr__(self, "channel", _coerce_channel(self.channel))
         object.__setattr__(self, "faults", _coerce_faults(self.faults))
-        if self.policy not in POLICY_NAMES:
+        if find_global_policy(self.policy) is None:
             raise ValueError(
-                f"unknown policy {self.policy!r}; expected one of {POLICY_NAMES}"
+                f"unknown policy {self.policy!r}; expected one of "
+                f"{global_policy_names()}"
+            )
+        if find_local_scheduler(self.scheduler) is None:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; registered: "
+                f"{local_scheduler_names()} (schedulers register on import — "
+                "is the owning module imported?)"
             )
         object.__setattr__(self, "seed", int(self.seed))
         if self.horizon is not None:
@@ -293,7 +329,10 @@ class RunSpec:
         The ``engine`` key is emitted only when it is not the default
         ``"scalar"`` — it is an execution-backend selector, not run
         semantics, so default-engine documents round-trip byte-identically
-        with pre-engine-field ones.
+        with pre-engine-field ones. The ``scheduler`` key follows the same
+        emit-only-when-non-default rule (so default documents stay
+        byte-identical), but for the opposite reason: a non-default
+        scheduler *is* run semantics and must reach the hash.
         """
         doc = {
             "schema": CONFIG_SCHEMA,
@@ -310,6 +349,8 @@ class RunSpec:
         }
         if self.engine != "scalar":
             doc["engine"] = self.engine
+        if self.scheduler != DEFAULT_LOCAL_SCHEDULER:
+            doc["scheduler"] = self.scheduler
         return doc
 
     @classmethod
@@ -331,6 +372,7 @@ class RunSpec:
             budget_donation=data.get("budget_donation", False),
             measure_overhead=data.get("measure_overhead", False),
             engine=data.get("engine", "scalar"),
+            scheduler=data.get("scheduler", DEFAULT_LOCAL_SCHEDULER),
         )
 
     def to_json(self) -> str:
@@ -348,8 +390,10 @@ class RunSpec:
         (the schema version is part of the hashed material, so a format bump
         invalidates everything at once). The ``engine`` field is excluded:
         scalar and batch execution are bit-identical, so both address the
-        same cached result. Hash **normalized** specs when the address must
-        be ambient-state-independent.
+        same cached result. The ``scheduler`` field *is* included whenever
+        it is non-default (``to_dict`` omits the default, so ``"fp"`` specs
+        hash exactly as pre-field ones did). Hash **normalized** specs when
+        the address must be ambient-state-independent.
         """
         material = self.to_dict()
         material.pop("engine", None)

@@ -32,8 +32,13 @@ from repro.model.system import System
 from repro.obs.gate import GATE
 from repro.sim.behaviors import Behavior, ChannelScript, default_behaviors
 from repro.sim.events import Event, EventKind, EventQueue
-from repro.sim.local import FixedPriorityLocalScheduler, Job, LocalScheduler
+from repro.sim.local import Job, LocalScheduler
 from repro.sim.policies import GlobalPolicyBase, PolicyChoice, make_policy
+from repro.sim.registry import (
+    DEFAULT_LOCAL_SCHEDULER,
+    find_local_scheduler,
+    make_local_scheduler_factory,
+)
 from repro.sim.trace import JobRecord, Observer, SegmentRecorder
 
 
@@ -177,9 +182,23 @@ class Simulator:
         behaviors: Optional overrides of the behaviour registry
             (``{behavior_key: Behavior}``).
         observers: Trace observers to notify.
-        local_scheduler_factory: Builds the per-partition local scheduler;
-            defaults to fixed-priority preemptive. BLINDER substitutes its
-            transformation here.
+        local_scheduler_factory: Builds the per-partition local scheduler
+            from a live callable — the escape hatch for unregistered,
+            process-local schedulers (BLINDER's experiments historically
+            plug in here). Mutually exclusive with a non-default
+            ``scheduler`` name.
+        scheduler: Registered local-scheduler name
+            (:func:`repro.sim.registry.register_local_scheduler`):
+            ``"fp"`` (default), ``"edf"``, ``"reorder"``, ... — the
+            spec-addressable way to select the local scheduler
+            (``RunSpec.scheduler`` threads through here). Seeded entries
+            (REORDER) receive per-partition streams derived from ``seed``.
+            Selecting an EDF-based entry runs the
+            :mod:`repro.core.edf` supply/demand vetting pass; the verdict
+            lands on :attr:`edf_supply_report` (empty = every partition's
+            task set is EDF-feasible under its budget server, so TimeDice's
+            budget guarantee carries local deadlines too) and ticks the
+            gated ``sched.edf_infeasible`` counter per flagged partition.
         quantum: TimeDice MIN_INV_SIZE when ``policy`` is given by name.
         memoize: When ``policy`` is given by name, whether its TimeDice
             variants reuse schedulability-test outcomes across quanta
@@ -227,6 +246,7 @@ class Simulator:
         behaviors: Optional[Dict[str, Behavior]] = None,
         observers: Sequence[Observer] = (),
         local_scheduler_factory=None,
+        scheduler: str = DEFAULT_LOCAL_SCHEDULER,
         quantum: int = DEFAULT_QUANTUM,
         measure_overhead: bool = False,
         budget_donation: bool = False,
@@ -300,10 +320,34 @@ class Simulator:
                 )
             )
 
-        factory = local_scheduler_factory or (lambda spec: FixedPriorityLocalScheduler())
+        if local_scheduler_factory is not None:
+            if scheduler != DEFAULT_LOCAL_SCHEDULER:
+                raise ValueError(
+                    "pass either scheduler=<registered name> or "
+                    "local_scheduler_factory=<callable>, not both "
+                    f"(got scheduler={scheduler!r} and a factory)"
+                )
+            factory = local_scheduler_factory
+            entry = None
+        else:
+            entry = find_local_scheduler(scheduler)
+            factory = make_local_scheduler_factory(scheduler, seed)
+        self.scheduler = scheduler
         self._runtimes: List[_PartitionRuntime] = [
             _PartitionRuntime(spec, factory(spec)) for spec in system
         ]
+        # EDF-aware schedulability vetting: TimeDice's candidate search
+        # guarantees partition budgets; with an EDF-based local scheduler the
+        # local half of the deadline argument is the supply/demand test.
+        self.edf_supply_report: Dict[str, str] = {}
+        if entry is not None and entry.edf_based:
+            from repro.core.edf import edf_supply_report
+
+            self.edf_supply_report = edf_supply_report(system)
+            if self.edf_supply_report:
+                self.obs.registry.counter("sched.edf_infeasible").inc(
+                    len(self.edf_supply_report)
+                )
         self._by_name: Dict[str, _PartitionRuntime] = {
             rt.spec.name: rt for rt in self._runtimes
         }
@@ -345,20 +389,23 @@ class Simulator:
         the ambient-fault-plan question is settled before construction and
         the simulator built here is exactly the one the spec's
         ``content_hash()`` names. Non-serializable attachments — observer
-        objects, behaviour instances, local-scheduler factories — are not
-        part of a spec and are passed alongside it; they never affect cache
-        identity.
+        objects, behaviour instances, ad-hoc local-scheduler factories —
+        are not part of a spec and are passed alongside it; they never
+        affect cache identity. Registered local schedulers travel *inside*
+        the spec (``spec.scheduler``); combining a non-default one with an
+        explicit ``local_scheduler_factory`` is rejected as ambiguous.
 
         When ``spec.engine == "batch"`` the run is routed to the vectorized
         backend (:mod:`repro.sim.batch`) and the return value is a
         :class:`~repro.sim.batch.BatchRunAdapter` — same ``run_until``
         surface, bit-identical results, but single-shot (no pause/resume).
         Specs or attachments the batch engine cannot represent (budget
-        donation, overhead measurement, custom behaviours/schedulers/obs,
-        an active ``--trace-out`` capture) fall back to the scalar engine
-        here, ticking the gated ``batch.fallback`` counter plus one
-        reasoned companion (``batch.fallback.<reason>``) so ``repro
-        stats`` can say why.
+        donation, overhead measurement, a non-default or unsupported
+        scheduler/policy, custom behaviours/schedulers/obs, an active
+        ``--trace-out`` capture) fall back to the scalar engine here,
+        ticking the gated ``batch.fallback`` counter plus one reasoned
+        companion (``batch.fallback.<reason>``) so ``repro stats`` can say
+        why.
         """
         spec = spec.normalized()
         if spec.engine == "batch":
@@ -389,6 +436,7 @@ class Simulator:
             behaviors=behaviors,
             observers=observers,
             local_scheduler_factory=local_scheduler_factory,
+            scheduler=spec.scheduler,
             quantum=spec.effective_quantum,
             measure_overhead=spec.measure_overhead,
             budget_donation=spec.budget_donation,

@@ -2,10 +2,16 @@
 
 The paper's implementation (and its analysis, Sec. IV-B) assume
 fixed-priority preemptive scheduling *inside* each partition; TimeDice never
-touches the local level. The local scheduler is nevertheless pluggable so
-that BLINDER's local-schedule transformation
-(:class:`repro.baselines.blinder.BlinderLocalScheduler`) can be swapped in
-for the Sec. V-C comparison.
+touches the local level. The local scheduler is pluggable — and, since the
+scheduler-stack refactor, **spec-addressable**: every scheduler here
+registers itself with :func:`repro.sim.registry.register_local_scheduler`
+under a name a :class:`~repro.sim.config.RunSpec` can select (``"fp"``,
+``"edf"``, ``"reorder"``; BLINDER registers ``"blinder"`` from its own
+module). :class:`FixedPriorityLocalScheduler` is the default;
+:class:`EDFLocalScheduler` orders by earliest absolute deadline; and
+:class:`REORDERLocalScheduler` is a REORDER-style obfuscation baseline
+(Chen et al.): EDF with randomized reordering of *eligible* jobs — jobs
+whose execution fits within the slack of every more urgent pending job.
 
 A :class:`Job` is one activation of a task; the engine owns job lifecycle
 (arrival → executing → complete) and calls into the local scheduler only to
@@ -15,10 +21,12 @@ order the ready queue.
 from __future__ import annotations
 
 import itertools
+import random
 from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.model.task import Task
+from repro.sim.registry import register_local_scheduler
 
 _job_ids = itertools.count()
 
@@ -123,3 +131,148 @@ class FixedPriorityLocalScheduler(LocalScheduler):
 
     def pending_count(self) -> int:
         return len(self._ready)
+
+
+def absolute_deadline(job: Job) -> int:
+    """A job's absolute deadline: arrival + the task's relative deadline."""
+    return job.arrival + job.task.deadline
+
+
+class EDFLocalScheduler(LocalScheduler):
+    """Earliest-absolute-deadline-first preemptive local scheduling.
+
+    The ready queue is kept sorted by ``(arrival + deadline, arrival,
+    job id)`` — the tiebreak is deterministic and seed-independent, so two
+    EDF partitions fed the same job sequence always pick identically. The
+    head is re-evaluated at every engine scheduling point, which yields
+    preemptive EDF: a newly arrived more urgent job is picked at the next
+    decision.
+
+    Feasibility under the partition's budget server is *not* implied by the
+    paper's fixed-priority analysis; the engine runs the processor-demand
+    vs supply-bound vetting pass (:mod:`repro.core.edf`) at construction.
+    """
+
+    def __init__(self) -> None:
+        self._ready: List[Job] = []
+
+    @staticmethod
+    def _key(job: Job):
+        return (absolute_deadline(job), job.arrival, job.job_id)
+
+    def on_arrival(self, job: Job, t: int) -> None:
+        self._ready.append(job)
+        self._ready.sort(key=self._key)
+
+    def on_complete(self, job: Job, t: int) -> None:
+        self._ready.remove(job)
+
+    def pick(self, t: int) -> Optional[Job]:
+        return self._ready[0] if self._ready else None
+
+    def has_ready(self, t: int) -> bool:
+        return bool(self._ready)
+
+    def pending_count(self) -> int:
+        return len(self._ready)
+
+
+class REORDERLocalScheduler(LocalScheduler):
+    """REORDER-style schedule obfuscation for dynamic-priority partitions.
+
+    REORDER (Chen et al., PAPERS.md) secures EDF systems by randomizing the
+    execution order within the slack the schedule affords: at each decision
+    it runs a uniformly random job from the **eligible** set instead of the
+    EDF head. A job is eligible iff running it to completion first, then the
+    rest of the queue in EDF order, still meets every absolute deadline on a
+    dedicated processor — i.e. its remaining execution fits within the
+    minimum slack of every more urgent pending job. The EDF head is always
+    eligible on a feasible queue, so when nothing else fits REORDER degrades
+    to plain EDF (and when the queue is already infeasible it falls back to
+    the EDF head, the least-damage choice).
+
+    Determinism: the RNG is drawn at most once per ready-queue change — the
+    chosen job is cached and invalidated on arrivals and completions, never
+    on repeated ``pick`` calls — so the draw sequence is a function of the
+    job-event sequence, not of how often the engine peeks. Each partition
+    gets an independent stream derived from the run seed
+    (``derive_seed(seed, "sched/reorder/<partition>")``), so REORDER runs
+    never perturb the workload or global-policy streams.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._ready: List[Job] = []
+        self._rng = random.Random(seed)
+        self._choice: Optional[Job] = None
+
+    def on_arrival(self, job: Job, t: int) -> None:
+        self._ready.append(job)
+        self._ready.sort(key=EDFLocalScheduler._key)
+        self._choice = None
+
+    def on_complete(self, job: Job, t: int) -> None:
+        self._ready.remove(job)
+        self._choice = None
+
+    def eligible(self, t: int) -> List[Job]:
+        """Jobs runnable next without forcing any deadline miss (see class
+        docstring); ordered by EDF key, so index 0 is the EDF head."""
+        out: List[Job] = []
+        for candidate in self._ready:
+            if t + candidate.remaining > absolute_deadline(candidate):
+                continue
+            elapsed = candidate.remaining
+            feasible = True
+            for other in self._ready:
+                if other is candidate:
+                    continue
+                elapsed += other.remaining
+                if t + elapsed > absolute_deadline(other):
+                    feasible = False
+                    break
+            if feasible:
+                out.append(candidate)
+        return out
+
+    def pick(self, t: int) -> Optional[Job]:
+        if not self._ready:
+            return None
+        if self._choice is None:
+            eligible = self.eligible(t)
+            if not eligible:
+                self._choice = self._ready[0]  # infeasible: degrade to EDF
+            elif len(eligible) == 1:
+                self._choice = eligible[0]
+            else:
+                self._choice = eligible[self._rng.randrange(len(eligible))]
+        return self._choice
+
+    def has_ready(self, t: int) -> bool:
+        return bool(self._ready)
+
+    def pending_count(self) -> int:
+        return len(self._ready)
+
+
+#: The name the ISSUE/ROADMAP use for the baseline as a whole.
+REORDERPolicy = REORDERLocalScheduler
+
+
+# ------------------------------------------------- registry (spec-addressable)
+
+
+def _fp_factory(partition, seed):
+    return FixedPriorityLocalScheduler()
+
+
+def _edf_factory(partition, seed):
+    return EDFLocalScheduler()
+
+
+def _reorder_factory(partition, seed):
+    return REORDERLocalScheduler(seed=0 if seed is None else seed)
+
+
+register_local_scheduler("fp", _fp_factory)
+register_local_scheduler("edf", _edf_factory, edf_based=True)
+register_local_scheduler("reorder", _reorder_factory, edf_based=True, seeded=True)

@@ -30,6 +30,7 @@ from repro.core.memo import DEFAULT_MEMO_SIZE
 from repro.core.state import SystemState
 from repro.core.timedice import DEFAULT_QUANTUM, TimeDice
 from repro.model.system import System
+from repro.sim.registry import get_global_policy, register_global_policy
 
 
 @dataclass
@@ -128,7 +129,12 @@ class TDMASlot:
 
 
 class TDMAUnschedulableError(ValueError):
-    """The partition set cannot be served by any static table."""
+    """The partition set cannot be served by any static table.
+
+    The message names the offending partition, its (and the set's)
+    utilization, and summarizes the slot table built so far, so the failure
+    is actionable without re-running construction under a debugger.
+    """
 
 
 class TDMAPolicy(GlobalPolicyBase):
@@ -155,6 +161,24 @@ class TDMAPolicy(GlobalPolicyBase):
         self.slots = self._build_table(system)
 
     @staticmethod
+    def _diagnostics(system: System, partition, slots: List[TDMASlot]) -> str:
+        """The shared tail of every unschedulability message: utilizations
+        plus a summary of the slot table built before the conflict."""
+        total = sum(p.utilization for p in system)
+        tail = ", ".join(
+            f"[{s.start},{s.end})->{s.partition}" for s in slots[-4:]
+        )
+        if len(slots) > 4:
+            tail = f"..., {tail}"
+        return (
+            f"(partition utilization {partition.utilization:.3f}, "
+            f"set total {total:.3f} over {len(list(system))} partition(s); "
+            f"table so far: {len(slots)} slot(s)"
+            + (f" {tail}" if slots else "")
+            + ")"
+        )
+
+    @staticmethod
     def _build_table(system: System) -> List[TDMASlot]:
         hyper = system.hyperperiod
         remaining = {p.name: 0 for p in system}
@@ -172,8 +196,12 @@ class TDMAPolicy(GlobalPolicyBase):
                     if instants[index] % p.period == 0:
                         if remaining[p.name] > 0:
                             raise TDMAUnschedulableError(
-                                f"{p.name} cannot receive {p.budget}us every "
-                                f"{p.period}us in any static table"
+                                f"partition {p.name!r} cannot receive "
+                                f"{p.budget}us every {p.period}us in any "
+                                f"static table: {remaining[p.name]}us of its "
+                                f"budget is still unserved at its "
+                                f"replenishment t={instants[index]}us "
+                                + TDMAPolicy._diagnostics(system, p, slots)
                             )
                         remaining[p.name] = p.budget
                         deadline[p.name] = instants[index] + p.period
@@ -187,13 +215,23 @@ class TDMAPolicy(GlobalPolicyBase):
             duration = min(next_instant - t, remaining[owner.name])
             if t + duration > deadline[owner.name]:
                 raise TDMAUnschedulableError(
-                    f"{owner.name} misses its budget deadline in the static table"
+                    f"partition {owner.name!r} misses its budget deadline in "
+                    f"the static table: its slot would run to t={t + duration}us "
+                    f"but its budget ({owner.budget}us every {owner.period}us) "
+                    f"is due by t={deadline[owner.name]}us "
+                    + TDMAPolicy._diagnostics(system, owner, slots)
                 )
             slots.append(TDMASlot(t, t + duration, owner.name))
             remaining[owner.name] -= duration
             t += duration
         if any(value > 0 for value in remaining.values()):
-            raise TDMAUnschedulableError("leftover budget at end of hyperperiod")
+            short = next(p for p in system if remaining[p.name] > 0)
+            raise TDMAUnschedulableError(
+                f"partition {short.name!r} has {remaining[short.name]}us of "
+                f"unserved budget ({short.budget}us every {short.period}us) at "
+                f"the end of the {hyper}us hyperperiod "
+                + TDMAPolicy._diagnostics(system, short, slots)
+            )
         return slots
 
     def slot_at(self, t: int) -> Tuple[Optional[TDMASlot], int]:
@@ -231,6 +269,9 @@ class GlobalPolicy:
     TDMA = "tdma"
 
 
+#: The builtin policy names (docs and CLI help enumerate these); the open
+#: set — builtins plus third-party registrations — lives in
+#: :func:`repro.sim.registry.global_policy_names`.
 POLICY_NAMES = (
     GlobalPolicy.NORANDOM,
     GlobalPolicy.TIMEDICE_WEIGHTED,
@@ -247,27 +288,79 @@ def make_policy(
     quantum: int = DEFAULT_QUANTUM,
     memoize: bool = True,
 ) -> GlobalPolicyBase:
-    """Build a policy by canonical name.
+    """Build a policy by registered name (see
+    :func:`repro.sim.registry.register_global_policy`).
 
     ``system`` is required for TDMA (the static table is system-specific);
-    ``seed``/``quantum``/``memoize`` apply to the TimeDice variants.
+    ``seed``/``quantum``/``memoize`` apply to the TimeDice variants. Every
+    entry's factory receives all four keywords and uses what it needs.
     """
-    if name == GlobalPolicy.NORANDOM:
-        return FixedPriorityPolicy()
-    if name == GlobalPolicy.TIMEDICE_WEIGHTED:
-        return TimeDicePolicy(
-            WeightedUtilizationSelector(), quantum=quantum, seed=seed, memoize=memoize
-        )
-    if name == GlobalPolicy.TIMEDICE_UNIFORM:
-        return TimeDicePolicy(
-            UniformSelector(), quantum=quantum, seed=seed, memoize=memoize
-        )
-    if name == GlobalPolicy.TIMEDICE_INVERSE:
-        return TimeDicePolicy(
-            InverseUtilizationSelector(), quantum=quantum, seed=seed, memoize=memoize
-        )
-    if name == GlobalPolicy.TDMA:
-        if system is None:
-            raise ValueError("TDMA needs the system to build its static table")
-        return TDMAPolicy(system)
-    raise ValueError(f"unknown policy {name!r}; expected one of {POLICY_NAMES}")
+    entry = get_global_policy(name)
+    return entry.factory(system=system, seed=seed, quantum=quantum, memoize=memoize)
+
+
+# ------------------------------------------------- registry (spec-addressable)
+
+
+def _build_norandom(system=None, seed=None, quantum=DEFAULT_QUANTUM, memoize=True):
+    return FixedPriorityPolicy()
+
+
+def _build_timedice_weighted(
+    system=None, seed=None, quantum=DEFAULT_QUANTUM, memoize=True
+):
+    return TimeDicePolicy(
+        WeightedUtilizationSelector(), quantum=quantum, seed=seed, memoize=memoize
+    )
+
+
+def _build_timedice_uniform(
+    system=None, seed=None, quantum=DEFAULT_QUANTUM, memoize=True
+):
+    return TimeDicePolicy(
+        UniformSelector(), quantum=quantum, seed=seed, memoize=memoize
+    )
+
+
+def _build_timedice_inverse(
+    system=None, seed=None, quantum=DEFAULT_QUANTUM, memoize=True
+):
+    return TimeDicePolicy(
+        InverseUtilizationSelector(), quantum=quantum, seed=seed, memoize=memoize
+    )
+
+
+def _build_tdma(system=None, seed=None, quantum=DEFAULT_QUANTUM, memoize=True):
+    if system is None:
+        raise ValueError("TDMA needs the system to build its static table")
+    return TDMAPolicy(system)
+
+
+# The labels match each built instance's ``name`` attribute (the scalar
+# engine's RunObs label); selector kinds drive the batch engine's vectorized
+# dice. batch=True marks the policies repro.sim.batch implements.
+register_global_policy(
+    GlobalPolicy.NORANDOM, _build_norandom, label="norandom", batch=True
+)
+register_global_policy(
+    GlobalPolicy.TIMEDICE_WEIGHTED,
+    _build_timedice_weighted,
+    label="timedice-weighted",
+    selector_kind="weighted",
+    batch=True,
+)
+register_global_policy(
+    GlobalPolicy.TIMEDICE_UNIFORM,
+    _build_timedice_uniform,
+    label="timedice-uniform",
+    selector_kind="uniform",
+    batch=True,
+)
+register_global_policy(
+    GlobalPolicy.TIMEDICE_INVERSE,
+    _build_timedice_inverse,
+    label="timedice-inverse",
+    selector_kind="inverse",
+    batch=True,
+)
+register_global_policy(GlobalPolicy.TDMA, _build_tdma, label="tdma", batch=True)
